@@ -1,0 +1,246 @@
+//! Noise sensitivity to ΔI (paper Figs. 11a and 11b).
+//!
+//! Runs synchronized stressmark mixes — idle / medium / maximum per core —
+//! over workload-to-core mappings and relates the noise to the fraction
+//! of the chip's maximum possible ΔI each mapping generates. The same
+//! dataset feeds the inter-core correlation analysis of Fig. 13a.
+
+use serde::{Deserialize, Serialize};
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+use voltnoise_system::workload::{all_distributions, mappings_of, Distribution, Mapping};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaIConfig {
+    /// Stimulus frequency (paper: 2 MHz band, synchronized).
+    pub stim_freq_hz: f64,
+    /// Maximum mappings evaluated per distribution (deterministically
+    /// strided when a distribution has more).
+    pub mappings_per_distribution: usize,
+    /// Simulation window per run.
+    pub window_s: Option<f64>,
+}
+
+impl DeltaIConfig {
+    /// Paper-style coverage.
+    pub fn paper() -> Self {
+        DeltaIConfig {
+            stim_freq_hz: 2.5e6,
+            mappings_per_distribution: 10,
+            window_s: Some(60e-6),
+        }
+    }
+
+    /// Reduced for tests.
+    pub fn reduced() -> Self {
+        DeltaIConfig {
+            stim_freq_hz: 2.5e6,
+            mappings_per_distribution: 3,
+            window_s: Some(40e-6),
+        }
+    }
+}
+
+/// One evaluated run of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaIRun {
+    /// The workload-to-core mapping.
+    pub mapping: Mapping,
+    /// Its distribution.
+    pub distribution: Distribution,
+    /// Fraction of the maximum possible chip ΔI.
+    pub delta_i_fraction: f64,
+    /// Per-core %p2p readings.
+    pub per_core_pct: [f64; NUM_CORES],
+}
+
+impl DeltaIRun {
+    /// Worst per-core reading of this run.
+    pub fn max_pct(&self) -> f64 {
+        self.per_core_pct
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The full campaign dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaIDataset {
+    /// Every evaluated run.
+    pub runs: Vec<DeltaIRun>,
+}
+
+impl DeltaIDataset {
+    /// Fig. 11a series: for each distinct ΔI fraction, the maximum
+    /// per-core noise observed across all mappings generating it.
+    pub fn max_noise_by_delta_i(&self) -> Vec<(f64, f64)> {
+        let mut by_frac: Vec<(f64, f64)> = Vec::new();
+        for run in &self.runs {
+            match by_frac
+                .iter_mut()
+                .find(|(f, _)| (*f - run.delta_i_fraction).abs() < 1e-9)
+            {
+                Some((_, m)) => *m = m.max(run.max_pct()),
+                None => by_frac.push((run.delta_i_fraction, run.max_pct())),
+            }
+        }
+        by_frac.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+        by_frac
+    }
+
+    /// Fig. 11b series: noise averaged over cores and mappings, grouped
+    /// by distribution, sorted by ΔI fraction then by concentration.
+    pub fn average_noise_by_distribution(&self) -> Vec<(Distribution, f64, f64)> {
+        let mut out: Vec<(Distribution, f64, f64, usize)> = Vec::new();
+        for run in &self.runs {
+            let avg: f64 = run.per_core_pct.iter().sum::<f64>() / NUM_CORES as f64;
+            match out.iter_mut().find(|(d, ..)| *d == run.distribution) {
+                Some((_, _, acc, n)) => {
+                    *acc += avg;
+                    *n += 1;
+                }
+                None => out.push((run.distribution, run.delta_i_fraction, avg, 1)),
+            }
+        }
+        let mut res: Vec<(Distribution, f64, f64)> = out
+            .into_iter()
+            .map(|(d, f, acc, n)| (d, f, acc / n as f64))
+            .collect();
+        res.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite fractions")
+                .then(a.0.max_count.cmp(&b.0.max_count))
+        });
+        res
+    }
+
+    /// Per-core noise series across runs (input to Fig. 13a correlation).
+    pub fn per_core_series(&self) -> [Vec<f64>; NUM_CORES] {
+        std::array::from_fn(|i| self.runs.iter().map(|r| r.per_core_pct[i]).collect())
+    }
+
+    /// Renders the Fig. 11a rows.
+    pub fn render_fig11a(&self) -> String {
+        let mut out = String::from(
+            "# Fig. 11a: max %p2p noise vs % of maximum possible dI\npct_of_max_di,max_pct_p2p\n",
+        );
+        for (f, m) in self.max_noise_by_delta_i() {
+            out.push_str(&format!("{:.1},{m:.1}\n", f * 100.0));
+        }
+        out
+    }
+
+    /// Renders the Fig. 11b rows.
+    pub fn render_fig11b(&self) -> String {
+        let mut out = String::from(
+            "# Fig. 11b: average noise by workload distribution (max-medium)\n\
+             distribution,pct_of_max_di,avg_pct_p2p\n",
+        );
+        for (d, f, avg) in self.average_noise_by_distribution() {
+            out.push_str(&format!("{},{:.1},{avg:.1}\n", d.label(), f * 100.0));
+        }
+        out
+    }
+}
+
+/// Runs the ΔI campaign.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if a PDN solve fails.
+pub fn run_delta_i(tb: &Testbed, cfg: &DeltaIConfig) -> Result<DeltaIDataset, PdnError> {
+    let sync = Some(SyncSpec::paper_default());
+    let run_cfg = NoiseRunConfig {
+        window_s: cfg.window_s,
+        record_traces: false,
+        seed: 1,
+    };
+    let mut runs = Vec::new();
+    for dist in all_distributions() {
+        let mappings = mappings_of(&dist);
+        let stride = (mappings.len() / cfg.mappings_per_distribution.max(1)).max(1);
+        for mapping in mappings.iter().step_by(stride) {
+            let loads = tb.loads_of_mapping(mapping, cfg.stim_freq_hz, sync);
+            let out = voltnoise_system::noise::run_noise(tb.chip(), &loads, &run_cfg)?;
+            runs.push(DeltaIRun {
+                mapping: *mapping,
+                distribution: dist,
+                delta_i_fraction: dist.delta_i_fraction(),
+                per_core_pct: out.pct_p2p,
+            });
+        }
+    }
+    Ok(DeltaIDataset { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static DeltaIDataset {
+        static CELL: OnceLock<DeltaIDataset> = OnceLock::new();
+        CELL.get_or_init(|| {
+            run_delta_i(Testbed::fast(), &DeltaIConfig::reduced()).expect("campaign runs")
+        })
+    }
+
+    #[test]
+    fn noise_grows_with_delta_i() {
+        let series = dataset().max_noise_by_delta_i();
+        assert!(series.len() >= 5);
+        let first = series.first().unwrap();
+        let last = series.last().unwrap();
+        assert!(first.0 < 0.01 && last.0 > 0.99);
+        assert!(
+            last.1 > first.1 + 20.0,
+            "full-dI noise {} vs idle {}",
+            last.1,
+            first.1
+        );
+        // Broad monotonic growth: each point at least as high as the
+        // floor three steps earlier.
+        for w in series.windows(4) {
+            assert!(w[3].1 >= w[0].1 - 3.0, "{:?}", w.iter().map(|p| p.1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn distribution_grouping_covers_all_28() {
+        let groups = dataset().average_noise_by_distribution();
+        assert_eq!(groups.len(), 28);
+    }
+
+    #[test]
+    fn amount_of_delta_i_matters_more_than_its_source() {
+        // Paper §V-D: "the important factor is the amount of dI generated
+        // and not the source of the dI": distributions with equal dI
+        // fraction read within a few points of each other.
+        let groups = dataset().average_noise_by_distribution();
+        let half: Vec<f64> = groups
+            .iter()
+            .filter(|(_, f, _)| (*f - 0.5).abs() < 1e-9)
+            .map(|(_, _, avg)| *avg)
+            .collect();
+        assert!(half.len() >= 3, "need several 50% dI distributions");
+        let spread = half.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - half.iter().cloned().fold(f64::INFINITY, f64::min);
+        let level = half.iter().sum::<f64>() / half.len() as f64;
+        assert!(
+            spread < 0.25 * level,
+            "source placement changed noise too much: spread {spread} at level {level}"
+        );
+    }
+
+    #[test]
+    fn renders_have_rows() {
+        let d = dataset();
+        assert!(d.render_fig11a().lines().count() > 5);
+        assert!(d.render_fig11b().lines().count() > 10);
+    }
+}

@@ -1,0 +1,218 @@
+//! Noise sensitivity to stimulus frequency (paper Figs. 7a and 9).
+//!
+//! Runs one maximum dI/dt stressmark per core over a spectrum of stimulus
+//! frequencies — unsynchronized for Fig. 7a, TOD-synchronized for
+//! Fig. 9 — and reports per-core %p2p skitter readings.
+
+use serde::{Deserialize, Serialize};
+use voltnoise_pdn::ac::log_space;
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::testbed::Testbed;
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Stimulus frequencies to explore.
+    pub freqs_hz: Vec<f64>,
+    /// Simulation window per point (`None` = auto).
+    pub window_s: Option<f64>,
+    /// Free-run phase seeds to average over (unsynchronized runs sample
+    /// several relative alignments, like repeated runs on hardware).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepConfig {
+    /// The paper-scale sweep: ~1.5 kHz to 15 MHz.
+    pub fn paper() -> Self {
+        SweepConfig {
+            freqs_hz: log_space(1.5e3, 15e6, 28),
+            window_s: None,
+            seeds: vec![1, 2, 3],
+        }
+    }
+
+    /// A reduced sweep for tests.
+    pub fn reduced() -> Self {
+        SweepConfig {
+            freqs_hz: vec![25e3, 45e3, 300e3, 2.5e6, 10e6],
+            window_s: Some(60e-6),
+            seeds: vec![1],
+        }
+    }
+}
+
+/// One sweep point: per-core noise at one stimulus frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Stimulus frequency in hertz.
+    pub freq_hz: f64,
+    /// Seed-averaged per-core %p2p readings.
+    pub per_core_pct: [f64; NUM_CORES],
+}
+
+impl SweepPoint {
+    /// Highest per-core reading at this frequency.
+    pub fn max_pct(&self) -> f64 {
+        self.per_core_pct
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Result of a frequency sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Whether the stressmarks were TOD-synchronized.
+    pub synced: bool,
+    /// One point per frequency, in input order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The frequency with the highest worst-core reading and that reading.
+    pub fn peak(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .map(|p| (p.freq_hz, p.max_pct()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite noise"))
+            .expect("non-empty sweep")
+    }
+
+    /// Reading at the point closest to `freq_hz`.
+    pub fn at(&self, freq_hz: f64) -> Option<&SweepPoint> {
+        self.points.iter().min_by(|a, b| {
+            (a.freq_hz - freq_hz)
+                .abs()
+                .partial_cmp(&(b.freq_hz - freq_hz).abs())
+                .expect("finite frequencies")
+        })
+    }
+
+    /// Renders the paper-style series: frequency, per-core %p2p.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(if self.synced {
+            "# Fig. 9: per-core %p2p vs stimulus frequency (synchronized every 4 ms)\n"
+        } else {
+            "# Fig. 7a: per-core %p2p vs stimulus frequency (no synchronization)\n"
+        });
+        out.push_str("freq_hz");
+        for i in 0..NUM_CORES {
+            out.push_str(&format!(",core{i}_pct_p2p"));
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{:.4e}", p.freq_hz));
+            for v in p.per_core_pct {
+                out.push_str(&format!(",{v:.1}"));
+            }
+            out.push('\n');
+        }
+        let (f, m) = self.peak();
+        out.push_str(&format!("# peak: {m:.1} %p2p at {f:.3e} Hz\n"));
+        out
+    }
+}
+
+/// Runs the sweep. `sync` selects Fig. 9 (true) or Fig. 7a (false).
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if a PDN solve fails.
+pub fn run_sweep(tb: &Testbed, cfg: &SweepConfig, sync: bool) -> Result<SweepResult, PdnError> {
+    let mut points = Vec::with_capacity(cfg.freqs_hz.len());
+    for &freq in &cfg.freqs_hz {
+        let sync_spec = sync.then(SyncSpec::paper_default);
+        let sm = tb.max_stressmark(freq, sync_spec);
+        let loads: [CoreLoad; NUM_CORES] =
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+        let mut acc = [0.0f64; NUM_CORES];
+        for &seed in &cfg.seeds {
+            let out = run_noise(
+                tb.chip(),
+                &loads,
+                &NoiseRunConfig {
+                    window_s: cfg.window_s,
+                    record_traces: false,
+                    seed,
+                },
+            )?;
+            for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
+                *a += v;
+            }
+        }
+        let n = cfg.seeds.len().max(1) as f64;
+        points.push(SweepPoint {
+            freq_hz: freq,
+            per_core_pct: acc.map(|v| v / n),
+        });
+    }
+    Ok(SweepResult { synced: sync, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsync_sweep_peaks_in_die_band() {
+        let tb = Testbed::fast();
+        let res = run_sweep(tb, &SweepConfig::reduced(), false).unwrap();
+        let (f_peak, m_peak) = res.peak();
+        assert!(
+            (1e6..5e6).contains(&f_peak),
+            "peak at {f_peak:.3e} ({m_peak:.1}%)"
+        );
+        // Floor is clearly below the peak.
+        let floor = res.at(10e6).unwrap().max_pct();
+        assert!(m_peak > floor + 5.0, "peak {m_peak} floor {floor}");
+    }
+
+    #[test]
+    fn sync_sweep_exceeds_unsync_everywhere() {
+        let tb = Testbed::fast();
+        let cfg = SweepConfig::reduced();
+        let unsync = run_sweep(tb, &cfg, false).unwrap();
+        let synced = run_sweep(tb, &cfg, true).unwrap();
+        for (u, s) in unsync.points.iter().zip(&synced.points) {
+            assert!(
+                s.max_pct() > u.max_pct() + 8.0,
+                "at {:.3e}: sync {} vs unsync {}",
+                u.freq_hz,
+                s.max_pct(),
+                u.max_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn sync_off_resonance_beats_unsync_resonance() {
+        // The paper's key claim: synchronization matters more than
+        // resonance (§V-B).
+        let tb = Testbed::fast();
+        let cfg = SweepConfig::reduced();
+        let unsync = run_sweep(tb, &cfg, false).unwrap();
+        let synced = run_sweep(tb, &cfg, true).unwrap();
+        let unsync_peak = unsync.peak().1;
+        let sync_mid = synced.at(300e3).unwrap().max_pct();
+        assert!(
+            sync_mid > unsync_peak,
+            "sync mid-band {sync_mid} vs unsync peak {unsync_peak}"
+        );
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let tb = Testbed::fast();
+        let mut cfg = SweepConfig::reduced();
+        cfg.freqs_hz.truncate(2);
+        let res = run_sweep(tb, &cfg, false).unwrap();
+        let text = res.render();
+        assert!(text.contains("Fig. 7a"));
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 3);
+    }
+}

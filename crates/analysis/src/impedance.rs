@@ -1,0 +1,112 @@
+//! The post-silicon impedance profile (paper Fig. 7b).
+
+use serde::{Deserialize, Serialize};
+use voltnoise_pdn::ac::{find_peaks, log_space, AcAnalysis};
+use voltnoise_pdn::PdnError;
+use voltnoise_system::chip::Chip;
+
+/// Impedance-profile configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpedanceConfig {
+    /// Lowest frequency of the sweep.
+    pub f_lo_hz: f64,
+    /// Highest frequency of the sweep.
+    pub f_hi_hz: f64,
+    /// Number of log-spaced points.
+    pub points: usize,
+    /// Core whose supply node is characterized.
+    pub core: usize,
+}
+
+impl ImpedanceConfig {
+    /// The paper-style profile: 1 kHz – 100 MHz.
+    pub fn paper() -> Self {
+        ImpedanceConfig {
+            f_lo_hz: 1e3,
+            f_hi_hz: 100e6,
+            points: 400,
+            core: 0,
+        }
+    }
+
+    /// Reduced sweep for tests.
+    pub fn reduced() -> Self {
+        ImpedanceConfig {
+            points: 120,
+            ..ImpedanceConfig::paper()
+        }
+    }
+}
+
+/// The computed profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpedanceProfile {
+    /// `(frequency_hz, |Z| ohms)` pairs in ascending frequency.
+    pub points: Vec<(f64, f64)>,
+    /// Resonance peaks `(frequency_hz, |Z| ohms)`, strongest first.
+    pub peaks: Vec<(f64, f64)>,
+}
+
+impl ImpedanceProfile {
+    /// The die-band resonance (strongest peak above 500 kHz), if any.
+    pub fn die_band(&self) -> Option<(f64, f64)> {
+        self.peaks.iter().copied().find(|(f, _)| *f > 5e5)
+    }
+
+    /// The board/package band (strongest peak below 500 kHz), if any.
+    pub fn board_band(&self) -> Option<(f64, f64)> {
+        self.peaks.iter().copied().find(|(f, _)| *f <= 5e5)
+    }
+
+    /// Renders the Fig. 7b series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# Fig. 7b: die-level impedance profile |Z(f)|\nfreq_hz,z_mohm\n");
+        for (f, z) in &self.points {
+            out.push_str(&format!("{f:.4e},{:.4}\n", z * 1e3));
+        }
+        for (f, z) in &self.peaks {
+            out.push_str(&format!("# peak: {:.3} mOhm at {f:.3e} Hz\n", z * 1e3));
+        }
+        out
+    }
+}
+
+/// Computes the impedance profile of a chip.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] on an invalid sweep or singular network.
+pub fn run_impedance(chip: &Chip, cfg: &ImpedanceConfig) -> Result<ImpedanceProfile, PdnError> {
+    let ac = AcAnalysis::new(chip.pdn().netlist());
+    let freqs = log_space(cfg.f_lo_hz, cfg.f_hi_hz, cfg.points);
+    let profile = ac.sweep(chip.pdn().core_node(cfg.core), &freqs)?;
+    let peaks = find_peaks(&profile);
+    Ok(ImpedanceProfile {
+        points: profile.iter().map(|p| (p.freq_hz, p.magnitude())).collect(),
+        peaks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_shows_both_paper_bands() {
+        let chip = Chip::paper_default();
+        let prof = run_impedance(&chip, &ImpedanceConfig::reduced()).unwrap();
+        let (f_die, z_die) = prof.die_band().expect("die band present");
+        assert!((1e6..5e6).contains(&f_die), "die band at {f_die:.3e}");
+        let (f_board, _) = prof.board_band().expect("board band present");
+        assert!(f_board < 200e3, "board band at {f_board:.3e}");
+        // Die band dominates after the deep-trench decap shift (paper §V-A).
+        assert!(z_die > prof.board_band().unwrap().1);
+    }
+
+    #[test]
+    fn render_contains_peak_annotations() {
+        let chip = Chip::paper_default();
+        let prof = run_impedance(&chip, &ImpedanceConfig::reduced()).unwrap();
+        assert!(prof.render().contains("# peak:"));
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # voltnoise-analysis
+//!
+//! Experiment drivers reproducing **every table and figure** of the
+//! evaluation in *"Voltage Noise in Multi-core Processors"* (Bertran et
+//! al., MICRO 2014), built on the `voltnoise-system` engine.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Table I (EPI ranking ends) | [`table1`] |
+//! | Fig. 5 funnel (§IV-B) | [`funnel`] |
+//! | Fig. 7a (noise vs stimulus frequency) | [`freq_sweep`] |
+//! | Fig. 7b (impedance profile) | [`impedance`] |
+//! | Fig. 8 (oscilloscope shots) | [`scope_shot`] |
+//! | Fig. 9 (synchronized sweep) | [`freq_sweep`] |
+//! | Fig. 10 (misalignment) | [`misalignment`] |
+//! | Fig. 11a/b (ΔI sensitivity) | [`delta_i`] |
+//! | Fig. 12 (Vmin margins) | [`margin`] |
+//! | Fig. 13a (correlation), 13b (step), Fig. 14 | [`propagation`] |
+//! | Fig. 15 (mapping opportunity) | [`mapping_gain`] |
+//! | §VII-B (dynamic guard-banding) | [`guardband_study`] |
+//! | DESIGN.md ablations | [`ablation`] |
+//!
+//! Every driver has a `paper()` configuration matching the paper's scale
+//! and a `reduced()` configuration for quick runs, and returns a
+//! serializable result with a `render()` method producing the same
+//! rows/series the paper reports.
+
+pub mod ablation;
+pub mod delta_i;
+pub mod freq_sweep;
+pub mod funnel;
+pub mod guardband_study;
+pub mod impedance;
+pub mod mapping_gain;
+pub mod margin;
+pub mod misalignment;
+pub mod propagation;
+pub mod report;
+pub mod scope_shot;
+pub mod stats;
+pub mod table1;
+
+pub use delta_i::{run_delta_i, DeltaIConfig, DeltaIDataset};
+pub use freq_sweep::{run_sweep, SweepConfig, SweepResult};
+pub use funnel::FunnelSummary;
+pub use guardband_study::{run_guardband_study, GuardbandConfig, GuardbandStudy};
+pub use impedance::{run_impedance, ImpedanceConfig, ImpedanceProfile};
+pub use mapping_gain::{run_mapping_gain, MappingGainConfig, MappingGainResult};
+pub use margin::{run_margin, MarginConfig, MarginResult};
+pub use misalignment::{run_misalignment, MisalignConfig, MisalignResult};
+pub use report::{full_report, ReportScale};
+pub use propagation::{
+    run_mapping_comparison, run_step_response, CorrelationAnalysis, MappingComparison,
+    StepResponse,
+};
+pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot};
+pub use stats::CorrelationMatrix;
+pub use table1::Table1;

@@ -1,0 +1,174 @@
+//! Noise-aware workload-mapping opportunity (paper Fig. 15).
+//!
+//! For every number of workloads 0–6, evaluate all core assignments and
+//! compare the best (lowest worst-case noise) against the worst mapping.
+
+use serde::{Deserialize, Serialize};
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::mapping::{evaluate_all_mappings, NoiseAwareMapper};
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+
+/// Mapping-gain study configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingGainConfig {
+    /// Stimulus frequency of the stressmarks.
+    pub stim_freq_hz: f64,
+    /// Workload counts to evaluate.
+    pub counts: Vec<usize>,
+    /// Simulation window per run.
+    pub window_s: Option<f64>,
+}
+
+impl MappingGainConfig {
+    /// Paper-style: 0 through 6 workloads, all mappings (64 runs).
+    pub fn paper() -> Self {
+        MappingGainConfig {
+            stim_freq_hz: 2.5e6,
+            counts: (0..=NUM_CORES).collect(),
+            window_s: Some(50e-6),
+        }
+    }
+
+    /// Reduced for tests.
+    pub fn reduced() -> Self {
+        MappingGainConfig {
+            stim_freq_hz: 2.5e6,
+            counts: vec![2, 3],
+            window_s: Some(35e-6),
+        }
+    }
+}
+
+/// One workload-count row of Fig. 15.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingGainPoint {
+    /// Number of scheduled workloads.
+    pub workloads: usize,
+    /// Worst-case noise of the best mapping.
+    pub best_pct: f64,
+    /// Worst-case noise of the worst mapping.
+    pub worst_pct: f64,
+    /// Cores of the best mapping.
+    pub best_cores: Vec<usize>,
+    /// Cores of the worst mapping.
+    pub worst_cores: Vec<usize>,
+}
+
+impl MappingGainPoint {
+    /// The noise-reduction opportunity (secondary axis of Fig. 15).
+    pub fn gain_pct(&self) -> f64 {
+        self.worst_pct - self.best_pct
+    }
+}
+
+/// Result of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingGainResult {
+    /// One point per workload count.
+    pub points: Vec<MappingGainPoint>,
+}
+
+impl MappingGainResult {
+    /// Renders the Fig. 15 rows.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Fig. 15: worst-case noise of best vs worst mapping per workload count\n\
+             workloads,best_pct,worst_pct,gain_pct,best_cores,worst_cores\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.1},{:?},{:?}\n",
+                p.workloads,
+                p.best_pct,
+                p.worst_pct,
+                p.gain_pct(),
+                p.best_cores,
+                p.worst_cores
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the mapping-gain study.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if a PDN solve fails.
+pub fn run_mapping_gain(
+    tb: &Testbed,
+    cfg: &MappingGainConfig,
+) -> Result<MappingGainResult, PdnError> {
+    let run_cfg = NoiseRunConfig {
+        window_s: cfg.window_s,
+        record_traces: false,
+        seed: 1,
+    };
+    let mut points = Vec::new();
+    for &k in &cfg.counts {
+        let evals = evaluate_all_mappings(
+            tb,
+            k,
+            cfg.stim_freq_hz,
+            Some(SyncSpec::paper_default()),
+            &run_cfg,
+        )?;
+        let mapper = NoiseAwareMapper::from_measurements(evals);
+        let best = mapper.best_for(k).expect("mappings evaluated").clone();
+        let worst = mapper.worst_for(k).expect("mappings evaluated").clone();
+        let cores_of = |m: &voltnoise_system::workload::Mapping| -> Vec<usize> {
+            m.iter()
+                .enumerate()
+                .filter(|(_, w)| **w != voltnoise_system::workload::WorkloadKind::Idle)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        points.push(MappingGainPoint {
+            workloads: k,
+            best_pct: best.worst_pct,
+            worst_pct: worst.worst_pct,
+            best_cores: cores_of(&best.mapping),
+            worst_cores: cores_of(&worst.mapping),
+        });
+    }
+    Ok(MappingGainResult { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mid_counts_offer_mapping_gain() {
+        let tb = Testbed::fast();
+        let res = run_mapping_gain(tb, &MappingGainConfig::reduced()).unwrap();
+        for p in &res.points {
+            assert!(p.worst_pct >= p.best_pct);
+            // Paper: 2-4 workloads offer a couple of %p2p points.
+            assert!(
+                p.gain_pct() > 0.5,
+                "k={} gain {:.2}",
+                p.workloads,
+                p.gain_pct()
+            );
+            assert_eq!(p.best_cores.len(), p.workloads);
+        }
+    }
+
+    #[test]
+    fn render_includes_counts() {
+        let tb = Testbed::fast();
+        let res = run_mapping_gain(
+            tb,
+            &MappingGainConfig {
+                counts: vec![2],
+                ..MappingGainConfig::reduced()
+            },
+        )
+        .unwrap();
+        assert!(res.render().contains("2,"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Noise sensitivity to ΔI-event misalignment (paper Fig. 10).
+//!
+//! Stressmarks at the resonant stimulus frequency synchronize every 4 ms,
+//! but their sync-loop exit conditions are offset in 62.5 ns TOD ticks;
+//! for a maximum allowed misalignment the offsets are distributed evenly
+//! and all stressmark-to-core rotations are averaged.
+
+use serde::{Deserialize, Serialize};
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::testbed::Testbed;
+use voltnoise_system::tod::spread_offsets;
+
+/// Misalignment-sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisalignConfig {
+    /// Stimulus frequency (the paper uses the ~2 MHz resonant band).
+    pub stim_freq_hz: f64,
+    /// Maximum allowed misalignments to evaluate, in 62.5 ns ticks.
+    pub max_ticks: Vec<u64>,
+    /// Offset-to-core rotations averaged per point (the paper runs "all
+    /// possible stressmark to core mappings" and averages).
+    pub rotations: usize,
+    /// Simulation window per run.
+    pub window_s: Option<f64>,
+}
+
+impl MisalignConfig {
+    /// Paper-style: 0–625 ns in 62.5 ns steps.
+    pub fn paper() -> Self {
+        MisalignConfig {
+            stim_freq_hz: 2.5e6,
+            max_ticks: (0..=10).collect(),
+            rotations: 6,
+            window_s: Some(80e-6),
+        }
+    }
+
+    /// Reduced for tests.
+    pub fn reduced() -> Self {
+        MisalignConfig {
+            stim_freq_hz: 2.5e6,
+            max_ticks: vec![0, 1, 4, 10],
+            rotations: 2,
+            window_s: Some(50e-6),
+        }
+    }
+}
+
+/// One misalignment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisalignPoint {
+    /// Maximum allowed misalignment in ticks (62.5 ns units).
+    pub max_ticks: u64,
+    /// Rotation-averaged per-core %p2p.
+    pub per_core_pct: [f64; NUM_CORES],
+}
+
+impl MisalignPoint {
+    /// Maximum misalignment in nanoseconds.
+    pub fn max_ns(&self) -> f64 {
+        self.max_ticks as f64 * 62.5
+    }
+
+    /// Mean across cores.
+    pub fn mean_pct(&self) -> f64 {
+        self.per_core_pct.iter().sum::<f64>() / NUM_CORES as f64
+    }
+}
+
+/// Result of the misalignment sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MisalignResult {
+    /// One point per maximum-misalignment setting.
+    pub points: Vec<MisalignPoint>,
+}
+
+impl MisalignResult {
+    /// Renders the Fig. 10 series.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Fig. 10: average %p2p vs maximum allowed misalignment between stressmarks\n\
+             max_misalign_ns,mean_pct",
+        );
+        for i in 0..NUM_CORES {
+            out.push_str(&format!(",core{i}"));
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{:.1},{:.1}", p.max_ns(), p.mean_pct()));
+            for v in p.per_core_pct {
+                out.push_str(&format!(",{v:.1}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the misalignment sweep.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if a PDN solve fails.
+pub fn run_misalignment(tb: &Testbed, cfg: &MisalignConfig) -> Result<MisalignResult, PdnError> {
+    let mut points = Vec::with_capacity(cfg.max_ticks.len());
+    for &ticks in &cfg.max_ticks {
+        let offsets = spread_offsets(NUM_CORES, ticks);
+        let mut acc = [0.0f64; NUM_CORES];
+        let rotations = cfg.rotations.max(1);
+        for rot in 0..rotations {
+            let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|core| {
+                let mut sync = SyncSpec::paper_default();
+                sync.offset_ticks = offsets[(core + rot) % NUM_CORES] as u32;
+                CoreLoad::Stressmark(tb.max_stressmark(cfg.stim_freq_hz, Some(sync)))
+            });
+            let out = run_noise(
+                tb.chip(),
+                &loads,
+                &NoiseRunConfig {
+                    window_s: cfg.window_s,
+                    record_traces: false,
+                    seed: 1 + rot as u64,
+                },
+            )?;
+            for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
+                *a += v;
+            }
+        }
+        points.push(MisalignPoint {
+            max_ticks: ticks,
+            per_core_pct: acc.map(|v| v / rotations as f64),
+        });
+    }
+    Ok(MisalignResult { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misalignment_collapses_sync_bonus() {
+        let tb = Testbed::fast();
+        let res = run_misalignment(tb, &MisalignConfig::reduced()).unwrap();
+        let aligned = res.points[0].mean_pct();
+        let one_tick = res.points[1].mean_pct();
+        let wide = res.points.last().unwrap().mean_pct();
+        // One 62.5 ns tick already removes a large share of the bonus...
+        assert!(
+            one_tick < aligned - 5.0,
+            "aligned {aligned} vs one tick {one_tick}"
+        );
+        // ...and wide misalignment brings it near the unaligned level.
+        assert!(wide < one_tick, "wide {wide} vs one tick {one_tick}");
+        assert!(aligned - wide > 15.0, "total collapse {aligned} -> {wide}");
+    }
+
+    #[test]
+    fn points_are_monotone_non_increasing_roughly() {
+        let tb = Testbed::fast();
+        let res = run_misalignment(tb, &MisalignConfig::reduced()).unwrap();
+        for w in res.points.windows(2) {
+            assert!(
+                w[1].mean_pct() <= w[0].mean_pct() + 2.0,
+                "noise should not grow with misalignment: {} -> {}",
+                w[0].mean_pct(),
+                w[1].mean_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_all_settings() {
+        let tb = Testbed::fast();
+        let cfg = MisalignConfig {
+            max_ticks: vec![0, 10],
+            rotations: 1,
+            ..MisalignConfig::reduced()
+        };
+        let res = run_misalignment(tb, &cfg).unwrap();
+        let text = res.render();
+        assert!(text.contains("0.0,"));
+        assert!(text.contains("625.0,"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Full-evaluation report: runs every experiment at a chosen scale and
+//! assembles one text document with all the paper's tables and figures.
+
+use crate::{
+    delta_i::{run_delta_i, DeltaIConfig},
+    freq_sweep::{run_sweep, SweepConfig},
+    funnel::FunnelSummary,
+    guardband_study::{run_guardband_study, GuardbandConfig},
+    impedance::{run_impedance, ImpedanceConfig},
+    mapping_gain::{run_mapping_gain, MappingGainConfig},
+    margin::{run_margin, MarginConfig},
+    misalignment::{run_misalignment, MisalignConfig},
+    propagation::{run_mapping_comparison, run_step_response, CorrelationAnalysis},
+    scope_shot::{run_scope_shot, ScopeConfig},
+    table1::Table1,
+};
+use voltnoise_pdn::PdnError;
+use voltnoise_system::testbed::Testbed;
+
+/// Scale at which the report is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportScale {
+    /// Paper-scale configurations (minutes).
+    Paper,
+    /// Reduced configurations (tens of seconds).
+    Reduced,
+}
+
+/// Generates the full evaluation report.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if any experiment's PDN solve fails.
+pub fn full_report(tb: &Testbed, scale: ReportScale) -> Result<String, PdnError> {
+    let reduced = scale == ReportScale::Reduced;
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("# voltnoise — full evaluation report\n\n");
+
+    out.push_str(&Table1::from_testbed(tb).render());
+    out.push('\n');
+    out.push_str(&FunnelSummary::from_testbed(tb).render());
+    out.push('\n');
+
+    let sweep_cfg = if reduced { SweepConfig::reduced() } else { SweepConfig::paper() };
+    out.push_str(&run_sweep(tb, &sweep_cfg, false)?.render());
+    out.push('\n');
+    out.push_str(&run_impedance(tb.chip(), &if reduced {
+        ImpedanceConfig::reduced()
+    } else {
+        ImpedanceConfig::paper()
+    })?
+    .render());
+    out.push('\n');
+    out.push_str(&run_scope_shot(tb, &ScopeConfig::default())?.render());
+    out.push('\n');
+    out.push_str(&run_sweep(tb, &sweep_cfg, true)?.render());
+    out.push('\n');
+    out.push_str(
+        &run_misalignment(tb, &if reduced {
+            MisalignConfig::reduced()
+        } else {
+            MisalignConfig::paper()
+        })?
+        .render(),
+    );
+    out.push('\n');
+
+    let delta_cfg = if reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
+    let dataset = run_delta_i(tb, &delta_cfg)?;
+    out.push_str(&dataset.render_fig11a());
+    out.push('\n');
+    out.push_str(&dataset.render_fig11b());
+    out.push('\n');
+    out.push_str(
+        &run_margin(tb, &if reduced {
+            MarginConfig::reduced()
+        } else {
+            MarginConfig::paper()
+        })?
+        .render(),
+    );
+    out.push('\n');
+    out.push_str(&CorrelationAnalysis::from_dataset(&dataset).render());
+    out.push('\n');
+    let step_amps = tb.max_stressmark(2.5e6, None).delta_i();
+    out.push_str(&run_step_response(tb.chip(), 0, step_amps)?.render());
+    out.push('\n');
+    out.push_str(&run_mapping_comparison(tb, 2.5e6)?.render());
+    out.push('\n');
+    out.push_str(
+        &run_mapping_gain(tb, &if reduced {
+            MappingGainConfig::reduced()
+        } else {
+            MappingGainConfig::paper()
+        })?
+        .render(),
+    );
+    out.push('\n');
+    out.push_str(
+        &run_guardband_study(tb, &if reduced {
+            GuardbandConfig::reduced()
+        } else {
+            GuardbandConfig::paper()
+        })?
+        .render(),
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_report_covers_every_artifact() {
+        let tb = Testbed::fast();
+        let report = full_report(tb, ReportScale::Reduced).unwrap();
+        for marker in [
+            "Table I",
+            "Fig. 5",
+            "Fig. 7a",
+            "Fig. 7b",
+            "Fig. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "Fig. 11a",
+            "Fig. 11b",
+            "Fig. 12",
+            "Fig. 13a",
+            "Fig. 13b",
+            "Fig. 14",
+            "Fig. 15",
+            "§VII-B",
+        ] {
+            assert!(report.contains(marker), "report missing {marker}");
+        }
+        assert!(report.len() > 4_000, "report suspiciously short");
+    }
+}

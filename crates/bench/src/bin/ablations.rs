@@ -1,0 +1,43 @@
+//! Runs the DESIGN.md ablation studies: timestep refinement, split vs
+//! merged voltage domains, deep-trench vs legacy decap, and the IPC
+//! pre-filter.
+
+use voltnoise::analysis::ablation;
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+
+    let step = ablation::run_step_ablation(tb.chip()).expect("step ablation runs");
+    println!(
+        "# ablation 1: edge-refined stepping: {} steps vs {} uniform (p2p error {:.2} %)",
+        step.refined_steps,
+        step.uniform_steps,
+        step.p2p_rel_error * 100.0
+    );
+
+    let decap = ablation::run_decap_ablation().expect("decap ablation runs");
+    println!(
+        "# ablation 3: first droop {:.3e} Hz (deep trench) vs {:.3e} Hz (legacy 1/40 decap)",
+        decap.modern_first_droop_hz, decap.legacy_first_droop_hz
+    );
+
+    let filt = ablation::run_filter_ablation(tb);
+    println!(
+        "# ablation 4: IPC pre-filter: {} power evaluations instead of {} (winner {:.2} W)",
+        filt.evals_with_filter, filt.evals_without_filter, filt.filtered_winner_w
+    );
+
+    let campaign = if opts.reduced {
+        DeltaIConfig::reduced()
+    } else {
+        DeltaIConfig { mappings_per_distribution: 4, ..DeltaIConfig::paper() }
+    };
+    let dom = ablation::run_domain_ablation(tb, &campaign).expect("domain ablation runs");
+    println!(
+        "# ablation 2: correlation cluster gap {:.3} (split domains) vs {:.3} (merged)",
+        dom.split_domain_gap, dom.merged_domain_gap
+    );
+}

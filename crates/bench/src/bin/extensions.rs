@@ -1,0 +1,54 @@
+//! Extension studies beyond the paper's evaluation: the §V-F global
+//! noise governor, deterministic-vs-probabilistic alignment, noise-aware
+//! scheduling over job traces, and the GA search alternative of §IV-C.
+
+use voltnoise::prelude::*;
+use voltnoise::stressmark::{ga_search, GaConfig};
+use voltnoise::system::dither::AlignmentComparison;
+use voltnoise::system::mitigation::{evaluate_governor, GovernorConfig};
+use voltnoise::system::scheduler::{replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable};
+use voltnoise::system::NoiseRunConfig;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let run_cfg = NoiseRunConfig {
+        window_s: Some(if opts.reduced { 30e-6 } else { 50e-6 }),
+        ..NoiseRunConfig::default()
+    };
+
+    let gov = evaluate_governor(tb, 2.5e6, &GovernorConfig::default(), &run_cfg)
+        .expect("governor evaluation runs");
+    print!("{}", gov.render());
+
+    let cmp = AlignmentComparison::run(6, 16, if opts.reduced { 500 } else { 5_000 }, 11);
+    print!("{}", cmp.render());
+
+    println!("# noise-aware scheduling over a synthetic job trace");
+    let table = NoiseTable::characterize(tb, 2.5e6, &run_cfg).expect("64-mask characterization");
+    let trace = synthetic_trace(if opts.reduced { 80 } else { 400 }, 3.0);
+    let naive = replay(&table, &NaivePolicy, &trace);
+    let aware = replay(&table, &NoiseAwarePolicy::new(table.clone()), &trace);
+    for out in [&naive, &aware] {
+        println!(
+            "policy {:12} mean required margin {:.1} %p2p, peak {:.1} %p2p, queued {}",
+            out.policy, out.mean_required_pct, out.peak_required_pct, out.queued_jobs
+        );
+    }
+
+    println!("# GA search (paper §IV-C extension) vs exhaustive funnel");
+    let candidates: Vec<Opcode> = voltnoise::stressmark::select_candidates(tb.isa(), tb.profile())
+        .iter()
+        .map(|c| c.opcode)
+        .collect();
+    let ga = ga_search(tb.isa(), tb.core(), &candidates, &GaConfig::default());
+    println!(
+        "GA: {:?} {:.2} W after {} evaluations (exhaustive winner {:.2} W after {} evaluations)",
+        ga.best.mnemonics,
+        ga.best.power_w,
+        ga.evaluations,
+        tb.max_sequence().power_w,
+        tb.search().after_ipc
+    );
+}

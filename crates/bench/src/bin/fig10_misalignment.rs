@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 10: noise vs maximum allowed misalignment
+//! between the per-core stressmarks (62.5 ns TOD tick granularity).
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { MisalignConfig::reduced() } else { MisalignConfig::paper() };
+    let res = run_misalignment(tb, &cfg).expect("misalignment sweep runs");
+    opts.finish(&res.render(), &res);
+}

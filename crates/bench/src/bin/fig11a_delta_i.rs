@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 11a: maximum noise vs percentage of the maximum
+//! possible dI, over workload-to-core mappings of idle/medium/max
+//! stressmarks.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
+    let data = run_delta_i(tb, &cfg).expect("campaign runs");
+    opts.finish(&data.render_fig11a(), &data);
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 13a: the inter-core noise correlation matrix
+//! over all workload mappings, with the detected core clusters.
+
+use voltnoise::analysis::CorrelationAnalysis;
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
+    let data = run_delta_i(tb, &cfg).expect("campaign runs");
+    let analysis = CorrelationAnalysis::from_dataset(&data);
+    opts.finish(&analysis.render(), &analysis);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 15: worst-case noise of the best vs worst
+//! workload mapping for every number of scheduled workloads.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { MappingGainConfig::reduced() } else { MappingGainConfig::paper() };
+    let res = run_mapping_gain(tb, &cfg).expect("mapping study runs");
+    opts.finish(&res.render(), &res);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 7a: per-core noise vs stimulus frequency,
+//! without synchronization.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { SweepConfig::reduced() } else { SweepConfig::paper() };
+    let res = run_sweep(tb, &cfg, false).expect("sweep runs");
+    opts.finish(&res.render(), &res);
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 7b: the die-level impedance profile with its
+//! resonance peaks.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let cfg = if opts.reduced { ImpedanceConfig::reduced() } else { ImpedanceConfig::paper() };
+    let prof = run_impedance(tb.chip(), &cfg).expect("AC sweep runs");
+    opts.finish(&prof.render(), &prof);
+}

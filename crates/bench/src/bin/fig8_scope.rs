@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 8: oscilloscope shots of core-0 voltage under
+//! the maximum dI/dt stressmark near the resonant band (20 us window and
+//! a single extracted period).
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let shot = run_scope_shot(tb, &ScopeConfig::default()).expect("scope capture runs");
+    opts.finish(&shot.render(), &shot);
+}

@@ -1,0 +1,17 @@
+//! Generates the complete evaluation report (every table and figure) in
+//! one run. Use `--reduced` for a fast pass; omit it for paper scale.
+
+use voltnoise::analysis::{full_report, ReportScale};
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (tb, scale) = if opts.reduced {
+        (Testbed::fast(), ReportScale::Reduced)
+    } else {
+        (Testbed::shared(), ReportScale::Paper)
+    };
+    let report = full_report(tb, scale).expect("all experiments run");
+    print!("{report}");
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Fig. 5 search funnel: candidate selection,
+//! 531 441 combinations, microarchitectural and IPC filters, and the
+//! winning maximum-power sequence.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let funnel = FunnelSummary::from_testbed(tb);
+    opts.finish(&funnel.render(), &funnel);
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Table I: the first and last five instructions of the
+//! 1301-instruction EPI ranking.
+
+use voltnoise::prelude::*;
+use voltnoise_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let table = Table1::from_testbed(tb);
+    opts.finish(&table.render(), &table);
+}

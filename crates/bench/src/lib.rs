@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every binary accepts `--reduced` to run the fast configuration used in
+//! CI, and `--json <path>` to additionally export the structured result.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOpts {
+    /// Run the reduced (fast) configuration.
+    pub reduced: bool,
+    /// Optional JSON export path.
+    pub json: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--reduced" => opts.reduced = true,
+                "--json" => {
+                    opts.json = args.next().map(PathBuf::from);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: <bin> [--reduced] [--json <path>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// Prints the rendered result and optionally exports JSON.
+    pub fn finish<T: Serialize>(&self, rendered: &str, value: &T) {
+        print!("{rendered}");
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).expect("results serialize");
+            std::fs::write(path, json).expect("result file writable");
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+}

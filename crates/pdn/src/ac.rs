@@ -1,0 +1,331 @@
+//! AC (phasor) analysis: frequency-domain impedance profiles.
+//!
+//! This reproduces the package-characterization flow the paper shows in
+//! Figure 7b: sweep a sinusoidal unit current injected at an observation
+//! port (with the DC sources shorted) and report the complex impedance
+//! `Z(f) = V / I` seen at that port, or the transfer impedance to another
+//! node.
+
+use crate::complex::Complex;
+use crate::error::PdnError;
+use crate::linalg::Matrix;
+use crate::netlist::{Element, Netlist, NodeId};
+
+/// One point of an impedance sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpedancePoint {
+    /// Frequency in hertz.
+    pub freq_hz: f64,
+    /// Complex impedance at that frequency.
+    pub z: Complex,
+}
+
+impl ImpedancePoint {
+    /// Impedance magnitude in ohms.
+    pub fn magnitude(&self) -> f64 {
+        self.z.abs()
+    }
+}
+
+/// Frequency-domain analyzer over a fixed netlist.
+///
+/// # Examples
+///
+/// ```
+/// use voltnoise_pdn::ac::AcAnalysis;
+/// use voltnoise_pdn::netlist::{Netlist, NodeId};
+///
+/// # fn main() -> Result<(), voltnoise_pdn::PdnError> {
+/// let mut nl = Netlist::new();
+/// let die = nl.add_node("die");
+/// nl.add_resistor(die, NodeId::GROUND, 0.001)?;
+/// let ac = AcAnalysis::new(&nl);
+/// let z = ac.impedance_at(die, 1e6)?;
+/// assert!((z.abs() - 0.001).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcAnalysis {
+    netlist: Netlist,
+}
+
+impl AcAnalysis {
+    /// Creates an analyzer for a snapshot of the netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        AcAnalysis {
+            netlist: netlist.clone(),
+        }
+    }
+
+    fn solve_with_injection(&self, inject: NodeId, freq_hz: f64) -> Result<Vec<Complex>, PdnError> {
+        if freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !freq_hz.is_finite() {
+            return Err(PdnError::InvalidTimebase {
+                reason: format!("AC analysis requires positive finite frequency, got {freq_hz}"),
+            });
+        }
+        let n = self.netlist.system_size();
+        let n_nodes = self.netlist.node_count() - 1;
+        let omega = 2.0 * std::f64::consts::PI * freq_hz;
+        let mut g = Matrix::<Complex>::zeros(n, n);
+        let mut rhs = vec![Complex::ZERO; n];
+
+        let stamp_adm = |m: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, y: Complex| {
+            if let Some(ia) = a {
+                m.stamp(ia, ia, y);
+            }
+            if let Some(ib) = b {
+                m.stamp(ib, ib, y);
+            }
+            if let (Some(ia), Some(ib)) = (a, b) {
+                m.stamp(ia, ib, -y);
+                m.stamp(ib, ia, -y);
+            }
+        };
+
+        let mut vrow = n_nodes;
+        for el in self.netlist.elements() {
+            match *el {
+                Element::Resistor { a, b, ohms } => stamp_adm(
+                    &mut g,
+                    a.unknown_index(),
+                    b.unknown_index(),
+                    Complex::from_real(1.0 / ohms),
+                ),
+                Element::Capacitor { a, b, farads } => stamp_adm(
+                    &mut g,
+                    a.unknown_index(),
+                    b.unknown_index(),
+                    Complex::new(0.0, omega * farads),
+                ),
+                Element::Inductor { a, b, henries } => stamp_adm(
+                    &mut g,
+                    a.unknown_index(),
+                    b.unknown_index(),
+                    Complex::new(0.0, -1.0 / (omega * henries)),
+                ),
+                Element::VoltageSource { plus, minus, .. } => {
+                    // DC sources are AC shorts: constrain v(plus)-v(minus)=0.
+                    if let Some(ip) = plus.unknown_index() {
+                        g.stamp(ip, vrow, Complex::ONE);
+                        g.stamp(vrow, ip, Complex::ONE);
+                    }
+                    if let Some(im) = minus.unknown_index() {
+                        g.stamp(im, vrow, -Complex::ONE);
+                        g.stamp(vrow, im, -Complex::ONE);
+                    }
+                    vrow += 1;
+                }
+                Element::CurrentSource { .. } => {
+                    // Load sources are small-signal open circuits.
+                }
+            }
+        }
+
+        // Unit sinusoidal current drawn out of the injection node (a load).
+        if let Some(idx) = inject.unknown_index() {
+            rhs[idx] = -Complex::ONE;
+        } else {
+            return Err(PdnError::UnknownNode { node: 0 });
+        }
+        g.lu()?.solve(&rhs)
+    }
+
+    /// Impedance magnitude/phase seen *into the PDN* at `node` for a unit
+    /// load current at `freq_hz`.
+    ///
+    /// The sign convention reports the droop impedance: a positive real
+    /// part means the node voltage drops when load current is drawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] for non-positive frequency, ground injection,
+    /// or a singular network.
+    pub fn impedance_at(&self, node: NodeId, freq_hz: f64) -> Result<Complex, PdnError> {
+        let sol = self.solve_with_injection(node, freq_hz)?;
+        let idx = node.unknown_index().ok_or(PdnError::UnknownNode { node: 0 })?;
+        // The load draws +1 A, so the node voltage phasor is -Z.
+        Ok(-sol[idx])
+    }
+
+    /// Transfer impedance: voltage response at `observe` per unit load
+    /// current injected at `inject`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AcAnalysis::impedance_at`].
+    pub fn transfer_impedance(
+        &self,
+        inject: NodeId,
+        observe: NodeId,
+        freq_hz: f64,
+    ) -> Result<Complex, PdnError> {
+        let sol = self.solve_with_injection(inject, freq_hz)?;
+        let idx = observe
+            .unknown_index()
+            .ok_or(PdnError::UnknownNode { node: 0 })?;
+        Ok(-sol[idx])
+    }
+
+    /// Sweeps the self-impedance at `node` over the given frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frequency that errors.
+    pub fn sweep(&self, node: NodeId, freqs: &[f64]) -> Result<Vec<ImpedancePoint>, PdnError> {
+        freqs
+            .iter()
+            .map(|&f| {
+                Ok(ImpedancePoint {
+                    freq_hz: f,
+                    z: self.impedance_at(node, f)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Builds `count` log-spaced frequencies between `f_lo` and `f_hi`
+/// (inclusive).
+///
+/// # Panics
+///
+/// Panics if `f_lo` or `f_hi` is non-positive or `count < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let f = voltnoise_pdn::ac::log_space(1e3, 1e6, 4);
+/// assert_eq!(f.len(), 4);
+/// assert!((f[0] - 1e3).abs() < 1e-9);
+/// assert!((f[3] - 1e6).abs() < 1e-3);
+/// ```
+pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_hi > f_lo, "log_space requires 0 < f_lo < f_hi");
+    assert!(count >= 2, "log_space requires count >= 2");
+    let l0 = f_lo.ln();
+    let l1 = f_hi.ln();
+    (0..count)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (count - 1) as f64).exp())
+        .collect()
+}
+
+/// Finds local maxima ("resonance peaks") of an impedance sweep, returning
+/// `(freq_hz, magnitude)` pairs sorted by descending magnitude.
+pub fn find_peaks(profile: &[ImpedancePoint]) -> Vec<(f64, f64)> {
+    let mut peaks = Vec::new();
+    for i in 1..profile.len().saturating_sub(1) {
+        let m = profile[i].magnitude();
+        if m > profile[i - 1].magnitude() && m >= profile[i + 1].magnitude() {
+            peaks.push((profile[i].freq_hz, m));
+        }
+    }
+    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite magnitudes"));
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_impedance_is_flat() {
+        let mut nl = Netlist::new();
+        let die = nl.add_node("die");
+        nl.add_resistor(die, NodeId::GROUND, 0.002).unwrap();
+        let ac = AcAnalysis::new(&nl);
+        for f in [1e3, 1e5, 1e7] {
+            let z = ac.impedance_at(die, f).unwrap();
+            assert!((z.abs() - 0.002).abs() < 1e-12);
+            assert!(z.re > 0.0, "droop sign convention");
+        }
+    }
+
+    #[test]
+    fn capacitor_impedance_falls_with_frequency() {
+        let mut nl = Netlist::new();
+        let die = nl.add_node("die");
+        nl.add_resistor(die, NodeId::GROUND, 1e6).unwrap(); // DC path
+        nl.add_capacitor(die, NodeId::GROUND, 1e-6).unwrap();
+        let ac = AcAnalysis::new(&nl);
+        let z1 = ac.impedance_at(die, 1e4).unwrap().abs();
+        let z2 = ac.impedance_at(die, 1e5).unwrap().abs();
+        assert!((z1 / z2 - 10.0).abs() < 0.01, "z1={z1} z2={z2}");
+        // |Z| = 1/(2*pi*f*C)
+        let expected = 1.0 / (2.0 * std::f64::consts::PI * 1e4 * 1e-6);
+        assert!((z1 - expected).abs() / expected < 1e-3);
+    }
+
+    #[test]
+    fn parallel_rlc_peaks_at_resonance() {
+        // Source inductance vs die capacitance: anti-resonance peak.
+        let l: f64 = 1e-9;
+        let c: f64 = 1e-6;
+        let f_res = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_series_rl(vdd, die, 1e-4, l).unwrap();
+        nl.add_capacitor(die, NodeId::GROUND, c).unwrap();
+
+        let ac = AcAnalysis::new(&nl);
+        let freqs = log_space(1e5, 1e8, 200);
+        let profile = ac.sweep(die, &freqs).unwrap();
+        let peaks = find_peaks(&profile);
+        assert!(!peaks.is_empty());
+        let (f_peak, _) = peaks[0];
+        assert!(
+            (f_peak - f_res).abs() / f_res < 0.1,
+            "peak {f_peak:.3e} vs resonance {f_res:.3e}"
+        );
+    }
+
+    #[test]
+    fn transfer_impedance_attenuates_across_resistor() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node("a");
+        let b = nl.add_node("b");
+        nl.add_resistor(a, NodeId::GROUND, 0.01).unwrap();
+        nl.add_resistor(b, NodeId::GROUND, 0.01).unwrap();
+        nl.add_resistor(a, b, 0.01).unwrap();
+        let ac = AcAnalysis::new(&nl);
+        let z_self = ac.impedance_at(a, 1e6).unwrap().abs();
+        let z_xfer = ac.transfer_impedance(a, b, 1e6).unwrap().abs();
+        assert!(z_xfer < z_self);
+        assert!(z_xfer > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_frequency() {
+        let mut nl = Netlist::new();
+        let die = nl.add_node("die");
+        nl.add_resistor(die, NodeId::GROUND, 1.0).unwrap();
+        let ac = AcAnalysis::new(&nl);
+        assert!(ac.impedance_at(die, 0.0).is_err());
+        assert!(ac.impedance_at(die, -5.0).is_err());
+        assert!(ac.impedance_at(die, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn log_space_is_monotonic() {
+        let f = log_space(1e3, 1e8, 50);
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn find_peaks_orders_by_magnitude() {
+        let profile: Vec<ImpedancePoint> = [1.0, 3.0, 1.0, 5.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| ImpedancePoint {
+                freq_hz: (i + 1) as f64,
+                z: Complex::from_real(m),
+            })
+            .collect();
+        let peaks = find_peaks(&profile);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].0, 4.0);
+        assert_eq!(peaks[1].0, 2.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for PDN construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction and the MNA solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdnError {
+    /// A matrix operation received incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension the operation required.
+        expected: usize,
+        /// Dimension it received.
+        actual: usize,
+    },
+    /// LU factorization hit a zero pivot; the circuit is under-determined
+    /// (e.g. a node with no DC path to ground).
+    SingularMatrix {
+        /// Column at which elimination failed.
+        column: usize,
+    },
+    /// A circuit element was given a non-positive or non-finite value.
+    InvalidElement {
+        /// Element description, e.g. `"capacitor C_die"`.
+        element: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node id referenced a node that does not exist in the netlist.
+    UnknownNode {
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// Transient analysis was configured with an invalid time range or step.
+    InvalidTimebase {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            PdnError::SingularMatrix { column } => {
+                write!(f, "singular matrix at column {column}; circuit may lack a path to ground")
+            }
+            PdnError::InvalidElement { element, value } => {
+                write!(f, "invalid value {value} for element {element}")
+            }
+            PdnError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            PdnError::InvalidTimebase { reason } => write!(f, "invalid timebase: {reason}"),
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            PdnError::DimensionMismatch { expected: 2, actual: 3 },
+            PdnError::SingularMatrix { column: 1 },
+            PdnError::InvalidElement { element: "capacitor".into(), value: -1.0 },
+            PdnError::UnknownNode { node: 9 },
+            PdnError::InvalidTimebase { reason: "t_end before t_start".into() },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&PdnError::UnknownNode { node: 0 });
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # voltnoise-pdn
+//!
+//! A lumped-RLC **power distribution network (PDN) simulator** built for
+//! the `voltnoise` workspace, which reproduces the measurement study
+//! *"Voltage Noise in Multi-core Processors"* (Bertran et al., MICRO
+//! 2014) in simulation.
+//!
+//! The crate provides:
+//!
+//! - a [`netlist::Netlist`] builder for R/L/C networks with DC voltage
+//!   sources and time-varying current loads;
+//! - a transient solver ([`transient::TransientSolver`]) using modified
+//!   nodal analysis with trapezoidal companion models and a two-rate
+//!   timestep refined around dI/dt edges;
+//! - an AC solver ([`ac::AcAnalysis`]) producing the impedance profiles
+//!   that package designers use (paper Fig. 7b);
+//! - stressmark current waveforms ([`waveform::StressWaveform`]) with
+//!   free-run and TOD-synchronized burst modes;
+//! - the calibrated six-core chip topology ([`topology::ChipPdn`])
+//!   mirroring the paper's zEC12 floorplan: two on-die voltage domains
+//!   bridged by the deep-trench eDRAM L3 decap.
+//!
+//! # Examples
+//!
+//! Droop of a single-node PDN under a constant load:
+//!
+//! ```
+//! use voltnoise_pdn::netlist::{Netlist, NodeId};
+//! use voltnoise_pdn::transient::{ConstantDrive, Probe, TransientConfig, TransientSolver};
+//!
+//! # fn main() -> Result<(), voltnoise_pdn::PdnError> {
+//! let mut nl = Netlist::new();
+//! let vdd = nl.add_node("vdd");
+//! nl.add_voltage_source(vdd, NodeId::GROUND, 1.0)?;
+//! let die = nl.add_node("die");
+//! nl.add_resistor(vdd, die, 1e-3)?;
+//! nl.add_current_source(die, NodeId::GROUND)?;
+//!
+//! let mut solver = TransientSolver::new(&nl)?;
+//! let result = solver.run(
+//!     &ConstantDrive::new(vec![30.0]),
+//!     &[Probe::NodeVoltage(die)],
+//!     &TransientConfig::new(1e-6),
+//! )?;
+//! assert!((result.stats[0].mean - 0.97).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod complex;
+pub mod design;
+pub mod error;
+pub mod linalg;
+pub mod netlist;
+pub mod sensitivity;
+pub mod topology;
+pub mod transient;
+pub mod waveform;
+
+pub use ac::{AcAnalysis, ImpedancePoint};
+pub use complex::Complex;
+pub use design::{check_mask, size_decap, DecapSizing, ImpedanceMask, MaskViolation};
+pub use error::PdnError;
+pub use netlist::{Netlist, NodeId, SourceId};
+pub use sensitivity::{full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter};
+pub use topology::{ChipPdn, PdnParams, NUM_CORES};
+pub use transient::{Drive, Probe, ProbeStats, TransientConfig, TransientResult, TransientSolver};
+pub use waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};

@@ -1,0 +1,406 @@
+//! The modeled multi-core chip PDN topology.
+//!
+//! Mirrors the zEC12-style hierarchy of the paper's Figures 1–3: a VRM
+//! feeds the motherboard, which feeds the package through board
+//! inductance; C4s feed **two on-die voltage domains** (the upper core row
+//! {0, 2, 4} and the lower row {1, 3, 5} of Fig. 3) that share the single
+//! package domain; the large deep-trench eDRAM L3 sits between the rows
+//! and bridges the domains with a big damping capacitance. Cores attach to
+//! their domain rail through the on-die grid and couple resistively to
+//! their row neighbours.
+
+use crate::error::PdnError;
+use crate::netlist::{Netlist, NodeId, SourceId};
+use serde::{Deserialize, Serialize};
+
+/// Number of cores on the modeled chip.
+pub const NUM_CORES: usize = 6;
+
+/// On-die voltage domain of a core: cores {0, 2, 4} sit on domain 0 (upper
+/// row), cores {1, 3, 5} on domain 1 (lower row).
+pub fn core_domain(core: usize) -> usize {
+    core % 2
+}
+
+/// Row-adjacent core pairs of the modeled floorplan (Fig. 3): upper row
+/// 0–2–4, lower row 1–3–5.
+pub const NEIGHBOR_PAIRS: [(usize, usize); 4] = [(0, 2), (2, 4), (1, 3), (3, 5)];
+
+/// Electrical parameters of the chip/package/board model.
+///
+/// Defaults are calibrated so the die-level impedance profile shows the
+/// paper's two resonant bands (≈40 kHz board/package and ≈2 MHz
+/// die/package after the deep-trench eDRAM decap increase) with realistic
+/// milliohm-scale magnitudes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdnParams {
+    /// Nominal VRM output voltage (volts).
+    pub v_nom: f64,
+    /// VRM output resistance (ohms).
+    pub r_vrm: f64,
+    /// VRM output inductance (henries).
+    pub l_vrm: f64,
+    /// Board bulk capacitance (farads) and its ESR (ohms).
+    pub c_bulk: f64,
+    /// ESR of the board bulk capacitance.
+    pub esr_bulk: f64,
+    /// Board spreading resistance (ohms).
+    pub r_board: f64,
+    /// Board + socket inductance (henries).
+    pub l_board: f64,
+    /// Package decap (farads) and ESR (ohms).
+    pub c_pkg: f64,
+    /// ESR of the package decap.
+    pub esr_pkg: f64,
+    /// C4/package-via resistance per on-die domain (ohms).
+    pub r_c4: f64,
+    /// C4/package-via inductance per on-die domain (henries).
+    pub l_c4: f64,
+    /// Per-domain on-die decap (farads) and ESR (ohms).
+    pub c_domain: f64,
+    /// ESR of the per-domain decap.
+    pub esr_domain: f64,
+    /// Domain-to-L3 bridge resistance (ohms).
+    pub r_l3: f64,
+    /// Domain-to-L3 bridge inductance (henries).
+    pub l_l3: f64,
+    /// L3/eDRAM deep-trench decap (farads) and ESR (ohms).
+    pub c_l3: f64,
+    /// ESR of the L3 decap.
+    pub esr_l3: f64,
+    /// On-die grid resistance from domain rail to each core (ohms).
+    pub r_grid: f64,
+    /// On-die grid inductance from domain rail to each core (henries).
+    pub l_grid: f64,
+    /// Local per-core decap (farads) and ESR (ohms).
+    pub c_core: f64,
+    /// ESR of the per-core decap.
+    pub esr_core: f64,
+    /// Resistive coupling between row-adjacent cores (ohms).
+    pub r_neighbor: f64,
+    /// Per-core multiplier on the grid resistance, modeling process and
+    /// layout variation (index = core id).
+    pub grid_variation: [f64; NUM_CORES],
+}
+
+impl Default for PdnParams {
+    fn default() -> Self {
+        PdnParams {
+            v_nom: 1.05,
+            r_vrm: 0.017e-3,
+            l_vrm: 0.67e-9,
+            c_bulk: 60e-3,
+            esr_bulk: 0.067e-3,
+            r_board: 0.027e-3,
+            l_board: 1.0e-9,
+            c_pkg: 15e-3,
+            esr_pkg: 0.18e-3,
+            r_c4: 0.025e-3,
+            l_c4: 22e-12,
+            c_domain: 316e-6,
+            esr_domain: 0.004e-3,
+            r_l3: 0.05e-3,
+            l_l3: 30e-12,
+            c_l3: 555e-6,
+            esr_l3: 0.012e-3,
+            r_grid: 0.017e-3,
+            l_grid: 0.1e-12,
+            c_core: 4.4e-6,
+            esr_core: 0.267e-3,
+            r_neighbor: 0.04e-3,
+            grid_variation: [1.0; NUM_CORES],
+        }
+    }
+}
+
+impl PdnParams {
+    /// Parameters of a legacy (pre-deep-trench) design: 40× less on-die
+    /// decap, which moves the first-droop resonance back into the
+    /// 30–100 MHz band the paper describes for older systems (§V-A).
+    pub fn legacy_decap() -> Self {
+        let mut p = PdnParams::default();
+        p.c_domain /= 40.0;
+        p.c_l3 /= 40.0;
+        p.c_core /= 40.0;
+        p
+    }
+}
+
+/// A built chip PDN: the netlist plus handles to every observable node.
+#[derive(Debug, Clone)]
+pub struct ChipPdn {
+    netlist: Netlist,
+    params: PdnParams,
+    board: NodeId,
+    pkg: NodeId,
+    domains: [NodeId; 2],
+    l3: NodeId,
+    cores: [NodeId; NUM_CORES],
+    core_sources: [SourceId; NUM_CORES],
+}
+
+impl ChipPdn {
+    /// Builds the chip PDN from parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidElement`] if any parameter is
+    /// non-positive or non-finite.
+    pub fn build(params: &PdnParams) -> Result<Self, PdnError> {
+        let mut nl = Netlist::new();
+        let vrm = nl.add_node("vrm");
+        nl.add_voltage_source(vrm, NodeId::GROUND, params.v_nom)?;
+
+        let board = nl.add_node("board");
+        nl.add_series_rl(vrm, board, params.r_vrm, params.l_vrm)?;
+        nl.add_capacitor_with_esr(board, NodeId::GROUND, params.c_bulk, params.esr_bulk)?;
+
+        let pkg = nl.add_node("pkg");
+        nl.add_series_rl(board, pkg, params.r_board, params.l_board)?;
+        nl.add_capacitor_with_esr(pkg, NodeId::GROUND, params.c_pkg, params.esr_pkg)?;
+
+        let mut domains = [NodeId::GROUND; 2];
+        for (d, dom) in domains.iter_mut().enumerate() {
+            let node = nl.add_node(format!("domain{d}"));
+            nl.add_series_rl(pkg, node, params.r_c4, params.l_c4)?;
+            nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_domain, params.esr_domain)?;
+            *dom = node;
+        }
+
+        let l3 = nl.add_node("l3");
+        for dom in domains {
+            nl.add_series_rl(dom, l3, params.r_l3, params.l_l3)?;
+        }
+        nl.add_capacitor_with_esr(l3, NodeId::GROUND, params.c_l3, params.esr_l3)?;
+
+        let mut cores = [NodeId::GROUND; NUM_CORES];
+        let mut core_sources = [SourceId(0); NUM_CORES];
+        for i in 0..NUM_CORES {
+            let node = nl.add_node(format!("core{i}"));
+            let dom = domains[core_domain(i)];
+            nl.add_series_rl(dom, node, params.r_grid * params.grid_variation[i], params.l_grid)?;
+            nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_core, params.esr_core)?;
+            core_sources[i] = nl.add_current_source(node, NodeId::GROUND)?;
+            cores[i] = node;
+        }
+        for (a, b) in NEIGHBOR_PAIRS {
+            nl.add_resistor(cores[a], cores[b], params.r_neighbor)?;
+        }
+
+        Ok(ChipPdn {
+            netlist: nl,
+            params: params.clone(),
+            board,
+            pkg,
+            domains,
+            l3,
+            cores,
+            core_sources,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Mutable netlist access (e.g. to undervolt via
+    /// [`Netlist::scale_voltage_sources`]).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    /// Parameters the PDN was built from.
+    pub fn params(&self) -> &PdnParams {
+        &self.params
+    }
+
+    /// Node of the board plane.
+    pub fn board_node(&self) -> NodeId {
+        self.board
+    }
+
+    /// Node of the package plane.
+    pub fn package_node(&self) -> NodeId {
+        self.pkg
+    }
+
+    /// Node of on-die voltage domain `d` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > 1`.
+    pub fn domain_node(&self, d: usize) -> NodeId {
+        self.domains[d]
+    }
+
+    /// Node of the L3/eDRAM decap plane.
+    pub fn l3_node(&self) -> NodeId {
+        self.l3
+    }
+
+    /// Supply node of core `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_CORES`.
+    pub fn core_node(&self, i: usize) -> NodeId {
+        self.cores[i]
+    }
+
+    /// Current-source id of core `i`'s load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_CORES`.
+    pub fn core_source(&self, i: usize) -> SourceId {
+        self.core_sources[i]
+    }
+
+    /// All six core supply nodes in core order.
+    pub fn core_nodes(&self) -> [NodeId; NUM_CORES] {
+        self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{find_peaks, log_space, AcAnalysis};
+    use crate::transient::{ConstantDrive, Probe, TransientConfig, TransientSolver};
+
+    #[test]
+    fn domains_partition_cores_by_row() {
+        assert_eq!(core_domain(0), 0);
+        assert_eq!(core_domain(2), 0);
+        assert_eq!(core_domain(4), 0);
+        assert_eq!(core_domain(1), 1);
+        assert_eq!(core_domain(3), 1);
+        assert_eq!(core_domain(5), 1);
+    }
+
+    #[test]
+    fn build_produces_expected_sources() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        assert_eq!(chip.netlist().current_source_count(), NUM_CORES);
+        assert_eq!(chip.netlist().voltage_source_count(), 1);
+        for i in 0..NUM_CORES {
+            assert_eq!(chip.core_source(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn dc_droop_is_small_and_ordered() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        let mut solver = TransientSolver::new(chip.netlist()).unwrap();
+        // All six cores drawing 20 A.
+        let sol = solver.solve_dc(&ConstantDrive::new(vec![20.0; 6])).unwrap();
+        let v_nom = chip.params().v_nom;
+        for i in 0..NUM_CORES {
+            let v = sol[chip.core_node(i).unknown_index().unwrap()];
+            let droop = v_nom - v;
+            assert!(droop > 0.0, "core {i} droop must be positive");
+            assert!(droop < 0.06 * v_nom, "core {i} droop {droop} too large");
+        }
+        // Package sits above the core nodes.
+        let v_pkg = sol[chip.package_node().unknown_index().unwrap()];
+        let v_core0 = sol[chip.core_node(0).unknown_index().unwrap()];
+        assert!(v_pkg > v_core0);
+    }
+
+    #[test]
+    fn impedance_profile_shows_two_bands() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        let ac = AcAnalysis::new(chip.netlist());
+        let freqs = log_space(1e3, 50e6, 400);
+        let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
+        let peaks = find_peaks(&profile);
+        assert!(peaks.len() >= 2, "expected at least two resonance peaks");
+        let mut freqs_sorted: Vec<f64> = peaks.iter().take(2).map(|p| p.0).collect();
+        freqs_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (f_lo, f_hi) = (freqs_sorted[0], freqs_sorted[1]);
+        assert!(
+            (10e3..120e3).contains(&f_lo),
+            "low band at {f_lo:.3e}, expected tens of kHz"
+        );
+        assert!(
+            (1e6..5e6).contains(&f_hi),
+            "high band at {f_hi:.3e}, expected ~2 MHz"
+        );
+    }
+
+    #[test]
+    fn no_resonance_above_5mhz_with_deep_trench() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        let ac = AcAnalysis::new(chip.netlist());
+        let freqs = log_space(5e6, 500e6, 200);
+        let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
+        let peaks = find_peaks(&profile);
+        // Any peak above 5 MHz must be small relative to the 2 MHz band.
+        let z_2mhz = ac.impedance_at(chip.core_node(0), 2e6).unwrap().abs();
+        for (f, m) in peaks {
+            assert!(
+                m < z_2mhz,
+                "unexpected strong high-frequency resonance at {f:.3e} ({m:.3e} ohm)"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_decap_moves_first_droop_up() {
+        let modern = ChipPdn::build(&PdnParams::default()).unwrap();
+        let legacy = ChipPdn::build(&PdnParams::legacy_decap()).unwrap();
+        let freqs = log_space(1e5, 500e6, 400);
+        let find_top_band = |chip: &ChipPdn| {
+            let ac = AcAnalysis::new(chip.netlist());
+            let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
+            find_peaks(&profile).first().map(|p| p.0).unwrap_or(0.0)
+        };
+        let f_modern = find_top_band(&modern);
+        let f_legacy = find_top_band(&legacy);
+        assert!(
+            f_legacy > 4.0 * f_modern,
+            "legacy {f_legacy:.3e} should sit far above modern {f_modern:.3e}"
+        );
+        assert!(f_legacy > 5e6, "legacy first droop should exceed 5 MHz");
+    }
+
+    #[test]
+    fn same_domain_transfer_impedance_exceeds_cross_domain() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        let ac = AcAnalysis::new(chip.netlist());
+        // Inject at core 0: response at core 2 (same row) vs core 1 (other row).
+        let f = 2e6;
+        let z_same = ac.transfer_impedance(chip.core_node(0), chip.core_node(2), f).unwrap().abs();
+        let z_cross = ac.transfer_impedance(chip.core_node(0), chip.core_node(1), f).unwrap().abs();
+        assert!(
+            z_same > z_cross,
+            "same-domain coupling {z_same:.3e} should exceed cross-domain {z_cross:.3e}"
+        );
+    }
+
+    #[test]
+    fn grid_variation_changes_core_droop() {
+        let mut params = PdnParams::default();
+        params.grid_variation[2] = 2.0;
+        let chip = ChipPdn::build(&params).unwrap();
+        let mut solver = TransientSolver::new(chip.netlist()).unwrap();
+        let sol = solver.solve_dc(&ConstantDrive::new(vec![20.0; 6])).unwrap();
+        let v2 = sol[chip.core_node(2).unknown_index().unwrap()];
+        let v4 = sol[chip.core_node(4).unknown_index().unwrap()];
+        assert!(v2 < v4, "core with higher grid resistance droops more");
+    }
+
+    #[test]
+    fn transient_on_full_chip_runs() {
+        let chip = ChipPdn::build(&PdnParams::default()).unwrap();
+        let mut solver = TransientSolver::new(chip.netlist()).unwrap();
+        let cfg = TransientConfig::new(20e-6);
+        let probes: Vec<Probe> = (0..NUM_CORES).map(|i| Probe::NodeVoltage(chip.core_node(i))).collect();
+        let res = solver.run(&ConstantDrive::new(vec![10.0; 6]), &probes, &cfg).unwrap();
+        for st in &res.stats {
+            assert!(st.mean > 0.9 * chip.params().v_nom);
+            assert!(st.peak_to_peak() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! Transient (time-domain) analysis via modified nodal analysis with
+//! trapezoidal companion models.
+//!
+//! The solver uses a two-rate adaptive timestep: a coarse step sized to
+//! the stimulus period, refined to a fine step inside windows around the
+//! abrupt dI/dt edges reported by the [`Drive`]. Because only two step
+//! sizes occur (plus an end-of-run clamp), only a couple of LU
+//! factorizations are ever computed, and every simulation step is a dense
+//! back-substitution over a system with a few dozen unknowns.
+
+use crate::error::PdnError;
+use crate::linalg::{LuFactors, Matrix};
+use crate::netlist::{Element, Netlist, NodeId};
+
+/// Time-varying load currents driving the simulation.
+///
+/// Implementors describe, for each current source in the netlist, the
+/// instantaneous current draw and the set of times at which that draw
+/// changes abruptly (used for timestep refinement).
+pub trait Drive {
+    /// Fills `out[source.index()]` with the current (amperes) drawn by each
+    /// source at time `t` (seconds).
+    fn currents(&self, t: f64, out: &mut [f64]);
+
+    /// Appends to `out` every time in `[t0, t1)` at which some source
+    /// current transitions abruptly. Order and duplicates are tolerated.
+    fn edges(&self, t0: f64, t1: f64, out: &mut Vec<f64>);
+}
+
+/// A constant drive: every source draws a fixed current.
+///
+/// # Examples
+///
+/// ```
+/// use voltnoise_pdn::transient::{ConstantDrive, Drive};
+/// let d = ConstantDrive::new(vec![2.0, 3.0]);
+/// let mut out = vec![0.0; 2];
+/// d.currents(1.0, &mut out);
+/// assert_eq!(out, vec![2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstantDrive {
+    levels: Vec<f64>,
+}
+
+impl ConstantDrive {
+    /// Creates a drive with one fixed current per source.
+    pub fn new(levels: Vec<f64>) -> Self {
+        ConstantDrive { levels }
+    }
+}
+
+impl Drive for ConstantDrive {
+    fn currents(&self, _t: f64, out: &mut [f64]) {
+        out.copy_from_slice(&self.levels);
+    }
+    fn edges(&self, _t0: f64, _t1: f64, _out: &mut Vec<f64>) {}
+}
+
+/// What a probe observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Voltage at a node relative to ground.
+    NodeVoltage(NodeId),
+    /// Branch current through the `k`-th voltage source (chip input rail).
+    SourceCurrent(usize),
+}
+
+/// Summary statistics of one probe over the settled portion of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeStats {
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Time-weighted mean value.
+    pub mean: f64,
+}
+
+impl ProbeStats {
+    /// Peak-to-peak swing, `max - min`.
+    pub fn peak_to_peak(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Configuration of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientConfig {
+    /// End time of the simulation (starts at 0).
+    pub t_end: f64,
+    /// Coarse step used away from dI/dt edges.
+    pub h_coarse: f64,
+    /// Fine step used inside edge-refinement windows.
+    pub h_fine: f64,
+    /// Refinement window extent before each edge.
+    pub refine_pre: f64,
+    /// Refinement window extent after each edge.
+    pub refine_post: f64,
+    /// Statistics ignore `t < settle` so startup transients do not
+    /// contaminate steady-state peak-to-peak readings.
+    pub settle: f64,
+    /// When `Some(d)`, record every `d`-th accepted step into traces.
+    pub record_decimation: Option<usize>,
+}
+
+impl TransientConfig {
+    /// A configuration with sensible defaults for a run of length `t_end`:
+    /// 1 ns fine steps, `t_end/2000` coarse steps (clamped to
+    /// `[2 ns, 50 ns]`), 20 % settle time, no trace recording.
+    pub fn new(t_end: f64) -> Self {
+        let h_coarse = (t_end / 2000.0).clamp(2e-9, 50e-9);
+        TransientConfig {
+            t_end,
+            h_coarse,
+            h_fine: 1e-9,
+            refine_pre: 2e-9,
+            refine_post: 10e-9,
+            settle: t_end * 0.2,
+            record_decimation: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PdnError> {
+        let bad = |reason: &str| {
+            Err(PdnError::InvalidTimebase {
+                reason: reason.to_string(),
+            })
+        };
+        if !(self.t_end.is_finite() && self.t_end > 0.0) {
+            return bad("t_end must be positive and finite");
+        }
+        let steps_ok = self.h_fine.is_finite()
+            && self.h_fine > 0.0
+            && self.h_coarse.is_finite()
+            && self.h_coarse > 0.0;
+        if !steps_ok {
+            return bad("steps must be positive");
+        }
+        if self.h_fine > self.h_coarse {
+            return bad("h_fine must not exceed h_coarse");
+        }
+        if self.settle >= self.t_end {
+            return bad("settle must be smaller than t_end");
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Recorded sample times (empty unless recording was enabled).
+    pub times: Vec<f64>,
+    /// One recorded trace per probe, aligned with `times`.
+    pub traces: Vec<Vec<f64>>,
+    /// Per-probe statistics over `t >= settle`.
+    pub stats: Vec<ProbeStats>,
+    /// Number of accepted integration steps.
+    pub steps: usize,
+}
+
+struct ResistorStamp {
+    a: Option<usize>,
+    b: Option<usize>,
+    g: f64,
+}
+
+struct CapState {
+    a: Option<usize>,
+    b: Option<usize>,
+    c: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+struct IndState {
+    a: Option<usize>,
+    b: Option<usize>,
+    l: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+struct VsrcStamp {
+    plus: Option<usize>,
+    minus: Option<usize>,
+    volts: f64,
+    row: usize,
+}
+
+struct IsrcStamp {
+    from: Option<usize>,
+    to: Option<usize>,
+    source: usize,
+}
+
+/// Transient simulator for one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use voltnoise_pdn::netlist::{Netlist, NodeId};
+/// use voltnoise_pdn::transient::{ConstantDrive, Probe, TransientConfig, TransientSolver};
+///
+/// # fn main() -> Result<(), voltnoise_pdn::PdnError> {
+/// let mut nl = Netlist::new();
+/// let vdd = nl.add_node("vdd");
+/// nl.add_voltage_source(vdd, NodeId::GROUND, 1.0)?;
+/// let die = nl.add_node("die");
+/// nl.add_resistor(vdd, die, 0.01)?;
+/// let load = nl.add_current_source(die, NodeId::GROUND)?;
+/// let _ = load;
+///
+/// let mut solver = TransientSolver::new(&nl)?;
+/// let cfg = TransientConfig::new(1e-6);
+/// let result = solver.run(&ConstantDrive::new(vec![5.0]), &[Probe::NodeVoltage(die)], &cfg)?;
+/// assert!((result.stats[0].mean - 0.95).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TransientSolver {
+    n: usize,
+    resistors: Vec<ResistorStamp>,
+    caps: Vec<CapState>,
+    inductors: Vec<IndState>,
+    vsources: Vec<VsrcStamp>,
+    isources: Vec<IsrcStamp>,
+    factor_cache: Vec<(u64, LuFactors<f64>)>,
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    drive_buf: Vec<f64>,
+}
+
+impl TransientSolver {
+    /// Builds a solver for the given netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] if the netlist's DC system is singular (checked
+    /// lazily at run time rather than here).
+    pub fn new(netlist: &Netlist) -> Result<Self, PdnError> {
+        let n_nodes = netlist.node_count() - 1;
+        let n = netlist.system_size();
+        let mut solver = TransientSolver {
+            n,
+            resistors: Vec::new(),
+            caps: Vec::new(),
+            inductors: Vec::new(),
+            vsources: Vec::new(),
+            isources: Vec::new(),
+            factor_cache: Vec::new(),
+            rhs: vec![0.0; n],
+            x: vec![0.0; n],
+            drive_buf: vec![0.0; netlist.current_source_count()],
+        };
+        let mut vrow = n_nodes;
+        for el in netlist.elements() {
+            match *el {
+                Element::Resistor { a, b, ohms } => solver.resistors.push(ResistorStamp {
+                    a: a.unknown_index(),
+                    b: b.unknown_index(),
+                    g: 1.0 / ohms,
+                }),
+                Element::Capacitor { a, b, farads } => solver.caps.push(CapState {
+                    a: a.unknown_index(),
+                    b: b.unknown_index(),
+                    c: farads,
+                    v_prev: 0.0,
+                    i_prev: 0.0,
+                }),
+                Element::Inductor { a, b, henries } => solver.inductors.push(IndState {
+                    a: a.unknown_index(),
+                    b: b.unknown_index(),
+                    l: henries,
+                    v_prev: 0.0,
+                    i_prev: 0.0,
+                }),
+                Element::VoltageSource { plus, minus, volts } => {
+                    solver.vsources.push(VsrcStamp {
+                        plus: plus.unknown_index(),
+                        minus: minus.unknown_index(),
+                        volts,
+                        row: vrow,
+                    });
+                    vrow += 1;
+                }
+                Element::CurrentSource { from, to, source } => solver.isources.push(IsrcStamp {
+                    from: from.unknown_index(),
+                    to: to.unknown_index(),
+                    source: source.index(),
+                }),
+            }
+        }
+        Ok(solver)
+    }
+
+    fn build_matrix(&self, h: f64) -> Matrix<f64> {
+        let mut g = Matrix::zeros(self.n, self.n);
+        let stamp_g = |m: &mut Matrix<f64>, a: Option<usize>, b: Option<usize>, geq: f64| {
+            if let Some(ia) = a {
+                m.stamp(ia, ia, geq);
+            }
+            if let Some(ib) = b {
+                m.stamp(ib, ib, geq);
+            }
+            if let (Some(ia), Some(ib)) = (a, b) {
+                m.stamp(ia, ib, -geq);
+                m.stamp(ib, ia, -geq);
+            }
+        };
+        for r in &self.resistors {
+            stamp_g(&mut g, r.a, r.b, r.g);
+        }
+        for c in &self.caps {
+            stamp_g(&mut g, c.a, c.b, 2.0 * c.c / h);
+        }
+        for l in &self.inductors {
+            stamp_g(&mut g, l.a, l.b, h / (2.0 * l.l));
+        }
+        for v in &self.vsources {
+            if let Some(ip) = v.plus {
+                g.stamp(ip, v.row, 1.0);
+                g.stamp(v.row, ip, 1.0);
+            }
+            if let Some(im) = v.minus {
+                g.stamp(im, v.row, -1.0);
+                g.stamp(v.row, im, -1.0);
+            }
+        }
+        g
+    }
+
+    fn factors_for(&mut self, h: f64) -> Result<usize, PdnError> {
+        let key = h.to_bits();
+        if let Some(pos) = self.factor_cache.iter().position(|(k, _)| *k == key) {
+            return Ok(pos);
+        }
+        let lu = self.build_matrix(h).lu()?;
+        if self.factor_cache.len() >= 8 {
+            self.factor_cache.pop();
+        }
+        self.factor_cache.push((key, lu));
+        Ok(self.factor_cache.len() - 1)
+    }
+
+    /// Solves the DC operating point (capacitors open, inductors shorted)
+    /// with source currents evaluated at `t = 0`, and loads it as the
+    /// initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::SingularMatrix`] when the DC system is singular.
+    pub fn solve_dc(&mut self, drive: &dyn Drive) -> Result<Vec<f64>, PdnError> {
+        // DC system: nodes + vsource branches + inductor branches (shorts).
+        let n_extra = self.inductors.len();
+        let n = self.n + n_extra;
+        let mut g = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+
+        for r in &self.resistors {
+            if let Some(ia) = r.a {
+                g.stamp(ia, ia, r.g);
+            }
+            if let Some(ib) = r.b {
+                g.stamp(ib, ib, r.g);
+            }
+            if let (Some(ia), Some(ib)) = (r.a, r.b) {
+                g.stamp(ia, ib, -r.g);
+                g.stamp(ib, ia, -r.g);
+            }
+        }
+        for v in &self.vsources {
+            if let Some(ip) = v.plus {
+                g.stamp(ip, v.row, 1.0);
+                g.stamp(v.row, ip, 1.0);
+            }
+            if let Some(im) = v.minus {
+                g.stamp(im, v.row, -1.0);
+                g.stamp(v.row, im, -1.0);
+            }
+            rhs[v.row] = v.volts;
+        }
+        for (k, l) in self.inductors.iter().enumerate() {
+            let row = self.n + k;
+            // Branch current unknown with constraint v(a) - v(b) = 0.
+            if let Some(ia) = l.a {
+                g.stamp(ia, row, 1.0);
+                g.stamp(row, ia, 1.0);
+            }
+            if let Some(ib) = l.b {
+                g.stamp(ib, row, -1.0);
+                g.stamp(row, ib, -1.0);
+            }
+        }
+        self.drive_buf.fill(0.0);
+        drive.currents(0.0, &mut self.drive_buf);
+        for s in &self.isources {
+            let j = self.drive_buf[s.source];
+            if let Some(ifrom) = s.from {
+                rhs[ifrom] -= j;
+            }
+            if let Some(ito) = s.to {
+                rhs[ito] += j;
+            }
+        }
+        let sol = g.lu()?.solve(&rhs)?;
+
+        // Load element states from the DC solution.
+        let volt = |idx: Option<usize>| idx.map(|i| sol[i]).unwrap_or(0.0);
+        for c in &mut self.caps {
+            c.v_prev = volt(c.a) - volt(c.b);
+            c.i_prev = 0.0;
+        }
+        for (k, l) in self.inductors.iter_mut().enumerate() {
+            l.i_prev = sol[self.n + k];
+            l.v_prev = 0.0;
+        }
+        Ok(sol[..self.n].to_vec())
+    }
+
+    /// Runs a transient simulation from a freshly solved DC operating
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] on invalid configuration or a singular system.
+    pub fn run(
+        &mut self,
+        drive: &dyn Drive,
+        probes: &[Probe],
+        cfg: &TransientConfig,
+    ) -> Result<TransientResult, PdnError> {
+        cfg.validate()?;
+        self.factor_cache.clear();
+        let dc = self.solve_dc(drive)?;
+
+        // Build merged refinement windows from the drive's edge times.
+        let mut edge_times = Vec::new();
+        drive.edges(0.0, cfg.t_end, &mut edge_times);
+        edge_times.retain(|t| t.is_finite());
+        edge_times.sort_by(|a, b| a.partial_cmp(b).expect("finite edge times"));
+        let mut windows: Vec<(f64, f64)> = Vec::new();
+        for &e in &edge_times {
+            let (w0, w1) = (e - cfg.refine_pre, e + cfg.refine_post);
+            match windows.last_mut() {
+                Some(last) if w0 <= last.1 => last.1 = last.1.max(w1),
+                _ => windows.push((w0, w1)),
+            }
+        }
+
+        let read_probe = |x: &[f64], p: &Probe, n_nodes: usize, vsources: &[VsrcStamp]| -> f64 {
+            match p {
+                Probe::NodeVoltage(node) => node.unknown_index().map(|i| x[i]).unwrap_or(0.0),
+                Probe::SourceCurrent(k) => {
+                    let _ = n_nodes;
+                    vsources.get(*k).map(|v| x[v.row]).unwrap_or(0.0)
+                }
+            }
+        };
+
+        let n_nodes = self.n - self.vsources.len();
+        let mut stats: Vec<(f64, f64, f64)> = vec![(f64::INFINITY, f64::NEG_INFINITY, 0.0); probes.len()];
+        let mut stat_time = 0.0f64;
+        let mut times = Vec::new();
+        let mut traces: Vec<Vec<f64>> = vec![Vec::new(); probes.len()];
+
+        // Record the DC point as the first sample if recording.
+        if cfg.record_decimation.is_some() {
+            times.push(0.0);
+            for (trace, p) in traces.iter_mut().zip(probes) {
+                trace.push(read_probe(&dc, p, n_nodes, &self.vsources));
+            }
+        }
+
+        let mut t = 0.0f64;
+        let mut steps = 0usize;
+        let mut widx = 0usize;
+        let mut rec_counter = 0usize;
+        let eps = cfg.h_fine * 1e-6;
+
+        while t < cfg.t_end - eps {
+            while widx < windows.len() && t >= windows[widx].1 {
+                widx += 1;
+            }
+            let in_window = widx < windows.len()
+                && t + cfg.h_coarse > windows[widx].0
+                && t < windows[widx].1;
+            let mut h = if in_window { cfg.h_fine } else { cfg.h_coarse };
+            if t + h > cfg.t_end {
+                h = cfg.t_end - t;
+            }
+
+            let fidx = self.factors_for(h)?;
+            let t_next = t + h;
+
+            // Assemble the RHS: sources at t_next plus companion history.
+            self.rhs.fill(0.0);
+            drive.currents(t_next, &mut self.drive_buf);
+            for s in &self.isources {
+                let j = self.drive_buf[s.source];
+                if let Some(ifrom) = s.from {
+                    self.rhs[ifrom] -= j;
+                }
+                if let Some(ito) = s.to {
+                    self.rhs[ito] += j;
+                }
+            }
+            for c in &self.caps {
+                let ieq = (2.0 * c.c / h) * c.v_prev + c.i_prev;
+                if let Some(ia) = c.a {
+                    self.rhs[ia] += ieq;
+                }
+                if let Some(ib) = c.b {
+                    self.rhs[ib] -= ieq;
+                }
+            }
+            for l in &self.inductors {
+                let ieq = l.i_prev + (h / (2.0 * l.l)) * l.v_prev;
+                if let Some(ia) = l.a {
+                    self.rhs[ia] -= ieq;
+                }
+                if let Some(ib) = l.b {
+                    self.rhs[ib] += ieq;
+                }
+            }
+            for v in &self.vsources {
+                self.rhs[v.row] = v.volts;
+            }
+
+            self.factor_cache[fidx].1.solve_into(&self.rhs, &mut self.x)?;
+
+            // Advance element states.
+            let x = &self.x;
+            let volt = |idx: Option<usize>| idx.map(|i| x[i]).unwrap_or(0.0);
+            for c in &mut self.caps {
+                let v_new = volt(c.a) - volt(c.b);
+                c.i_prev = (2.0 * c.c / h) * (v_new - c.v_prev) - c.i_prev;
+                c.v_prev = v_new;
+            }
+            for l in &mut self.inductors {
+                let v_new = volt(l.a) - volt(l.b);
+                l.i_prev += (h / (2.0 * l.l)) * (v_new + l.v_prev);
+                l.v_prev = v_new;
+            }
+
+            t = t_next;
+            steps += 1;
+
+            if t >= cfg.settle {
+                for (st, p) in stats.iter_mut().zip(probes) {
+                    let v = read_probe(&self.x, p, n_nodes, &self.vsources);
+                    st.0 = st.0.min(v);
+                    st.1 = st.1.max(v);
+                    st.2 += v * h;
+                }
+                stat_time += h;
+            }
+            if let Some(dec) = cfg.record_decimation {
+                rec_counter += 1;
+                if rec_counter >= dec {
+                    rec_counter = 0;
+                    times.push(t);
+                    for (trace, p) in traces.iter_mut().zip(probes) {
+                        trace.push(read_probe(&self.x, p, n_nodes, &self.vsources));
+                    }
+                }
+            }
+        }
+
+        let stats = stats
+            .into_iter()
+            .map(|(min, max, integral)| ProbeStats {
+                min,
+                max,
+                mean: if stat_time > 0.0 { integral / stat_time } else { 0.0 },
+            })
+            .collect();
+        Ok(TransientResult {
+            times,
+            traces,
+            stats,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Netlist, NodeId};
+
+    fn simple_rc() -> (Netlist, NodeId) {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_resistor(vdd, die, 0.1).unwrap();
+        nl.add_capacitor(die, NodeId::GROUND, 1e-6).unwrap();
+        nl.add_current_source(die, NodeId::GROUND).unwrap();
+        (nl, die)
+    }
+
+    #[test]
+    fn dc_point_matches_ohms_law() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let sol = solver.solve_dc(&ConstantDrive::new(vec![2.0])).unwrap();
+        // v(die) = 1.0 - 2.0 A * 0.1 ohm = 0.8 V
+        let v_die = sol[die.unknown_index().unwrap()];
+        assert!((v_die - 0.8).abs() < 1e-9, "v_die = {v_die}");
+    }
+
+    #[test]
+    fn constant_drive_stays_at_dc() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let cfg = TransientConfig::new(50e-6);
+        let res = solver
+            .run(&ConstantDrive::new(vec![2.0]), &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap();
+        let st = &res.stats[0];
+        assert!((st.mean - 0.8).abs() < 1e-6);
+        assert!(st.peak_to_peak() < 1e-9, "p2p = {}", st.peak_to_peak());
+    }
+
+    /// A step drive: 0 A before `t0`, `amps` after.
+    struct StepDrive {
+        t0: f64,
+        amps: f64,
+    }
+    impl Drive for StepDrive {
+        fn currents(&self, t: f64, out: &mut [f64]) {
+            out[0] = if t >= self.t0 { self.amps } else { 0.0 };
+        }
+        fn edges(&self, t0: f64, t1: f64, out: &mut Vec<f64>) {
+            if self.t0 >= t0 && self.t0 < t1 {
+                out.push(self.t0);
+            }
+        }
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // R = 1 ohm, C = 1 uF, tau = 1 us. Step of 0.5 A at t = 10 us.
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_resistor(vdd, die, 1.0).unwrap();
+        nl.add_capacitor(die, NodeId::GROUND, 1e-6).unwrap();
+        nl.add_current_source(die, NodeId::GROUND).unwrap();
+
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(20e-6);
+        cfg.h_coarse = 5e-9;
+        cfg.h_fine = 1e-9;
+        cfg.settle = 0.0;
+        cfg.record_decimation = Some(1);
+        let res = solver
+            .run(&StepDrive { t0: 10e-6, amps: 0.5 }, &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap();
+
+        // Compare simulated trace against v(t) = 1 - 0.5*(1 - exp(-(t-t0)/tau)).
+        let mut max_err = 0.0f64;
+        for (t, v) in res.times.iter().zip(&res.traces[0]) {
+            let expected = if *t < 10e-6 {
+                1.0
+            } else {
+                1.0 - 0.5 * (1.0 - (-(*t - 10e-6) / 1e-6).exp())
+            };
+            max_err = max_err.max((v - expected).abs());
+        }
+        assert!(max_err < 2e-3, "max_err = {max_err}");
+        // Final value approaches 1 - 0.5*1.0 = 0.5.
+        let last = *res.traces[0].last().unwrap();
+        assert!((last - 0.5).abs() < 1e-3, "last = {last}");
+    }
+
+    #[test]
+    fn rlc_ringing_frequency_matches_analytic() {
+        // Series L from source, C at die: resonance f = 1/(2*pi*sqrt(LC)).
+        let l: f64 = 1e-9;
+        let c: f64 = 1e-6;
+        let f_expected = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()); // ~5.03 MHz
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_series_rl(vdd, die, 1e-3, l).unwrap(); // light damping
+        nl.add_capacitor(die, NodeId::GROUND, c).unwrap();
+        nl.add_current_source(die, NodeId::GROUND).unwrap();
+
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(3e-6);
+        cfg.h_coarse = 1e-9;
+        cfg.h_fine = 1e-9;
+        cfg.settle = 0.0;
+        cfg.record_decimation = Some(1);
+        let res = solver
+            .run(&StepDrive { t0: 0.2e-6, amps: 10.0 }, &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap();
+
+        // Measure the ringing period from successive minima after the step.
+        let trace = &res.traces[0];
+        let times = &res.times;
+        let mut minima = Vec::new();
+        for i in 1..trace.len() - 1 {
+            if times[i] > 0.25e-6 && trace[i] < trace[i - 1] && trace[i] <= trace[i + 1] {
+                minima.push(times[i]);
+            }
+        }
+        assert!(minima.len() >= 3, "expected ringing, got {} minima", minima.len());
+        let period = (minima[2] - minima[0]) / 2.0;
+        let f_measured = 1.0 / period;
+        let rel = (f_measured - f_expected).abs() / f_expected;
+        assert!(rel < 0.05, "f_measured {f_measured:.3e} vs expected {f_expected:.3e}");
+    }
+
+    #[test]
+    fn source_current_probe_reads_chip_current() {
+        let (nl, _) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let cfg = TransientConfig::new(50e-6);
+        let res = solver
+            .run(&ConstantDrive::new(vec![2.0]), &[Probe::SourceCurrent(0)], &cfg)
+            .unwrap();
+        // Magnitude of the rail current equals the 2 A load at DC.
+        assert!((res.stats[0].mean.abs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(1e-6);
+        cfg.h_fine = 2.0 * cfg.h_coarse;
+        let err = solver
+            .run(&ConstantDrive::new(vec![0.0]), &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap_err();
+        assert!(matches!(err, PdnError::InvalidTimebase { .. }));
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node("floating");
+        let b = nl.add_node("b");
+        nl.add_resistor(a, b, 1.0).unwrap(); // no path to ground
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        assert!(solver.solve_dc(&ConstantDrive::new(vec![])).is_err());
+    }
+
+    #[test]
+    fn refinement_reduces_step_count_vs_uniform_fine() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(100e-6);
+        cfg.h_coarse = 50e-9;
+        cfg.h_fine = 1e-9;
+        let res = solver
+            .run(&StepDrive { t0: 50e-6, amps: 1.0 }, &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap();
+        let uniform_fine_steps = (100e-6 / 1e-9) as usize;
+        assert!(res.steps * 10 < uniform_fine_steps, "steps = {}", res.steps);
+    }
+}

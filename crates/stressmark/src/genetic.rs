@@ -1,0 +1,276 @@
+//! Genetic-algorithm sequence search — the optimization-layer extension
+//! the paper points at: "It would be possible to implement optimization
+//! algorithms — such as the genetic algorithms employed in previous works
+//! \[26\] — on top of the presented solution" (§IV-C).
+//!
+//! The GA evolves length-[`SEQ_LEN`] sequences
+//! over the nine selected candidates, using measured loop power as the
+//! fitness. It is an *alternative* to the exhaustive funnel of
+//! [`crate::search`]; the tests check it reaches the funnel winner's
+//! power within a few percent at a fraction of the evaluations.
+
+use crate::filter::{microarch_filter, FilterConfig, SEQ_LEN};
+use crate::search::SequenceEval;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use voltnoise_uarch::isa::{Isa, Opcode};
+use voltnoise_uarch::kernel::Kernel;
+use voltnoise_uarch::pipeline::CoreConfig;
+
+/// GA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Elite individuals copied unchanged each generation.
+    pub elites: usize,
+    /// Loop iterations per fitness evaluation.
+    pub eval_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 40,
+            generations: 25,
+            mutation_rate: 0.15,
+            tournament: 3,
+            elites: 2,
+            eval_iterations: 120,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaOutcome {
+    /// The fittest sequence found.
+    pub best: SequenceEval,
+    /// Total fitness evaluations performed (cache misses only).
+    pub evaluations: usize,
+    /// Best power per generation, for convergence plots.
+    pub history: Vec<f64>,
+}
+
+type Genome = [Opcode; SEQ_LEN];
+
+fn evaluate(isa: &Isa, core: &CoreConfig, genome: &Genome, iterations: usize) -> SequenceEval {
+    let m = Kernel::from_sequence("ga_eval", genome.to_vec(), iterations).run(isa, core);
+    SequenceEval {
+        body: genome.to_vec(),
+        mnemonics: genome.iter().map(|&op| isa.def(op).mnemonic.clone()).collect(),
+        ipc: m.ipc,
+        power_w: m.avg_power_w,
+        current_a: m.avg_current_a,
+    }
+}
+
+/// Runs the GA over the candidate alphabet.
+///
+/// Individuals violating the microarchitectural filter are penalized
+/// (fitness = measured power × 0.5) rather than discarded, which keeps
+/// the search space connected while steering toward feasible sequences.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or the population/tournament are zero.
+pub fn ga_search(
+    isa: &Isa,
+    core: &CoreConfig,
+    candidates: &[Opcode],
+    cfg: &GaConfig,
+) -> GaOutcome {
+    assert!(!candidates.is_empty(), "need candidates");
+    assert!(cfg.population >= 2 && cfg.tournament >= 1, "degenerate GA config");
+    let filter = FilterConfig::default();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut cache: std::collections::HashMap<Vec<u16>, f64> = std::collections::HashMap::new();
+    let mut evaluations = 0usize;
+
+    let random_genome = |rng: &mut SmallRng| -> Genome {
+        std::array::from_fn(|_| candidates[rng.gen_range(0..candidates.len())])
+    };
+    let mut population: Vec<Genome> = (0..cfg.population).map(|_| random_genome(&mut rng)).collect();
+
+    let fitness_of = |genome: &Genome,
+                          cache: &mut std::collections::HashMap<Vec<u16>, f64>,
+                          evaluations: &mut usize|
+     -> f64 {
+        let key: Vec<u16> = genome.iter().map(|op| op.index() as u16).collect();
+        if let Some(&f) = cache.get(&key) {
+            return f;
+        }
+        *evaluations += 1;
+        let power = evaluate(isa, core, genome, cfg.eval_iterations).power_w;
+        let fit = if microarch_filter(isa, core, &filter, genome) {
+            power
+        } else {
+            power * 0.5
+        };
+        cache.insert(key, fit);
+        fit
+    };
+
+    let mut history = Vec::with_capacity(cfg.generations);
+    let mut best_genome = population[0];
+    let mut best_fit = f64::NEG_INFINITY;
+
+    for _gen in 0..cfg.generations {
+        let fits: Vec<f64> = population
+            .iter()
+            .map(|g| fitness_of(g, &mut cache, &mut evaluations))
+            .collect();
+        // Track the best feasible individual.
+        for (g, &f) in population.iter().zip(&fits) {
+            if f > best_fit {
+                best_fit = f;
+                best_genome = *g;
+            }
+        }
+        history.push(best_fit);
+
+        // Elitism: keep the top individuals.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| fits[b].partial_cmp(&fits[a]).expect("finite fitness"));
+        let mut next: Vec<Genome> = order.iter().take(cfg.elites).map(|&i| population[i]).collect();
+
+        // Tournament selection + single-point crossover + mutation.
+        let select = |rng: &mut SmallRng| -> Genome {
+            let mut best_i = rng.gen_range(0..population.len());
+            for _ in 1..cfg.tournament {
+                let i = rng.gen_range(0..population.len());
+                if fits[i] > fits[best_i] {
+                    best_i = i;
+                }
+            }
+            population[best_i]
+        };
+        while next.len() < cfg.population {
+            let a = select(&mut rng);
+            let b = select(&mut rng);
+            let cut = rng.gen_range(1..SEQ_LEN);
+            let mut child: Genome = std::array::from_fn(|k| if k < cut { a[k] } else { b[k] });
+            for gene in child.iter_mut() {
+                if rng.gen::<f64>() < cfg.mutation_rate {
+                    *gene = candidates[rng.gen_range(0..candidates.len())];
+                }
+            }
+            next.push(child);
+        }
+        population = next;
+    }
+
+    GaOutcome {
+        best: evaluate(isa, core, &best_genome, cfg.eval_iterations),
+        evaluations,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::select_candidates;
+    use crate::search::{find_max_power_sequence, SearchConfig};
+    use std::sync::OnceLock;
+    use voltnoise_uarch::epi::EpiProfile;
+
+    struct Fx {
+        isa: Isa,
+        core: CoreConfig,
+        candidates: Vec<Opcode>,
+        exhaustive_best_w: f64,
+    }
+
+    fn fx() -> &'static Fx {
+        static CELL: OnceLock<Fx> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let isa = Isa::zlike();
+            let core = CoreConfig::default();
+            let profile = EpiProfile::generate(&isa, &core);
+            let candidates: Vec<Opcode> = select_candidates(&isa, &profile)
+                .iter()
+                .map(|c| c.opcode)
+                .collect();
+            let outcome = find_max_power_sequence(
+                &isa,
+                &core,
+                &profile,
+                &SearchConfig {
+                    ipc_keep: 60,
+                    eval_iterations: 120,
+                },
+            );
+            Fx {
+                isa,
+                core,
+                candidates,
+                exhaustive_best_w: outcome.best.power_w,
+            }
+        })
+    }
+
+    #[test]
+    fn ga_approaches_exhaustive_winner_with_fewer_evaluations() {
+        let f = fx();
+        let out = ga_search(&f.isa, &f.core, &f.candidates, &GaConfig::default());
+        let rel = out.best.power_w / f.exhaustive_best_w;
+        assert!(
+            rel > 0.95,
+            "GA best {:.2} W vs exhaustive {:.2} W",
+            out.best.power_w,
+            f.exhaustive_best_w
+        );
+        // Far fewer evaluations than the 531 441-combination enumeration
+        // and even than the funnel's final stage.
+        assert!(out.evaluations < 1200, "evaluations = {}", out.evaluations);
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let f = fx();
+        let cfg = GaConfig {
+            generations: 6,
+            population: 16,
+            ..GaConfig::default()
+        };
+        let a = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        let b = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        assert_eq!(a.best.body, b.best.body);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn convergence_history_is_non_decreasing() {
+        let f = fx();
+        let cfg = GaConfig {
+            generations: 10,
+            population: 20,
+            ..GaConfig::default()
+        };
+        let out = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        assert!(out.history.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn ga_winner_is_microarchitecturally_feasible() {
+        let f = fx();
+        let out = ga_search(&f.isa, &f.core, &f.candidates, &GaConfig::default());
+        assert!(microarch_filter(
+            &f.isa,
+            &f.core,
+            &FilterConfig::default(),
+            &out.best.body
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # voltnoise-system
+//!
+//! The assembled six-core system of the `voltnoise` workspace: chip
+//! instances with process variation, the TOD synchronization facilities,
+//! the workload-mapping vocabulary, the noise experiment engine, and the
+//! two optimization mechanisms the paper's §VII proposes.
+//!
+//! - [`chip`] — chip = PDN + per-core skitters + critical path, with
+//!   seeded manufacturing variation (seed 0 reproduces the paper chip
+//!   whose cores 2 and 4 are noisiest);
+//! - [`tod`] — 62.5 ns-granularity TOD sync conditions and the
+//!   misalignment-spreading helper of Fig. 10;
+//! - [`workload`] — idle / medium / max workload classes, distributions
+//!   and mapping enumeration (§V-D, Fig. 11);
+//! - [`noise`] — the engine: stressmarks → PDN transient + coherent
+//!   cycle-ripple model → per-core skitter %p2p readings;
+//! - [`testbed`] — ISA + EPI profile + searched sequences + chip, cached
+//!   for experiments;
+//! - [`mapping`] — noise-aware workload mapping policy (§VII-A);
+//! - [`guardband`] — utilization-based dynamic guard-banding (§VII-B).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+//! use voltnoise_system::testbed::Testbed;
+//!
+//! let tb = Testbed::shared();
+//! let sm = tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
+//! let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+//! let outcome = run_noise(tb.chip(), &loads, &NoiseRunConfig::default()).unwrap();
+//! println!("worst-case noise: {:.1} %p2p", outcome.max_pct_p2p());
+//! ```
+
+pub mod chip;
+pub mod dither;
+pub mod guardband;
+pub mod mapping;
+pub mod mitigation;
+pub mod noise;
+pub mod population;
+pub mod scheduler;
+pub mod testbed;
+pub mod tod;
+pub mod workload;
+
+pub use chip::{Chip, ChipConfig, HfNoiseParams};
+pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
+pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
+pub use mapping::{
+    evaluate_all_mappings, evaluate_mapping, naive_mapping, MappingEvaluation, NoiseAwareMapper,
+};
+pub use mitigation::{evaluate_governor, GlobalNoiseGovernor, GovernorConfig, GovernorEvaluation};
+pub use noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
+pub use population::PopulationStudy;
+pub use scheduler::{replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy};
+pub use testbed::Testbed;
+pub use tod::{spread_offsets, TodSync};
+pub use workload::{all_distributions, mappings_of, Distribution, Mapping, WorkloadKind};

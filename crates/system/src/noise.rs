@@ -1,0 +1,473 @@
+//! The noise experiment engine: run workloads on the chip, simulate the
+//! PDN, and read the per-core skitters.
+//!
+//! Voltage seen by a core is modeled as two superposed components:
+//!
+//! 1. **Mid-frequency response** — the PDN transient solution to the
+//!    stressmark current square waves (board/package/die dynamics,
+//!    resonances, inter-core propagation). Simulated by
+//!    [`voltnoise_pdn::transient`].
+//! 2. **Cycle-microstructure ripple** — sub-nanosecond supply ripple from
+//!    the per-cycle current structure of the running code, which
+//!    superposes coherently across cores only under cycle-accurate TOD
+//!    alignment (see [`crate::chip::HfNoiseParams`]). Computed
+//!    analytically and added to the simulated extrema.
+
+use crate::chip::Chip;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use voltnoise_measure::power::{PowerMeter, PowerReading};
+use voltnoise_measure::scope::ScopeTrace;
+use voltnoise_measure::skitter::SkitterReading;
+use voltnoise_pdn::topology::{core_domain, NUM_CORES};
+use voltnoise_pdn::transient::{Probe, TransientConfig, TransientSolver};
+use voltnoise_pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, WaveMode};
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::CompiledStressmark;
+
+/// Deterministic per-core period skew (ppm) of free-running stressmarks:
+/// unsynchronized copies of the same loop drift slowly relative to each
+/// other on real machines.
+const CORE_SKEW_PPM: [f64; NUM_CORES] = [35.0, -28.0, 55.0, -48.0, 18.0, -12.0];
+
+/// Rise/fall time of a core's current transition: roughly the pipeline
+/// fill/drain time.
+const EDGE_RISE_S: f64 = 2e-9;
+
+/// Cycle-alignment tolerance for coherent superposition: one core clock
+/// cycle at 5.5 GHz.
+const COHERENCE_WINDOW_S: f64 = 0.2e-9;
+
+/// Pipeline power-state transition time: the serializing low-power
+/// sequence needs the pipeline to drain and refill (~tens of cycles).
+/// Stimulus phases shorter than this cannot develop the full ΔI —
+/// "the stimulus frequency is too high to generate ΔI events" (paper
+/// Fig. 12 at 100 MHz).
+const TRANSITION_TIME_S: f64 = 10e-9;
+
+/// ΔI attenuation for ultra-fast stimulus: ≈1 below ~15 MHz, rolling off
+/// as the phase duration approaches the pipeline transition time.
+fn transition_attenuation(sm: &CompiledStressmark) -> f64 {
+    let period = 1.0 / sm.spec.stim_freq_hz;
+    let half = period * sm.spec.duty.min(1.0 - sm.spec.duty);
+    half * half / (half * half + TRANSITION_TIME_S * TRANSITION_TIME_S)
+}
+
+/// True when a nominally synchronized stressmark is *effectively*
+/// unaligned: when one ΔI event takes longer than the synchronization
+/// interval, the copies exit their spin loops at different interval
+/// boundaries (paper footnote 6 on the 1 Hz point of Fig. 12).
+fn sync_is_effective(sm: &CompiledStressmark) -> bool {
+    match &sm.spec.sync {
+        Some(sync) => 1.0 / sm.spec.stim_freq_hz < sync.interval_s,
+        None => false,
+    }
+}
+
+/// The workload running on one core.
+#[derive(Debug, Clone)]
+pub enum CoreLoad {
+    /// Core idles at its static current.
+    Idle,
+    /// Core runs a compiled dI/dt stressmark (synchronized when its spec
+    /// carries a [`voltnoise_stressmark::SyncSpec`], free-running
+    /// otherwise).
+    Stressmark(CompiledStressmark),
+}
+
+impl CoreLoad {
+    /// ΔI of the load, amperes (zero when idle).
+    pub fn delta_i(&self) -> f64 {
+        match self {
+            CoreLoad::Idle => 0.0,
+            CoreLoad::Stressmark(sm) => sm.delta_i(),
+        }
+    }
+}
+
+/// Per-run options of the noise engine.
+#[derive(Debug, Clone)]
+pub struct NoiseRunConfig {
+    /// Simulated window; `None` sizes it from the stimulus periods.
+    pub window_s: Option<f64>,
+    /// Record per-core oscilloscope traces.
+    pub record_traces: bool,
+    /// Seed of the random free-run phases.
+    pub seed: u64,
+}
+
+impl Default for NoiseRunConfig {
+    fn default() -> Self {
+        NoiseRunConfig {
+            window_s: None,
+            record_traces: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one noise run.
+#[derive(Debug, Clone)]
+pub struct NoiseOutcome {
+    /// Per-core sticky skitter readings.
+    pub readings: [SkitterReading; NUM_CORES],
+    /// Per-core %p2p noise (the paper's headline metric).
+    pub pct_p2p: [f64; NUM_CORES],
+    /// Per-core minimum effective supply voltage over the run.
+    pub v_min: [f64; NUM_CORES],
+    /// Per-core maximum effective supply voltage over the run.
+    pub v_max: [f64; NUM_CORES],
+    /// Chip input-rail power reading.
+    pub chip_power: PowerReading,
+    /// Per-core voltage traces when requested.
+    pub traces: Option<Vec<ScopeTrace>>,
+    /// Transient solver steps taken (cost accounting).
+    pub steps: usize,
+}
+
+impl NoiseOutcome {
+    /// Highest per-core noise and the core that saw it.
+    pub fn worst(&self) -> (usize, f64) {
+        self.pct_p2p
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite noise"))
+            .expect("six cores")
+    }
+
+    /// Maximum %p2p across cores.
+    pub fn max_pct_p2p(&self) -> f64 {
+        self.worst().1
+    }
+}
+
+fn waveform_of(
+    load: &CoreLoad,
+    core: usize,
+    idle_current: f64,
+    rng: &mut SmallRng,
+) -> CoreWaveform {
+    match load {
+        CoreLoad::Idle => CoreWaveform::Constant(idle_current),
+        CoreLoad::Stressmark(sm) => {
+            let period = 1.0 / sm.spec.stim_freq_hz;
+            let mode = match &sm.spec.sync {
+                Some(sync) if sync_is_effective(sm) => WaveMode::Synced {
+                    interval: sync.interval_s,
+                    offset: sync.offset_seconds(),
+                    events: sync.events,
+                },
+                // Sync whose event period exceeds the interval degenerates
+                // to misaligned free-running copies (paper footnote 6).
+                _ => WaveMode::FreeRun {
+                    phase: rng.gen::<f64>() * period,
+                    period_skew_ppm: CORE_SKEW_PPM[core],
+                },
+            };
+            // Phases too short for the pipeline to change power state
+            // pinch the realized ΔI toward the mean.
+            let a = transition_attenuation(sm);
+            let mid = (sm.i_high_a + sm.i_low_a) / 2.0;
+            let half_swing = (sm.i_high_a - sm.i_low_a) / 2.0 * a;
+            CoreWaveform::Stress(StressWaveform {
+                i_low: mid - half_swing,
+                i_high: mid + half_swing,
+                i_idle: sm.i_idle_a,
+                stim_period: period,
+                duty: sm.spec.duty,
+                rise_time: EDGE_RISE_S,
+                mode,
+            })
+        }
+    }
+}
+
+/// Cycle-coherence key of a load: two cores superpose coherently when
+/// both run TOD-synchronized stressmarks with the same stimulus frequency
+/// and offsets equal to within a core cycle.
+fn coherence_key(load: &CoreLoad) -> Option<(u64, u64)> {
+    match load {
+        CoreLoad::Stressmark(sm) if sync_is_effective(sm) => {
+            sm.spec.sync.as_ref().map(|sync| {
+                let slot = (sync.offset_seconds() / COHERENCE_WINDOW_S).round() as u64;
+                let freq_key = sm.spec.stim_freq_hz.to_bits();
+                (slot, freq_key)
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Per-core cycle-microstructure ripple amplitude (volts).
+fn hf_amplitudes(chip: &Chip, loads: &[CoreLoad; NUM_CORES]) -> [f64; NUM_CORES] {
+    let hf = &chip.config().hf;
+    let ripple: Vec<f64> = loads
+        .iter()
+        .map(|l| {
+            let atten = match l {
+                CoreLoad::Stressmark(sm) => transition_attenuation(sm),
+                CoreLoad::Idle => 1.0,
+            };
+            hf.ripple_fraction * l.delta_i() * atten
+        })
+        .collect();
+    let keys: Vec<Option<(u64, u64)>> = loads.iter().map(coherence_key).collect();
+    std::array::from_fn(|i| {
+        let mut coherent = 0.0f64;
+        let mut incoherent_sq = 0.0f64;
+        for j in 0..NUM_CORES {
+            if j == i || ripple[j] == 0.0 {
+                continue;
+            }
+            let w = if core_domain(i) == core_domain(j) {
+                hf.same_domain_coupling
+            } else {
+                hf.cross_domain_coupling
+            };
+            let contribution = w * ripple[j];
+            let aligned = match (&keys[i], &keys[j]) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+            if aligned {
+                coherent += contribution;
+            } else {
+                incoherent_sq += contribution * contribution;
+            }
+        }
+        hf.z_local_ohm * ripple[i] + hf.z_shared_ohm * (coherent + incoherent_sq.sqrt())
+    })
+}
+
+/// Sizes the transient window and steps from the active stimulus periods.
+fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> TransientConfig {
+    let periods: Vec<f64> = loads
+        .iter()
+        .filter_map(|l| match l {
+            CoreLoad::Stressmark(sm) => Some(1.0 / sm.spec.stim_freq_hz),
+            CoreLoad::Idle => None,
+        })
+        .collect();
+    let t_max = periods.iter().copied().fold(0.0f64, f64::max);
+    let t_min = periods.iter().copied().fold(f64::INFINITY, f64::min);
+    let window = cfg
+        .window_s
+        .unwrap_or_else(|| (6.0 * t_max).clamp(80e-6, 4e-3));
+    let any_synced = loads.iter().any(|l| {
+        matches!(l, CoreLoad::Stressmark(sm) if sm.spec.sync.is_some())
+    });
+    let mut tc = TransientConfig::new(window);
+    tc.h_coarse = if t_min.is_finite() {
+        (t_min / 200.0).clamp(4e-9, 40e-9)
+    } else {
+        40e-9
+    };
+    tc.h_fine = 0.5e-9;
+    tc.refine_pre = 2e-9;
+    tc.refine_post = 25e-9;
+    // Synchronized bursts fire right after t = 0; the burst and its first
+    // droop are the measurement, so nothing may be skipped. Free-running
+    // workloads start from a mid-pattern DC point instead, where a short
+    // settle hides the artificial initial condition.
+    tc.settle = if any_synced {
+        0.0
+    } else {
+        (2.0 * t_max).min(window * 0.25)
+    };
+    tc.record_decimation = cfg.record_traces.then(|| 1.max((window / tc.h_coarse) as usize / 4000));
+    tc
+}
+
+/// Runs one noise experiment: simulate the PDN under the given per-core
+/// loads and return skitter readings, extrema, chip power and optional
+/// traces.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] when the PDN solve fails (should not happen for
+/// chips built by [`Chip::new`]).
+pub fn run_noise(
+    chip: &Chip,
+    loads: &[CoreLoad; NUM_CORES],
+    cfg: &NoiseRunConfig,
+) -> Result<NoiseOutcome, PdnError> {
+    let idle_current = chip.config().core.static_power_w / chip.config().core.v_nom;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let waves: Vec<CoreWaveform> = loads
+        .iter()
+        .enumerate()
+        .map(|(i, l)| waveform_of(l, i, idle_current, &mut rng))
+        .collect();
+    let drive = MultiCoreDrive::new(waves);
+
+    let tc = transient_config(loads, cfg);
+    let mut solver = TransientSolver::new(chip.pdn().netlist())?;
+    let mut probes: Vec<Probe> = (0..NUM_CORES)
+        .map(|i| Probe::NodeVoltage(chip.pdn().core_node(i)))
+        .collect();
+    probes.push(Probe::SourceCurrent(0));
+    let result = solver.run(&drive, &probes, &tc)?;
+
+    let hf = hf_amplitudes(chip, loads);
+    let mut readings = [SkitterReading {
+        min_tap: 0,
+        max_tap: 0,
+        taps: 129,
+        samples: 0,
+    }; NUM_CORES];
+    let mut pct = [0.0; NUM_CORES];
+    let mut v_min = [0.0; NUM_CORES];
+    let mut v_max = [0.0; NUM_CORES];
+    let asym = chip.config().hf.droop_asymmetry;
+    for i in 0..NUM_CORES {
+        let st = &result.stats[i];
+        v_min[i] = st.min - hf[i] * asym;
+        v_max[i] = st.max + hf[i] * (1.0 - asym);
+        readings[i] = chip.skitter(i).measure_extremes(v_min[i], v_max[i]);
+        pct[i] = readings[i].pct_p2p();
+    }
+
+    let rail_current = result.stats[NUM_CORES].mean.abs();
+    let chip_power = PowerMeter::new().read(chip.v_nom(), rail_current);
+
+    let traces = if cfg.record_traces {
+        let mut out = Vec::with_capacity(NUM_CORES);
+        for i in 0..NUM_CORES {
+            out.push(
+                ScopeTrace::new(result.times.clone(), result.traces[i].clone())
+                    .expect("solver produces monotonic times"),
+            );
+        }
+        Some(out)
+    } else {
+        None
+    };
+
+    Ok(NoiseOutcome {
+        readings,
+        pct_p2p: pct,
+        v_min,
+        v_max,
+        chip_power,
+        traces,
+        steps: result.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Testbed;
+
+    fn loads_all(load: &CoreLoad) -> [CoreLoad; NUM_CORES] {
+        std::array::from_fn(|_| load.clone())
+    }
+
+    #[test]
+    fn idle_chip_reads_baseline_noise() {
+        let tb = Testbed::fast();
+        let out = run_noise(
+            tb.chip(),
+            &loads_all(&CoreLoad::Idle),
+            &NoiseRunConfig {
+                window_s: Some(30e-6),
+                ..NoiseRunConfig::default()
+            },
+        )
+        .unwrap();
+        for p in out.pct_p2p {
+            assert!(p < 6.0, "idle noise {p} too high");
+        }
+        // Idle chip draws roughly 6 cores of static power.
+        let expected = 6.0 * tb.chip().config().core.static_power_w;
+        assert!((out.chip_power.watts() - expected).abs() / expected < 0.15);
+    }
+
+    #[test]
+    fn synced_stressmarks_beat_unsynced() {
+        let tb = Testbed::fast();
+        let unsync = loads_all(&CoreLoad::Stressmark(tb.max_stressmark(2.5e6, None)));
+        let synced = loads_all(&CoreLoad::Stressmark(
+            tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default())),
+        ));
+        let cfg = NoiseRunConfig {
+            window_s: Some(60e-6),
+            ..NoiseRunConfig::default()
+        };
+        let n_unsync = run_noise(tb.chip(), &unsync, &cfg).unwrap();
+        let n_sync = run_noise(tb.chip(), &synced, &cfg).unwrap();
+        assert!(
+            n_sync.max_pct_p2p() > n_unsync.max_pct_p2p() + 8.0,
+            "sync {} vs unsync {}",
+            n_sync.max_pct_p2p(),
+            n_unsync.max_pct_p2p()
+        );
+    }
+
+    #[test]
+    fn more_active_cores_more_noise() {
+        let tb = Testbed::fast();
+        let sm = tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
+        let cfg = NoiseRunConfig {
+            window_s: Some(40e-6),
+            ..NoiseRunConfig::default()
+        };
+        let mut one = loads_all(&CoreLoad::Idle);
+        one[0] = CoreLoad::Stressmark(sm.clone());
+        let all = loads_all(&CoreLoad::Stressmark(sm));
+        let n1 = run_noise(tb.chip(), &one, &cfg).unwrap();
+        let n6 = run_noise(tb.chip(), &all, &cfg).unwrap();
+        assert!(n6.max_pct_p2p() > n1.max_pct_p2p() + 10.0);
+    }
+
+    #[test]
+    fn traces_are_recorded_on_request() {
+        let tb = Testbed::fast();
+        let loads = loads_all(&CoreLoad::Stressmark(tb.max_stressmark(2.5e6, None)));
+        let out = run_noise(
+            tb.chip(),
+            &loads,
+            &NoiseRunConfig {
+                window_s: Some(30e-6),
+                record_traces: true,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let traces = out.traces.unwrap();
+        assert_eq!(traces.len(), NUM_CORES);
+        assert!(traces[0].len() > 100);
+        assert!(traces[0].peak_to_peak() > 0.0);
+    }
+
+    #[test]
+    fn misaligned_offsets_lose_coherence() {
+        let tb = Testbed::fast();
+        let mut sm0 = tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
+        let aligned = loads_all(&CoreLoad::Stressmark(sm0.clone()));
+        // Give each core a distinct 62.5 ns offset slot.
+        let mut misaligned = loads_all(&CoreLoad::Idle);
+        for (i, slot) in misaligned.iter_mut().enumerate() {
+            let mut sm = sm0.clone();
+            if let Some(sync) = &mut sm.spec.sync {
+                sync.offset_ticks = i as u32;
+            }
+            *slot = CoreLoad::Stressmark(sm);
+        }
+        let hf_aligned = hf_amplitudes(tb.chip(), &aligned);
+        let hf_mis = hf_amplitudes(tb.chip(), &misaligned);
+        for i in 0..NUM_CORES {
+            assert!(
+                hf_aligned[i] > hf_mis[i] * 1.3,
+                "core {i}: aligned {} vs misaligned {}",
+                hf_aligned[i],
+                hf_mis[i]
+            );
+        }
+        // Keep clippy quiet about the unused mutable original.
+        if let Some(sync) = &mut sm0.spec.sync {
+            sync.offset_ticks = 0;
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The assembled experimental platform: ISA, EPI profile, searched
+//! sequences, and a chip instance — everything §III of the paper has on
+//! the bench.
+
+use crate::chip::{Chip, ChipConfig};
+use crate::noise::CoreLoad;
+use crate::workload::{Mapping, WorkloadKind};
+use std::sync::OnceLock;
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+use voltnoise_stressmark::{
+    compile, find_max_power_sequence, find_sequence_with_power, min_power_sequence,
+    CompiledStressmark, SearchConfig, SearchOutcome, SequenceEval, StressmarkSpec, SyncSpec,
+};
+use voltnoise_uarch::epi::EpiProfile;
+use voltnoise_uarch::isa::Isa;
+use voltnoise_uarch::pipeline::CoreConfig;
+
+/// A ready-to-measure platform: core model, profiled ISA, searched
+/// max/min/medium sequences and a chip with instrumentation.
+///
+/// Building one runs the EPI profiling and the sequence search, which is
+/// the expensive part; the cached [`Testbed::fast`] and
+/// [`Testbed::shared`] constructors amortize it across tests and
+/// experiments.
+#[derive(Debug)]
+pub struct Testbed {
+    isa: Isa,
+    core: CoreConfig,
+    profile: EpiProfile,
+    search: SearchOutcome,
+    min_eval: SequenceEval,
+    med_eval: SequenceEval,
+    chip: Chip,
+}
+
+impl Testbed {
+    /// Builds a testbed with explicit search and chip configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] if the chip parameters are invalid.
+    pub fn build(search_cfg: &SearchConfig, chip_cfg: &ChipConfig) -> Result<Testbed, PdnError> {
+        let isa = Isa::zlike();
+        let core = chip_cfg.core.clone();
+        let profile = EpiProfile::generate(&isa, &core);
+        let search = find_max_power_sequence(&isa, &core, &profile, search_cfg);
+        let min_eval = min_power_sequence(&isa, &core, &profile);
+        let target = (search.best.power_w + min_eval.power_w) / 2.0;
+        let med_eval = find_sequence_with_power(&isa, &core, &search.best, target, 200);
+        let chip = Chip::new(chip_cfg)?;
+        Ok(Testbed {
+            isa,
+            core,
+            profile,
+            search,
+            min_eval,
+            med_eval,
+            chip,
+        })
+    }
+
+    /// Full-fidelity testbed (paper-sized search funnel).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: default parameters are valid.
+    pub fn new() -> Testbed {
+        Testbed::build(&SearchConfig::default(), &ChipConfig::default())
+            .expect("default chip parameters are valid")
+    }
+
+    /// A cached reduced-search testbed for tests: the funnel keeps 60
+    /// sequences instead of 1000, which preserves the winner's character
+    /// at a fraction of the cost.
+    pub fn fast() -> &'static Testbed {
+        static CELL: OnceLock<Testbed> = OnceLock::new();
+        CELL.get_or_init(|| {
+            Testbed::build(
+                &SearchConfig {
+                    ipc_keep: 60,
+                    eval_iterations: 120,
+                },
+                &ChipConfig::default(),
+            )
+            .expect("default chip parameters are valid")
+        })
+    }
+
+    /// A cached full-fidelity testbed shared by experiment drivers.
+    pub fn shared() -> &'static Testbed {
+        static CELL: OnceLock<Testbed> = OnceLock::new();
+        CELL.get_or_init(Testbed::new)
+    }
+
+    /// The ISA under test.
+    pub fn isa(&self) -> &Isa {
+        &self.isa
+    }
+
+    /// The core configuration.
+    pub fn core(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// The EPI profile (Table I source).
+    pub fn profile(&self) -> &EpiProfile {
+        &self.profile
+    }
+
+    /// The full sequence-search outcome (funnel counts, winner,
+    /// runners-up).
+    pub fn search(&self) -> &SearchOutcome {
+        &self.search
+    }
+
+    /// The maximum-power sequence.
+    pub fn max_sequence(&self) -> &SequenceEval {
+        &self.search.best
+    }
+
+    /// The minimum-power sequence.
+    pub fn min_sequence(&self) -> &SequenceEval {
+        &self.min_eval
+    }
+
+    /// The medium-power sequence (average of max and min).
+    pub fn medium_sequence(&self) -> &SequenceEval {
+        &self.med_eval
+    }
+
+    /// The chip instance.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Replaces the chip (e.g. a different process-variation seed or an
+    /// undervolted instance).
+    pub fn with_chip(mut self, chip: Chip) -> Testbed {
+        self.chip = chip;
+        self
+    }
+
+    fn compile_stressmark(
+        &self,
+        name: &str,
+        high: &SequenceEval,
+        stim_freq_hz: f64,
+        sync: Option<SyncSpec>,
+    ) -> CompiledStressmark {
+        let spec = StressmarkSpec {
+            name: name.to_string(),
+            high_body: high.body.clone(),
+            low_body: self.min_eval.body.clone(),
+            stim_freq_hz,
+            duty: 0.5,
+            sync,
+        };
+        compile(&self.isa, &self.core, spec).expect("searched sequences compile at paper frequencies")
+    }
+
+    /// The maximum dI/dt stressmark at a stimulus frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is unrealizable for the searched sequences
+    /// (beyond hundreds of MHz).
+    pub fn max_stressmark(&self, stim_freq_hz: f64, sync: Option<SyncSpec>) -> CompiledStressmark {
+        self.compile_stressmark("max_didt", &self.search.best, stim_freq_hz, sync)
+    }
+
+    /// The medium dI/dt stressmark (half the ΔI of the maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is unrealizable.
+    pub fn medium_stressmark(
+        &self,
+        stim_freq_hz: f64,
+        sync: Option<SyncSpec>,
+    ) -> CompiledStressmark {
+        self.compile_stressmark("medium_didt", &self.med_eval, stim_freq_hz, sync)
+    }
+
+    /// The [`CoreLoad`] of a workload kind.
+    pub fn load_of(
+        &self,
+        kind: WorkloadKind,
+        stim_freq_hz: f64,
+        sync: Option<SyncSpec>,
+    ) -> CoreLoad {
+        match kind {
+            WorkloadKind::Idle => CoreLoad::Idle,
+            WorkloadKind::MediumDidt => {
+                CoreLoad::Stressmark(self.medium_stressmark(stim_freq_hz, sync))
+            }
+            WorkloadKind::MaxDidt => CoreLoad::Stressmark(self.max_stressmark(stim_freq_hz, sync)),
+        }
+    }
+
+    /// Expands a workload-to-core mapping into per-core loads.
+    pub fn loads_of_mapping(
+        &self,
+        mapping: &Mapping,
+        stim_freq_hz: f64,
+        sync: Option<SyncSpec>,
+    ) -> [CoreLoad; NUM_CORES] {
+        std::array::from_fn(|i| self.load_of(mapping[i], stim_freq_hz, sync))
+    }
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_testbed_orders_sequence_powers() {
+        let tb = Testbed::fast();
+        let max = tb.max_sequence().power_w;
+        let med = tb.medium_sequence().power_w;
+        let min = tb.min_sequence().power_w;
+        assert!(max > med && med > min, "max {max} med {med} min {min}");
+        let target = (max + min) / 2.0;
+        assert!((med - target).abs() / target < 0.08, "medium {med} vs target {target}");
+    }
+
+    #[test]
+    fn medium_stressmark_has_half_delta_i() {
+        let tb = Testbed::fast();
+        let max = tb.max_stressmark(2e6, None);
+        let med = tb.medium_stressmark(2e6, None);
+        let ratio = med.delta_i() / max.delta_i();
+        assert!((ratio - 0.5).abs() < 0.12, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn loads_of_mapping_matches_kinds() {
+        let tb = Testbed::fast();
+        let mapping = [
+            WorkloadKind::MaxDidt,
+            WorkloadKind::Idle,
+            WorkloadKind::MediumDidt,
+            WorkloadKind::Idle,
+            WorkloadKind::Idle,
+            WorkloadKind::Idle,
+        ];
+        let loads = tb.loads_of_mapping(&mapping, 2e6, None);
+        assert!(matches!(loads[0], CoreLoad::Stressmark(_)));
+        assert!(matches!(loads[1], CoreLoad::Idle));
+        assert!(matches!(loads[2], CoreLoad::Stressmark(_)));
+    }
+
+    #[test]
+    fn stressmarks_compile_across_paper_frequency_range() {
+        let tb = Testbed::fast();
+        for f in [1.0, 1e3, 35e3, 2.5e6, 15e6, 100e6] {
+            let sm = tb.max_stressmark(f, None);
+            assert!(sm.high_reps >= 1, "no reps at {f} Hz");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Target definition files — the Microprobe-style knowledge base.
+//!
+//! The paper's methodology "uses the Microprobe micro-benchmark
+//! generation framework as the underlying infrastructure ... a back-end
+//! knowledge base for the zEC12 architecture had to be implemented via
+//! target definition files" (§IV). This module makes the modeled target
+//! a first-class, serializable artifact: the full ISA table plus the
+//! core configuration round-trips through JSON, so alternative targets
+//! can be described without recompiling.
+
+use crate::isa::{InstrDef, Isa};
+use crate::pipeline::CoreConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete target definition: everything the stressmark generator
+/// needs to know about one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetDefinition {
+    /// Target name, e.g. `"zlike-ec12"`.
+    pub name: String,
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Core pipeline and power configuration.
+    pub core: CoreConfig,
+    /// The full instruction table.
+    pub instructions: Vec<InstrDef>,
+}
+
+/// Errors loading a target definition.
+#[derive(Debug)]
+pub enum TargetError {
+    /// The JSON failed to parse.
+    Parse(serde_json::Error),
+    /// The definition is structurally invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::Parse(e) => write!(f, "target definition parse error: {e}"),
+            TargetError::Invalid(msg) => write!(f, "invalid target definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TargetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TargetError::Parse(e) => Some(e),
+            TargetError::Invalid(_) => None,
+        }
+    }
+}
+
+impl TargetDefinition {
+    /// Captures the current modeled target.
+    pub fn zlike() -> Self {
+        let isa = Isa::zlike();
+        TargetDefinition {
+            name: "zlike-ec12".to_string(),
+            version: 1,
+            core: CoreConfig::default(),
+            instructions: isa.iter().map(|(_, d)| d.clone()).collect(),
+        }
+    }
+
+    /// Serializes the definition to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the definition contains only serializable data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("target definitions serialize")
+    }
+
+    /// Parses and validates a definition from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError`] on malformed JSON, duplicate mnemonics,
+    /// non-positive attributes, or an inconsistent core configuration.
+    pub fn from_json(json: &str) -> Result<Self, TargetError> {
+        let def: TargetDefinition = serde_json::from_str(json).map_err(TargetError::Parse)?;
+        def.validate()?;
+        Ok(def)
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::Invalid`] describing the first problem.
+    pub fn validate(&self) -> Result<(), TargetError> {
+        let bad = |msg: String| Err(TargetError::Invalid(msg));
+        if self.instructions.is_empty() {
+            return bad("no instructions".into());
+        }
+        let freq_ok = self.core.freq_hz.is_finite() && self.core.freq_hz > 0.0;
+        if !freq_ok || self.core.dispatch_width == 0 || self.core.rob_uops == 0 {
+            return bad("core configuration has non-positive parameters".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.instructions {
+            if !seen.insert(d.mnemonic.as_str()) {
+                return bad(format!("duplicate mnemonic {}", d.mnemonic));
+            }
+            if d.energy_pj <= 0.0 || !d.energy_pj.is_finite() {
+                return bad(format!("{}: non-positive energy", d.mnemonic));
+            }
+            if d.latency == 0 || d.occupancy == 0 {
+                return bad(format!("{}: zero latency or occupancy", d.mnemonic));
+            }
+            if d.serializing && !d.dispatch_alone {
+                return bad(format!("{}: serializing ops must dispatch alone", d.mnemonic));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the runtime [`Isa`] from the definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::Invalid`] when validation fails.
+    pub fn build_isa(&self) -> Result<Isa, TargetError> {
+        self.validate()?;
+        Ok(Isa::from_defs(self.instructions.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zlike_round_trips_through_json() {
+        let def = TargetDefinition::zlike();
+        let json = def.to_json();
+        let back = TargetDefinition::from_json(&json).unwrap();
+        assert_eq!(back.name, "zlike-ec12");
+        assert_eq!(back.instructions.len(), 1301);
+        let isa = back.build_isa().unwrap();
+        assert_eq!(isa.len(), 1301);
+        assert!(isa.opcode("CIB").is_some());
+    }
+
+    #[test]
+    fn rebuilt_isa_preserves_attributes() {
+        let def = TargetDefinition::zlike();
+        let isa = def.build_isa().unwrap();
+        let reference = Isa::zlike();
+        for m in ["CIB", "SRNM", "MADBR", "XC"] {
+            let a = isa.def(isa.opcode(m).unwrap());
+            let b = reference.def(reference.opcode(m).unwrap());
+            assert_eq!(a, b, "{m} differs after round trip");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(
+            TargetDefinition::from_json("{not json"),
+            Err(TargetError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_values() {
+        let mut def = TargetDefinition::zlike();
+        def.instructions[1].mnemonic = def.instructions[0].mnemonic.clone();
+        assert!(matches!(def.validate(), Err(TargetError::Invalid(_))));
+
+        let mut def = TargetDefinition::zlike();
+        def.instructions[0].energy_pj = -1.0;
+        assert!(def.validate().is_err());
+
+        let mut def = TargetDefinition::zlike();
+        def.core.dispatch_width = 0;
+        assert!(def.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_serializing_without_dispatch_alone() {
+        let mut def = TargetDefinition::zlike();
+        let idx = def
+            .instructions
+            .iter()
+            .position(|d| d.serializing)
+            .expect("serializing op exists");
+        def.instructions[idx].dispatch_alone = false;
+        assert!(def.validate().is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let mut def = TargetDefinition::zlike();
+        def.instructions.clear();
+        let err = def.validate().unwrap_err();
+        assert!(err.to_string().contains("no instructions"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Functional units and issue classes of the modeled core.
+//!
+//! The modeled machine follows the zEC12 execution-resource outline the
+//! paper relies on: two fixed-point pipes, two load/store pipes, one
+//! binary floating-point pipe, one decimal floating-point pipe, a branch
+//! pipe, and a serializing system pipe.
+
+use serde::{Deserialize, Serialize};
+
+/// Execution unit kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UnitKind {
+    /// Fixed-point unit (arithmetic, logical, compare).
+    Fxu,
+    /// Load/store unit.
+    Lsu,
+    /// Binary floating-point unit.
+    Bfu,
+    /// Decimal floating-point unit.
+    Dfu,
+    /// Branch unit.
+    Bru,
+    /// System/control unit (serializing operations).
+    Sys,
+}
+
+impl UnitKind {
+    /// Every unit kind, in display order.
+    pub const ALL: [UnitKind; 6] = [
+        UnitKind::Fxu,
+        UnitKind::Lsu,
+        UnitKind::Bfu,
+        UnitKind::Dfu,
+        UnitKind::Bru,
+        UnitKind::Sys,
+    ];
+
+    /// Number of issue ports of this unit kind on the modeled core.
+    pub fn ports(self) -> usize {
+        match self {
+            UnitKind::Fxu | UnitKind::Lsu => 2,
+            UnitKind::Bfu | UnitKind::Dfu | UnitKind::Bru | UnitKind::Sys => 1,
+        }
+    }
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitKind::Fxu => "fxu",
+            UnitKind::Lsu => "lsu",
+            UnitKind::Bfu => "bfu",
+            UnitKind::Dfu => "dfu",
+            UnitKind::Bru => "bru",
+            UnitKind::Sys => "sys",
+        }
+    }
+
+    /// Index into dense per-unit arrays.
+    pub fn index(self) -> usize {
+        match self {
+            UnitKind::Fxu => 0,
+            UnitKind::Lsu => 1,
+            UnitKind::Bfu => 2,
+            UnitKind::Dfu => 3,
+            UnitKind::Bru => 4,
+            UnitKind::Sys => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Issue class used by the stressmark candidate selection: the paper
+/// categorizes instructions "by their functional unit usage and issue
+/// class" (§IV-B step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IssueClass {
+    /// Single-cycle pipelined operation.
+    Short,
+    /// Multi-cycle but fully pipelined operation.
+    Pipelined,
+    /// Long-latency operation occupying its unit (divides, decimal).
+    Blocking,
+    /// Serializes the pipeline (system controls).
+    Serializing,
+}
+
+impl IssueClass {
+    /// Every issue class.
+    pub const ALL: [IssueClass; 4] = [
+        IssueClass::Short,
+        IssueClass::Pipelined,
+        IssueClass::Blocking,
+        IssueClass::Serializing,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts_match_model() {
+        assert_eq!(UnitKind::Fxu.ports(), 2);
+        assert_eq!(UnitKind::Lsu.ports(), 2);
+        assert_eq!(UnitKind::Dfu.ports(), 1);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for u in UnitKind::ALL {
+            assert!(!seen[u.index()]);
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for u in UnitKind::ALL {
+            assert_eq!(u.to_string(), u.name());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Optimization opportunity studies (paper SVII): noise-aware workload
+//! mapping and utilization-based dynamic guard-banding.
+//!
+//! Run with: `cargo run --release --example mapping_policies`
+
+use voltnoise::prelude::*;
+
+fn main() {
+    let tb = Testbed::shared();
+
+    println!("== Fig. 14: same-row vs split placement of 3 stressmarks ==");
+    let cmp = voltnoise::analysis::run_mapping_comparison(tb, 2.5e6).expect("comparison runs");
+    print!("{}", cmp.render());
+
+    println!("== Fig. 15: best vs worst mapping per workload count ==");
+    let gain = run_mapping_gain(
+        tb,
+        &MappingGainConfig {
+            counts: vec![1, 2, 3, 4, 5],
+            ..MappingGainConfig::paper()
+        },
+    )
+    .expect("mapping study runs");
+    print!("{}", gain.render());
+
+    println!("== SVII-B: utilization-based dynamic guard-banding ==");
+    let study = voltnoise::analysis::run_guardband_study(
+        tb,
+        &voltnoise::analysis::GuardbandConfig::reduced(),
+    )
+    .expect("guardband study runs");
+    print!("{}", study.render());
+}

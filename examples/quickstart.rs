@@ -1,0 +1,62 @@
+//! Quickstart: build the platform, generate a synchronized maximum dI/dt
+//! stressmark at the resonant band, run it on all six cores and read the
+//! per-core skitter noise sensors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use voltnoise::prelude::*;
+
+fn main() {
+    println!("== voltnoise quickstart ==");
+    println!("building the testbed (EPI profile + sequence search)...");
+    let tb = Testbed::shared();
+
+    let max = tb.max_sequence();
+    println!(
+        "maximum-power sequence: {:?}  ({:.2} W, IPC {:.2})",
+        max.mnemonics, max.power_w, max.ipc
+    );
+    println!(
+        "minimum-power sequence: {:?}  ({:.2} W)",
+        tb.min_sequence().mnemonics,
+        tb.min_sequence().power_w
+    );
+
+    // A synchronized stressmark in the die resonant band (paper §V-B).
+    let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+    println!(
+        "stressmark: dI = {:.1} A per core ({:.1} A high / {:.1} A low), {} high reps per phase",
+        sm.delta_i(),
+        sm.i_high_a,
+        sm.i_low_a,
+        sm.high_reps
+    );
+
+    // Run one copy on every core.
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let noise = run_noise(tb.chip(), &loads, &NoiseRunConfig::default())
+        .expect("noise simulation runs on the default chip");
+
+    println!("\nper-core skitter readings:");
+    for (i, pct) in noise.pct_p2p.iter().enumerate() {
+        println!(
+            "  core {i}: {pct:5.1} %p2p   (v_min {:.4} V, v_max {:.4} V)",
+            noise.v_min[i], noise.v_max[i]
+        );
+    }
+    let (worst_core, worst) = noise.worst();
+    println!("\nworst-case noise: {worst:.1} %p2p on core {worst_core}");
+    println!("chip power: {}", noise.chip_power);
+
+    // Compare with the unsynchronized version (Fig. 7a vs Fig. 9).
+    let sm_unsync = tb.max_stressmark(2.5e6, None);
+    let loads: [CoreLoad; NUM_CORES] =
+        std::array::from_fn(|_| CoreLoad::Stressmark(sm_unsync.clone()));
+    let unsync = run_noise(tb.chip(), &loads, &NoiseRunConfig::default())
+        .expect("noise simulation runs on the default chip");
+    println!(
+        "without TOD synchronization: {:.1} %p2p  (synchronization bonus: {:+.1} points)",
+        unsync.max_pct_p2p(),
+        worst - unsync.max_pct_p2p()
+    );
+}

@@ -1,0 +1,69 @@
+//! The full stressmark generation methodology, step by step (paper
+//! Figs. 4-6): EPI profiling, candidate selection, the 531 441-combination
+//! search funnel, and the assembled dI/dt stressmark listing.
+//!
+//! Run with: `cargo run --release --example stressmark_search`
+
+use voltnoise::prelude::*;
+use voltnoise::stressmark::SEQ_LEN;
+
+fn main() {
+    let isa = Isa::zlike();
+    let core = CoreConfig::default();
+
+    println!("== step 1: energy-per-instruction profile ({} instructions) ==", isa.len());
+    let profile = EpiProfile::generate(&isa, &core);
+    println!("rank  instr   description                                    power");
+    for (i, e) in profile.top(5).iter().enumerate() {
+        println!("{:4}  {:6}  {:45}  {:.2}", i + 1, e.mnemonic, e.description, e.rel_power);
+    }
+    println!("...");
+    for (i, e) in profile.bottom(5).iter().enumerate() {
+        println!(
+            "{:4}  {:6}  {:45}  {:.2}",
+            profile.len() - 4 + i,
+            e.mnemonic,
+            e.description,
+            e.rel_power
+        );
+    }
+
+    println!("\n== steps 2-5: maximum power sequence search ==");
+    let outcome = find_max_power_sequence(&isa, &core, &profile, &SearchConfig::default());
+    println!("candidates ({}):", outcome.candidates.len());
+    for c in &outcome.candidates {
+        println!(
+            "  {:8} {:?}/{:?} branch={}  ({:.2} W, IPC {:.2})",
+            c.mnemonic, c.category.unit, c.category.class, c.category.branches, c.power_w, c.ipc
+        );
+    }
+    println!(
+        "funnel: {} combinations -> {} after microarch filter -> {} after IPC filter -> 1",
+        outcome.total_combinations, outcome.after_microarch, outcome.after_ipc
+    );
+    println!(
+        "winner: {:?}  ({:.2} W, IPC {:.2})",
+        outcome.best.mnemonics, outcome.best.power_w, outcome.best.ipc
+    );
+
+    let min = min_power_sequence(&isa, &core, &profile);
+    println!("minimum power sequence: {:?}  ({:.2} W)", min.mnemonics, min.power_w);
+
+    println!("\n== step 6: assemble a parameterizable dI/dt stressmark ==");
+    let spec = StressmarkSpec {
+        name: "max_didt_2p5mhz_synced".into(),
+        high_body: outcome.best.body.clone(),
+        low_body: min.body.clone(),
+        stim_freq_hz: 2.5e6,
+        duty: 0.5,
+        sync: Some(SyncSpec::paper_default()),
+    };
+    let sm = compile(&isa, &core, spec).expect("searched sequences compile at 2.5 MHz");
+    println!(
+        "sequence length {SEQ_LEN}, high phase x{}, low phase x{}, dI {:.1} A",
+        sm.high_reps,
+        sm.low_reps,
+        sm.delta_i()
+    );
+    println!("\n{}", sm.render_asm(&isa));
+}

@@ -1,0 +1,194 @@
+//! End-to-end integration: the full paper pipeline from ISA definition to
+//! skitter readings, crossing every crate boundary.
+
+use voltnoise::prelude::*;
+
+#[test]
+fn full_pipeline_isa_to_noise() {
+    // ISA -> EPI -> search -> stressmark -> chip -> noise -> skitter.
+    let tb = Testbed::fast();
+
+    // The EPI profile covers the full ISA and reproduces Table I's ends.
+    assert_eq!(tb.profile().len(), 1301);
+    assert_eq!(tb.profile().top(1)[0].mnemonic, "CIB");
+    assert_eq!(tb.profile().bottom(1)[0].mnemonic, "SRNM");
+
+    // The search funnel has the paper's shape.
+    let s = tb.search();
+    assert_eq!(s.total_combinations, 531_441);
+    assert!(s.after_microarch > 1_000);
+    assert!(s.after_ipc <= 1_000);
+    assert!(s.best.ipc > 2.5);
+
+    // The stressmark alternates the searched sequences.
+    let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+    assert_eq!(sm.spec.high_body, s.best.body);
+    assert!(sm.delta_i() > 5.0);
+
+    // Running it produces physically sensible noise.
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let out = run_noise(
+        tb.chip(),
+        &loads,
+        &NoiseRunConfig {
+            window_s: Some(50e-6),
+            ..NoiseRunConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..NUM_CORES {
+        assert!(out.v_min[i] < tb.chip().v_nom());
+        assert!(out.v_min[i] > 0.8 * tb.chip().v_nom(), "unphysical droop");
+        assert!(out.pct_p2p[i] > 20.0 && out.pct_p2p[i] < 95.0);
+    }
+    // The chip power meter reads more than idle, less than 6x max power.
+    let p = out.chip_power.watts();
+    assert!(p > 6.0 * 8.0 && p < 6.0 * 25.0, "chip power {p}");
+}
+
+#[test]
+fn stressmark_asm_listing_round_trips_mnemonics() {
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2e6, Some(SyncSpec::paper_default()));
+    let asm = sm.render_asm(tb.isa());
+    for m in &tb.max_sequence().mnemonics {
+        assert!(asm.contains(m), "listing missing {m}");
+    }
+    assert!(asm.contains("sync_loop"));
+}
+
+#[test]
+fn undervolting_deepens_effective_droop_readings() {
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let cfg = NoiseRunConfig {
+        window_s: Some(40e-6),
+        ..NoiseRunConfig::default()
+    };
+    let nominal = run_noise(tb.chip(), &loads, &cfg).unwrap();
+    let biased_chip = tb.chip().undervolted(0.95).unwrap();
+    let biased = run_noise(&biased_chip, &loads, &cfg).unwrap();
+    let vmin_nom = nominal.v_min.iter().cloned().fold(f64::INFINITY, f64::min);
+    let vmin_low = biased.v_min.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        vmin_low < vmin_nom - 0.03,
+        "5% undervolt must lower the trough: {vmin_nom} -> {vmin_low}"
+    );
+}
+
+#[test]
+fn different_chips_same_methodology() {
+    // The paper validates sequences "on different processors": the search
+    // product works on chips with different process variation.
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let cfg = NoiseRunConfig {
+        window_s: Some(40e-6),
+        ..NoiseRunConfig::default()
+    };
+    let a = run_noise(tb.chip(), &loads, &cfg).unwrap().max_pct_p2p();
+    let other = Chip::with_seed(42).unwrap();
+    let b = run_noise(&other, &loads, &cfg).unwrap().max_pct_p2p();
+    assert!((a - b).abs() < 15.0, "chips should agree broadly: {a} vs {b}");
+    assert!(b > 30.0, "stressmark must stress any chip: {b}");
+}
+
+#[test]
+fn vmin_experiment_detects_failure_for_worst_stressmark() {
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let path = tb.chip().config().critical_path;
+    let cfg = NoiseRunConfig {
+        window_s: Some(30e-6),
+        ..NoiseRunConfig::default()
+    };
+    let result = voltnoise::measure::run_vmin(&VminConfig::default(), |bias| {
+        let chip = tb.chip().undervolted(bias).unwrap();
+        let out = run_noise(&chip, &loads, &cfg).unwrap();
+        let v_min = out.v_min.iter().cloned().fold(f64::INFINITY, f64::min);
+        path.fails_at(v_min)
+    });
+    let bias = result.failing_bias.expect("worst stressmark must eventually fail");
+    assert!(bias < 1.0 && bias > 0.85, "failing bias {bias}");
+    // The paper's system survives at nominal voltage.
+    assert!(bias <= 1.0 - 0.005, "must not fail at nominal");
+}
+
+#[test]
+fn square_wave_abstraction_matches_cycle_trace() {
+    // The noise engine abstracts a stressmark as a trapezoidal square
+    // wave; this test replays the *actual* per-cycle current trace of the
+    // searched sequences through the PDN and checks the droop envelope
+    // agrees with the abstraction.
+    use voltnoise::pdn::transient::{Probe, TransientConfig, TransientSolver};
+    use voltnoise::pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};
+
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, None);
+    let core_cfg = tb.core();
+    let cycle_s = core_cfg.cycle_time();
+    let phase_cycles = (0.5 / 2.5e6 / cycle_s) as usize; // 200 ns per phase
+
+    // Cycle-resolution current of the high phase.
+    let reps = (sm.high_reps as usize).max(1);
+    let (_, mut high_trace) = voltnoise::uarch::Kernel::from_sequence(
+        "high",
+        sm.spec.high_body.clone(),
+        reps,
+    )
+    .run_traced(tb.isa(), core_cfg);
+    high_trace.resize(phase_cycles, *high_trace.last().unwrap());
+
+    // Cycle-resolution current of the low (serializing) phase.
+    let (_, mut low_trace) = voltnoise::uarch::Kernel::from_sequence(
+        "low",
+        sm.spec.low_body.clone(),
+        (sm.low_reps as usize).max(1),
+    )
+    .run_traced(tb.isa(), core_cfg);
+    low_trace.resize(phase_cycles, *low_trace.last().unwrap());
+
+    let mut period_trace = high_trace;
+    period_trace.extend(low_trace);
+
+    let chip = tb.chip();
+    let idle = core_cfg.static_power_w / core_cfg.v_nom;
+    let probe = [Probe::NodeVoltage(chip.pdn().core_node(0))];
+    let mut cfg = TransientConfig::new(40e-6);
+    cfg.h_coarse = 4e-9;
+    cfg.h_fine = 0.5e-9;
+
+    // (a) replay the real cycle trace on core 0, others idle;
+    let mut traces = vec![vec![idle]; 6];
+    traces[0] = period_trace;
+    let playback = TracePlayback::new(traces, cycle_s, 2.0);
+    let mut solver = TransientSolver::new(chip.pdn().netlist()).unwrap();
+    let real = solver.run(&playback, &probe, &cfg).unwrap();
+
+    // (b) the square-wave abstraction of the same stressmark.
+    let wave = StressWaveform {
+        i_low: sm.i_low_a,
+        i_high: sm.i_high_a,
+        i_idle: sm.i_idle_a,
+        stim_period: 400e-9,
+        duty: 0.5,
+        rise_time: 2e-9,
+        mode: WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 },
+    };
+    let mut waves = vec![CoreWaveform::Constant(idle); 6];
+    waves[0] = CoreWaveform::Stress(wave);
+    let mut solver2 = TransientSolver::new(chip.pdn().netlist()).unwrap();
+    let abstracted = solver2.run(&MultiCoreDrive::new(waves), &probe, &cfg).unwrap();
+
+    let p_real = real.stats[0].peak_to_peak();
+    let p_abs = abstracted.stats[0].peak_to_peak();
+    assert!(p_real > 0.0 && p_abs > 0.0);
+    let ratio = p_real / p_abs;
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "cycle-trace p2p {p_real:.5} V vs square-wave p2p {p_abs:.5} V (ratio {ratio:.2})"
+    );
+}
