@@ -5,11 +5,15 @@
 //! of the chip's maximum possible ΔI each mapping generates. The same
 //! dataset feeds the inter-core correlation analysis of Fig. 13a.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
-use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 use voltnoise_system::workload::{all_distributions, mappings_of, Distribution, Mapping};
 
@@ -89,7 +93,7 @@ impl DeltaIDataset {
                 None => by_frac.push((run.delta_i_fraction, run.max_pct())),
             }
         }
-        by_frac.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite fractions"));
+        by_frac.sort_by(|a, b| a.0.total_cmp(&b.0));
         by_frac
     }
 
@@ -111,11 +115,7 @@ impl DeltaIDataset {
             .into_iter()
             .map(|(d, f, acc, n)| (d, f, acc / n as f64))
             .collect();
-        res.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite fractions")
-                .then(a.0.max_count.cmp(&b.0.max_count))
-        });
+        res.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.max_count.cmp(&b.0.max_count)));
         res
     }
 
@@ -126,56 +126,143 @@ impl DeltaIDataset {
 
     /// Renders the Fig. 11a rows.
     pub fn render_fig11a(&self) -> String {
-        let mut out = String::from(
-            "# Fig. 11a: max %p2p noise vs % of maximum possible dI\npct_of_max_di,max_pct_p2p\n",
-        );
+        let mut t = Table::new("Fig. 11a: max %p2p noise vs % of maximum possible dI");
+        t.columns(["pct_of_max_di", "max_pct_p2p"]);
         for (f, m) in self.max_noise_by_delta_i() {
-            out.push_str(&format!("{:.1},{m:.1}\n", f * 100.0));
+            t.row([format!("{:.1}", f * 100.0), format!("{m:.1}")]);
         }
-        out
+        t.finish()
     }
 
     /// Renders the Fig. 11b rows.
     pub fn render_fig11b(&self) -> String {
-        let mut out = String::from(
-            "# Fig. 11b: average noise by workload distribution (max-medium)\n\
-             distribution,pct_of_max_di,avg_pct_p2p\n",
-        );
+        let mut t = Table::new("Fig. 11b: average noise by workload distribution (max-medium)");
+        t.columns(["distribution", "pct_of_max_di", "avg_pct_p2p"]);
         for (d, f, avg) in self.average_noise_by_distribution() {
-            out.push_str(&format!("{},{:.1},{avg:.1}\n", d.label(), f * 100.0));
+            t.row([d.label(), format!("{:.1}", f * 100.0), format!("{avg:.1}")]);
+        }
+        t.finish()
+    }
+}
+
+/// Which figure a [`DeltaIExperiment`] renders. All views share the same
+/// job list, so an engine with a warm cache assembles the second and
+/// third views without a single new solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaIView {
+    /// Fig. 11a: max noise vs ΔI fraction.
+    Fig11a,
+    /// Fig. 11b: average noise by distribution.
+    Fig11b,
+    /// Fig. 13a: inter-core correlation matrix of the campaign.
+    Correlation,
+}
+
+/// The ΔI campaign experiment (Figs. 11a, 11b and the Fig. 13a input).
+#[derive(Debug, Clone)]
+pub struct DeltaIExperiment {
+    /// The campaign grid.
+    pub cfg: DeltaIConfig,
+    /// The rendered view.
+    pub view: DeltaIView,
+}
+
+impl DeltaIExperiment {
+    /// The deterministic campaign plan: every `(distribution, mapping)`
+    /// pair, in run order.
+    fn plan(&self) -> Vec<(Distribution, Mapping)> {
+        let mut out = Vec::new();
+        for dist in all_distributions() {
+            let mappings = mappings_of(&dist);
+            let stride = (mappings.len() / self.cfg.mappings_per_distribution.max(1)).max(1);
+            for mapping in mappings.iter().step_by(stride) {
+                out.push((dist, *mapping));
+            }
         }
         out
     }
 }
 
-/// Runs the ΔI campaign.
+impl Experiment for DeltaIExperiment {
+    type Artifact = DeltaIDataset;
+
+    fn id(&self) -> &'static str {
+        match self.view {
+            DeltaIView::Fig11a => "fig11a",
+            DeltaIView::Fig11b => "fig11b",
+            DeltaIView::Correlation => "fig13a",
+        }
+    }
+
+    fn title(&self) -> &'static str {
+        match self.view {
+            DeltaIView::Fig11a => "Fig. 11a: max noise vs dI fraction",
+            DeltaIView::Fig11b => "Fig. 11b: average noise by workload distribution",
+            DeltaIView::Correlation => "Fig. 13a: inter-core noise correlation",
+        }
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let sync = Some(SyncSpec::paper_default());
+        let run_cfg = NoiseRunConfig {
+            window_s: self.cfg.window_s,
+            record_traces: false,
+            seed: 1,
+        };
+        let batch = SimJob::batch(tb.chip());
+        Ok(self
+            .plan()
+            .iter()
+            .map(|(_, mapping)| {
+                batch.job(
+                    tb.loads_of_mapping(mapping, self.cfg.stim_freq_hz, sync),
+                    run_cfg.clone(),
+                )
+            })
+            .collect())
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<DeltaIDataset, PdnError> {
+        let runs = self
+            .plan()
+            .into_iter()
+            .zip(outcomes)
+            .map(|((dist, mapping), out)| DeltaIRun {
+                mapping,
+                distribution: dist,
+                delta_i_fraction: dist.delta_i_fraction(),
+                per_core_pct: out.pct_p2p,
+            })
+            .collect();
+        Ok(DeltaIDataset { runs })
+    }
+
+    fn render(&self, artifact: &DeltaIDataset) -> String {
+        match self.view {
+            DeltaIView::Fig11a => artifact.render_fig11a(),
+            DeltaIView::Fig11b => artifact.render_fig11b(),
+            DeltaIView::Correlation => {
+                crate::propagation::CorrelationAnalysis::from_dataset(artifact).render()
+            }
+        }
+    }
+}
+
+/// Runs the ΔI campaign on the shared engine.
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] if a PDN solve fails.
 pub fn run_delta_i(tb: &Testbed, cfg: &DeltaIConfig) -> Result<DeltaIDataset, PdnError> {
-    let sync = Some(SyncSpec::paper_default());
-    let run_cfg = NoiseRunConfig {
-        window_s: cfg.window_s,
-        record_traces: false,
-        seed: 1,
-    };
-    let mut runs = Vec::new();
-    for dist in all_distributions() {
-        let mappings = mappings_of(&dist);
-        let stride = (mappings.len() / cfg.mappings_per_distribution.max(1)).max(1);
-        for mapping in mappings.iter().step_by(stride) {
-            let loads = tb.loads_of_mapping(mapping, cfg.stim_freq_hz, sync);
-            let out = voltnoise_system::noise::run_noise(tb.chip(), &loads, &run_cfg)?;
-            runs.push(DeltaIRun {
-                mapping: *mapping,
-                distribution: dist,
-                delta_i_fraction: dist.delta_i_fraction(),
-                per_core_pct: out.pct_p2p,
-            });
-        }
+    DeltaIExperiment {
+        cfg: cfg.clone(),
+        view: DeltaIView::Fig11a,
     }
-    Ok(DeltaIDataset { runs })
+    .run(tb, Engine::shared())
 }
 
 #[cfg(test)]
@@ -206,7 +293,11 @@ mod tests {
         // Broad monotonic growth: each point at least as high as the
         // floor three steps earlier.
         for w in series.windows(4) {
-            assert!(w[3].1 >= w[0].1 - 3.0, "{:?}", w.iter().map(|p| p.1).collect::<Vec<_>>());
+            assert!(
+                w[3].1 >= w[0].1 - 3.0,
+                "{:?}",
+                w.iter().map(|p| p.1).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -1,0 +1,177 @@
+//! The [`Experiment`] abstraction and the experiment registry.
+//!
+//! Every paper artifact (table, figure, study) is an [`Experiment`]: a
+//! configuration that expands into pure [`SimJob`]s, an `assemble` step
+//! that folds the solved outcomes into a serializable artifact, and a
+//! `render` step producing the figure's text document. The default
+//! [`Experiment::run`] routes the jobs through an [`Engine`], so every
+//! experiment transparently gets parallel execution and content-keyed
+//! memoization; experiments whose job list depends on previous outcomes
+//! (e.g. the Vmin descent of Fig. 12) override `run` and use
+//! [`Engine::run_one`] / [`Engine::par_map`] directly.
+//!
+//! The [`registry`] lists one entry per artifact. The full report and
+//! the per-figure binaries both walk it, so adding an experiment in one
+//! place surfaces it everywhere.
+
+use serde::{Serialize, Value};
+use std::sync::Arc;
+use voltnoise_pdn::PdnError;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::NoiseOutcome;
+use voltnoise_system::testbed::Testbed;
+
+/// One reproducible paper artifact.
+pub trait Experiment {
+    /// The structured result: serializable for JSON export and for the
+    /// byte-exact parallel-vs-serial determinism checks.
+    type Artifact: Serialize;
+
+    /// Stable identifier (`fig7a`, `table1`, ...), used by the registry
+    /// and the per-figure binaries.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable one-line title.
+    fn title(&self) -> &'static str;
+
+    /// Expands the configuration into pure simulation jobs. Experiments
+    /// that don't run the noise kernel (AC analyses, pure computations)
+    /// keep the default empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when job construction requires a solve that
+    /// fails.
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let _ = tb;
+        Ok(Vec::new())
+    }
+
+    /// Folds solved outcomes (parallel to [`Experiment::jobs`]'s order)
+    /// into the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when a non-job computation inside the
+    /// experiment fails.
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<Self::Artifact, PdnError>;
+
+    /// Renders the artifact as the figure's text document.
+    fn render(&self, artifact: &Self::Artifact) -> String;
+
+    /// Runs the experiment end to end on an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when a solve fails.
+    fn run(&self, tb: &Testbed, engine: &Engine) -> Result<Self::Artifact, PdnError> {
+        let jobs = self.jobs(tb)?;
+        let outcomes = engine.run_jobs(&jobs)?;
+        self.assemble(tb, &outcomes)
+    }
+}
+
+/// A finished experiment: rendered text plus the serialized artifact.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The experiment's registry id.
+    pub id: &'static str,
+    /// The experiment's title.
+    pub title: &'static str,
+    /// The rendered figure document.
+    pub rendered: String,
+    /// The artifact as a serde value tree (for `--json` export).
+    pub value: Value,
+}
+
+/// Runs an experiment and captures both its renderings.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] when the experiment fails.
+pub fn run_to_output<E: Experiment>(
+    exp: &E,
+    tb: &Testbed,
+    engine: &Engine,
+) -> Result<ExperimentOutput, PdnError> {
+    let artifact = exp.run(tb, engine)?;
+    Ok(ExperimentOutput {
+        id: exp.id(),
+        title: exp.title(),
+        rendered: exp.render(&artifact),
+        value: artifact.to_value(),
+    })
+}
+
+pub(crate) type EntryRun = fn(&Testbed, &Engine, bool) -> Result<ExperimentOutput, PdnError>;
+
+/// One registry entry: an artifact the workspace can regenerate.
+pub struct RegistryEntry {
+    /// Stable identifier, matching the experiment's [`Experiment::id`].
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// Whether [`crate::report::full_report`] includes this artifact (in
+    /// registry order).
+    pub in_report: bool,
+    pub(crate) run: EntryRun,
+}
+
+impl RegistryEntry {
+    /// Runs the entry's experiment at paper (`reduced = false`) or
+    /// reduced scale on the given engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the experiment fails.
+    pub fn run(
+        &self,
+        tb: &Testbed,
+        engine: &Engine,
+        reduced: bool,
+    ) -> Result<ExperimentOutput, PdnError> {
+        (self.run)(tb, engine, reduced)
+    }
+}
+
+impl std::fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryEntry")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("in_report", &self.in_report)
+            .finish()
+    }
+}
+
+/// The experiment registry, in full-report order.
+pub fn registry() -> &'static [RegistryEntry] {
+    crate::catalog::ENTRIES
+}
+
+/// Looks up a registry entry by id.
+pub fn find(id: &str) -> Option<&'static RegistryEntry> {
+    registry().iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let entries = registry();
+        assert!(!entries.is_empty());
+        for (i, e) in entries.iter().enumerate() {
+            assert!(find(e.id).is_some(), "{} not findable", e.id);
+            for later in &entries[i + 1..] {
+                assert_ne!(e.id, later.id, "duplicate id {}", e.id);
+            }
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+}

@@ -4,12 +4,16 @@
 //! frequencies — unsynchronized for Fig. 7a, TOD-synchronized for
 //! Fig. 9 — and reports per-core %p2p skitter readings.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::ac::log_space;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
-use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{CoreLoad, NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 
 /// Sweep configuration.
@@ -73,13 +77,13 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// The frequency with the highest worst-core reading and that reading.
-    pub fn peak(&self) -> (f64, f64) {
+    /// The frequency with the highest worst-core reading and that
+    /// reading, or `None` for an empty sweep.
+    pub fn peak(&self) -> Option<(f64, f64)> {
         self.points
             .iter()
             .map(|p| (p.freq_hz, p.max_pct()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite noise"))
-            .expect("non-empty sweep")
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Reading at the point closest to `freq_hz`.
@@ -87,71 +91,132 @@ impl SweepResult {
         self.points.iter().min_by(|a, b| {
             (a.freq_hz - freq_hz)
                 .abs()
-                .partial_cmp(&(b.freq_hz - freq_hz).abs())
-                .expect("finite frequencies")
+                .total_cmp(&(b.freq_hz - freq_hz).abs())
         })
     }
 
     /// Renders the paper-style series: frequency, per-core %p2p.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(if self.synced {
-            "# Fig. 9: per-core %p2p vs stimulus frequency (synchronized every 4 ms)\n"
+        let mut t = Table::new(if self.synced {
+            "Fig. 9: per-core %p2p vs stimulus frequency (synchronized every 4 ms)"
         } else {
-            "# Fig. 7a: per-core %p2p vs stimulus frequency (no synchronization)\n"
+            "Fig. 7a: per-core %p2p vs stimulus frequency (no synchronization)"
         });
-        out.push_str("freq_hz");
-        for i in 0..NUM_CORES {
-            out.push_str(&format!(",core{i}_pct_p2p"));
-        }
-        out.push('\n');
+        t.columns(
+            std::iter::once("freq_hz".to_string())
+                .chain((0..NUM_CORES).map(|i| format!("core{i}_pct_p2p"))),
+        );
         for p in &self.points {
-            out.push_str(&format!("{:.4e}", p.freq_hz));
-            for v in p.per_core_pct {
-                out.push_str(&format!(",{v:.1}"));
-            }
-            out.push('\n');
+            t.row(
+                std::iter::once(format!("{:.4e}", p.freq_hz))
+                    .chain(p.per_core_pct.iter().map(|v| format!("{v:.1}"))),
+            );
         }
-        let (f, m) = self.peak();
-        out.push_str(&format!("# peak: {m:.1} %p2p at {f:.3e} Hz\n"));
-        out
+        if let Some((f, m)) = self.peak() {
+            t.note(&format!("peak: {m:.1} %p2p at {f:.3e} Hz"));
+        }
+        t.finish()
     }
 }
 
-/// Runs the sweep. `sync` selects Fig. 9 (true) or Fig. 7a (false).
+/// The frequency-sweep experiment: Fig. 7a (`synced = false`) or Fig. 9
+/// (`synced = true`).
+#[derive(Debug, Clone)]
+pub struct SweepExperiment {
+    /// The sweep grid.
+    pub cfg: SweepConfig,
+    /// TOD synchronization on/off.
+    pub synced: bool,
+}
+
+impl Experiment for SweepExperiment {
+    type Artifact = SweepResult;
+
+    fn id(&self) -> &'static str {
+        if self.synced {
+            "fig9"
+        } else {
+            "fig7a"
+        }
+    }
+
+    fn title(&self) -> &'static str {
+        if self.synced {
+            "Fig. 9: noise vs stimulus frequency, TOD-synchronized"
+        } else {
+            "Fig. 7a: noise vs stimulus frequency, unsynchronized"
+        }
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let batch = SimJob::batch(tb.chip());
+        let mut jobs = Vec::with_capacity(self.cfg.freqs_hz.len() * self.cfg.seeds.len().max(1));
+        for &freq in &self.cfg.freqs_hz {
+            let sync_spec = self.synced.then(SyncSpec::paper_default);
+            let sm = tb.max_stressmark(freq, sync_spec);
+            let loads: [CoreLoad; NUM_CORES] =
+                std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            for &seed in &self.cfg.seeds {
+                jobs.push(batch.job(
+                    loads.clone(),
+                    NoiseRunConfig {
+                        window_s: self.cfg.window_s,
+                        record_traces: false,
+                        seed,
+                    },
+                ));
+            }
+        }
+        Ok(jobs)
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<SweepResult, PdnError> {
+        let seeds = self.cfg.seeds.len().max(1);
+        let points = self
+            .cfg
+            .freqs_hz
+            .iter()
+            .zip(outcomes.chunks(seeds))
+            .map(|(&freq_hz, chunk)| {
+                let mut acc = [0.0f64; NUM_CORES];
+                for out in chunk {
+                    for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
+                        *a += v;
+                    }
+                }
+                SweepPoint {
+                    freq_hz,
+                    per_core_pct: acc.map(|v| v / seeds as f64),
+                }
+            })
+            .collect();
+        Ok(SweepResult {
+            synced: self.synced,
+            points,
+        })
+    }
+
+    fn render(&self, artifact: &SweepResult) -> String {
+        artifact.render()
+    }
+}
+
+/// Runs the sweep on the shared engine. `sync` selects Fig. 9 (true) or
+/// Fig. 7a (false).
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] if a PDN solve fails.
 pub fn run_sweep(tb: &Testbed, cfg: &SweepConfig, sync: bool) -> Result<SweepResult, PdnError> {
-    let mut points = Vec::with_capacity(cfg.freqs_hz.len());
-    for &freq in &cfg.freqs_hz {
-        let sync_spec = sync.then(SyncSpec::paper_default);
-        let sm = tb.max_stressmark(freq, sync_spec);
-        let loads: [CoreLoad; NUM_CORES] =
-            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
-        let mut acc = [0.0f64; NUM_CORES];
-        for &seed in &cfg.seeds {
-            let out = run_noise(
-                tb.chip(),
-                &loads,
-                &NoiseRunConfig {
-                    window_s: cfg.window_s,
-                    record_traces: false,
-                    seed,
-                },
-            )?;
-            for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
-                *a += v;
-            }
-        }
-        let n = cfg.seeds.len().max(1) as f64;
-        points.push(SweepPoint {
-            freq_hz: freq,
-            per_core_pct: acc.map(|v| v / n),
-        });
+    SweepExperiment {
+        cfg: cfg.clone(),
+        synced: sync,
     }
-    Ok(SweepResult { synced: sync, points })
+    .run(tb, Engine::shared())
 }
 
 #[cfg(test)]
@@ -162,7 +227,7 @@ mod tests {
     fn unsync_sweep_peaks_in_die_band() {
         let tb = Testbed::fast();
         let res = run_sweep(tb, &SweepConfig::reduced(), false).unwrap();
-        let (f_peak, m_peak) = res.peak();
+        let (f_peak, m_peak) = res.peak().expect("non-empty sweep");
         assert!(
             (1e6..5e6).contains(&f_peak),
             "peak at {f_peak:.3e} ({m_peak:.1}%)"
@@ -197,12 +262,22 @@ mod tests {
         let cfg = SweepConfig::reduced();
         let unsync = run_sweep(tb, &cfg, false).unwrap();
         let synced = run_sweep(tb, &cfg, true).unwrap();
-        let unsync_peak = unsync.peak().1;
+        let unsync_peak = unsync.peak().expect("non-empty sweep").1;
         let sync_mid = synced.at(300e3).unwrap().max_pct();
         assert!(
             sync_mid > unsync_peak,
             "sync mid-band {sync_mid} vs unsync peak {unsync_peak}"
         );
+    }
+
+    #[test]
+    fn empty_sweep_has_no_peak() {
+        let res = SweepResult {
+            synced: false,
+            points: Vec::new(),
+        };
+        assert!(res.peak().is_none());
+        assert!(res.at(1e6).is_none());
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! The sequence-search funnel (paper Fig. 5 / §IV-B): candidate counts at
 //! every stage plus the winning sequences.
 
+use crate::experiment::Experiment;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use voltnoise_pdn::PdnError;
+use voltnoise_system::noise::NoiseOutcome;
 use voltnoise_system::testbed::Testbed;
 
 /// Summary of the search funnel and its products.
@@ -68,6 +72,34 @@ impl FunnelSummary {
             self.medium_sequence.0,
             self.medium_sequence.1,
         )
+    }
+}
+
+/// The Fig. 5 experiment: pure search-funnel summary, no simulation.
+#[derive(Debug, Clone, Default)]
+pub struct FunnelExperiment;
+
+impl Experiment for FunnelExperiment {
+    type Artifact = FunnelSummary;
+
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 5: maximum-power sequence search funnel"
+    }
+
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        _outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<FunnelSummary, PdnError> {
+        Ok(FunnelSummary::from_testbed(tb))
+    }
+
+    fn render(&self, artifact: &FunnelSummary) -> String {
+        artifact.render()
     }
 }
 

@@ -5,14 +5,18 @@
 //! controller that tracks utilization against the static worst-case
 //! voltage setting.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::engine::{Engine, SimJob};
 use voltnoise_system::guardband::{energy_saving, GuardbandController, GuardbandTable};
-use voltnoise_system::mapping::evaluate_all_mappings;
-use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::noise::{NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
+use voltnoise_system::workload::{mappings_of, Distribution, Mapping};
 
 /// Study configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,22 +77,21 @@ pub struct GuardbandStudy {
 impl GuardbandStudy {
     /// Renders the §VII-B summary.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# §VII-B: utilization-based dynamic guard-banding\nactive_cores,worst_noise_mv,margin_mv\n",
-        );
+        let mut t = Table::new("§VII-B: utilization-based dynamic guard-banding");
+        t.columns(["active_cores", "worst_noise_mv", "margin_mv"]);
         for k in 0..=NUM_CORES {
-            out.push_str(&format!(
-                "{k},{:.1},{:.1}\n",
-                self.worst_noise_v[k] * 1e3,
-                self.margins_v[k] * 1e3
-            ));
+            t.row([
+                k.to_string(),
+                format!("{:.1}", self.worst_noise_v[k] * 1e3),
+                format!("{:.1}", self.margins_v[k] * 1e3),
+            ]);
         }
-        out.push_str("utilization,energy_saving_pct\n");
+        t.line("utilization,energy_saving_pct");
         for (u, s) in &self.savings {
-            out.push_str(&format!("{u:.2},{:.2}\n", s * 100.0));
+            t.row([format!("{u:.2}"), format!("{:.2}", s * 100.0)]);
         }
-        out.push_str(&format!("# controller transitions: {}\n", self.transitions));
-        out
+        t.note(&format!("controller transitions: {}", self.transitions));
+        t.finish()
     }
 }
 
@@ -104,8 +107,121 @@ fn utilization_trace(mean_util: f64, len: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Runs the study: characterize worst-case noise per active-core count,
-/// build the margin table, and evaluate controller savings.
+/// The §VII-B dynamic guard-banding experiment.
+///
+/// One simulation per `(active-core count, mapping)` pair: the same
+/// outcomes provide both the worst-case droop table and (through the
+/// engine cache) any overlapping mapping studies, where the previous
+/// implementation simulated every mapping twice.
+#[derive(Debug, Clone)]
+pub struct GuardbandExperiment {
+    /// The study configuration.
+    pub cfg: GuardbandConfig,
+}
+
+impl GuardbandExperiment {
+    /// The deterministic plan: `(active count, mapping)` in run order.
+    fn plan(&self) -> Vec<(usize, Mapping)> {
+        let mut out = Vec::new();
+        for k in 0..=NUM_CORES {
+            let dist = Distribution {
+                max_count: k,
+                medium_count: 0,
+            };
+            for mapping in mappings_of(&dist) {
+                out.push((k, mapping));
+            }
+        }
+        out
+    }
+}
+
+impl Experiment for GuardbandExperiment {
+    type Artifact = GuardbandStudy;
+
+    fn id(&self) -> &'static str {
+        "guardband"
+    }
+
+    fn title(&self) -> &'static str {
+        "§VII-B: utilization-based dynamic guard-banding"
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let run_cfg = NoiseRunConfig {
+            window_s: self.cfg.window_s,
+            record_traces: false,
+            seed: 1,
+        };
+        let batch = SimJob::batch(tb.chip());
+        Ok(self
+            .plan()
+            .iter()
+            .map(|(_, mapping)| {
+                batch.job(
+                    tb.loads_of_mapping(
+                        mapping,
+                        self.cfg.stim_freq_hz,
+                        Some(SyncSpec::paper_default()),
+                    ),
+                    run_cfg.clone(),
+                )
+            })
+            .collect())
+    }
+
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<GuardbandStudy, PdnError> {
+        let cfg = &self.cfg;
+        let v_op = tb.chip().v_nom();
+        // Worst-case noise as the deepest droop below nominal across all
+        // mappings of k active cores — Fig. 11a's "regions".
+        let mut worst_noise_v = [0.0f64; NUM_CORES + 1];
+        for ((k, _), out) in self.plan().iter().zip(outcomes) {
+            let v_min = out.v_min.iter().copied().fold(f64::INFINITY, f64::min);
+            worst_noise_v[*k] = worst_noise_v[*k].max(v_op - v_min);
+        }
+
+        let table = GuardbandTable::from_worst_case_noise(worst_noise_v, cfg.safety_factor);
+        let margins_v = std::array::from_fn(|k| table.margin_v(k));
+        let v_fail = tb.chip().config().critical_path.failure_voltage();
+
+        let mut savings = Vec::new();
+        let mut transitions = 0;
+        for &u in &cfg.utilizations {
+            let trace = utilization_trace(u, cfg.trace_len);
+            let mut controller = GuardbandController::new(table.clone(), v_fail);
+            for &active in &trace {
+                controller.step(active);
+            }
+            transitions = transitions.max(controller.transitions());
+            let mean_u =
+                trace.iter().sum::<usize>() as f64 / (trace.len().max(1) * NUM_CORES) as f64;
+            savings.push((
+                mean_u,
+                energy_saving(&table, v_fail, &trace, cfg.dynamic_fraction),
+            ));
+        }
+
+        Ok(GuardbandStudy {
+            worst_noise_v,
+            margins_v,
+            savings,
+            transitions,
+        })
+    }
+
+    fn render(&self, artifact: &GuardbandStudy) -> String {
+        artifact.render()
+    }
+}
+
+/// Runs the study on the shared engine: characterize worst-case noise per
+/// active-core count, build the margin table, and evaluate controller
+/// savings.
 ///
 /// # Errors
 ///
@@ -114,57 +230,7 @@ pub fn run_guardband_study(
     tb: &Testbed,
     cfg: &GuardbandConfig,
 ) -> Result<GuardbandStudy, PdnError> {
-    let run_cfg = NoiseRunConfig {
-        window_s: cfg.window_s,
-        record_traces: false,
-        seed: 1,
-    };
-    let v_op = tb.chip().v_nom();
-    let mut worst_noise_v = [0.0f64; NUM_CORES + 1];
-    #[allow(clippy::needless_range_loop)] // k is simultaneously the mapping size
-    for k in 0..=NUM_CORES {
-        let evals = evaluate_all_mappings(
-            tb,
-            k,
-            cfg.stim_freq_hz,
-            Some(SyncSpec::paper_default()),
-            &run_cfg,
-        )?;
-        // Worst-case noise as the deepest droop below nominal across all
-        // mappings of k active cores — Fig. 11a's "regions".
-        let mut deepest: f64 = 0.0;
-        for e in &evals {
-            let loads = tb.loads_of_mapping(&e.mapping, cfg.stim_freq_hz, Some(SyncSpec::paper_default()));
-            let out = voltnoise_system::noise::run_noise(tb.chip(), &loads, &run_cfg)?;
-            let v_min = out.v_min.iter().copied().fold(f64::INFINITY, f64::min);
-            deepest = deepest.max(v_op - v_min);
-        }
-        worst_noise_v[k] = deepest;
-    }
-
-    let table = GuardbandTable::from_worst_case_noise(worst_noise_v, cfg.safety_factor);
-    let margins_v = std::array::from_fn(|k| table.margin_v(k));
-    let v_fail = tb.chip().config().critical_path.failure_voltage();
-
-    let mut savings = Vec::new();
-    let mut transitions = 0;
-    for &u in &cfg.utilizations {
-        let trace = utilization_trace(u, cfg.trace_len);
-        let mut controller = GuardbandController::new(table.clone(), v_fail);
-        for &active in &trace {
-            controller.step(active);
-        }
-        transitions = transitions.max(controller.transitions());
-        let mean_u = trace.iter().sum::<usize>() as f64 / (trace.len().max(1) * NUM_CORES) as f64;
-        savings.push((mean_u, energy_saving(&table, v_fail, &trace, cfg.dynamic_fraction)));
-    }
-
-    Ok(GuardbandStudy {
-        worst_noise_v,
-        margins_v,
-        savings,
-        transitions,
-    })
+    GuardbandExperiment { cfg: cfg.clone() }.run(tb, Engine::shared())
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
 //! The post-silicon impedance profile (paper Fig. 7b).
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::ac::{find_peaks, log_space, AcAnalysis};
 use voltnoise_pdn::PdnError;
 use voltnoise_system::chip::Chip;
+use voltnoise_system::noise::NoiseOutcome;
+use voltnoise_system::testbed::Testbed;
 
 /// Impedance-profile configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,14 +65,47 @@ impl ImpedanceProfile {
 
     /// Renders the Fig. 7b series.
     pub fn render(&self) -> String {
-        let mut out = String::from("# Fig. 7b: die-level impedance profile |Z(f)|\nfreq_hz,z_mohm\n");
+        let mut t = Table::new("Fig. 7b: die-level impedance profile |Z(f)|");
+        t.columns(["freq_hz", "z_mohm"]);
         for (f, z) in &self.points {
-            out.push_str(&format!("{f:.4e},{:.4}\n", z * 1e3));
+            t.row([format!("{f:.4e}"), format!("{:.4}", z * 1e3)]);
         }
         for (f, z) in &self.peaks {
-            out.push_str(&format!("# peak: {:.3} mOhm at {f:.3e} Hz\n", z * 1e3));
+            t.note(&format!("peak: {:.3} mOhm at {f:.3e} Hz", z * 1e3));
         }
-        out
+        t.finish()
+    }
+}
+
+/// The Fig. 7b impedance-profile experiment: a pure AC analysis, so the
+/// job list stays empty and `assemble` computes directly.
+#[derive(Debug, Clone)]
+pub struct ImpedanceExperiment {
+    /// The sweep configuration.
+    pub cfg: ImpedanceConfig,
+}
+
+impl Experiment for ImpedanceExperiment {
+    type Artifact = ImpedanceProfile;
+
+    fn id(&self) -> &'static str {
+        "fig7b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 7b: die-level impedance profile"
+    }
+
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        _outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<ImpedanceProfile, PdnError> {
+        run_impedance(tb.chip(), &self.cfg)
+    }
+
+    fn render(&self, artifact: &ImpedanceProfile) -> String {
+        artifact.render()
     }
 }
 

@@ -28,7 +28,9 @@
 //! rows/series the paper reports.
 
 pub mod ablation;
+pub(crate) mod catalog;
 pub mod delta_i;
+pub mod experiment;
 pub mod freq_sweep;
 pub mod funnel;
 pub mod guardband_study;
@@ -37,24 +39,30 @@ pub mod mapping_gain;
 pub mod margin;
 pub mod misalignment;
 pub mod propagation;
+pub mod render;
 pub mod report;
 pub mod scope_shot;
 pub mod stats;
 pub mod table1;
 
-pub use delta_i::{run_delta_i, DeltaIConfig, DeltaIDataset};
-pub use freq_sweep::{run_sweep, SweepConfig, SweepResult};
-pub use funnel::FunnelSummary;
-pub use guardband_study::{run_guardband_study, GuardbandConfig, GuardbandStudy};
-pub use impedance::{run_impedance, ImpedanceConfig, ImpedanceProfile};
-pub use mapping_gain::{run_mapping_gain, MappingGainConfig, MappingGainResult};
-pub use margin::{run_margin, MarginConfig, MarginResult};
-pub use misalignment::{run_misalignment, MisalignConfig, MisalignResult};
-pub use report::{full_report, ReportScale};
+pub use delta_i::{run_delta_i, DeltaIConfig, DeltaIDataset, DeltaIExperiment, DeltaIView};
+pub use experiment::{find, registry, run_to_output, Experiment, ExperimentOutput, RegistryEntry};
+pub use freq_sweep::{run_sweep, SweepConfig, SweepExperiment, SweepResult};
+pub use funnel::{FunnelExperiment, FunnelSummary};
+pub use guardband_study::{
+    run_guardband_study, GuardbandConfig, GuardbandExperiment, GuardbandStudy,
+};
+pub use impedance::{run_impedance, ImpedanceConfig, ImpedanceExperiment, ImpedanceProfile};
+pub use mapping_gain::{
+    run_mapping_gain, MappingGainConfig, MappingGainExperiment, MappingGainResult,
+};
+pub use margin::{run_margin, MarginConfig, MarginExperiment, MarginResult};
+pub use misalignment::{run_misalignment, MisalignConfig, MisalignExperiment, MisalignResult};
 pub use propagation::{
     run_mapping_comparison, run_step_response, CorrelationAnalysis, MappingComparison,
-    StepResponse,
+    MappingComparisonExperiment, StepResponse, StepResponseExperiment,
 };
-pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot};
+pub use report::{full_report, full_report_on, ReportScale};
+pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot, ScopeShotExperiment};
 pub use stats::CorrelationMatrix;
-pub use table1::Table1;
+pub use table1::{Table1, Table1Experiment};

@@ -3,13 +3,18 @@
 //! For every number of workloads 0–6, evaluate all core assignments and
 //! compare the best (lowest worst-case noise) against the worst mapping.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
-use voltnoise_system::mapping::{evaluate_all_mappings, NoiseAwareMapper};
-use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::mapping::{MappingEvaluation, NoiseAwareMapper};
+use voltnoise_system::noise::{NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
+use voltnoise_system::workload::{mappings_of, Distribution, Mapping, WorkloadKind};
 
 /// Mapping-gain study configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,26 +79,134 @@ pub struct MappingGainResult {
 impl MappingGainResult {
     /// Renders the Fig. 15 rows.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# Fig. 15: worst-case noise of best vs worst mapping per workload count\n\
-             workloads,best_pct,worst_pct,gain_pct,best_cores,worst_cores\n",
-        );
+        let mut t =
+            Table::new("Fig. 15: worst-case noise of best vs worst mapping per workload count");
+        t.columns([
+            "workloads",
+            "best_pct",
+            "worst_pct",
+            "gain_pct",
+            "best_cores",
+            "worst_cores",
+        ]);
         for p in &self.points {
-            out.push_str(&format!(
-                "{},{:.1},{:.1},{:.1},{:?},{:?}\n",
-                p.workloads,
-                p.best_pct,
-                p.worst_pct,
-                p.gain_pct(),
-                p.best_cores,
-                p.worst_cores
-            ));
+            t.row([
+                p.workloads.to_string(),
+                format!("{:.1}", p.best_pct),
+                format!("{:.1}", p.worst_pct),
+                format!("{:.1}", p.gain_pct()),
+                format!("{:?}", p.best_cores),
+                format!("{:?}", p.worst_cores),
+            ]);
+        }
+        t.finish()
+    }
+}
+
+fn cores_of(m: &Mapping) -> Vec<usize> {
+    m.iter()
+        .enumerate()
+        .filter(|(_, w)| **w != WorkloadKind::Idle)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The Fig. 15 mapping-opportunity experiment.
+#[derive(Debug, Clone)]
+pub struct MappingGainExperiment {
+    /// The study grid.
+    pub cfg: MappingGainConfig,
+}
+
+impl MappingGainExperiment {
+    fn run_cfg(&self) -> NoiseRunConfig {
+        NoiseRunConfig {
+            window_s: self.cfg.window_s,
+            record_traces: false,
+            seed: 1,
+        }
+    }
+
+    /// The deterministic plan: `(workload count, mapping)` in run order.
+    fn plan(&self) -> Vec<(usize, Mapping)> {
+        let mut out = Vec::new();
+        for &k in &self.cfg.counts {
+            let dist = Distribution {
+                max_count: k,
+                medium_count: 0,
+            };
+            for mapping in mappings_of(&dist) {
+                out.push((k, mapping));
+            }
         }
         out
     }
 }
 
-/// Runs the mapping-gain study.
+impl Experiment for MappingGainExperiment {
+    type Artifact = MappingGainResult;
+
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 15: noise-aware mapping opportunity"
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let batch = SimJob::batch(tb.chip());
+        let run_cfg = self.run_cfg();
+        Ok(self
+            .plan()
+            .iter()
+            .map(|(_, mapping)| {
+                batch.job(
+                    tb.loads_of_mapping(
+                        mapping,
+                        self.cfg.stim_freq_hz,
+                        Some(SyncSpec::paper_default()),
+                    ),
+                    run_cfg.clone(),
+                )
+            })
+            .collect())
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<MappingGainResult, PdnError> {
+        let evals: Vec<MappingEvaluation> = self
+            .plan()
+            .iter()
+            .zip(outcomes)
+            .map(|((_, mapping), out)| MappingEvaluation::from_outcome(mapping, out))
+            .collect();
+        let mapper = NoiseAwareMapper::from_measurements(evals);
+        let mut points = Vec::new();
+        for &k in &self.cfg.counts {
+            let (Some(best), Some(worst)) = (mapper.best_for(k), mapper.worst_for(k)) else {
+                continue; // no mapping of this count was evaluated
+            };
+            points.push(MappingGainPoint {
+                workloads: k,
+                best_pct: best.worst_pct,
+                worst_pct: worst.worst_pct,
+                best_cores: cores_of(&best.mapping),
+                worst_cores: cores_of(&worst.mapping),
+            });
+        }
+        Ok(MappingGainResult { points })
+    }
+
+    fn render(&self, artifact: &MappingGainResult) -> String {
+        artifact.render()
+    }
+}
+
+/// Runs the mapping-gain study on the shared engine.
 ///
 /// # Errors
 ///
@@ -102,39 +215,7 @@ pub fn run_mapping_gain(
     tb: &Testbed,
     cfg: &MappingGainConfig,
 ) -> Result<MappingGainResult, PdnError> {
-    let run_cfg = NoiseRunConfig {
-        window_s: cfg.window_s,
-        record_traces: false,
-        seed: 1,
-    };
-    let mut points = Vec::new();
-    for &k in &cfg.counts {
-        let evals = evaluate_all_mappings(
-            tb,
-            k,
-            cfg.stim_freq_hz,
-            Some(SyncSpec::paper_default()),
-            &run_cfg,
-        )?;
-        let mapper = NoiseAwareMapper::from_measurements(evals);
-        let best = mapper.best_for(k).expect("mappings evaluated").clone();
-        let worst = mapper.worst_for(k).expect("mappings evaluated").clone();
-        let cores_of = |m: &voltnoise_system::workload::Mapping| -> Vec<usize> {
-            m.iter()
-                .enumerate()
-                .filter(|(_, w)| **w != voltnoise_system::workload::WorkloadKind::Idle)
-                .map(|(i, _)| i)
-                .collect()
-        };
-        points.push(MappingGainPoint {
-            workloads: k,
-            best_pct: best.worst_pct,
-            worst_pct: worst.worst_pct,
-            best_cores: cores_of(&best.mapping),
-            worst_cores: cores_of(&worst.mapping),
-        });
-    }
-    Ok(MappingGainResult { points })
+    MappingGainExperiment { cfg: cfg.clone() }.run(tb, Engine::shared())
 }
 
 #[cfg(test)]

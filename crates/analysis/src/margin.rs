@@ -7,12 +7,16 @@
 //! extrapolated "worst-case customer code" line assumes unsynchronized
 //! events at 80 % of the maximum ΔI.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_measure::vmin::{run_vmin, CriticalPath, RUnit, VminConfig};
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::{CompiledStressmark, SyncSpec};
-use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{CoreLoad, NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 
 /// Vmin campaign configuration.
@@ -119,30 +123,34 @@ impl MarginResult {
 
     /// Renders the Fig. 12 table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# Fig. 12: available margin (% Vbias to first failure, relative to worst case)\n\
-             freq_hz,events,failing_bias,margin_rel_pct\n",
+        let mut t = Table::new(
+            "Fig. 12: available margin (% Vbias to first failure, relative to worst case)",
         );
+        t.columns(["freq_hz", "events", "failing_bias", "margin_rel_pct"]);
         for c in &self.cells {
-            out.push_str(&format!(
-                "{:.3e},{},{},{:.2}\n",
-                c.freq_hz,
+            t.row([
+                format!("{:.3e}", c.freq_hz),
                 c.events.map_or("inf/nosync".to_string(), |e| e.to_string()),
                 c.failing_bias
                     .map_or("none".to_string(), |b| format!("{b:.4}")),
-                c.margin_rel_pct
-            ));
+                format!("{:.2}", c.margin_rel_pct),
+            ]);
         }
-        out.push_str(&format!(
-            "# worst-case failing bias: {:.4}\n# extrapolated customer-code margin: {:.2} %\n",
-            self.worst_bias, self.customer_margin_pct
+        t.note(&format!("worst-case failing bias: {:.4}", self.worst_bias));
+        t.note(&format!(
+            "extrapolated customer-code margin: {:.2} %",
+            self.customer_margin_pct
         ));
-        out
+        t.finish()
     }
 }
 
+/// One Vmin descent: lowers the bias until the R-Unit flags a failure.
+/// Each bias step is a content-keyed [`SimJob`] on an undervolted chip,
+/// so repeated descents over the same grid hit the engine cache.
 fn vmin_of_loads(
     tb: &Testbed,
+    engine: &Engine,
     loads: &[CoreLoad; NUM_CORES],
     cfg: &MarginConfig,
     path: &CriticalPath,
@@ -160,15 +168,16 @@ fn vmin_of_loads(
                 return true;
             }
         };
-        let out = match run_noise(
-            &chip,
-            loads,
-            &NoiseRunConfig {
+        let job = SimJob::new(
+            Arc::new(chip),
+            loads.clone(),
+            NoiseRunConfig {
                 window_s: Some(cfg.window_s),
                 record_traces: false,
                 seed: 1,
             },
-        ) {
+        );
+        let out = match engine.run_one(&job) {
             Ok(o) => o,
             Err(e) => {
                 error = Some(e);
@@ -184,16 +193,29 @@ fn vmin_of_loads(
     }
 }
 
-/// Runs the full margin campaign.
+/// The Fig. 12 available-margin experiment.
 ///
-/// # Errors
-///
-/// Returns [`PdnError`] if a PDN solve fails.
-pub fn run_margin(tb: &Testbed, cfg: &MarginConfig) -> Result<MarginResult, PdnError> {
-    let path = tb.chip().config().critical_path;
-    let mut raw: Vec<(f64, Option<u32>, Option<f64>)> = Vec::new();
-    for &freq in &cfgs_freqs(cfg) {
-        for &events in &cfg.event_counts {
+/// The Vmin descent adapts each next bias to the previous outcome, so the
+/// job list cannot be enumerated up front; this experiment overrides
+/// [`Experiment::run`] and drives the engine directly, parallelizing over
+/// grid cells with [`Engine::par_map`] while each descent stays serial.
+#[derive(Debug, Clone)]
+pub struct MarginExperiment {
+    /// The campaign grid.
+    pub cfg: MarginConfig,
+}
+
+impl MarginExperiment {
+    fn campaign(&self, tb: &Testbed, engine: &Engine) -> Result<MarginResult, PdnError> {
+        let cfg = &self.cfg;
+        let path = tb.chip().config().critical_path;
+        let mut grid: Vec<(f64, Option<u32>)> = Vec::new();
+        for &freq in &cfg.freqs_hz {
+            for &events in &cfg.event_counts {
+                grid.push((freq, events));
+            }
+        }
+        let biases = engine.par_map(&grid, |&(freq, events)| {
             let sync = events.map(|e| SyncSpec {
                 events: e,
                 ..SyncSpec::paper_default()
@@ -201,40 +223,82 @@ pub fn run_margin(tb: &Testbed, cfg: &MarginConfig) -> Result<MarginResult, PdnE
             let sm = tb.max_stressmark(freq, sync);
             let loads: [CoreLoad; NUM_CORES] =
                 std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
-            let bias = vmin_of_loads(tb, &loads, cfg, &path)?;
-            raw.push((freq, events, bias));
-        }
-    }
+            vmin_of_loads(tb, engine, &loads, cfg, &path)
+        })?;
+        let raw: Vec<(f64, Option<u32>, Option<f64>)> = grid
+            .iter()
+            .zip(biases)
+            .map(|(&(freq, events), bias)| (freq, events, bias))
+            .collect();
 
-    // Customer-code extrapolation: unsynchronized, 80 % of max ΔI.
-    let customer_sm = scaled_stressmark(tb.max_stressmark(2.5e6, None), cfg.customer_delta_i_fraction);
-    let customer_loads: [CoreLoad; NUM_CORES] =
-        std::array::from_fn(|_| CoreLoad::Stressmark(customer_sm.clone()));
-    let customer_bias = vmin_of_loads(tb, &customer_loads, cfg, &path)?;
+        // Customer-code extrapolation: unsynchronized, 80 % of max ΔI.
+        let customer_sm = scaled_stressmark(
+            tb.max_stressmark(2.5e6, None),
+            cfg.customer_delta_i_fraction,
+        );
+        let customer_loads: [CoreLoad; NUM_CORES] =
+            std::array::from_fn(|_| CoreLoad::Stressmark(customer_sm.clone()));
+        let customer_bias = vmin_of_loads(tb, engine, &customer_loads, cfg, &path)?;
 
-    let worst_bias = raw
-        .iter()
-        .filter_map(|(_, _, b)| *b)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let rel = |b: Option<f64>| b.map_or(100.0, |b| (worst_bias - b) * 100.0);
-    let cells = raw
-        .into_iter()
-        .map(|(freq_hz, events, failing_bias)| MarginCell {
-            freq_hz,
-            events,
-            failing_bias,
-            margin_rel_pct: rel(failing_bias),
+        let worst_bias = raw
+            .iter()
+            .filter_map(|(_, _, b)| *b)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let rel = |b: Option<f64>| b.map_or(100.0, |b| (worst_bias - b) * 100.0);
+        let cells = raw
+            .into_iter()
+            .map(|(freq_hz, events, failing_bias)| MarginCell {
+                freq_hz,
+                events,
+                failing_bias,
+                margin_rel_pct: rel(failing_bias),
+            })
+            .collect();
+        Ok(MarginResult {
+            cells,
+            worst_bias,
+            customer_margin_pct: rel(customer_bias),
         })
-        .collect();
-    Ok(MarginResult {
-        cells,
-        worst_bias,
-        customer_margin_pct: rel(customer_bias),
-    })
+    }
 }
 
-fn cfgs_freqs(cfg: &MarginConfig) -> Vec<f64> {
-    cfg.freqs_hz.clone()
+impl Experiment for MarginExperiment {
+    type Artifact = MarginResult;
+
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 12: available voltage margin (Vmin campaign)"
+    }
+
+    // jobs() stays empty: the adaptive descent generates jobs on the fly.
+
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        _outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<MarginResult, PdnError> {
+        self.campaign(tb, Engine::shared())
+    }
+
+    fn render(&self, artifact: &MarginResult) -> String {
+        artifact.render()
+    }
+
+    fn run(&self, tb: &Testbed, engine: &Engine) -> Result<MarginResult, PdnError> {
+        self.campaign(tb, engine)
+    }
+}
+
+/// Runs the full margin campaign on the shared engine.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if a PDN solve fails.
+pub fn run_margin(tb: &Testbed, cfg: &MarginConfig) -> Result<MarginResult, PdnError> {
+    MarginExperiment { cfg: cfg.clone() }.run(tb, Engine::shared())
 }
 
 /// Rescales a stressmark's high-phase current so its ΔI becomes
@@ -294,7 +358,11 @@ mod tests {
     #[test]
     fn worst_bias_is_a_real_failure_point() {
         let r = result();
-        assert!(r.worst_bias > 0.85 && r.worst_bias < 1.0, "{}", r.worst_bias);
+        assert!(
+            r.worst_bias > 0.85 && r.worst_bias < 1.0,
+            "{}",
+            r.worst_bias
+        );
         assert!(r.cells.iter().any(|c| c.margin_rel_pct < 0.75));
     }
 
@@ -304,7 +372,9 @@ mod tests {
         let text = r.render();
         assert!(text.contains("inf/nosync"));
         assert_eq!(
-            text.lines().filter(|l| !l.starts_with('#') && l.contains(',')).count(),
+            text.lines()
+                .filter(|l| !l.starts_with('#') && l.contains(','))
+                .count(),
             r.cells.len() + 1 // +1 header
         );
     }

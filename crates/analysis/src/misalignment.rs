@@ -5,11 +5,15 @@
 //! for a maximum allowed misalignment the offsets are distributed evenly
 //! and all stressmark-to-core rotations are averaged.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
-use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{CoreLoad, NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 use voltnoise_system::tod::spread_offsets;
 
@@ -80,61 +84,106 @@ pub struct MisalignResult {
 impl MisalignResult {
     /// Renders the Fig. 10 series.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# Fig. 10: average %p2p vs maximum allowed misalignment between stressmarks\n\
-             max_misalign_ns,mean_pct",
+        let mut t =
+            Table::new("Fig. 10: average %p2p vs maximum allowed misalignment between stressmarks");
+        t.columns(
+            ["max_misalign_ns".to_string(), "mean_pct".to_string()]
+                .into_iter()
+                .chain((0..NUM_CORES).map(|i| format!("core{i}"))),
         );
-        for i in 0..NUM_CORES {
-            out.push_str(&format!(",core{i}"));
-        }
-        out.push('\n');
         for p in &self.points {
-            out.push_str(&format!("{:.1},{:.1}", p.max_ns(), p.mean_pct()));
-            for v in p.per_core_pct {
-                out.push_str(&format!(",{v:.1}"));
-            }
-            out.push('\n');
+            t.row(
+                [format!("{:.1}", p.max_ns()), format!("{:.1}", p.mean_pct())]
+                    .into_iter()
+                    .chain(p.per_core_pct.iter().map(|v| format!("{v:.1}"))),
+            );
         }
-        out
+        t.finish()
     }
 }
 
-/// Runs the misalignment sweep.
+/// The Fig. 10 misalignment experiment.
+#[derive(Debug, Clone)]
+pub struct MisalignExperiment {
+    /// The sweep grid.
+    pub cfg: MisalignConfig,
+}
+
+impl Experiment for MisalignExperiment {
+    type Artifact = MisalignResult;
+
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 10: noise vs maximum stressmark misalignment"
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let batch = SimJob::batch(tb.chip());
+        let rotations = self.cfg.rotations.max(1);
+        let mut jobs = Vec::with_capacity(self.cfg.max_ticks.len() * rotations);
+        for &ticks in &self.cfg.max_ticks {
+            let offsets = spread_offsets(NUM_CORES, ticks);
+            for rot in 0..rotations {
+                let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|core| {
+                    let mut sync = SyncSpec::paper_default();
+                    sync.offset_ticks = offsets[(core + rot) % NUM_CORES] as u32;
+                    CoreLoad::Stressmark(tb.max_stressmark(self.cfg.stim_freq_hz, Some(sync)))
+                });
+                jobs.push(batch.job(
+                    loads,
+                    NoiseRunConfig {
+                        window_s: self.cfg.window_s,
+                        record_traces: false,
+                        seed: 1 + rot as u64,
+                    },
+                ));
+            }
+        }
+        Ok(jobs)
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<MisalignResult, PdnError> {
+        let rotations = self.cfg.rotations.max(1);
+        let points = self
+            .cfg
+            .max_ticks
+            .iter()
+            .zip(outcomes.chunks(rotations))
+            .map(|(&max_ticks, chunk)| {
+                let mut acc = [0.0f64; NUM_CORES];
+                for out in chunk {
+                    for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
+                        *a += v;
+                    }
+                }
+                MisalignPoint {
+                    max_ticks,
+                    per_core_pct: acc.map(|v| v / rotations as f64),
+                }
+            })
+            .collect();
+        Ok(MisalignResult { points })
+    }
+
+    fn render(&self, artifact: &MisalignResult) -> String {
+        artifact.render()
+    }
+}
+
+/// Runs the misalignment sweep on the shared engine.
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] if a PDN solve fails.
 pub fn run_misalignment(tb: &Testbed, cfg: &MisalignConfig) -> Result<MisalignResult, PdnError> {
-    let mut points = Vec::with_capacity(cfg.max_ticks.len());
-    for &ticks in &cfg.max_ticks {
-        let offsets = spread_offsets(NUM_CORES, ticks);
-        let mut acc = [0.0f64; NUM_CORES];
-        let rotations = cfg.rotations.max(1);
-        for rot in 0..rotations {
-            let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|core| {
-                let mut sync = SyncSpec::paper_default();
-                sync.offset_ticks = offsets[(core + rot) % NUM_CORES] as u32;
-                CoreLoad::Stressmark(tb.max_stressmark(cfg.stim_freq_hz, Some(sync)))
-            });
-            let out = run_noise(
-                tb.chip(),
-                &loads,
-                &NoiseRunConfig {
-                    window_s: cfg.window_s,
-                    record_traces: false,
-                    seed: 1 + rot as u64,
-                },
-            )?;
-            for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
-                *a += v;
-            }
-        }
-        points.push(MisalignPoint {
-            max_ticks: ticks,
-            per_core_pct: acc.map(|v| v / rotations as f64),
-        });
-    }
-    Ok(MisalignResult { points })
+    MisalignExperiment { cfg: cfg.clone() }.run(tb, Engine::shared())
 }
 
 #[cfg(test)]

@@ -1,15 +1,18 @@
 //! Inter-core noise propagation (paper §VI: Figs. 13a, 13b, 14).
 
 use crate::delta_i::DeltaIDataset;
+use crate::experiment::Experiment;
 use crate::stats::CorrelationMatrix;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_measure::scope::ScopeTrace;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::transient::{Drive, Probe, TransientConfig, TransientSolver};
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
 use voltnoise_system::chip::Chip;
-use voltnoise_system::noise::{run_noise, NoiseRunConfig};
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 use voltnoise_system::workload::{Mapping, WorkloadKind};
 
@@ -34,8 +37,7 @@ impl CorrelationAnalysis {
     pub fn from_dataset(data: &DeltaIDataset) -> Self {
         let matrix = CorrelationMatrix::from_series(&data.per_core_series());
         let (cluster_a, cluster_b) = matrix.two_clusters();
-        let mean_within =
-            (matrix.mean_within(&cluster_a) + matrix.mean_within(&cluster_b)) / 2.0;
+        let mean_within = (matrix.mean_within(&cluster_a) + matrix.mean_within(&cluster_b)) / 2.0;
         let mean_between = matrix.mean_between(&cluster_a, &cluster_b);
         CorrelationAnalysis {
             matrix,
@@ -207,7 +209,11 @@ pub struct MappingComparison {
 impl MappingComparison {
     /// Worst core noise of the split mapping.
     pub fn split_worst(&self) -> f64 {
-        self.split_mapping.1.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.split_mapping
+            .1
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Worst core noise of the clustered mapping.
@@ -249,8 +255,108 @@ fn mapping_from_cores(cores: &[usize]) -> Mapping {
     })
 }
 
-/// Runs the Fig. 14 comparison: stressmarks on {1, 4, 5} (split across
-/// rows) vs {0, 2, 4} (one row/domain cluster).
+/// The Fig. 13b step-propagation experiment. The raw transient solve
+/// bypasses the noise kernel, so the job list stays empty and `assemble`
+/// computes directly; `step_amps = None` sizes the step from the
+/// testbed's maximum stressmark.
+#[derive(Debug, Clone)]
+pub struct StepResponseExperiment {
+    /// Core receiving the ΔI step.
+    pub source_core: usize,
+    /// Step amplitude in amps (`None` = the max stressmark's ΔI).
+    pub step_amps: Option<f64>,
+}
+
+impl Experiment for StepResponseExperiment {
+    type Artifact = StepResponse;
+
+    fn id(&self) -> &'static str {
+        "fig13b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 13b: simulated dI step propagation to all cores"
+    }
+
+    fn assemble(
+        &self,
+        tb: &Testbed,
+        _outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<StepResponse, PdnError> {
+        let amps = self
+            .step_amps
+            .unwrap_or_else(|| tb.max_stressmark(2.5e6, None).delta_i());
+        run_step_response(tb.chip(), self.source_core, amps)
+    }
+
+    fn render(&self, artifact: &StepResponse) -> String {
+        artifact.render()
+    }
+}
+
+/// The Fig. 14 two-mapping comparison experiment: stressmarks on
+/// {1, 4, 5} (split across rows) vs {0, 2, 4} (one row/domain cluster).
+#[derive(Debug, Clone)]
+pub struct MappingComparisonExperiment {
+    /// Stimulus frequency of the stressmarks.
+    pub stim_freq_hz: f64,
+}
+
+impl MappingComparisonExperiment {
+    const SPLIT: [usize; 3] = [1, 4, 5];
+    const CLUSTERED: [usize; 3] = [0, 2, 4];
+
+    fn run_cfg() -> NoiseRunConfig {
+        NoiseRunConfig {
+            window_s: Some(60e-6),
+            record_traces: false,
+            seed: 1,
+        }
+    }
+}
+
+impl Experiment for MappingComparisonExperiment {
+    type Artifact = MappingComparison;
+
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 14: split vs clustered mapping of 3 stressmarks"
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let sync = Some(SyncSpec::paper_default());
+        let batch = SimJob::batch(tb.chip());
+        Ok([Self::SPLIT, Self::CLUSTERED]
+            .iter()
+            .map(|cores| {
+                batch.job(
+                    tb.loads_of_mapping(&mapping_from_cores(cores), self.stim_freq_hz, sync),
+                    Self::run_cfg(),
+                )
+            })
+            .collect())
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<MappingComparison, PdnError> {
+        Ok(MappingComparison {
+            split_mapping: (Self::SPLIT.to_vec(), outcomes[0].pct_p2p),
+            clustered_mapping: (Self::CLUSTERED.to_vec(), outcomes[1].pct_p2p),
+        })
+    }
+
+    fn render(&self, artifact: &MappingComparison) -> String {
+        artifact.render()
+    }
+}
+
+/// Runs the Fig. 14 comparison on the shared engine.
 ///
 /// # Errors
 ///
@@ -259,24 +365,7 @@ pub fn run_mapping_comparison(
     tb: &Testbed,
     stim_freq_hz: f64,
 ) -> Result<MappingComparison, PdnError> {
-    let cfg = NoiseRunConfig {
-        window_s: Some(60e-6),
-        record_traces: false,
-        seed: 1,
-    };
-    let sync = Some(SyncSpec::paper_default());
-    let eval = |cores: &[usize]| -> Result<[f64; NUM_CORES], PdnError> {
-        let loads = tb.loads_of_mapping(&mapping_from_cores(cores), stim_freq_hz, sync);
-        Ok(run_noise(tb.chip(), &loads, &cfg)?.pct_p2p)
-    };
-    let split = vec![1, 4, 5];
-    let clustered = vec![0, 2, 4];
-    let split_pct = eval(&split)?;
-    let clustered_pct = eval(&clustered)?;
-    Ok(MappingComparison {
-        split_mapping: (split, split_pct),
-        clustered_mapping: (clustered, clustered_pct),
-    })
+    MappingComparisonExperiment { stim_freq_hz }.run(tb, Engine::shared())
 }
 
 #[cfg(test)]
@@ -315,7 +404,9 @@ mod tests {
         assert!(same > cross, "same-row {same:.5} vs cross-row {cross:.5}");
         // And they see the disturbance no later.
         let t_same = resp.arrival_s[2].min(resp.arrival_s[4]);
-        let t_cross = resp.arrival_s[1].min(resp.arrival_s[3]).min(resp.arrival_s[5]);
+        let t_cross = resp.arrival_s[1]
+            .min(resp.arrival_s[3])
+            .min(resp.arrival_s[5]);
         assert!(t_same <= t_cross + 1e-9, "same {t_same} vs cross {t_cross}");
     }
 

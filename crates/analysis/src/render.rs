@@ -1,0 +1,112 @@
+//! Shared rendering helpers for the per-figure text artifacts.
+//!
+//! Every experiment renders the same shape of document: a `#`-commented
+//! title, a CSV column line, data rows, and optional `#`-commented
+//! footers. [`Table`] centralizes that layout. Cells are passed
+//! *pre-formatted* — numeric formats are part of each figure's contract
+//! (tests assert exact substrings), so formatting stays with the
+//! experiment and only the framing lives here.
+
+/// Builder for a comment-annotated CSV table.
+///
+/// ```
+/// use voltnoise_analysis::render::Table;
+/// let mut t = Table::new("Fig. X: an example");
+/// t.columns(["freq_hz", "pct"]);
+/// t.row(["1.0e3".to_string(), "12.5".to_string()]);
+/// t.note("peak: 12.5");
+/// assert_eq!(t.finish(), "# Fig. X: an example\nfreq_hz,pct\n1.0e3,12.5\n# peak: 12.5\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    buf: String,
+}
+
+impl Table {
+    /// Starts a table with a `# `-prefixed title line.
+    pub fn new(title: &str) -> Table {
+        Table {
+            buf: format!("# {title}\n"),
+        }
+    }
+
+    /// Emits the comma-joined column-name line.
+    pub fn columns<I, S>(&mut self, names: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.joined_line(names);
+        self
+    }
+
+    /// Emits one comma-joined data row of pre-formatted cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.joined_line(cells);
+        self
+    }
+
+    /// Emits a raw line verbatim (for prose sections or a second column
+    /// header inside one document).
+    pub fn line(&mut self, raw: &str) -> &mut Table {
+        self.buf.push_str(raw);
+        self.buf.push('\n');
+        self
+    }
+
+    /// Emits a `# `-prefixed footer comment.
+    pub fn note(&mut self, text: &str) -> &mut Table {
+        self.buf.push_str("# ");
+        self.buf.push_str(text);
+        self.buf.push('\n');
+        self
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn joined_line<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            self.buf.push_str(cell.as_ref());
+            first = false;
+        }
+        self.buf.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout_matches_figure_contract() {
+        let mut t = Table::new("Fig. 0: test");
+        t.columns(["a", "b", "c"]);
+        t.row(["1", "2", "3"]);
+        t.row(vec!["4".to_string(), "5".to_string(), "6".to_string()]);
+        t.note("footer");
+        let s = t.finish();
+        assert_eq!(s, "# Fig. 0: test\na,b,c\n1,2,3\n4,5,6\n# footer\n");
+    }
+
+    #[test]
+    fn raw_lines_pass_through() {
+        let mut t = Table::new("x");
+        t.line("plain prose");
+        assert_eq!(t.finish(), "# x\nplain prose\n");
+    }
+}

@@ -1,20 +1,15 @@
-//! Full-evaluation report: runs every experiment at a chosen scale and
-//! assembles one text document with all the paper's tables and figures.
+//! Full-evaluation report: walks the experiment registry at a chosen
+//! scale on one shared [`Engine`] and assembles one text document with
+//! all the paper's tables and figures.
+//!
+//! Because every entry runs through the same engine, overlapping
+//! campaigns deduplicate: Figs. 11a, 11b and 13a share one ΔI job set,
+//! and any mapping jobs repeated across Figs. 14, 15 and the §VII-B
+//! study solve once.
 
-use crate::{
-    delta_i::{run_delta_i, DeltaIConfig},
-    freq_sweep::{run_sweep, SweepConfig},
-    funnel::FunnelSummary,
-    guardband_study::{run_guardband_study, GuardbandConfig},
-    impedance::{run_impedance, ImpedanceConfig},
-    mapping_gain::{run_mapping_gain, MappingGainConfig},
-    margin::{run_margin, MarginConfig},
-    misalignment::{run_misalignment, MisalignConfig},
-    propagation::{run_mapping_comparison, run_step_response, CorrelationAnalysis},
-    scope_shot::{run_scope_shot, ScopeConfig},
-    table1::Table1,
-};
+use crate::experiment::registry;
 use voltnoise_pdn::PdnError;
+use voltnoise_system::engine::Engine;
 use voltnoise_system::testbed::Testbed;
 
 /// Scale at which the report is generated.
@@ -26,84 +21,34 @@ pub enum ReportScale {
     Reduced,
 }
 
-/// Generates the full evaluation report.
+/// Generates the full evaluation report on a dedicated engine.
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] if any experiment's PDN solve fails.
 pub fn full_report(tb: &Testbed, scale: ReportScale) -> Result<String, PdnError> {
+    full_report_on(tb, &Engine::new(), scale)
+}
+
+/// Generates the full evaluation report on a caller-provided engine
+/// (e.g. [`Engine::shared`], or a single-worker engine for determinism
+/// checks).
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if any experiment's PDN solve fails.
+pub fn full_report_on(
+    tb: &Testbed,
+    engine: &Engine,
+    scale: ReportScale,
+) -> Result<String, PdnError> {
     let reduced = scale == ReportScale::Reduced;
     let mut out = String::with_capacity(64 * 1024);
     out.push_str("# voltnoise — full evaluation report\n\n");
-
-    out.push_str(&Table1::from_testbed(tb).render());
-    out.push('\n');
-    out.push_str(&FunnelSummary::from_testbed(tb).render());
-    out.push('\n');
-
-    let sweep_cfg = if reduced { SweepConfig::reduced() } else { SweepConfig::paper() };
-    out.push_str(&run_sweep(tb, &sweep_cfg, false)?.render());
-    out.push('\n');
-    out.push_str(&run_impedance(tb.chip(), &if reduced {
-        ImpedanceConfig::reduced()
-    } else {
-        ImpedanceConfig::paper()
-    })?
-    .render());
-    out.push('\n');
-    out.push_str(&run_scope_shot(tb, &ScopeConfig::default())?.render());
-    out.push('\n');
-    out.push_str(&run_sweep(tb, &sweep_cfg, true)?.render());
-    out.push('\n');
-    out.push_str(
-        &run_misalignment(tb, &if reduced {
-            MisalignConfig::reduced()
-        } else {
-            MisalignConfig::paper()
-        })?
-        .render(),
-    );
-    out.push('\n');
-
-    let delta_cfg = if reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
-    let dataset = run_delta_i(tb, &delta_cfg)?;
-    out.push_str(&dataset.render_fig11a());
-    out.push('\n');
-    out.push_str(&dataset.render_fig11b());
-    out.push('\n');
-    out.push_str(
-        &run_margin(tb, &if reduced {
-            MarginConfig::reduced()
-        } else {
-            MarginConfig::paper()
-        })?
-        .render(),
-    );
-    out.push('\n');
-    out.push_str(&CorrelationAnalysis::from_dataset(&dataset).render());
-    out.push('\n');
-    let step_amps = tb.max_stressmark(2.5e6, None).delta_i();
-    out.push_str(&run_step_response(tb.chip(), 0, step_amps)?.render());
-    out.push('\n');
-    out.push_str(&run_mapping_comparison(tb, 2.5e6)?.render());
-    out.push('\n');
-    out.push_str(
-        &run_mapping_gain(tb, &if reduced {
-            MappingGainConfig::reduced()
-        } else {
-            MappingGainConfig::paper()
-        })?
-        .render(),
-    );
-    out.push('\n');
-    out.push_str(
-        &run_guardband_study(tb, &if reduced {
-            GuardbandConfig::reduced()
-        } else {
-            GuardbandConfig::paper()
-        })?
-        .render(),
-    );
+    for entry in registry().iter().filter(|e| e.in_report) {
+        out.push_str(&entry.run(tb, engine, reduced)?.rendered);
+        out.push('\n');
+    }
     Ok(out)
 }
 
@@ -116,21 +61,8 @@ mod tests {
         let tb = Testbed::fast();
         let report = full_report(tb, ReportScale::Reduced).unwrap();
         for marker in [
-            "Table I",
-            "Fig. 5",
-            "Fig. 7a",
-            "Fig. 7b",
-            "Fig. 8",
-            "Fig. 9",
-            "Fig. 10",
-            "Fig. 11a",
-            "Fig. 11b",
-            "Fig. 12",
-            "Fig. 13a",
-            "Fig. 13b",
-            "Fig. 14",
-            "Fig. 15",
-            "§VII-B",
+            "Table I", "Fig. 5", "Fig. 7a", "Fig. 7b", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11a",
+            "Fig. 11b", "Fig. 12", "Fig. 13a", "Fig. 13b", "Fig. 14", "Fig. 15", "§VII-B",
         ] {
             assert!(report.contains(marker), "report missing {marker}");
         }

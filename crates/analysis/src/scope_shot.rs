@@ -2,12 +2,15 @@
 //! executing the maximum dI/dt stressmark near the die-band resonance —
 //! a 20 µs window plus one extracted stimulus period.
 
+use crate::experiment::Experiment;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_measure::scope::ScopeTrace;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
-use voltnoise_system::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::{CoreLoad, NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 
 /// Scope-shot configuration.
@@ -65,38 +68,73 @@ impl ScopeShot {
     }
 }
 
-/// Captures the Fig. 8 shots.
+/// The Fig. 8 oscilloscope-shot experiment.
+#[derive(Debug, Clone)]
+pub struct ScopeShotExperiment {
+    /// Shot configuration.
+    pub cfg: ScopeConfig,
+}
+
+impl Experiment for ScopeShotExperiment {
+    type Artifact = ScopeShot;
+
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 8: oscilloscope shot under max dI/dt stressmark"
+    }
+
+    fn jobs(&self, tb: &Testbed) -> Result<Vec<SimJob>, PdnError> {
+        let sm = tb.max_stressmark(self.cfg.stim_freq_hz, Some(SyncSpec::paper_default()));
+        let loads: [CoreLoad; NUM_CORES] =
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+        Ok(vec![SimJob::batch(tb.chip()).job(
+            loads,
+            NoiseRunConfig {
+                window_s: Some(self.cfg.shot_s.max(4.0 / self.cfg.stim_freq_hz)),
+                record_traces: true,
+                seed: 1,
+            },
+        )])
+    }
+
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<ScopeShot, PdnError> {
+        let out = &outcomes[0];
+        let traces = out.traces.as_ref().expect("traces requested");
+        let window = traces[self.cfg.core].clone();
+        let t_mid = window.times()[window.len() / 2];
+        let single_period = window
+            .single_period(self.cfg.stim_freq_hz, t_mid)
+            .map_err(|e| PdnError::InvalidTimebase {
+                reason: format!("single-period extraction failed: {e}"),
+            })?;
+        let dominant_freq_hz = window.dominant_frequency();
+        Ok(ScopeShot {
+            window,
+            single_period,
+            dominant_freq_hz,
+        })
+    }
+
+    fn render(&self, artifact: &ScopeShot) -> String {
+        artifact.render()
+    }
+}
+
+/// Captures the Fig. 8 shots on the shared engine.
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] if the PDN solve fails, and propagates trace
 /// extraction failures as `InvalidTimebase`.
 pub fn run_scope_shot(tb: &Testbed, cfg: &ScopeConfig) -> Result<ScopeShot, PdnError> {
-    let sm = tb.max_stressmark(cfg.stim_freq_hz, Some(SyncSpec::paper_default()));
-    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
-    let out = run_noise(
-        tb.chip(),
-        &loads,
-        &NoiseRunConfig {
-            window_s: Some(cfg.shot_s.max(4.0 / cfg.stim_freq_hz)),
-            record_traces: true,
-            seed: 1,
-        },
-    )?;
-    let traces = out.traces.expect("traces requested");
-    let window = traces[cfg.core].clone();
-    let t_mid = window.times()[window.len() / 2];
-    let single_period = window
-        .single_period(cfg.stim_freq_hz, t_mid)
-        .map_err(|e| PdnError::InvalidTimebase {
-            reason: format!("single-period extraction failed: {e}"),
-        })?;
-    let dominant_freq_hz = window.dominant_frequency();
-    Ok(ScopeShot {
-        window,
-        single_period,
-        dominant_freq_hz,
-    })
+    ScopeShotExperiment { cfg: cfg.clone() }.run(tb, Engine::shared())
 }
 
 #[cfg(test)]
@@ -108,7 +146,11 @@ mod tests {
         let tb = Testbed::fast();
         let shot = run_scope_shot(tb, &ScopeConfig::default()).unwrap();
         // Large peak-to-peak variations, repeating sinusoid-like form.
-        assert!(shot.window.peak_to_peak() > 0.015, "p2p = {}", shot.window.peak_to_peak());
+        assert!(
+            shot.window.peak_to_peak() > 0.015,
+            "p2p = {}",
+            shot.window.peak_to_peak()
+        );
         let f = shot.dominant_freq_hz.expect("oscillation present");
         assert!(
             (f - 2.5e6).abs() / 2.5e6 < 0.25,

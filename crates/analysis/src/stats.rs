@@ -125,11 +125,7 @@ impl CorrelationMatrix {
         let seed_a = 0usize;
         // Seed B: the core least correlated with core 0.
         let seed_b = (1..NUM_CORES)
-            .min_by(|&i, &j| {
-                self.values[seed_a][i]
-                    .partial_cmp(&self.values[seed_a][j])
-                    .expect("finite correlations")
-            })
+            .min_by(|&i, &j| self.values[seed_a][i].total_cmp(&self.values[seed_a][j]))
             .expect("more than one core");
         let mut a = vec![seed_a];
         let mut b = vec![seed_b];

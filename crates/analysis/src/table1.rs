@@ -1,7 +1,12 @@
 //! The EPI ranking table (paper Table I): first and last five
 //! instructions of the 1301-instruction profile.
 
+use crate::experiment::Experiment;
+use crate::render::Table;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use voltnoise_pdn::PdnError;
+use voltnoise_system::noise::NoiseOutcome;
 use voltnoise_system::testbed::Testbed;
 use voltnoise_uarch::epi::EpiEntry;
 
@@ -59,17 +64,42 @@ impl Table1 {
 
     /// Renders the paper-style table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "# Table I: first and last five instructions in the EPI profile\nrank,instr,description,power\n",
-        );
+        let mut t = Table::new("Table I: first and last five instructions in the EPI profile");
+        t.columns(["rank", "instr", "description", "power"]);
         for r in self.top.iter().chain(&self.bottom) {
-            out.push_str(&format!(
-                "{},{},{},{:.2}\n",
-                r.rank, r.mnemonic, r.description, r.rel_power
-            ));
+            t.row([
+                r.rank.to_string(),
+                r.mnemonic.clone(),
+                r.description.clone(),
+                format!("{:.2}", r.rel_power),
+            ]);
         }
-        out.push_str(&format!("# total instructions profiled: {}\n", self.total));
-        out
+        t.note(&format!("total instructions profiled: {}", self.total));
+        t.finish()
+    }
+}
+
+/// The Table I experiment: pure EPI-profile processing, no simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    type Artifact = Table1;
+
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table I: EPI profile extremes"
+    }
+
+    fn assemble(&self, tb: &Testbed, _outcomes: &[Arc<NoiseOutcome>]) -> Result<Table1, PdnError> {
+        Ok(Table1::from_testbed(tb))
+    }
+
+    fn render(&self, artifact: &Table1) -> String {
+        artifact.render()
     }
 }
 

@@ -1,237 +1,78 @@
-//! Criterion benchmarks: one per paper table/figure (reduced-size
-//! configurations so the whole suite completes in minutes), plus the
-//! DESIGN.md ablation comparisons.
+//! Wall-clock benchmarks of the experiment engine (`cargo bench`).
 //!
-//! These measure the cost of regenerating each artifact; the full-size
-//! regeneration binaries live in `src/bin/`.
+//! A self-contained harness (`harness = false`; no external benchmark
+//! framework is available offline) that measures what the engine layer
+//! buys:
+//!
+//! 1. **Parallel vs serial** on the multi-point frequency sweep: the same
+//!    job list through a 1-worker and an N-worker engine, with byte-exact
+//!    result comparison — the speedup must not cost determinism.
+//! 2. **Warm-cache replay**: the identical sweep a second time on the
+//!    same engine answers entirely from the memo cache.
+//! 3. **Registry walk**: every report experiment at reduced scale through
+//!    one shared engine, with the final solve/hit statistics showing the
+//!    cross-experiment deduplication (Figs. 11a/11b/13a share one ΔI
+//!    campaign).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use voltnoise::analysis::{
-    ablation, run_delta_i, run_guardband_study, run_impedance, run_mapping_comparison,
-    run_mapping_gain, run_margin, run_misalignment, run_scope_shot, run_step_response, run_sweep,
-    CorrelationAnalysis, DeltaIConfig, GuardbandConfig, ImpedanceConfig, MappingGainConfig,
-    MarginConfig, MisalignConfig, ScopeConfig, SweepConfig,
-};
+use std::time::{Duration, Instant};
+use voltnoise::analysis::{registry, Experiment, SweepConfig, SweepExperiment};
 use voltnoise::prelude::*;
-use voltnoise::uarch::EpiProfile;
+use voltnoise::system::Engine;
 
-fn configured<'a>(
-    c: &'a mut Criterion,
-    name: &str,
-) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(6));
-    g.warm_up_time(Duration::from_secs(1));
-    g
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
 }
 
-fn bench_table1_epi(c: &mut Criterion) {
-    let isa = Isa::zlike();
-    let core = CoreConfig::default();
-    let mut g = configured(c, "table1");
-    g.bench_function("epi_profile_1301_instructions", |b| {
-        b.iter(|| EpiProfile::generate(&isa, &core))
+fn main() {
+    let tb = Testbed::fast();
+    let exp = SweepExperiment {
+        cfg: SweepConfig::reduced(),
+        synced: true,
+    };
+    let jobs = exp.jobs(tb).expect("sweep jobs build");
+    println!("# engine bench: {}-job synchronized sweep", jobs.len());
+
+    let serial = Engine::with_workers(1);
+    let (serial_out, serial_t) = timed(|| serial.run_jobs(&jobs).expect("serial run"));
+    println!("serial   (1 worker):  {serial_t:>10.2?}");
+
+    let parallel = Engine::new();
+    let (parallel_out, parallel_t) = timed(|| parallel.run_jobs(&jobs).expect("parallel run"));
+    println!(
+        "parallel ({} workers): {parallel_t:>10.2?}  speedup {:.2}x",
+        parallel.workers(),
+        serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9)
+    );
+
+    let same = serial_out.iter().zip(&parallel_out).all(|(a, b)| {
+        serde_json::to_string(&**a).expect("serializes")
+            == serde_json::to_string(&**b).expect("serializes")
     });
-    g.finish();
-}
-
-fn bench_sequence_search(c: &mut Criterion) {
-    let isa = Isa::zlike();
-    let core = CoreConfig::default();
-    let profile = EpiProfile::generate(&isa, &core);
-    let mut g = configured(c, "fig5_funnel");
-    g.bench_function("search_funnel_reduced", |b| {
-        b.iter(|| {
-            find_max_power_sequence(
-                &isa,
-                &core,
-                &profile,
-                &SearchConfig {
-                    ipc_keep: 20,
-                    eval_iterations: 60,
-                },
-            )
-        })
-    });
-    g.finish();
-}
-
-fn sweep_cfg() -> SweepConfig {
-    SweepConfig {
-        freqs_hz: vec![45e3, 2.5e6],
-        window_s: Some(30e-6),
-        seeds: vec![1],
+    assert!(same, "parallel results diverged from serial");
+    println!("determinism: parallel output byte-identical to serial");
+    if parallel.workers() > 1 && parallel_t >= serial_t {
+        eprintln!("warning: parallel engine did not beat the serial baseline on this machine");
     }
-}
 
-fn bench_fig7a(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "fig7a_freq_sweep");
-    g.bench_function("unsync_two_band_sweep", |b| {
-        b.iter(|| run_sweep(tb, &sweep_cfg(), false).unwrap())
-    });
-    g.finish();
-}
+    let (_, warm_t) = timed(|| parallel.run_jobs(&jobs).expect("warm run"));
+    println!(
+        "warm-cache replay:    {warm_t:>10.2?}  ({} solves, {} cache hits)",
+        parallel.solves(),
+        parallel.cache_hits()
+    );
 
-fn bench_fig7b(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "fig7b_impedance");
-    g.bench_function("impedance_profile", |b| {
-        b.iter(|| run_impedance(tb.chip(), &ImpedanceConfig::reduced()).unwrap())
-    });
-    g.finish();
+    println!("# registry walk (reduced scale, one shared engine)");
+    let engine = Engine::new();
+    for entry in registry().iter().filter(|e| e.in_report) {
+        let (out, t) = timed(|| entry.run(tb, &engine, true));
+        out.unwrap_or_else(|e| panic!("{} failed: {e}", entry.id));
+        println!("{:<10} {t:>10.2?}", entry.id);
+    }
+    let stats = engine.stats();
+    println!(
+        "# engine stats: {} workers, {} solves, {} cache hits",
+        stats.workers, stats.solves, stats.cache_hits
+    );
 }
-
-fn bench_fig8(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = ScopeConfig {
-        shot_s: 8e-6,
-        ..ScopeConfig::default()
-    };
-    let mut g = configured(c, "fig8_scope");
-    g.bench_function("scope_shot", |b| b.iter(|| run_scope_shot(tb, &cfg).unwrap()));
-    g.finish();
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "fig9_sync_sweep");
-    g.bench_function("sync_two_band_sweep", |b| {
-        b.iter(|| run_sweep(tb, &sweep_cfg(), true).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_fig10(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = MisalignConfig {
-        max_ticks: vec![0, 1],
-        rotations: 1,
-        window_s: Some(30e-6),
-        ..MisalignConfig::reduced()
-    };
-    let mut g = configured(c, "fig10_misalignment");
-    g.bench_function("misalignment_pair", |b| {
-        b.iter(|| run_misalignment(tb, &cfg).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = DeltaIConfig {
-        mappings_per_distribution: 1,
-        window_s: Some(25e-6),
-        ..DeltaIConfig::reduced()
-    };
-    let mut g = configured(c, "fig11_delta_i");
-    g.bench_function("delta_i_campaign", |b| b.iter(|| run_delta_i(tb, &cfg).unwrap()));
-    g.finish();
-}
-
-fn bench_fig12(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = MarginConfig {
-        freqs_hz: vec![2.5e6],
-        event_counts: vec![Some(1000), None],
-        window_s: 20e-6,
-        ..MarginConfig::reduced()
-    };
-    let mut g = configured(c, "fig12_vmin");
-    g.bench_function("vmin_margin_pair", |b| b.iter(|| run_margin(tb, &cfg).unwrap()));
-    g.finish();
-}
-
-fn bench_fig13a(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = DeltaIConfig {
-        mappings_per_distribution: 1,
-        window_s: Some(25e-6),
-        ..DeltaIConfig::reduced()
-    };
-    let data = run_delta_i(tb, &cfg).unwrap();
-    let mut g = configured(c, "fig13a_correlation");
-    g.bench_function("correlation_matrix", |b| {
-        b.iter(|| CorrelationAnalysis::from_dataset(&data))
-    });
-    g.finish();
-}
-
-fn bench_fig13b(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "fig13b_step");
-    g.bench_function("step_response", |b| {
-        b.iter(|| run_step_response(tb.chip(), 0, 12.0).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "fig14_mappings");
-    g.bench_function("mapping_comparison", |b| {
-        b.iter(|| run_mapping_comparison(tb, 2.5e6).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_fig15(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = MappingGainConfig {
-        counts: vec![2],
-        window_s: Some(25e-6),
-        ..MappingGainConfig::reduced()
-    };
-    let mut g = configured(c, "fig15_mapping_gain");
-    g.bench_function("mapping_gain_k2", |b| b.iter(|| run_mapping_gain(tb, &cfg).unwrap()));
-    g.finish();
-}
-
-fn bench_guardband(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let cfg = GuardbandConfig {
-        window_s: Some(20e-6),
-        utilizations: vec![0.5],
-        trace_len: 32,
-        ..GuardbandConfig::reduced()
-    };
-    let mut g = configured(c, "sec7b_guardband");
-    g.bench_function("guardband_study", |b| {
-        b.iter(|| run_guardband_study(tb, &cfg).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    let tb = Testbed::fast();
-    let mut g = configured(c, "ablations");
-    g.bench_function("step_refinement_comparison", |b| {
-        b.iter(|| ablation::run_step_ablation(tb.chip()).unwrap())
-    });
-    g.bench_function("decap_comparison", |b| {
-        b.iter(|| ablation::run_decap_ablation().unwrap())
-    });
-    g.finish();
-}
-
-criterion_group!(
-    figures,
-    bench_table1_epi,
-    bench_sequence_search,
-    bench_fig7a,
-    bench_fig7b,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13a,
-    bench_fig13b,
-    bench_fig14,
-    bench_fig15,
-    bench_guardband,
-    bench_ablations
-);
-criterion_main!(figures);

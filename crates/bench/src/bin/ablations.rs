@@ -8,7 +8,11 @@ use voltnoise_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let tb = if opts.reduced {
+        Testbed::fast()
+    } else {
+        Testbed::shared()
+    };
 
     let step = ablation::run_step_ablation(tb.chip()).expect("step ablation runs");
     println!(
@@ -33,7 +37,10 @@ fn main() {
     let campaign = if opts.reduced {
         DeltaIConfig::reduced()
     } else {
-        DeltaIConfig { mappings_per_distribution: 4, ..DeltaIConfig::paper() }
+        DeltaIConfig {
+            mappings_per_distribution: 4,
+            ..DeltaIConfig::paper()
+        }
     };
     let dom = ablation::run_domain_ablation(tb, &campaign).expect("domain ablation runs");
     println!(

@@ -6,13 +6,19 @@ use voltnoise::prelude::*;
 use voltnoise::stressmark::{ga_search, GaConfig};
 use voltnoise::system::dither::AlignmentComparison;
 use voltnoise::system::mitigation::{evaluate_governor, GovernorConfig};
-use voltnoise::system::scheduler::{replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable};
+use voltnoise::system::scheduler::{
+    replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable,
+};
 use voltnoise::system::NoiseRunConfig;
 use voltnoise_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
+    let tb = if opts.reduced {
+        Testbed::fast()
+    } else {
+        Testbed::shared()
+    };
     let run_cfg = NoiseRunConfig {
         window_s: Some(if opts.reduced { 30e-6 } else { 50e-6 }),
         ..NoiseRunConfig::default()

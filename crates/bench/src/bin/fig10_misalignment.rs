@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 10: noise vs maximum allowed misalignment
-//! between the per-core stressmarks (62.5 ns TOD tick granularity).
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 10: noise vs deliberate misalignment of the
+//! per-core maximum stressmarks.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { MisalignConfig::reduced() } else { MisalignConfig::paper() };
-    let res = run_misalignment(tb, &cfg).expect("misalignment sweep runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("fig10");
 }

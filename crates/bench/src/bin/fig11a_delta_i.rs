@@ -1,14 +1,9 @@
-//! Regenerates paper Fig. 11a: maximum noise vs percentage of the maximum
-//! possible dI, over workload-to-core mappings of idle/medium/max
-//! stressmarks.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 11a: maximum noise vs the fraction of the
+//! chip's maximum possible dI each mapping generates.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
-    let data = run_delta_i(tb, &cfg).expect("campaign runs");
-    opts.finish(&data.render_fig11a(), &data);
+    voltnoise_bench::run_registry_bin("fig11a");
 }

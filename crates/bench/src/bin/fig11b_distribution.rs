@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 11b: average noise by workload distribution
-//! (how the same dI spread over different numbers of cores changes noise).
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 11b: average noise grouped by workload
+//! distribution (max/medium mix).
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
-    let data = run_delta_i(tb, &cfg).expect("campaign runs");
-    opts.finish(&data.render_fig11b(), &data);
+    voltnoise_bench::run_registry_bin("fig11b");
 }

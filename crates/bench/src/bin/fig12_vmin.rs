@@ -1,20 +1,9 @@
-//! Regenerates paper Fig. 12: available voltage margin (Vmin experiments)
-//! for different numbers of consecutive dI events and stimulus
-//! frequencies, plus the extrapolated customer-code line.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 12: the available voltage margin measured by
+//! Vmin undervolting campaigns over the frequency/event grid.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { MarginConfig::reduced() } else { MarginConfig::paper() };
-    let res = run_margin(tb, &cfg).expect("margin campaign runs");
-    let mut rendered = res.render();
-    rendered.push_str(&format!(
-        "# mean margins: synchronized {:.2} %, unsynchronized {:.2} %\n",
-        res.mean_sync_margin(),
-        res.mean_unsync_margin()
-    ));
-    opts.finish(&rendered, &res);
+    voltnoise_bench::run_registry_bin("fig12");
 }

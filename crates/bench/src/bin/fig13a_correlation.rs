@@ -1,15 +1,9 @@
 //! Regenerates paper Fig. 13a: the inter-core noise correlation matrix
 //! over all workload mappings, with the detected core clusters.
-
-use voltnoise::analysis::CorrelationAnalysis;
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { DeltaIConfig::reduced() } else { DeltaIConfig::paper() };
-    let data = run_delta_i(tb, &cfg).expect("campaign runs");
-    let analysis = CorrelationAnalysis::from_dataset(&data);
-    opts.finish(&analysis.render(), &analysis);
+    voltnoise_bench::run_registry_bin("fig13a");
 }

@@ -1,14 +1,9 @@
 //! Regenerates paper Fig. 13b: simulated dI step on core 0, observing the
 //! noise propagation to every core (depth and arrival time).
-
-use voltnoise::analysis::run_step_response;
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let step_amps = tb.max_stressmark(2.5e6, None).delta_i();
-    let res = run_step_response(tb.chip(), 0, step_amps).expect("step simulation runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("fig13b");
 }

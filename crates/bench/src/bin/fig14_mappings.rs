@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 14: two mappings of three worst-case dI/dt
-//! stressmarks — split across the floorplan rows vs packed into one row.
-
-use voltnoise::analysis::run_mapping_comparison;
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 14: three worst-case stressmarks mapped split
+//! across rows vs clustered in one row.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let res = run_mapping_comparison(tb, 2.5e6).expect("comparison runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("fig14");
 }

@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 15: worst-case noise of the best vs worst
-//! workload mapping for every number of scheduled workloads.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 15: best vs worst mapping noise per workload
+//! count — the noise-aware mapping opportunity.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { MappingGainConfig::reduced() } else { MappingGainConfig::paper() };
-    let res = run_mapping_gain(tb, &cfg).expect("mapping study runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("fig15");
 }

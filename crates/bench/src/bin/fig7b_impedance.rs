@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 7b: the die-level impedance profile with its
-//! resonance peaks.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 7b: the die-level impedance profile |Z(f)|
+//! with its board and die resonance peaks.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { ImpedanceConfig::reduced() } else { ImpedanceConfig::paper() };
-    let prof = run_impedance(tb.chip(), &cfg).expect("AC sweep runs");
-    opts.finish(&prof.render(), &prof);
+    voltnoise_bench::run_registry_bin("fig7b");
 }

@@ -1,13 +1,9 @@
-//! Regenerates paper Fig. 8: oscilloscope shots of core-0 voltage under
-//! the maximum dI/dt stressmark near the resonant band (20 us window and
-//! a single extracted period).
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Fig. 8: an oscilloscope shot of core 0 under the
+//! synchronized maximum dI/dt stressmark.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let shot = run_scope_shot(tb, &ScopeConfig::default()).expect("scope capture runs");
-    opts.finish(&shot.render(), &shot);
+    voltnoise_bench::run_registry_bin("fig8");
 }

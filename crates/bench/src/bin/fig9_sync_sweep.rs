@@ -1,13 +1,9 @@
 //! Regenerates paper Fig. 9: per-core noise vs stimulus frequency with
 //! TOD synchronization every 4 ms.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { SweepConfig::reduced() } else { SweepConfig::paper() };
-    let res = run_sweep(tb, &cfg, true).expect("sweep runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("fig9");
 }

@@ -1,14 +1,9 @@
 //! Regenerates the paper's SVII-B study: utilization-based dynamic
 //! guard-banding margins and energy savings.
-
-use voltnoise::analysis::{run_guardband_study, GuardbandConfig};
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let cfg = if opts.reduced { GuardbandConfig::reduced() } else { GuardbandConfig::paper() };
-    let res = run_guardband_study(tb, &cfg).expect("study runs");
-    opts.finish(&res.render(), &res);
+    voltnoise_bench::run_registry_bin("guardband");
 }

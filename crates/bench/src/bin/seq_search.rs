@@ -1,13 +1,10 @@
 //! Regenerates the paper's Fig. 5 search funnel: candidate selection,
 //! 531 441 combinations, microarchitectural and IPC filters, and the
 //! winning maximum-power sequence.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let funnel = FunnelSummary::from_testbed(tb);
-    opts.finish(&funnel.render(), &funnel);
+    voltnoise_bench::run_registry_bin("fig5");
 }

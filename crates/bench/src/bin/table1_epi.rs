@@ -1,12 +1,9 @@
-//! Regenerates paper Table I: the first and last five instructions of the
-//! 1301-instruction EPI ranking.
-
-use voltnoise::prelude::*;
-use voltnoise_bench::HarnessOpts;
+//! Regenerates paper Table I: the first and last five instructions of
+//! the 1301-instruction EPI profile.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
 
 fn main() {
-    let opts = HarnessOpts::from_args();
-    let tb = if opts.reduced { Testbed::fast() } else { Testbed::shared() };
-    let table = Table1::from_testbed(tb);
-    opts.finish(&table.render(), &table);
+    voltnoise_bench::run_registry_bin("table1");
 }

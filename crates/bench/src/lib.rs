@@ -7,6 +7,8 @@
 
 use serde::Serialize;
 use std::path::PathBuf;
+use voltnoise::analysis::find;
+use voltnoise::system::{Engine, Testbed};
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone, Default)]
@@ -47,4 +49,27 @@ impl HarnessOpts {
             eprintln!("# wrote {}", path.display());
         }
     }
+}
+
+/// The body shared by every per-figure binary: parse the common CLI
+/// options, look `id` up in the experiment registry, run it on the
+/// shared engine at the requested scale, print the rendered figure and
+/// optionally export the artifact as JSON.
+///
+/// # Panics
+///
+/// Panics when `id` is not a registered experiment or the experiment
+/// fails.
+pub fn run_registry_bin(id: &str) {
+    let opts = HarnessOpts::from_args();
+    let tb = if opts.reduced {
+        Testbed::fast()
+    } else {
+        Testbed::shared()
+    };
+    let entry = find(id).unwrap_or_else(|| panic!("{id} is not a registered experiment"));
+    let out = entry
+        .run(tb, Engine::shared(), opts.reduced)
+        .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+    opts.finish(&out.rendered, &out.value);
 }

@@ -54,10 +54,10 @@ pub use voltnoise_uarch as uarch;
 /// The most common imports for working with the library.
 pub mod prelude {
     pub use voltnoise_analysis::{
-        run_delta_i, run_impedance, run_mapping_gain, run_margin, run_misalignment,
-        run_scope_shot, run_sweep, CorrelationAnalysis, DeltaIConfig, FunnelSummary,
-        ImpedanceConfig, MappingGainConfig, MarginConfig, MisalignConfig, ScopeConfig,
-        SweepConfig, Table1,
+        find, full_report, registry, run_delta_i, run_impedance, run_mapping_gain, run_margin,
+        run_misalignment, run_scope_shot, run_sweep, CorrelationAnalysis, DeltaIConfig, Experiment,
+        ExperimentOutput, FunnelSummary, ImpedanceConfig, MappingGainConfig, MarginConfig,
+        MisalignConfig, RegistryEntry, ReportScale, ScopeConfig, SweepConfig, Table1,
     };
     pub use voltnoise_measure::{
         CriticalPath, PowerMeter, ScopeTrace, Skitter, SkitterConfig, VminConfig,
@@ -68,9 +68,10 @@ pub mod prelude {
         StressmarkSpec, SyncSpec,
     };
     pub use voltnoise_system::{
-        evaluate_governor, run_noise, AlignmentComparison, Chip, ChipConfig, CoreLoad,
-        GlobalNoiseGovernor, GovernorConfig, GuardbandController, GuardbandTable, Mapping,
-        NoiseAwareMapper, NoiseRunConfig, NoiseTable, Testbed, TodSync, WorkloadKind,
+        evaluate_governor, run_noise, AlignmentComparison, Chip, ChipConfig, CoreLoad, Engine,
+        EngineStats, GlobalNoiseGovernor, GovernorConfig, GuardbandController, GuardbandTable,
+        Mapping, NoiseAwareMapper, NoiseRunConfig, NoiseTable, SimJob, Testbed, TodSync,
+        WorkloadKind,
     };
     pub use voltnoise_uarch::{CoreConfig, EpiProfile, Isa, Kernel, Opcode};
 }

@@ -75,7 +75,9 @@ impl BitString {
 
     /// Renders the string as `0`s and `1`s, latch 0 first.
     pub fn render(&self) -> String {
-        (0..TAPS).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+        (0..TAPS)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
     }
 }
 

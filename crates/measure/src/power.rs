@@ -96,7 +96,12 @@ mod tests {
 
     #[test]
     fn empty_average_reads_zero() {
-        assert_eq!(PowerMeter::new().read_average(std::iter::empty()).milliwatts(), 0);
+        assert_eq!(
+            PowerMeter::new()
+                .read_average(std::iter::empty())
+                .milliwatts(),
+            0
+        );
     }
 
     #[test]

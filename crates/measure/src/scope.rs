@@ -114,7 +114,7 @@ impl ScopeTrace {
         // Find the deepest sample within one period of t_from as anchor.
         let end_search = self.times.partition_point(|&t| t < t_from + period);
         let anchor = (start_idx..end_search)
-            .min_by(|&a, &b| self.volts[a].partial_cmp(&self.volts[b]).expect("finite"))
+            .min_by(|&a, &b| self.volts[a].total_cmp(&self.volts[b]))
             .ok_or_else(|| TraceError("window beyond trace".into()))?;
         self.window(self.times[anchor], self.times[anchor] + period)
     }

@@ -218,7 +218,8 @@ mod tests {
         let v_lo = 1.00;
         let v_hi = 1.09;
         assert!(
-            fast.measure_extremes(v_lo, v_hi).pct_p2p() > typ.measure_extremes(v_lo, v_hi).pct_p2p()
+            fast.measure_extremes(v_lo, v_hi).pct_p2p()
+                > typ.measure_extremes(v_lo, v_hi).pct_p2p()
         );
     }
 
@@ -236,7 +237,10 @@ mod tests {
         // ~130 mV swing reads near 60 %p2p (paper Figs. 7a / 9 scales).
         let s = sk();
         let mid = 1.045;
-        let read = |p2p: f64| s.measure_extremes(mid - p2p / 2.0, mid + p2p / 2.0).pct_p2p();
+        let read = |p2p: f64| {
+            s.measure_extremes(mid - p2p / 2.0, mid + p2p / 2.0)
+                .pct_p2p()
+        };
         let r85 = read(0.085);
         let r130 = read(0.130);
         assert!((35.0..48.0).contains(&r85), "85 mV reads {r85}");

@@ -208,7 +208,10 @@ mod tests {
         let cfg = VminConfig::default();
         let res = run_vmin(&cfg, |b| b < 0.93);
         let fail = res.failing_bias.unwrap();
-        assert!(fail < 0.93 && fail >= 0.93 - cfg.step - 1e-12, "fail = {fail}");
+        assert!(
+            fail < 0.93 && fail >= 0.93 - cfg.step - 1e-12,
+            "fail = {fail}"
+        );
         assert!((res.margin_pct().unwrap() - (1.0 - fail) * 100.0).abs() < 1e-12);
     }
 

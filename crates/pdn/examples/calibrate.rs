@@ -19,10 +19,22 @@ fn main() {
     }
     for f in [40e3, 2e6] {
         let z_self = ac.impedance_at(chip.core_node(0), f).unwrap().abs();
-        let z_same = ac.transfer_impedance(chip.core_node(0), chip.core_node(2), f).unwrap().abs();
-        let z_far = ac.transfer_impedance(chip.core_node(0), chip.core_node(4), f).unwrap().abs();
-        let z_cross = ac.transfer_impedance(chip.core_node(0), chip.core_node(1), f).unwrap().abs();
-        let z_cross2 = ac.transfer_impedance(chip.core_node(0), chip.core_node(3), f).unwrap().abs();
+        let z_same = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(2), f)
+            .unwrap()
+            .abs();
+        let z_far = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(4), f)
+            .unwrap()
+            .abs();
+        let z_cross = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(1), f)
+            .unwrap()
+            .abs();
+        let z_cross2 = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(3), f)
+            .unwrap()
+            .abs();
         println!("f={:.2e}: self={:.4} same(0->2)={:.4} same(0->4)={:.4} cross(0->1)={:.4} cross(0->3)={:.4} mOhm",
             f, z_self*1e3, z_same*1e3, z_far*1e3, z_cross*1e3, z_cross2*1e3);
     }

@@ -70,18 +70,19 @@ impl AcAnalysis {
         let mut g = Matrix::<Complex>::zeros(n, n);
         let mut rhs = vec![Complex::ZERO; n];
 
-        let stamp_adm = |m: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, y: Complex| {
-            if let Some(ia) = a {
-                m.stamp(ia, ia, y);
-            }
-            if let Some(ib) = b {
-                m.stamp(ib, ib, y);
-            }
-            if let (Some(ia), Some(ib)) = (a, b) {
-                m.stamp(ia, ib, -y);
-                m.stamp(ib, ia, -y);
-            }
-        };
+        let stamp_adm =
+            |m: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, y: Complex| {
+                if let Some(ia) = a {
+                    m.stamp(ia, ia, y);
+                }
+                if let Some(ib) = b {
+                    m.stamp(ib, ib, y);
+                }
+                if let (Some(ia), Some(ib)) = (a, b) {
+                    m.stamp(ia, ib, -y);
+                    m.stamp(ib, ia, -y);
+                }
+            };
 
         let mut vrow = n_nodes;
         for el in self.netlist.elements() {
@@ -143,7 +144,9 @@ impl AcAnalysis {
     /// or a singular network.
     pub fn impedance_at(&self, node: NodeId, freq_hz: f64) -> Result<Complex, PdnError> {
         let sol = self.solve_with_injection(node, freq_hz)?;
-        let idx = node.unknown_index().ok_or(PdnError::UnknownNode { node: 0 })?;
+        let idx = node
+            .unknown_index()
+            .ok_or(PdnError::UnknownNode { node: 0 })?;
         // The load draws +1 A, so the node voltage phasor is -Z.
         Ok(-sol[idx])
     }
@@ -201,7 +204,10 @@ impl AcAnalysis {
 /// assert!((f[3] - 1e6).abs() < 1e-3);
 /// ```
 pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Vec<f64> {
-    assert!(f_lo > 0.0 && f_hi > f_lo, "log_space requires 0 < f_lo < f_hi");
+    assert!(
+        f_lo > 0.0 && f_hi > f_lo,
+        "log_space requires 0 < f_lo < f_hi"
+    );
     assert!(count >= 2, "log_space requires count >= 2");
     let l0 = f_lo.ln();
     let l1 = f_hi.ln();
@@ -220,7 +226,7 @@ pub fn find_peaks(profile: &[ImpedancePoint]) -> Vec<(f64, f64)> {
             peaks.push((profile[i].freq_hz, m));
         }
     }
-    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite magnitudes"));
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
     peaks
 }
 

@@ -52,7 +52,10 @@ impl ImpedanceMask {
         if bands.windows(2).any(|w| w[0].0 >= w[1].0) {
             return bad("mask band frequencies must ascend");
         }
-        if bands.iter().any(|(f, z)| !(f.is_finite() && *f > 0.0 && z.is_finite() && *z > 0.0)) {
+        if bands
+            .iter()
+            .any(|(f, z)| !(f.is_finite() && *f > 0.0 && z.is_finite() && *z > 0.0))
+        {
             return bad("mask frequencies and limits must be positive");
         }
         Ok(ImpedanceMask { bands })
@@ -210,16 +213,26 @@ mod tests {
     #[test]
     fn default_chip_meets_its_own_mask() {
         let chip = ChipPdn::build(&PdnParams::default()).unwrap();
-        let violations =
-            check_mask(&chip, chip.core_node(0), &ImpedanceMask::zlike_default(), 150).unwrap();
+        let violations = check_mask(
+            &chip,
+            chip.core_node(0),
+            &ImpedanceMask::zlike_default(),
+            150,
+        )
+        .unwrap();
         assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]
     fn legacy_decap_violates_the_mask() {
         let chip = ChipPdn::build(&PdnParams::legacy_decap()).unwrap();
-        let violations =
-            check_mask(&chip, chip.core_node(0), &ImpedanceMask::zlike_default(), 150).unwrap();
+        let violations = check_mask(
+            &chip,
+            chip.core_node(0),
+            &ImpedanceMask::zlike_default(),
+            150,
+        )
+        .unwrap();
         assert!(!violations.is_empty(), "legacy design should violate");
         // Violations sit in/above the die band where decap is missing.
         assert!(violations.iter().all(|v| v.freq_hz > 1e5));
@@ -242,14 +255,25 @@ mod tests {
         );
         // The sized design builds and passes a fresh check.
         let chip = ChipPdn::build(&sizing.params).unwrap();
-        let v = check_mask(&chip, chip.core_node(0), &ImpedanceMask::zlike_default(), 100).unwrap();
+        let v = check_mask(
+            &chip,
+            chip.core_node(0),
+            &ImpedanceMask::zlike_default(),
+            100,
+        )
+        .unwrap();
         assert!(v.is_empty());
     }
 
     #[test]
     fn compliant_design_needs_no_scaling() {
-        let sizing = size_decap(&PdnParams::default(), &ImpedanceMask::zlike_default(), 8.0, 80)
-            .unwrap();
+        let sizing = size_decap(
+            &PdnParams::default(),
+            &ImpedanceMask::zlike_default(),
+            8.0,
+            80,
+        )
+        .unwrap();
         assert_eq!(sizing.decap_scale, 1.0);
     }
 

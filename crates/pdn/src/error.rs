@@ -46,7 +46,10 @@ impl fmt::Display for PdnError {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
             PdnError::SingularMatrix { column } => {
-                write!(f, "singular matrix at column {column}; circuit may lack a path to ground")
+                write!(
+                    f,
+                    "singular matrix at column {column}; circuit may lack a path to ground"
+                )
             }
             PdnError::InvalidElement { element, value } => {
                 write!(f, "invalid value {value} for element {element}")
@@ -66,11 +69,19 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
-            PdnError::DimensionMismatch { expected: 2, actual: 3 },
+            PdnError::DimensionMismatch {
+                expected: 2,
+                actual: 3,
+            },
             PdnError::SingularMatrix { column: 1 },
-            PdnError::InvalidElement { element: "capacitor".into(), value: -1.0 },
+            PdnError::InvalidElement {
+                element: "capacitor".into(),
+                value: -1.0,
+            },
             PdnError::UnknownNode { node: 9 },
-            PdnError::InvalidTimebase { reason: "t_end before t_start".into() },
+            PdnError::InvalidTimebase {
+                reason: "t_end before t_start".into(),
+            },
         ];
         for e in errors {
             let msg = e.to_string();

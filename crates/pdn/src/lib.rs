@@ -65,7 +65,9 @@ pub use complex::Complex;
 pub use design::{check_mask, size_decap, DecapSizing, ImpedanceMask, MaskViolation};
 pub use error::PdnError;
 pub use netlist::{Netlist, NodeId, SourceId};
-pub use sensitivity::{full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter};
+pub use sensitivity::{
+    full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter,
+};
 pub use topology::{ChipPdn, PdnParams, NUM_CORES};
 pub use transient::{Drive, Probe, ProbeStats, TransientConfig, TransientResult, TransientSolver};
 pub use waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};

@@ -323,12 +323,17 @@ mod tests {
         let mut a = Matrix::<Complex>::zeros(n, n);
         for r in 0..n {
             for c in 0..n {
-                a[(r, c)] = Complex::new((r * n + c) as f64 * 0.37 - 2.0, (r as f64) - (c as f64) * 0.5);
+                a[(r, c)] = Complex::new(
+                    (r * n + c) as f64 * 0.37 - 2.0,
+                    (r as f64) - (c as f64) * 0.5,
+                );
             }
             // Diagonal dominance keeps the system well conditioned.
             a[(r, r)] += Complex::new(10.0, 3.0);
         }
-        let x_true: Vec<Complex> = (0..n).map(|k| Complex::new(k as f64, -(k as f64) * 0.25)).collect();
+        let x_true: Vec<Complex> = (0..n)
+            .map(|k| Complex::new(k as f64, -(k as f64) * 0.25))
+            .collect();
         let b = a.mul_vec(&x_true);
         let x = a.lu().unwrap().solve(&b).unwrap();
         for (xi, ei) in x.iter().zip(&x_true) {

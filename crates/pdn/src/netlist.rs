@@ -309,7 +309,8 @@ impl Netlist {
                 value: volts,
             });
         }
-        self.elements.push(Element::VoltageSource { plus, minus, volts });
+        self.elements
+            .push(Element::VoltageSource { plus, minus, volts });
         self.n_vsources += 1;
         Ok(self.n_vsources - 1)
     }
@@ -323,7 +324,8 @@ impl Netlist {
         self.check_node(from)?;
         self.check_node(to)?;
         let source = SourceId(self.n_isources);
-        self.elements.push(Element::CurrentSource { from, to, source });
+        self.elements
+            .push(Element::CurrentSource { from, to, source });
         self.n_isources += 1;
         Ok(source)
     }
@@ -367,7 +369,9 @@ mod tests {
         assert!(nl.add_resistor(a, NodeId::GROUND, 0.0).is_err());
         assert!(nl.add_capacitor(a, NodeId::GROUND, -1.0).is_err());
         assert!(nl.add_inductor(a, NodeId::GROUND, f64::NAN).is_err());
-        assert!(nl.add_voltage_source(a, NodeId::GROUND, f64::INFINITY).is_err());
+        assert!(nl
+            .add_voltage_source(a, NodeId::GROUND, f64::INFINITY)
+            .is_err());
     }
 
     #[test]
@@ -395,7 +399,9 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.add_node("a");
         let before = nl.node_count();
-        let mid = nl.add_capacitor_with_esr(a, NodeId::GROUND, 1e-6, 1e-3).unwrap();
+        let mid = nl
+            .add_capacitor_with_esr(a, NodeId::GROUND, 1e-6, 1e-3)
+            .unwrap();
         assert_eq!(nl.node_count(), before + 1);
         assert!(!mid.is_ground());
         assert_eq!(nl.elements().len(), 2);

@@ -169,9 +169,8 @@ mod tests {
         // f = 1/(2*pi*sqrt(L_eff*C)): the C4 inductance is part (not all)
         // of the effective loop inductance, so the log-slope sits between
         // the ideal -0.5 and 0.
-        let s =
-            parameter_sensitivity(&PdnParams::default(), PdnParameter::C4Inductance, &FACTORS)
-                .unwrap();
+        let s = parameter_sensitivity(&PdnParams::default(), PdnParameter::C4Inductance, &FACTORS)
+            .unwrap();
         let slope = s.log_slope();
         assert!((-0.65..=-0.15).contains(&slope), "slope = {slope}");
         assert!(s.points[0].freq_hz > s.points[2].freq_hz);
@@ -197,9 +196,12 @@ mod tests {
 
     #[test]
     fn board_inductance_barely_touches_die_band() {
-        let s =
-            parameter_sensitivity(&PdnParams::default(), PdnParameter::BoardInductance, &FACTORS)
-                .unwrap();
+        let s = parameter_sensitivity(
+            &PdnParams::default(),
+            PdnParameter::BoardInductance,
+            &FACTORS,
+        )
+        .unwrap();
         assert!(s.log_slope().abs() < 0.1, "slope = {}", s.log_slope());
     }
 

@@ -178,7 +178,12 @@ impl ChipPdn {
         for i in 0..NUM_CORES {
             let node = nl.add_node(format!("core{i}"));
             let dom = domains[core_domain(i)];
-            nl.add_series_rl(dom, node, params.r_grid * params.grid_variation[i], params.l_grid)?;
+            nl.add_series_rl(
+                dom,
+                node,
+                params.r_grid * params.grid_variation[i],
+                params.l_grid,
+            )?;
             nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_core, params.esr_core)?;
             core_sources[i] = nl.add_current_source(node, NodeId::GROUND)?;
             cores[i] = node;
@@ -317,7 +322,7 @@ mod tests {
         let peaks = find_peaks(&profile);
         assert!(peaks.len() >= 2, "expected at least two resonance peaks");
         let mut freqs_sorted: Vec<f64> = peaks.iter().take(2).map(|p| p.0).collect();
-        freqs_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        freqs_sorted.sort_by(|a, b| a.total_cmp(b));
         let (f_lo, f_hi) = (freqs_sorted[0], freqs_sorted[1]);
         assert!(
             (10e3..120e3).contains(&f_lo),
@@ -371,8 +376,14 @@ mod tests {
         let ac = AcAnalysis::new(chip.netlist());
         // Inject at core 0: response at core 2 (same row) vs core 1 (other row).
         let f = 2e6;
-        let z_same = ac.transfer_impedance(chip.core_node(0), chip.core_node(2), f).unwrap().abs();
-        let z_cross = ac.transfer_impedance(chip.core_node(0), chip.core_node(1), f).unwrap().abs();
+        let z_same = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(2), f)
+            .unwrap()
+            .abs();
+        let z_cross = ac
+            .transfer_impedance(chip.core_node(0), chip.core_node(1), f)
+            .unwrap()
+            .abs();
         assert!(
             z_same > z_cross,
             "same-domain coupling {z_same:.3e} should exceed cross-domain {z_cross:.3e}"
@@ -396,8 +407,12 @@ mod tests {
         let chip = ChipPdn::build(&PdnParams::default()).unwrap();
         let mut solver = TransientSolver::new(chip.netlist()).unwrap();
         let cfg = TransientConfig::new(20e-6);
-        let probes: Vec<Probe> = (0..NUM_CORES).map(|i| Probe::NodeVoltage(chip.core_node(i))).collect();
-        let res = solver.run(&ConstantDrive::new(vec![10.0; 6]), &probes, &cfg).unwrap();
+        let probes: Vec<Probe> = (0..NUM_CORES)
+            .map(|i| Probe::NodeVoltage(chip.core_node(i)))
+            .collect();
+        let res = solver
+            .run(&ConstantDrive::new(vec![10.0; 6]), &probes, &cfg)
+            .unwrap();
         for st in &res.stats {
             assert!(st.mean > 0.9 * chip.params().v_nom);
             assert!(st.peak_to_peak() < 1e-6);

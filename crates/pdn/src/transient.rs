@@ -439,7 +439,7 @@ impl TransientSolver {
         let mut edge_times = Vec::new();
         drive.edges(0.0, cfg.t_end, &mut edge_times);
         edge_times.retain(|t| t.is_finite());
-        edge_times.sort_by(|a, b| a.partial_cmp(b).expect("finite edge times"));
+        edge_times.sort_by(|a, b| a.total_cmp(b));
         let mut windows: Vec<(f64, f64)> = Vec::new();
         for &e in &edge_times {
             let (w0, w1) = (e - cfg.refine_pre, e + cfg.refine_post);
@@ -460,7 +460,8 @@ impl TransientSolver {
         };
 
         let n_nodes = self.n - self.vsources.len();
-        let mut stats: Vec<(f64, f64, f64)> = vec![(f64::INFINITY, f64::NEG_INFINITY, 0.0); probes.len()];
+        let mut stats: Vec<(f64, f64, f64)> =
+            vec![(f64::INFINITY, f64::NEG_INFINITY, 0.0); probes.len()];
         let mut stat_time = 0.0f64;
         let mut times = Vec::new();
         let mut traces: Vec<Vec<f64>> = vec![Vec::new(); probes.len()];
@@ -483,9 +484,8 @@ impl TransientSolver {
             while widx < windows.len() && t >= windows[widx].1 {
                 widx += 1;
             }
-            let in_window = widx < windows.len()
-                && t + cfg.h_coarse > windows[widx].0
-                && t < windows[widx].1;
+            let in_window =
+                widx < windows.len() && t + cfg.h_coarse > windows[widx].0 && t < windows[widx].1;
             let mut h = if in_window { cfg.h_fine } else { cfg.h_coarse };
             if t + h > cfg.t_end {
                 h = cfg.t_end - t;
@@ -528,7 +528,9 @@ impl TransientSolver {
                 self.rhs[v.row] = v.volts;
             }
 
-            self.factor_cache[fidx].1.solve_into(&self.rhs, &mut self.x)?;
+            self.factor_cache[fidx]
+                .1
+                .solve_into(&self.rhs, &mut self.x)?;
 
             // Advance element states.
             let x = &self.x;
@@ -573,7 +575,11 @@ impl TransientSolver {
             .map(|(min, max, integral)| ProbeStats {
                 min,
                 max,
-                mean: if stat_time > 0.0 { integral / stat_time } else { 0.0 },
+                mean: if stat_time > 0.0 {
+                    integral / stat_time
+                } else {
+                    0.0
+                },
             })
             .collect();
         Ok(TransientResult {
@@ -617,7 +623,11 @@ mod tests {
         let mut solver = TransientSolver::new(&nl).unwrap();
         let cfg = TransientConfig::new(50e-6);
         let res = solver
-            .run(&ConstantDrive::new(vec![2.0]), &[Probe::NodeVoltage(die)], &cfg)
+            .run(
+                &ConstantDrive::new(vec![2.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
             .unwrap();
         let st = &res.stats[0];
         assert!((st.mean - 0.8).abs() < 1e-6);
@@ -658,7 +668,14 @@ mod tests {
         cfg.settle = 0.0;
         cfg.record_decimation = Some(1);
         let res = solver
-            .run(&StepDrive { t0: 10e-6, amps: 0.5 }, &[Probe::NodeVoltage(die)], &cfg)
+            .run(
+                &StepDrive {
+                    t0: 10e-6,
+                    amps: 0.5,
+                },
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
             .unwrap();
 
         // Compare simulated trace against v(t) = 1 - 0.5*(1 - exp(-(t-t0)/tau)).
@@ -698,7 +715,14 @@ mod tests {
         cfg.settle = 0.0;
         cfg.record_decimation = Some(1);
         let res = solver
-            .run(&StepDrive { t0: 0.2e-6, amps: 10.0 }, &[Probe::NodeVoltage(die)], &cfg)
+            .run(
+                &StepDrive {
+                    t0: 0.2e-6,
+                    amps: 10.0,
+                },
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
             .unwrap();
 
         // Measure the ringing period from successive minima after the step.
@@ -710,11 +734,18 @@ mod tests {
                 minima.push(times[i]);
             }
         }
-        assert!(minima.len() >= 3, "expected ringing, got {} minima", minima.len());
+        assert!(
+            minima.len() >= 3,
+            "expected ringing, got {} minima",
+            minima.len()
+        );
         let period = (minima[2] - minima[0]) / 2.0;
         let f_measured = 1.0 / period;
         let rel = (f_measured - f_expected).abs() / f_expected;
-        assert!(rel < 0.05, "f_measured {f_measured:.3e} vs expected {f_expected:.3e}");
+        assert!(
+            rel < 0.05,
+            "f_measured {f_measured:.3e} vs expected {f_expected:.3e}"
+        );
     }
 
     #[test]
@@ -723,7 +754,11 @@ mod tests {
         let mut solver = TransientSolver::new(&nl).unwrap();
         let cfg = TransientConfig::new(50e-6);
         let res = solver
-            .run(&ConstantDrive::new(vec![2.0]), &[Probe::SourceCurrent(0)], &cfg)
+            .run(
+                &ConstantDrive::new(vec![2.0]),
+                &[Probe::SourceCurrent(0)],
+                &cfg,
+            )
             .unwrap();
         // Magnitude of the rail current equals the 2 A load at DC.
         assert!((res.stats[0].mean.abs() - 2.0).abs() < 1e-6);
@@ -736,7 +771,11 @@ mod tests {
         let mut cfg = TransientConfig::new(1e-6);
         cfg.h_fine = 2.0 * cfg.h_coarse;
         let err = solver
-            .run(&ConstantDrive::new(vec![0.0]), &[Probe::NodeVoltage(die)], &cfg)
+            .run(
+                &ConstantDrive::new(vec![0.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
             .unwrap_err();
         assert!(matches!(err, PdnError::InvalidTimebase { .. }));
     }
@@ -759,7 +798,14 @@ mod tests {
         cfg.h_coarse = 50e-9;
         cfg.h_fine = 1e-9;
         let res = solver
-            .run(&StepDrive { t0: 50e-6, amps: 1.0 }, &[Probe::NodeVoltage(die)], &cfg)
+            .run(
+                &StepDrive {
+                    t0: 50e-6,
+                    amps: 1.0,
+                },
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
             .unwrap();
         let uniform_fine_steps = (100e-6 / 1e-9) as usize;
         assert!(res.steps * 10 < uniform_fine_steps, "steps = {}", res.steps);

@@ -85,9 +85,9 @@ impl StressWaveform {
     /// (synced).
     pub fn effective_period(&self) -> f64 {
         match self.mode {
-            WaveMode::FreeRun { period_skew_ppm, .. } => {
-                self.stim_period * (1.0 + period_skew_ppm * 1e-6)
-            }
+            WaveMode::FreeRun {
+                period_skew_ppm, ..
+            } => self.stim_period * (1.0 + period_skew_ppm * 1e-6),
             WaveMode::Synced { .. } => self.stim_period,
         }
     }
@@ -266,7 +266,10 @@ mod tests {
 
     #[test]
     fn freerun_levels_and_ramp() {
-        let w = wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 });
+        let w = wave(WaveMode::FreeRun {
+            phase: 0.0,
+            period_skew_ppm: 0.0,
+        });
         assert_eq!(w.value(0.0), 4.0); // ramp start
         assert_eq!(w.value(0.5e-9), 12.0); // mid-ramp
         assert_eq!(w.value(100e-9), 20.0);
@@ -277,14 +280,23 @@ mod tests {
 
     #[test]
     fn phase_shifts_waveform() {
-        let w0 = wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 });
-        let w1 = wave(WaveMode::FreeRun { phase: 250e-9, period_skew_ppm: 0.0 });
+        let w0 = wave(WaveMode::FreeRun {
+            phase: 0.0,
+            period_skew_ppm: 0.0,
+        });
+        let w1 = wave(WaveMode::FreeRun {
+            phase: 250e-9,
+            period_skew_ppm: 0.0,
+        });
         assert!((w1.value(0.0) - w0.value(250e-9)).abs() < 1e-12);
     }
 
     #[test]
     fn skew_changes_effective_period() {
-        let w = wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 1000.0 });
+        let w = wave(WaveMode::FreeRun {
+            phase: 0.0,
+            period_skew_ppm: 1000.0,
+        });
         assert!((w.effective_period() - 500.5e-9).abs() < 1e-15);
     }
 
@@ -315,7 +327,10 @@ mod tests {
 
     #[test]
     fn freerun_edges_cover_all_transitions() {
-        let w = wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 });
+        let w = wave(WaveMode::FreeRun {
+            phase: 0.0,
+            period_skew_ppm: 0.0,
+        });
         let mut edges = Vec::new();
         w.edges(0.0, 2e-6, &mut edges);
         // 4 periods * 2 edges.
@@ -337,7 +352,10 @@ mod tests {
 
     #[test]
     fn edge_times_match_value_discontinuity_regions() {
-        let w = wave(WaveMode::FreeRun { phase: 130e-9, period_skew_ppm: 0.0 });
+        let w = wave(WaveMode::FreeRun {
+            phase: 130e-9,
+            period_skew_ppm: 0.0,
+        });
         let mut edges = Vec::new();
         w.edges(0.0, 1e-6, &mut edges);
         for &e in &edges {
@@ -354,7 +372,10 @@ mod tests {
     fn multicore_drive_maps_sources() {
         let d = MultiCoreDrive::new(vec![
             CoreWaveform::Constant(1.5),
-            CoreWaveform::Stress(wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 })),
+            CoreWaveform::Stress(wave(WaveMode::FreeRun {
+                phase: 0.0,
+                period_skew_ppm: 0.0,
+            })),
         ]);
         let mut out = vec![0.0; 2];
         d.currents(100e-9, &mut out);
@@ -366,7 +387,14 @@ mod tests {
 
     #[test]
     fn delta_i_reported() {
-        assert_eq!(wave(WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 }).delta_i(), 16.0);
+        assert_eq!(
+            wave(WaveMode::FreeRun {
+                phase: 0.0,
+                period_skew_ppm: 0.0
+            })
+            .delta_i(),
+            16.0
+        );
         assert_eq!(CoreWaveform::Constant(3.0).delta_i(), 0.0);
     }
 }

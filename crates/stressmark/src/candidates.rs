@@ -86,8 +86,7 @@ pub fn select_candidates(isa: &Isa, profile: &EpiProfile) -> Vec<Candidate> {
     let mut cands: Vec<Candidate> = best.into_values().collect();
     cands.sort_by(|a, b| {
         b.power_w
-            .partial_cmp(&a.power_w)
-            .expect("finite powers")
+            .total_cmp(&a.power_w)
             .then_with(|| a.mnemonic.cmp(&b.mnemonic))
     });
     cands.truncate(NUM_CANDIDATES);

@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn combinations_are_unique() {
         let (isa, _, _) = setup();
-        let ops: Vec<Opcode> = ["AR", "SR"].iter().map(|m| isa.opcode(m).unwrap()).collect();
+        let ops: Vec<Opcode> = ["AR", "SR"]
+            .iter()
+            .map(|m| isa.opcode(m).unwrap())
+            .collect();
         let all: std::collections::HashSet<Vec<u16>> = Combinations::new(&ops)
             .map(|s| s.iter().map(|o| o.index() as u16).collect())
             .collect();
@@ -245,7 +248,12 @@ mod tests {
         let (isa, core, filter) = setup();
         let ar = isa.opcode("AR").unwrap();
         let srnm = isa.opcode("SRNM").unwrap();
-        assert!(!microarch_filter(&isa, &core, &filter, &[ar, ar, ar, ar, ar, srnm]));
+        assert!(!microarch_filter(
+            &isa,
+            &core,
+            &filter,
+            &[ar, ar, ar, ar, ar, srnm]
+        ));
     }
 
     #[test]
@@ -262,7 +270,12 @@ mod tests {
         let (isa, core, filter) = setup();
         let ar = isa.opcode("AR").unwrap();
         let xc = isa.opcode("XC").unwrap(); // occupancy > 1
-        assert!(!microarch_filter(&isa, &core, &filter, &[xc, ar, ar, xc, ar, ar]));
+        assert!(!microarch_filter(
+            &isa,
+            &core,
+            &filter,
+            &[xc, ar, ar, xc, ar, ar]
+        ));
     }
 
     #[test]
@@ -285,7 +298,10 @@ mod tests {
     #[test]
     fn filter_outcome_counts_total() {
         let (isa, core, filter) = setup();
-        let ops: Vec<Opcode> = ["AR", "CIB"].iter().map(|m| isa.opcode(m).unwrap()).collect();
+        let ops: Vec<Opcode> = ["AR", "CIB"]
+            .iter()
+            .map(|m| isa.opcode(m).unwrap())
+            .collect();
         let out = filter_combinations(&isa, &core, &filter, &ops);
         assert_eq!(out.total, 64);
         assert!(!out.survivors.is_empty());

@@ -68,7 +68,10 @@ fn evaluate(isa: &Isa, core: &CoreConfig, genome: &Genome, iterations: usize) ->
     let m = Kernel::from_sequence("ga_eval", genome.to_vec(), iterations).run(isa, core);
     SequenceEval {
         body: genome.to_vec(),
-        mnemonics: genome.iter().map(|&op| isa.def(op).mnemonic.clone()).collect(),
+        mnemonics: genome
+            .iter()
+            .map(|&op| isa.def(op).mnemonic.clone())
+            .collect(),
         ipc: m.ipc,
         power_w: m.avg_power_w,
         current_a: m.avg_current_a,
@@ -84,14 +87,12 @@ fn evaluate(isa: &Isa, core: &CoreConfig, genome: &Genome, iterations: usize) ->
 /// # Panics
 ///
 /// Panics if `candidates` is empty or the population/tournament are zero.
-pub fn ga_search(
-    isa: &Isa,
-    core: &CoreConfig,
-    candidates: &[Opcode],
-    cfg: &GaConfig,
-) -> GaOutcome {
+pub fn ga_search(isa: &Isa, core: &CoreConfig, candidates: &[Opcode], cfg: &GaConfig) -> GaOutcome {
     assert!(!candidates.is_empty(), "need candidates");
-    assert!(cfg.population >= 2 && cfg.tournament >= 1, "degenerate GA config");
+    assert!(
+        cfg.population >= 2 && cfg.tournament >= 1,
+        "degenerate GA config"
+    );
     let filter = FilterConfig::default();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut cache: std::collections::HashMap<Vec<u16>, f64> = std::collections::HashMap::new();
@@ -100,11 +101,13 @@ pub fn ga_search(
     let random_genome = |rng: &mut SmallRng| -> Genome {
         std::array::from_fn(|_| candidates[rng.gen_range(0..candidates.len())])
     };
-    let mut population: Vec<Genome> = (0..cfg.population).map(|_| random_genome(&mut rng)).collect();
+    let mut population: Vec<Genome> = (0..cfg.population)
+        .map(|_| random_genome(&mut rng))
+        .collect();
 
     let fitness_of = |genome: &Genome,
-                          cache: &mut std::collections::HashMap<Vec<u16>, f64>,
-                          evaluations: &mut usize|
+                      cache: &mut std::collections::HashMap<Vec<u16>, f64>,
+                      evaluations: &mut usize|
      -> f64 {
         let key: Vec<u16> = genome.iter().map(|op| op.index() as u16).collect();
         if let Some(&f) = cache.get(&key) {
@@ -141,8 +144,12 @@ pub fn ga_search(
 
         // Elitism: keep the top individuals.
         let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| fits[b].partial_cmp(&fits[a]).expect("finite fitness"));
-        let mut next: Vec<Genome> = order.iter().take(cfg.elites).map(|&i| population[i]).collect();
+        order.sort_by(|&a, &b| fits[b].total_cmp(&fits[a]));
+        let mut next: Vec<Genome> = order
+            .iter()
+            .take(cfg.elites)
+            .map(|&i| population[i])
+            .collect();
 
         // Tournament selection + single-point crossover + mutation.
         let select = |rng: &mut SmallRng| -> Genome {

@@ -67,7 +67,10 @@ fn evaluate(isa: &Isa, core: &CoreConfig, body: &[Opcode], iterations: usize) ->
     let m = kernel.run(isa, core);
     SequenceEval {
         body: body.to_vec(),
-        mnemonics: body.iter().map(|&op| isa.def(op).mnemonic.clone()).collect(),
+        mnemonics: body
+            .iter()
+            .map(|&op| isa.def(op).mnemonic.clone())
+            .collect(),
         ipc: m.ipc,
         power_w: m.avg_power_w,
         current_a: m.avg_current_a,
@@ -113,11 +116,7 @@ pub fn find_max_power_sequence(
             (estimate_throughput(isa, core, &seq), energy, seq)
         })
         .collect();
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("finite throughput")
-            .then(b.1.partial_cmp(&a.1).expect("finite energy"))
-    });
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.total_cmp(&a.1)));
     scored.truncate(cfg.ipc_keep);
     let after_ipc = scored.len();
 
@@ -126,7 +125,7 @@ pub fn find_max_power_sequence(
         .iter()
         .map(|(_, _, seq)| evaluate(isa, core, seq, cfg.eval_iterations))
         .collect();
-    evals.sort_by(|a, b| b.power_w.partial_cmp(&a.power_w).expect("finite power"));
+    evals.sort_by(|a, b| b.power_w.total_cmp(&a.power_w));
     let best = evals.remove(0);
     evals.truncate(8);
 
@@ -165,10 +164,8 @@ pub fn find_sequence_with_power(
     // contributing little energy.
     let filler = isa
         .iter()
-        .filter(|(_, d)| {
-            d.latency <= 1 && !d.ends_group && !d.serializing && d.occupancy == 1
-        })
-        .min_by(|a, b| a.1.energy_pj.partial_cmp(&b.1.energy_pj).expect("finite"))
+        .filter(|(_, d)| d.latency <= 1 && !d.ends_group && !d.serializing && d.occupancy == 1)
+        .min_by(|a, b| a.1.energy_pj.total_cmp(&b.1.energy_pj))
         .map(|(op, _)| op)
         .expect("ISA has single-cycle ops");
 
@@ -185,7 +182,7 @@ pub fn find_sequence_with_power(
             let eb = isa.def(max_seq.body[b]).energy_pj;
             let ba = isa.def(max_seq.body[a]).ends_group;
             let bb = isa.def(max_seq.body[b]).ends_group;
-            ba.cmp(&bb).then(eb.partial_cmp(&ea).expect("finite"))
+            ba.cmp(&bb).then(eb.total_cmp(&ea))
         });
         for &pos in order.iter().take(k) {
             body[pos] = filler;

@@ -158,11 +158,17 @@ impl CompiledStressmark {
             ));
         }
         out.push_str("didt_loop:\n");
-        out.push_str(&format!("    ; -- high power phase: {} reps --\n", self.high_reps));
+        out.push_str(&format!(
+            "    ; -- high power phase: {} reps --\n",
+            self.high_reps
+        ));
         for &op in &self.spec.high_body {
             out.push_str(&format!("    {}\n", isa.def(op).mnemonic));
         }
-        out.push_str(&format!("    ; -- low power phase: {} reps --\n", self.low_reps));
+        out.push_str(&format!(
+            "    ; -- low power phase: {} reps --\n",
+            self.low_reps
+        ));
         for &op in &self.spec.low_body {
             out.push_str(&format!("    {}\n", isa.def(op).mnemonic));
         }
@@ -277,7 +283,12 @@ mod tests {
                 isa.opcode("CIB").unwrap(),
             ];
             let low = vec![profile.min_power_opcode()];
-            Fx { isa, core, high, low }
+            Fx {
+                isa,
+                core,
+                high,
+                low,
+            }
         })
     }
 

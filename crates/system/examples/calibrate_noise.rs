@@ -6,13 +6,24 @@ use voltnoise_system::testbed::Testbed;
 
 fn main() {
     let tb = Testbed::fast();
-    let cfg = NoiseRunConfig { window_s: Some(80e-6), ..NoiseRunConfig::default() };
+    let cfg = NoiseRunConfig {
+        window_s: Some(80e-6),
+        ..NoiseRunConfig::default()
+    };
     let max = tb.max_sequence();
     let min = tb.min_sequence();
-    println!("max seq: {:?} power {:.2} W ipc {:.2}", max.mnemonics, max.power_w, max.ipc);
+    println!(
+        "max seq: {:?} power {:.2} W ipc {:.2}",
+        max.mnemonics, max.power_w, max.ipc
+    );
     println!("min seq: {:?} power {:.2} W", min.mnemonics, min.power_w);
     let sm = tb.max_stressmark(2.5e6, None);
-    println!("dI/dt: i_high {:.1} A  i_low {:.1} A  dI {:.1} A", sm.i_high_a, sm.i_low_a, sm.delta_i());
+    println!(
+        "dI/dt: i_high {:.1} A  i_low {:.1} A  dI {:.1} A",
+        sm.i_high_a,
+        sm.i_low_a,
+        sm.delta_i()
+    );
 
     let all = |sm: voltnoise_stressmark::CompiledStressmark| -> [CoreLoad; 6] {
         std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()))
@@ -28,7 +39,12 @@ fn main() {
     ] {
         let out = run_noise(tb.chip(), &all(tb.max_stressmark(freq, sync)), &cfg).unwrap();
         let p: Vec<String> = out.pct_p2p.iter().map(|v| format!("{v:.1}")).collect();
-        println!("{label}: max {:.1} %p2p  per-core [{}]  vmin {:.3}", out.max_pct_p2p(), p.join(","), out.v_min.iter().cloned().fold(f64::INFINITY, f64::min));
+        println!(
+            "{label}: max {:.1} %p2p  per-core [{}]  vmin {:.3}",
+            out.max_pct_p2p(),
+            p.join(","),
+            out.v_min.iter().cloned().fold(f64::INFINITY, f64::min)
+        );
     }
     // misalignment at 2.5 MHz
     for ticks in [0u64, 1, 2, 4, 10] {
@@ -40,6 +56,10 @@ fn main() {
             *l = CoreLoad::Stressmark(tb.max_stressmark(2.5e6, Some(s)));
         }
         let out = run_noise(tb.chip(), &loads, &cfg).unwrap();
-        println!("misalign {:>5.1} ns: max {:.1} %p2p", ticks as f64 * 62.5, out.max_pct_p2p());
+        println!(
+            "misalign {:>5.1} ns: max {:.1} %p2p",
+            ticks as f64 * 62.5,
+            out.max_pct_p2p()
+        );
     }
 }

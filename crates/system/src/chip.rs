@@ -245,10 +245,7 @@ mod tests {
         let chip = Chip::paper_default();
         let uv = chip.undervolted(0.95).unwrap();
         assert!((uv.config().pdn.v_nom - 1.05 * 0.95).abs() < 1e-12);
-        assert_eq!(
-            uv.skitter(0).config().v_nom,
-            chip.skitter(0).config().v_nom
-        );
+        assert_eq!(uv.skitter(0).config().v_nom, chip.skitter(0).config().v_nom);
     }
 
     #[test]

@@ -41,7 +41,12 @@ pub struct DitherOutcome {
 /// # Panics
 ///
 /// Panics if `cores == 0` or `window_slots == 0`.
-pub fn simulate_dither(cores: usize, window_slots: u64, intervals: u64, seed: u64) -> DitherOutcome {
+pub fn simulate_dither(
+    cores: usize,
+    window_slots: u64,
+    intervals: u64,
+    seed: u64,
+) -> DitherOutcome {
     assert!(cores > 0, "need at least one core");
     assert!(window_slots > 0, "window must have at least one slot");
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,0 +1,553 @@
+//! The unified experiment engine: content-keyed simulation jobs, a
+//! scoped-thread parallel executor, and a sharded memo cache.
+//!
+//! Every experiment in the workspace ultimately reduces to calls of
+//! [`crate::noise::run_noise`], which is a *pure* function of the chip,
+//! the per-core loads and the run configuration. This module exploits
+//! that purity twice:
+//!
+//! 1. **Parallelism** — independent jobs run on a work-stealing pool of
+//!    scoped threads ([`std::thread::scope`], no extra dependencies).
+//!    Because jobs are pure, parallel execution is bitwise identical to
+//!    serial execution (an invariant the test suite enforces).
+//! 2. **Memoization** — a [`SimJob`] carries a [`JobKey`] derived from
+//!    the *content* of its inputs (chip configuration, the electrical
+//!    fields of each load, window/seed/trace options). Identical jobs —
+//!    within one experiment or across experiments sharing an engine —
+//!    solve once and share the cached [`NoiseOutcome`].
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and can be overridden with the `VOLTNOISE_THREADS` environment
+//! variable (`VOLTNOISE_THREADS=1` forces serial execution).
+
+use crate::chip::Chip;
+use crate::noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_pdn::PdnError;
+
+/// Number of independently locked cache shards. A small power of two:
+/// enough to keep worker threads from serializing on one mutex, small
+/// enough that an idle engine stays cheap.
+const CACHE_SHARDS: usize = 16;
+
+/// Content key of one core's load: exactly the fields
+/// [`crate::noise::run_noise`] consumes, with floats captured bit-exactly.
+///
+/// Instruction bodies, repetition counts and IPCs are deliberately
+/// excluded — the noise engine only sees the compiled electrical
+/// envelope (currents, stimulus frequency, duty, synchronization), so
+/// two stressmarks with different code but the same envelope are the
+/// same job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LoadKey {
+    /// Core idles at its static current.
+    Idle,
+    /// Core runs a compiled stressmark with this electrical envelope.
+    Stress {
+        /// `stim_freq_hz` bits.
+        stim_freq: u64,
+        /// `duty` bits.
+        duty: u64,
+        /// `i_high_a` bits.
+        i_high: u64,
+        /// `i_low_a` bits.
+        i_low: u64,
+        /// `i_idle_a` bits.
+        i_idle: u64,
+        /// Synchronization condition: `(interval_s bits, offset_ticks,
+        /// events)` when TOD-synchronized.
+        sync: Option<(u64, u32, u32)>,
+    },
+}
+
+impl LoadKey {
+    /// Derives the key of a load.
+    pub fn of(load: &CoreLoad) -> LoadKey {
+        match load {
+            CoreLoad::Idle => LoadKey::Idle,
+            CoreLoad::Stressmark(sm) => LoadKey::Stress {
+                stim_freq: sm.spec.stim_freq_hz.to_bits(),
+                duty: sm.spec.duty.to_bits(),
+                i_high: sm.i_high_a.to_bits(),
+                i_low: sm.i_low_a.to_bits(),
+                i_idle: sm.i_idle_a.to_bits(),
+                sync: sm
+                    .spec
+                    .sync
+                    .as_ref()
+                    .map(|s| (s.interval_s.to_bits(), s.offset_ticks, s.events)),
+            },
+        }
+    }
+}
+
+/// Content key of a whole simulation job. Two jobs with equal keys
+/// produce bitwise-identical [`NoiseOutcome`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Chip fingerprint: the serialized [`crate::chip::ChipConfig`] plus
+    /// each core's realized skitter configuration (which
+    /// [`Chip::undervolted`] re-anchors independently of the config).
+    chip_sig: Arc<str>,
+    /// Per-core load keys.
+    loads: [LoadKey; NUM_CORES],
+    /// `NoiseRunConfig::window_s` bits.
+    window: Option<u64>,
+    /// `NoiseRunConfig::record_traces`.
+    record_traces: bool,
+    /// `NoiseRunConfig::seed`.
+    seed: u64,
+}
+
+/// Computes a chip's content fingerprint. The JSON rendering of the
+/// configuration is canonical (struct fields serialize in declaration
+/// order, map keys sorted), so equal configurations produce equal
+/// signatures.
+pub fn chip_signature(chip: &Chip) -> Arc<str> {
+    let cfg = serde_json::to_string(chip.config()).expect("chip config serializes");
+    let mut sig = String::with_capacity(cfg.len() + 64 * NUM_CORES);
+    sig.push_str(&cfg);
+    for i in 0..NUM_CORES {
+        sig.push('|');
+        sig.push_str(
+            &serde_json::to_string(chip.skitter(i).config()).expect("skitter config serializes"),
+        );
+    }
+    Arc::from(sig)
+}
+
+/// A pure, hashable unit of simulation work: one [`run_noise`] call.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    chip: Arc<Chip>,
+    loads: [CoreLoad; NUM_CORES],
+    cfg: NoiseRunConfig,
+    key: JobKey,
+}
+
+impl SimJob {
+    /// Builds a job from an already-shared chip. Use [`SimJob::batch`]
+    /// when creating many jobs on the same chip — the signature is
+    /// computed once per chip, not once per job.
+    pub fn new(chip: Arc<Chip>, loads: [CoreLoad; NUM_CORES], cfg: NoiseRunConfig) -> SimJob {
+        let sig = chip_signature(&chip);
+        SimJob::with_signature(chip, sig, loads, cfg)
+    }
+
+    /// Builds a job reusing a precomputed chip signature.
+    pub fn with_signature(
+        chip: Arc<Chip>,
+        chip_sig: Arc<str>,
+        loads: [CoreLoad; NUM_CORES],
+        cfg: NoiseRunConfig,
+    ) -> SimJob {
+        let key = JobKey {
+            chip_sig,
+            loads: std::array::from_fn(|i| LoadKey::of(&loads[i])),
+            window: cfg.window_s.map(f64::to_bits),
+            record_traces: cfg.record_traces,
+            seed: cfg.seed,
+        };
+        SimJob {
+            chip,
+            loads,
+            cfg,
+            key,
+        }
+    }
+
+    /// A factory for jobs sharing one chip (and one signature).
+    pub fn batch(chip: &Chip) -> JobBatch {
+        let chip = Arc::new(chip.clone());
+        let sig = chip_signature(&chip);
+        JobBatch { chip, sig }
+    }
+
+    /// The job's content key.
+    pub fn key(&self) -> &JobKey {
+        &self.key
+    }
+
+    /// The chip the job runs on.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// The per-core loads.
+    pub fn loads(&self) -> &[CoreLoad; NUM_CORES] {
+        &self.loads
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &NoiseRunConfig {
+        &self.cfg
+    }
+
+    /// Solves the job directly, bypassing any cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the PDN solve fails.
+    pub fn solve(&self) -> Result<NoiseOutcome, PdnError> {
+        run_noise(&self.chip, &self.loads, &self.cfg)
+    }
+}
+
+/// Factory producing [`SimJob`]s that share one chip instance and one
+/// precomputed signature.
+#[derive(Debug, Clone)]
+pub struct JobBatch {
+    chip: Arc<Chip>,
+    sig: Arc<str>,
+}
+
+impl JobBatch {
+    /// Builds one job of the batch.
+    pub fn job(&self, loads: [CoreLoad; NUM_CORES], cfg: NoiseRunConfig) -> SimJob {
+        SimJob::with_signature(self.chip.clone(), self.sig.clone(), loads, cfg)
+    }
+}
+
+/// Run statistics of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EngineStats {
+    /// Worker threads the engine schedules onto.
+    pub workers: usize,
+    /// Jobs actually solved (cache misses).
+    pub solves: usize,
+    /// Jobs answered from the memo cache.
+    pub cache_hits: usize,
+}
+
+/// The parallel, memoizing job executor.
+pub struct Engine {
+    workers: usize,
+    shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
+    solves: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("solves", &self.solves.load(Ordering::Relaxed))
+            .field("cache_hits", &self.hits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Resolves the worker count: `VOLTNOISE_THREADS` when set and valid,
+/// otherwise the machine's available parallelism.
+fn default_workers() -> usize {
+    if let Ok(s) = std::env::var("VOLTNOISE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl Engine {
+    /// An engine with the default worker count (see module docs).
+    pub fn new() -> Engine {
+        Engine::with_workers(default_workers())
+    }
+
+    /// An engine with an explicit worker count (≥ 1; 1 = serial).
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            solves: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// A process-wide shared engine: experiments routed through it share
+    /// one memo cache, so e.g. the Fig. 11a campaign feeds the Fig. 13a
+    /// correlation analysis without re-solving a single job.
+    pub fn shared() -> &'static Engine {
+        static CELL: OnceLock<Engine> = OnceLock::new();
+        CELL.get_or_init(Engine::new)
+    }
+
+    /// The engine's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs solved so far (cache misses).
+    pub fn solves(&self) -> usize {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Jobs answered from the cache so far.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            workers: self.workers,
+            solves: self.solves(),
+            cache_hits: self.cache_hits(),
+        }
+    }
+
+    fn shard(&self, key: &JobKey) -> &Mutex<HashMap<JobKey, Arc<NoiseOutcome>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Runs one job through the cache (solving on a miss). Useful for
+    /// adaptive flows — e.g. the Vmin descent — where the next job
+    /// depends on the previous outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the PDN solve fails. Errors are not
+    /// cached; a failing job re-solves on retry.
+    pub fn run_one(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, PdnError> {
+        if let Some(hit) = self
+            .shard(job.key())
+            .lock()
+            .expect("cache lock")
+            .get(job.key())
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let outcome = Arc::new(job.solve()?);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.shard(job.key())
+            .lock()
+            .expect("cache lock")
+            .entry(job.key().clone())
+            .or_insert_with(|| outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Runs a slice of jobs, deduplicating by content key up front (each
+    /// distinct key solves at most once per call) and executing the
+    /// distinct jobs on the worker pool. The output preserves input
+    /// order: `result[i]` is the outcome of `jobs[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job — the same
+    /// error a serial run would return — so parallel and serial
+    /// execution are indistinguishable to callers.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Result<Vec<Arc<NoiseOutcome>>, PdnError> {
+        let mut index_of: HashMap<&JobKey, usize> = HashMap::new();
+        let mut unique: Vec<&SimJob> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let next = unique.len();
+            let idx = *index_of.entry(job.key()).or_insert(next);
+            if idx == next {
+                unique.push(job);
+            }
+            slots.push(idx);
+        }
+        let solved = self.par_map(&unique, |job| self.run_one(job))?;
+        Ok(slots.into_iter().map(|i| solved[i].clone()).collect())
+    }
+
+    /// Applies a fallible function to each item on the worker pool and
+    /// collects the results in input order. The generic escape hatch for
+    /// parallel work that is not a plain job list (e.g. one Vmin descent
+    /// per grid cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing item, matching
+    /// serial semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (the panic is propagated).
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Result<Vec<U>, PdnError>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> Result<U, PdnError> + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let results: Vec<Mutex<Option<Result<U, PdnError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *results[i].lock().expect("result slot lock") = Some(r);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for slot in results {
+            out.push(
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("worker filled slot")?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::Testbed;
+    use voltnoise_stressmark::SyncSpec;
+
+    fn test_jobs(tb: &Testbed) -> Vec<SimJob> {
+        let batch = SimJob::batch(tb.chip());
+        [45e3, 2.5e6]
+            .iter()
+            .map(|&f| {
+                let sm = tb.max_stressmark(f, Some(SyncSpec::paper_default()));
+                let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+                batch.job(
+                    loads,
+                    NoiseRunConfig {
+                        window_s: Some(25e-6),
+                        record_traces: false,
+                        seed: 1,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_serial_bitwise() {
+        let tb = Testbed::fast();
+        let jobs = test_jobs(tb);
+        let serial = Engine::with_workers(1).run_jobs(&jobs).unwrap();
+        let parallel = Engine::with_workers(4).run_jobs(&jobs).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            let js = serde_json::to_string(&**s).unwrap();
+            let jp = serde_json::to_string(&**p).unwrap();
+            assert_eq!(js, jp);
+        }
+    }
+
+    #[test]
+    fn identical_jobs_solve_once() {
+        let tb = Testbed::fast();
+        let engine = Engine::with_workers(2);
+        let jobs = test_jobs(tb);
+        // Duplicate every job: within one run_jobs call the duplicates
+        // must coalesce.
+        let doubled: Vec<SimJob> = jobs.iter().chain(jobs.iter()).cloned().collect();
+        let outcomes = engine.run_jobs(&doubled).unwrap();
+        assert_eq!(outcomes.len(), doubled.len());
+        assert_eq!(engine.solves(), jobs.len());
+        // A second identical run is served entirely from the cache.
+        let before = engine.solves();
+        engine.run_jobs(&doubled).unwrap();
+        assert_eq!(engine.solves(), before, "second run must not solve");
+        // Duplicates coalesce before the cache, so the second run scores
+        // one hit per *distinct* job.
+        assert_eq!(engine.cache_hits(), jobs.len());
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_keys() {
+        let tb = Testbed::fast();
+        let batch = SimJob::batch(tb.chip());
+        let sm = tb.max_stressmark(2.5e6, None);
+        let loads: [CoreLoad; NUM_CORES] =
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+        let base = NoiseRunConfig {
+            window_s: Some(25e-6),
+            record_traces: false,
+            seed: 1,
+        };
+        let a = batch.job(loads.clone(), base.clone());
+        let b = batch.job(
+            loads.clone(),
+            NoiseRunConfig {
+                seed: 2,
+                ..base.clone()
+            },
+        );
+        let c = batch.job(
+            loads.clone(),
+            NoiseRunConfig {
+                window_s: Some(30e-6),
+                ..base.clone()
+            },
+        );
+        let d = batch.job(
+            loads,
+            NoiseRunConfig {
+                record_traces: true,
+                ..base
+            },
+        );
+        let keys = [a.key(), b.key(), c.key(), d.key()];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "jobs {i} and {j} must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn undervolted_chip_changes_the_signature() {
+        let tb = Testbed::fast();
+        let nominal = chip_signature(tb.chip());
+        let lowered = chip_signature(&tb.chip().undervolted(-0.02).unwrap());
+        assert_ne!(nominal, lowered);
+        // And an identical rebuild matches.
+        assert_eq!(nominal, chip_signature(tb.chip()));
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_first_error() {
+        let engine = Engine::with_workers(4);
+        let items: Vec<usize> = (0..40).collect();
+        let ok = engine.par_map(&items, |&i| Ok(i * 2)).unwrap();
+        assert_eq!(ok, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        let err = engine
+            .par_map(&items, |&i| {
+                if i >= 7 {
+                    Err(PdnError::UnknownNode { node: i })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, PdnError::UnknownNode { node: 7 }), "{err:?}");
+    }
+}

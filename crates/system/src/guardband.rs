@@ -163,8 +163,12 @@ mod tests {
 
     #[test]
     fn monotonicity_is_enforced_on_noisy_input() {
-        let t = GuardbandTable::from_worst_case_noise([0.02, 0.05, 0.04, 0.06, 0.06, 0.07, 0.08], 1.0);
-        assert!((t.margin_v(2) - 0.05).abs() < 1e-12, "dip must be flattened");
+        let t =
+            GuardbandTable::from_worst_case_noise([0.02, 0.05, 0.04, 0.06, 0.06, 0.07, 0.08], 1.0);
+        assert!(
+            (t.margin_v(2) - 0.05).abs() < 1e-12,
+            "dip must be flattened"
+        );
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //!   misalignment-spreading helper of Fig. 10;
 //! - [`workload`] — idle / medium / max workload classes, distributions
 //!   and mapping enumeration (§V-D, Fig. 11);
-//! - [`noise`] — the engine: stressmarks → PDN transient + coherent
-//!   cycle-ripple model → per-core skitter %p2p readings;
+//! - [`noise`] — the simulation kernel: stressmarks → PDN transient +
+//!   coherent cycle-ripple model → per-core skitter %p2p readings;
+//! - [`engine`] — content-keyed [`engine::SimJob`]s, the parallel
+//!   scoped-thread executor and the sharded memo cache every experiment
+//!   runs through;
 //! - [`testbed`] — ISA + EPI profile + searched sequences + chip, cached
 //!   for experiments;
 //! - [`mapping`] — noise-aware workload mapping policy (§VII-A);
@@ -36,6 +39,7 @@
 
 pub mod chip;
 pub mod dither;
+pub mod engine;
 pub mod guardband;
 pub mod mapping;
 pub mod mitigation;
@@ -48,14 +52,18 @@ pub mod workload;
 
 pub use chip::{Chip, ChipConfig, HfNoiseParams};
 pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
+pub use engine::{chip_signature, Engine, EngineStats, JobBatch, JobKey, LoadKey, SimJob};
 pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
 pub use mapping::{
-    evaluate_all_mappings, evaluate_mapping, naive_mapping, MappingEvaluation, NoiseAwareMapper,
+    evaluate_all_mappings, evaluate_all_mappings_on, evaluate_mapping, mapping_job, naive_mapping,
+    MappingEvaluation, NoiseAwareMapper,
 };
 pub use mitigation::{evaluate_governor, GlobalNoiseGovernor, GovernorConfig, GovernorEvaluation};
 pub use noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
 pub use population::PopulationStudy;
-pub use scheduler::{replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy};
+pub use scheduler::{
+    replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy,
+};
 pub use testbed::Testbed;
 pub use tod::{spread_offsets, TodSync};
 pub use workload::{all_distributions, mappings_of, Distribution, Mapping, WorkloadKind};

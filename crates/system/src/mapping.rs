@@ -5,7 +5,8 @@
 //! noise engine and implements a mapping policy that minimizes the
 //! worst-case core noise.
 
-use crate::noise::{run_noise, NoiseOutcome, NoiseRunConfig};
+use crate::engine::{Engine, SimJob};
+use crate::noise::{NoiseOutcome, NoiseRunConfig};
 use crate::testbed::Testbed;
 use crate::workload::{mappings_of, Distribution, Mapping, WorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,33 @@ pub struct MappingEvaluation {
     pub worst_pct: f64,
 }
 
-/// Evaluates one mapping on the testbed's chip.
+impl MappingEvaluation {
+    /// Builds the evaluation of a mapping from its noise outcome.
+    pub fn from_outcome(mapping: &Mapping, outcome: &NoiseOutcome) -> MappingEvaluation {
+        let (worst_core, worst_pct) = outcome.worst();
+        MappingEvaluation {
+            mapping: *mapping,
+            per_core_pct: outcome.pct_p2p,
+            worst_core,
+            worst_pct,
+        }
+    }
+}
+
+/// The [`SimJob`] that evaluates one mapping on the testbed's chip.
+pub fn mapping_job(
+    tb: &Testbed,
+    mapping: &Mapping,
+    stim_freq_hz: f64,
+    sync: Option<SyncSpec>,
+    cfg: &NoiseRunConfig,
+) -> SimJob {
+    let loads = tb.loads_of_mapping(mapping, stim_freq_hz, sync);
+    SimJob::new(std::sync::Arc::new(tb.chip().clone()), loads, cfg.clone())
+}
+
+/// Evaluates one mapping through the shared experiment engine (cached:
+/// re-evaluating a mapping is free).
 ///
 /// # Errors
 ///
@@ -38,18 +65,44 @@ pub fn evaluate_mapping(
     sync: Option<SyncSpec>,
     cfg: &NoiseRunConfig,
 ) -> Result<MappingEvaluation, PdnError> {
-    let loads = tb.loads_of_mapping(mapping, stim_freq_hz, sync);
-    let outcome: NoiseOutcome = run_noise(tb.chip(), &loads, cfg)?;
-    let (worst_core, worst_pct) = outcome.worst();
-    Ok(MappingEvaluation {
-        mapping: *mapping,
-        per_core_pct: outcome.pct_p2p,
-        worst_core,
-        worst_pct,
-    })
+    let outcome = Engine::shared().run_one(&mapping_job(tb, mapping, stim_freq_hz, sync, cfg))?;
+    Ok(MappingEvaluation::from_outcome(mapping, &outcome))
 }
 
-/// Evaluates every mapping of `k` maximum-dI/dt workloads (rest idle).
+/// Evaluates every mapping of `k` maximum-dI/dt workloads (rest idle)
+/// on an explicit engine, running the jobs in parallel.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] when any PDN solve fails.
+pub fn evaluate_all_mappings_on(
+    engine: &Engine,
+    tb: &Testbed,
+    k_workloads: usize,
+    stim_freq_hz: f64,
+    sync: Option<SyncSpec>,
+    cfg: &NoiseRunConfig,
+) -> Result<Vec<MappingEvaluation>, PdnError> {
+    let dist = Distribution {
+        max_count: k_workloads,
+        medium_count: 0,
+    };
+    let mappings = mappings_of(&dist);
+    let batch = SimJob::batch(tb.chip());
+    let jobs: Vec<SimJob> = mappings
+        .iter()
+        .map(|m| batch.job(tb.loads_of_mapping(m, stim_freq_hz, sync), cfg.clone()))
+        .collect();
+    let outcomes = engine.run_jobs(&jobs)?;
+    Ok(mappings
+        .iter()
+        .zip(&outcomes)
+        .map(|(m, o)| MappingEvaluation::from_outcome(m, o))
+        .collect())
+}
+
+/// Evaluates every mapping of `k` maximum-dI/dt workloads (rest idle)
+/// through the shared experiment engine.
 ///
 /// # Errors
 ///
@@ -61,14 +114,7 @@ pub fn evaluate_all_mappings(
     sync: Option<SyncSpec>,
     cfg: &NoiseRunConfig,
 ) -> Result<Vec<MappingEvaluation>, PdnError> {
-    let dist = Distribution {
-        max_count: k_workloads,
-        medium_count: 0,
-    };
-    mappings_of(&dist)
-        .iter()
-        .map(|m| evaluate_mapping(tb, m, stim_freq_hz, sync, cfg))
-        .collect()
+    evaluate_all_mappings_on(Engine::shared(), tb, k_workloads, stim_freq_hz, sync, cfg)
 }
 
 /// A mapping policy built from measured evaluations: picks the mapping
@@ -102,13 +148,13 @@ impl NoiseAwareMapper {
     /// Best (lowest worst-case noise) mapping for `k` workloads.
     pub fn best_for(&self, k: usize) -> Option<&MappingEvaluation> {
         self.with_count(k)
-            .min_by(|a, b| a.worst_pct.partial_cmp(&b.worst_pct).expect("finite noise"))
+            .min_by(|a, b| a.worst_pct.total_cmp(&b.worst_pct))
     }
 
     /// Worst mapping for `k` workloads.
     pub fn worst_for(&self, k: usize) -> Option<&MappingEvaluation> {
         self.with_count(k)
-            .max_by(|a, b| a.worst_pct.partial_cmp(&b.worst_pct).expect("finite noise"))
+            .max_by(|a, b| a.worst_pct.total_cmp(&b.worst_pct))
     }
 
     /// Noise-reduction opportunity for `k` workloads: worst minus best
@@ -151,7 +197,11 @@ mod tests {
         let m = naive_mapping(3);
         assert_eq!(
             m[..3],
-            [WorkloadKind::MaxDidt, WorkloadKind::MaxDidt, WorkloadKind::MaxDidt]
+            [
+                WorkloadKind::MaxDidt,
+                WorkloadKind::MaxDidt,
+                WorkloadKind::MaxDidt
+            ]
         );
         assert_eq!(m[3], WorkloadKind::Idle);
     }

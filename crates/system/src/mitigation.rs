@@ -86,11 +86,7 @@ impl GlobalNoiseGovernor {
     /// de-synchronizes it).
     pub fn schedule(&self, delta_i_requests: &[f64]) -> Vec<Admission> {
         let mut order: Vec<usize> = (0..delta_i_requests.len()).collect();
-        order.sort_by(|&a, &b| {
-            delta_i_requests[b]
-                .partial_cmp(&delta_i_requests[a])
-                .expect("finite requests")
-        });
+        order.sort_by(|&a, &b| delta_i_requests[b].total_cmp(&delta_i_requests[a]));
         let slots = self.config.max_stagger_ticks as usize + 1;
         let mut load = vec![0.0f64; slots];
         let mut out = Vec::with_capacity(delta_i_requests.len());

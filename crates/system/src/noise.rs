@@ -107,7 +107,11 @@ impl Default for NoiseRunConfig {
 }
 
 /// Outcome of one noise run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so that determinism can be checked end to end: the
+/// engine's parallel-equals-serial invariant compares JSON renderings of
+/// whole outcomes.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct NoiseOutcome {
     /// Per-core sticky skitter readings.
     pub readings: [SkitterReading; NUM_CORES],
@@ -132,7 +136,7 @@ impl NoiseOutcome {
             .iter()
             .copied()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite noise"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("six cores")
     }
 
@@ -188,13 +192,11 @@ fn waveform_of(
 /// and offsets equal to within a core cycle.
 fn coherence_key(load: &CoreLoad) -> Option<(u64, u64)> {
     match load {
-        CoreLoad::Stressmark(sm) if sync_is_effective(sm) => {
-            sm.spec.sync.as_ref().map(|sync| {
-                let slot = (sync.offset_seconds() / COHERENCE_WINDOW_S).round() as u64;
-                let freq_key = sm.spec.stim_freq_hz.to_bits();
-                (slot, freq_key)
-            })
-        }
+        CoreLoad::Stressmark(sm) if sync_is_effective(sm) => sm.spec.sync.as_ref().map(|sync| {
+            let slot = (sync.offset_seconds() / COHERENCE_WINDOW_S).round() as u64;
+            let freq_key = sm.spec.stim_freq_hz.to_bits();
+            (slot, freq_key)
+        }),
         _ => None,
     }
 }
@@ -254,9 +256,9 @@ fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> Tran
     let window = cfg
         .window_s
         .unwrap_or_else(|| (6.0 * t_max).clamp(80e-6, 4e-3));
-    let any_synced = loads.iter().any(|l| {
-        matches!(l, CoreLoad::Stressmark(sm) if sm.spec.sync.is_some())
-    });
+    let any_synced = loads
+        .iter()
+        .any(|l| matches!(l, CoreLoad::Stressmark(sm) if sm.spec.sync.is_some()));
     let mut tc = TransientConfig::new(window);
     tc.h_coarse = if t_min.is_finite() {
         (t_min / 200.0).clamp(4e-9, 40e-9)
@@ -275,7 +277,9 @@ fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> Tran
     } else {
         (2.0 * t_max).min(window * 0.25)
     };
-    tc.record_decimation = cfg.record_traces.then(|| 1.max((window / tc.h_coarse) as usize / 4000));
+    tc.record_decimation = cfg
+        .record_traces
+        .then(|| 1.max((window / tc.h_coarse) as usize / 4000));
     tc
 }
 
@@ -444,7 +448,8 @@ mod tests {
     #[test]
     fn misaligned_offsets_lose_coherence() {
         let tb = Testbed::fast();
-        let mut sm0 = tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
+        let mut sm0 =
+            tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
         let aligned = loads_all(&CoreLoad::Stressmark(sm0.clone()));
         // Give each core a distinct 62.5 ns offset slot.
         let mut misaligned = loads_all(&CoreLoad::Idle);

@@ -60,7 +60,12 @@ impl PopulationStudy {
             std::array::from_fn(|i| per_chip.iter().map(|c| c[i]).sum::<f64>() / n);
         let std_pct: [f64; NUM_CORES] = std::array::from_fn(|i| {
             let m = mean_pct[i];
-            (per_chip.iter().map(|c| (c[i] - m) * (c[i] - m)).sum::<f64>() / n).sqrt()
+            (per_chip
+                .iter()
+                .map(|c| (c[i] - m) * (c[i] - m))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         });
         Ok(PopulationStudy {
             seeds: seeds.to_vec(),
@@ -92,7 +97,10 @@ impl PopulationStudy {
             self.seeds.len()
         );
         for i in 0..NUM_CORES {
-            out.push_str(&format!("core{i},{:.1},{:.2}\n", self.mean_pct[i], self.std_pct[i]));
+            out.push_str(&format!(
+                "core{i},{:.1},{:.2}\n",
+                self.mean_pct[i], self.std_pct[i]
+            ));
         }
         out.push_str(&format!(
             "# worst reading: {:.1} %p2p on core {} of chip seed {}\n",
@@ -122,7 +130,11 @@ mod tests {
         };
         let study = PopulationStudy::run(&[0, 7, 21, 42], &loads(), &cfg).unwrap();
         // Chips agree broadly: the stressmark stresses them all...
-        assert!(study.grand_mean() > 35.0, "grand mean {}", study.grand_mean());
+        assert!(
+            study.grand_mean() > 35.0,
+            "grand mean {}",
+            study.grand_mean()
+        );
         // ...and manufacturing variation stays a second-order effect.
         assert!(
             study.max_relative_spread() < 0.20,

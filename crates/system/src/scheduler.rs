@@ -126,7 +126,7 @@ impl PlacementPolicy for NoiseAwarePolicy {
             .min_by(|&a, &b| {
                 let na = self.table.noise_pct(occupied_mask | (1 << a));
                 let nb = self.table.noise_pct(occupied_mask | (1 << b));
-                na.partial_cmp(&nb).expect("finite noise")
+                na.total_cmp(&nb)
             })
     }
     fn name(&self) -> &'static str {
@@ -227,7 +227,10 @@ pub fn replay(table: &NoiseTable, policy: &dyn PlacementPolicy, jobs: &[Job]) ->
                 Some(core) => {
                     queue.remove(0);
                     mask |= 1 << core;
-                    running.push(Running { core, ends: t + dur });
+                    running.push(Running {
+                        core,
+                        ends: t + dur,
+                    });
                 }
                 None => break,
             }

@@ -156,7 +156,8 @@ impl Testbed {
             duty: 0.5,
             sync,
         };
-        compile(&self.isa, &self.core, spec).expect("searched sequences compile at paper frequencies")
+        compile(&self.isa, &self.core, spec)
+            .expect("searched sequences compile at paper frequencies")
     }
 
     /// The maximum dI/dt stressmark at a stimulus frequency.
@@ -227,7 +228,10 @@ mod tests {
         let min = tb.min_sequence().power_w;
         assert!(max > med && med > min, "max {max} med {med} min {min}");
         let target = (max + min) / 2.0;
-        assert!((med - target).abs() / target < 0.08, "medium {med} vs target {target}");
+        assert!(
+            (med - target).abs() / target < 0.08,
+            "medium {med} vs target {target}"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Distribution {
     /// The distribution of a mapping.
     pub fn of(mapping: &Mapping) -> Self {
         Distribution {
-            max_count: mapping.iter().filter(|w| **w == WorkloadKind::MaxDidt).count(),
+            max_count: mapping
+                .iter()
+                .filter(|w| **w == WorkloadKind::MaxDidt)
+                .count(),
             medium_count: mapping
                 .iter()
                 .filter(|w| **w == WorkloadKind::MediumDidt)
@@ -98,31 +101,31 @@ pub fn mappings_of(dist: &Distribution) -> Vec<Mapping> {
     choose(n, dist.max_count, 0, &mut max_sel, &mut |max_mask| {
         let free: Vec<usize> = (0..n).filter(|&i| !max_mask[i]).collect();
         let mut med_sel = vec![false; free.len()];
-        choose(free.len(), dist.medium_count, 0, &mut med_sel, &mut |med_mask| {
-            let mut m = [WorkloadKind::Idle; NUM_CORES];
-            for (i, &is_max) in max_mask.iter().enumerate() {
-                if is_max {
-                    m[i] = WorkloadKind::MaxDidt;
+        choose(
+            free.len(),
+            dist.medium_count,
+            0,
+            &mut med_sel,
+            &mut |med_mask| {
+                let mut m = [WorkloadKind::Idle; NUM_CORES];
+                for (i, &is_max) in max_mask.iter().enumerate() {
+                    if is_max {
+                        m[i] = WorkloadKind::MaxDidt;
+                    }
                 }
-            }
-            for (k, &fi) in free.iter().enumerate() {
-                if med_mask[k] {
-                    m[fi] = WorkloadKind::MediumDidt;
+                for (k, &fi) in free.iter().enumerate() {
+                    if med_mask[k] {
+                        m[fi] = WorkloadKind::MediumDidt;
+                    }
                 }
-            }
-            out.push(m);
-        });
+                out.push(m);
+            },
+        );
     });
     out
 }
 
-fn choose(
-    n: usize,
-    k: usize,
-    start: usize,
-    sel: &mut Vec<bool>,
-    visit: &mut impl FnMut(&[bool]),
-) {
+fn choose(n: usize, k: usize, start: usize, sel: &mut Vec<bool>, visit: &mut impl FnMut(&[bool])) {
     let chosen = sel.iter().filter(|&&s| s).count();
     if chosen == k {
         visit(sel);

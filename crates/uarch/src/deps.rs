@@ -216,7 +216,12 @@ mod tests {
         let with_regs = run_with_deps(&isa, &cfg, &operands, 300);
         let structural = crate::pipeline::PipelineSim::new(&isa, &cfg).run(&b, 300, false);
         let rel = (with_regs.ipc() - structural.ipc()).abs() / structural.ipc();
-        assert!(rel < 0.05, "dep-free {} vs structural {}", with_regs.ipc(), structural.ipc());
+        assert!(
+            rel < 0.05,
+            "dep-free {} vs structural {}",
+            with_regs.ipc(),
+            structural.ipc()
+        );
     }
 
     #[test]
@@ -224,8 +229,18 @@ mod tests {
         let isa = Isa::zlike();
         let cfg = CoreConfig::default();
         let b = body(&isa);
-        let indep = run_with_deps(&isa, &cfg, &assign_operands(&b, OperandPolicy::Independent), 300);
-        let chained = run_with_deps(&isa, &cfg, &assign_operands(&b, OperandPolicy::Chained), 300);
+        let indep = run_with_deps(
+            &isa,
+            &cfg,
+            &assign_operands(&b, OperandPolicy::Independent),
+            300,
+        );
+        let chained = run_with_deps(
+            &isa,
+            &cfg,
+            &assign_operands(&b, OperandPolicy::Chained),
+            300,
+        );
         assert!(
             chained.ipc() < indep.ipc() * 0.6,
             "chained {} vs independent {}",

@@ -205,7 +205,7 @@ impl DisruptionStudy {
         let cheap = isa
             .iter()
             .filter(|(_, d)| d.latency <= 1 && !d.serializing && !d.ends_group)
-            .min_by(|a, b| a.1.energy_pj.partial_cmp(&b.1.energy_pj).expect("finite"))
+            .min_by(|a, b| a.1.energy_pj.total_cmp(&b.1.energy_pj))
             .map(|(op, _)| op)
             .expect("cheap op exists");
         let disruptive = DisruptedKernel::plain(Kernel::from_sequence("disr", vec![cheap; 6], 200))
@@ -289,8 +289,14 @@ mod tests {
     #[test]
     fn finding_c_shared_resources_hurt_stimulus_control() {
         let (_, _, s) = study();
-        assert!(s.contained_variability < 1e-6, "core-contained loops are deterministic");
-        assert!(s.memory_variability > 0.01, "shared traffic must add variability");
+        assert!(
+            s.contained_variability < 1e-6,
+            "core-contained loops are deterministic"
+        );
+        assert!(
+            s.memory_variability > 0.01,
+            "shared traffic must add variability"
+        );
     }
 
     #[test]
@@ -318,7 +324,10 @@ mod tests {
                 .ipc
         };
         // Branch misses are core-private: contention-independent.
-        assert!((mk(DisruptiveEvent::BranchMiss, 0.0) - mk(DisruptiveEvent::BranchMiss, 1.0)).abs() < 1e-12);
+        assert!(
+            (mk(DisruptiveEvent::BranchMiss, 0.0) - mk(DisruptiveEvent::BranchMiss, 1.0)).abs()
+                < 1e-12
+        );
         // L3 misses slow down under contention.
         assert!(mk(DisruptiveEvent::L3Miss, 1.0) < mk(DisruptiveEvent::L3Miss, 0.0));
     }

@@ -77,8 +77,7 @@ impl EpiProfile {
             .collect();
         entries.sort_by(|a, b| {
             b.power_w
-                .partial_cmp(&a.power_w)
-                .expect("finite powers")
+                .total_cmp(&a.power_w)
                 .then_with(|| a.mnemonic.cmp(&b.mnemonic))
         });
         let floor = entries.last().map(|e| e.power_w).unwrap_or(1.0);
@@ -116,7 +115,10 @@ impl EpiProfile {
 
     /// 1-based rank of an opcode (1 = highest power), or `None` if absent.
     pub fn rank_of(&self, op: Opcode) -> Option<usize> {
-        self.entries.iter().position(|e| e.opcode == op).map(|i| i + 1)
+        self.entries
+            .iter()
+            .position(|e| e.opcode == op)
+            .map(|i| i + 1)
     }
 
     /// The lowest-power instruction — the paper's choice for the minimum

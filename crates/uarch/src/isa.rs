@@ -132,7 +132,10 @@ impl Isa {
 
     /// Iterates `(Opcode, &InstrDef)` pairs in opcode order.
     pub fn iter(&self) -> impl Iterator<Item = (Opcode, &InstrDef)> {
-        self.defs.iter().enumerate().map(|(i, d)| (Opcode(i as u16), d))
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (Opcode(i as u16), d))
     }
 
     /// All opcodes in order.
@@ -239,28 +242,99 @@ const fn sys(
 /// table's ordering.
 const CURATED: &[Curated] = &[
     // --- Table I top five: fused compare-and-branch ops dominate. ---
-    branch("CIB", "Compare immediate and branch (32<8)", UnitKind::Bru, 905.0),
+    branch(
+        "CIB",
+        "Compare immediate and branch (32<8)",
+        UnitKind::Bru,
+        905.0,
+    ),
     branch("CRB", "Compare and branch (32)", UnitKind::Bru, 898.0),
     branch("BXHG", "Branch on index high (64)", UnitKind::Bru, 896.0),
-    branch("CGIB", "Compare immediate and branch (64<8)", UnitKind::Bru, 886.0),
-    c("CHHSI", "Compare halfword immediate (16<16)", UnitKind::Fxu, 1, 1, 441.0),
+    branch(
+        "CGIB",
+        "Compare immediate and branch (64<8)",
+        UnitKind::Bru,
+        886.0,
+    ),
+    c(
+        "CHHSI",
+        "Compare halfword immediate (16<16)",
+        UnitKind::Fxu,
+        1,
+        1,
+        441.0,
+    ),
     // --- More compare/branch family members. ---
     branch("CGRB", "Compare and branch (64)", UnitKind::Bru, 872.0),
-    branch("CLRB", "Compare logical and branch (32)", UnitKind::Bru, 868.0),
-    branch("CLGRB", "Compare logical and branch (64)", UnitKind::Bru, 860.0),
+    branch(
+        "CLRB",
+        "Compare logical and branch (32)",
+        UnitKind::Bru,
+        868.0,
+    ),
+    branch(
+        "CLGRB",
+        "Compare logical and branch (64)",
+        UnitKind::Bru,
+        860.0,
+    ),
     branch("BXH", "Branch on index high (32)", UnitKind::Bru, 855.0),
-    branch("BXLEG", "Branch on index low or equal (64)", UnitKind::Bru, 852.0),
-    branch("BRCT", "Branch relative on count (32)", UnitKind::Bru, 610.0),
-    branch("BRCTG", "Branch relative on count (64)", UnitKind::Bru, 612.0),
+    branch(
+        "BXLEG",
+        "Branch on index low or equal (64)",
+        UnitKind::Bru,
+        852.0,
+    ),
+    branch(
+        "BRCT",
+        "Branch relative on count (32)",
+        UnitKind::Bru,
+        610.0,
+    ),
+    branch(
+        "BRCTG",
+        "Branch relative on count (64)",
+        UnitKind::Bru,
+        612.0,
+    ),
     branch("BC", "Branch on condition", UnitKind::Bru, 430.0),
-    branch("BCR", "Branch on condition (register)", UnitKind::Bru, 380.0),
+    branch(
+        "BCR",
+        "Branch on condition (register)",
+        UnitKind::Bru,
+        380.0,
+    ),
     branch("BRC", "Branch relative on condition", UnitKind::Bru, 428.0),
-    branch("BRCL", "Branch relative on condition long", UnitKind::Bru, 452.0),
+    branch(
+        "BRCL",
+        "Branch relative on condition long",
+        UnitKind::Bru,
+        452.0,
+    ),
     branch("BRAS", "Branch relative and save", UnitKind::Bru, 530.0),
-    branch("BRASL", "Branch relative and save long", UnitKind::Bru, 545.0),
+    branch(
+        "BRASL",
+        "Branch relative and save long",
+        UnitKind::Bru,
+        545.0,
+    ),
     // --- High-power fixed point. ---
-    c("CHSI", "Compare halfword immediate (32<16)", UnitKind::Fxu, 1, 1, 432.0),
-    c("CGHSI", "Compare halfword immediate (64<16)", UnitKind::Fxu, 1, 1, 430.0),
+    c(
+        "CHSI",
+        "Compare halfword immediate (32<16)",
+        UnitKind::Fxu,
+        1,
+        1,
+        432.0,
+    ),
+    c(
+        "CGHSI",
+        "Compare halfword immediate (64<16)",
+        UnitKind::Fxu,
+        1,
+        1,
+        430.0,
+    ),
     c("CR", "Compare (32)", UnitKind::Fxu, 1, 1, 402.0),
     c("CGR", "Compare (64)", UnitKind::Fxu, 1, 1, 405.0),
     c("AR", "Add (32)", UnitKind::Fxu, 1, 1, 398.0),
@@ -275,12 +349,40 @@ const CURATED: &[Curated] = &[
     c("XGR", "Exclusive or (64)", UnitKind::Fxu, 1, 1, 371.0),
     c("LCR", "Load complement (32)", UnitKind::Fxu, 1, 1, 342.0),
     c("LPR", "Load positive (32)", UnitKind::Fxu, 1, 1, 341.0),
-    c("SLLG", "Shift left single logical (64)", UnitKind::Fxu, 1, 1, 382.0),
-    c("SRLG", "Shift right single logical (64)", UnitKind::Fxu, 1, 1, 381.0),
-    c("RLLG", "Rotate left single logical (64)", UnitKind::Fxu, 1, 1, 388.0),
+    c(
+        "SLLG",
+        "Shift left single logical (64)",
+        UnitKind::Fxu,
+        1,
+        1,
+        382.0,
+    ),
+    c(
+        "SRLG",
+        "Shift right single logical (64)",
+        UnitKind::Fxu,
+        1,
+        1,
+        381.0,
+    ),
+    c(
+        "RLLG",
+        "Rotate left single logical (64)",
+        UnitKind::Fxu,
+        1,
+        1,
+        388.0,
+    ),
     c("MSR", "Multiply single (32)", UnitKind::Fxu, 5, 2, 520.0),
     c("MSGR", "Multiply single (64)", UnitKind::Fxu, 7, 2, 560.0),
-    c("MLGR", "Multiply logical (128<64)", UnitKind::Fxu, 8, 2, 610.0),
+    c(
+        "MLGR",
+        "Multiply logical (128<64)",
+        UnitKind::Fxu,
+        8,
+        2,
+        610.0,
+    ),
     c("DLGR", "Divide logical (64)", UnitKind::Fxu, 30, 26, 1450.0),
     c("DSGR", "Divide single (64)", UnitKind::Fxu, 30, 26, 1430.0),
     c("DR", "Divide (32)", UnitKind::Fxu, 24, 20, 1280.0),
@@ -290,33 +392,96 @@ const CURATED: &[Curated] = &[
     c("LGR", "Load register (64)", UnitKind::Fxu, 1, 1, 310.0),
     c("LR", "Load register (32)", UnitKind::Fxu, 1, 1, 305.0),
     c("LH", "Load halfword (32<16)", UnitKind::Lsu, 4, 1, 415.0),
-    c("LLGC", "Load logical character (64<8)", UnitKind::Lsu, 4, 1, 410.0),
+    c(
+        "LLGC",
+        "Load logical character (64<8)",
+        UnitKind::Lsu,
+        4,
+        1,
+        410.0,
+    ),
     c("ST", "Store (32)", UnitKind::Lsu, 1, 1, 390.0),
     c("STG", "Store (64)", UnitKind::Lsu, 1, 1, 398.0),
     c("STH", "Store halfword (16)", UnitKind::Lsu, 1, 1, 381.0),
     c("MVC", "Move character", UnitKind::Lsu, 6, 3, 890.0),
-    c("CLC", "Compare logical character", UnitKind::Lsu, 6, 3, 870.0),
+    c(
+        "CLC",
+        "Compare logical character",
+        UnitKind::Lsu,
+        6,
+        3,
+        870.0,
+    ),
     c("XC", "Exclusive or character", UnitKind::Lsu, 6, 3, 905.0),
     // --- Binary floating point. ---
     c("AEBR", "Add short BFP", UnitKind::Bfu, 6, 1, 640.0),
     c("ADBR", "Add long BFP", UnitKind::Bfu, 6, 1, 655.0),
     c("MEEBR", "Multiply short BFP", UnitKind::Bfu, 7, 1, 700.0),
     c("MDBR", "Multiply long BFP", UnitKind::Bfu, 7, 1, 718.0),
-    c("MADBR", "Multiply and add long BFP", UnitKind::Bfu, 7, 1, 772.0),
-    c("MAEBR", "Multiply and add short BFP", UnitKind::Bfu, 7, 1, 756.0),
+    c(
+        "MADBR",
+        "Multiply and add long BFP",
+        UnitKind::Bfu,
+        7,
+        1,
+        772.0,
+    ),
+    c(
+        "MAEBR",
+        "Multiply and add short BFP",
+        UnitKind::Bfu,
+        7,
+        1,
+        756.0,
+    ),
     c("DDBR", "Divide long BFP", UnitKind::Bfu, 31, 27, 1820.0),
     c("DEBR", "Divide short BFP", UnitKind::Bfu, 25, 21, 1610.0),
-    c("SQDBR", "Square root long BFP", UnitKind::Bfu, 37, 33, 1950.0),
+    c(
+        "SQDBR",
+        "Square root long BFP",
+        UnitKind::Bfu,
+        37,
+        33,
+        1950.0,
+    ),
     c("LDR", "Load FPR (long)", UnitKind::Bfu, 1, 1, 290.0),
     c("CDBR", "Compare long BFP", UnitKind::Bfu, 4, 1, 520.0),
     // --- Decimal floating point: Table I bottom entries. ---
     c("ADTR", "Add long DFP", UnitKind::Dfu, 12, 8, 720.0),
     c("SDTR", "Subtract long DFP", UnitKind::Dfu, 12, 8, 718.0),
     c("CDTR", "Compare long DFP", UnitKind::Dfu, 9, 6, 600.0),
-    c("DDTRA", "Divide long DFP with rounding mode", UnitKind::Dfu, 38, 38, 760.0),
-    c("MXTRA", "Multiply extended DFP with rounding mode", UnitKind::Dfu, 33, 33, 640.0),
-    c("MDTRA", "Multiply long DFP with rounding mode", UnitKind::Dfu, 28, 28, 520.0),
-    c("DXTRA", "Divide extended DFP with rounding mode", UnitKind::Dfu, 42, 42, 880.0),
+    c(
+        "DDTRA",
+        "Divide long DFP with rounding mode",
+        UnitKind::Dfu,
+        38,
+        38,
+        760.0,
+    ),
+    c(
+        "MXTRA",
+        "Multiply extended DFP with rounding mode",
+        UnitKind::Dfu,
+        33,
+        33,
+        640.0,
+    ),
+    c(
+        "MDTRA",
+        "Multiply long DFP with rounding mode",
+        UnitKind::Dfu,
+        28,
+        28,
+        520.0,
+    ),
+    c(
+        "DXTRA",
+        "Divide extended DFP with rounding mode",
+        UnitKind::Dfu,
+        42,
+        42,
+        880.0,
+    ),
     c("QADTR", "Quantize long DFP", UnitKind::Dfu, 14, 10, 690.0),
     // --- System / serializing: Table I bottom entries. ---
     sys("STCK", "Store clock", 28, 480.0),
@@ -350,8 +515,12 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Fxu,
         description: "fixed-point register-register",
-        bases: &["A", "S", "N", "O", "X", "C", "CL", "AL", "SL", "M", "LT", "LN", "LP", "LC"],
-        suffixes: &["RK", "GRK", "HHR", "HLR", "LHR", "RJ", "GFR", "YR", "HR", "GHR", "RT", "GRT"],
+        bases: &[
+            "A", "S", "N", "O", "X", "C", "CL", "AL", "SL", "M", "LT", "LN", "LP", "LC",
+        ],
+        suffixes: &[
+            "RK", "GRK", "HHR", "HLR", "LHR", "RJ", "GFR", "YR", "HR", "GHR", "RT", "GRT",
+        ],
         latency: 1,
         occupancy: 1,
         energy_lo: 300.0,
@@ -363,7 +532,9 @@ const FAMILIES: &[Family] = &[
         unit: UnitKind::Fxu,
         description: "fixed-point register-immediate",
         bases: &["A", "S", "N", "O", "X", "C", "CL", "M", "LT", "TM"],
-        suffixes: &["FI", "GFI", "HI", "GHI", "IH", "IL", "IHF", "ILF", "SI", "GSI", "HIK", "GHIK"],
+        suffixes: &[
+            "FI", "GFI", "HI", "GHI", "IH", "IL", "IHF", "ILF", "SI", "GSI", "HIK", "GHIK",
+        ],
         latency: 1,
         occupancy: 1,
         energy_lo: 310.0,
@@ -374,7 +545,9 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Fxu,
         description: "shift and rotate",
-        bases: &["SLL", "SRL", "SLA", "SRA", "RLL", "SLD", "SRD", "RISB", "RNSB", "ROSB", "RXSB"],
+        bases: &[
+            "SLL", "SRL", "SLA", "SRA", "RLL", "SLD", "SRD", "RISB", "RNSB", "ROSB", "RXSB",
+        ],
         suffixes: &["", "K", "G", "GK", "A", "L", "H", "LG", "HG"],
         latency: 1,
         occupancy: 1,
@@ -398,8 +571,12 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Lsu,
         description: "load",
-        bases: &["L", "LG", "LH", "LB", "LLC", "LLH", "LLG", "LT", "LRV", "LM", "LPQ", "LAT"],
-        suffixes: &["Y", "F", "FY", "T", "H", "HY", "RL", "GF", "GRL", "C", "B", "E"],
+        bases: &[
+            "L", "LG", "LH", "LB", "LLC", "LLH", "LLG", "LT", "LRV", "LM", "LPQ", "LAT",
+        ],
+        suffixes: &[
+            "Y", "F", "FY", "T", "H", "HY", "RL", "GF", "GRL", "C", "B", "E",
+        ],
         latency: 4,
         occupancy: 1,
         energy_lo: 360.0,
@@ -422,7 +599,10 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Lsu,
         description: "storage-to-storage",
-        bases: &["MVC", "CLC", "XC", "NC", "OC", "TR", "TRT", "ED", "UNPK", "PACK", "ZAP", "AP", "SP", "CP"],
+        bases: &[
+            "MVC", "CLC", "XC", "NC", "OC", "TR", "TRT", "ED", "UNPK", "PACK", "ZAP", "AP", "SP",
+            "CP",
+        ],
         suffixes: &["IN", "L", "LE", "U", "K", "A", "E", "Y"],
         latency: 8,
         occupancy: 4,
@@ -434,7 +614,9 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Bfu,
         description: "binary floating point",
-        bases: &["AE", "AD", "AX", "SE", "SD", "SX", "ME", "MD", "MXD", "CE", "CD", "LE", "LD", "FI"],
+        bases: &[
+            "AE", "AD", "AX", "SE", "SD", "SX", "ME", "MD", "MXD", "CE", "CD", "LE", "LD", "FI",
+        ],
         suffixes: &["B", "BR", "BRA", "R", "E", "ER", "TR", "Y"],
         latency: 6,
         occupancy: 1,
@@ -458,7 +640,10 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Dfu,
         description: "decimal floating point",
-        bases: &["AD", "SD", "MD", "CD", "CED", "CGD", "CUD", "IED", "LTD", "RRD", "SLD", "SRD", "EED", "ESD"],
+        bases: &[
+            "AD", "SD", "MD", "CD", "CED", "CGD", "CUD", "IED", "LTD", "RRD", "SLD", "SRD", "EED",
+            "ESD",
+        ],
         suffixes: &["TR", "TRB", "TRC", "TG", "TE", "TD", "TQ", "TX"],
         latency: 16,
         occupancy: 12,
@@ -470,7 +655,10 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Bru,
         description: "branch",
-        bases: &["B", "BAL", "BAS", "BCT", "BIC", "BPP", "BPRP", "CRJ", "CGRJ", "CIJ", "CGIJ", "CLRJ", "CLIJ"],
+        bases: &[
+            "B", "BAL", "BAS", "BCT", "BIC", "BPP", "BPRP", "CRJ", "CGRJ", "CIJ", "CGIJ", "CLRJ",
+            "CLIJ",
+        ],
         suffixes: &["", "R", "G", "GR", "L", "LR", "H", "NE", "E"],
         latency: 1,
         occupancy: 1,
@@ -482,7 +670,9 @@ const FAMILIES: &[Family] = &[
     Family {
         unit: UnitKind::Sys,
         description: "system control",
-        bases: &["PFPO", "TABORT", "ETND", "PPA", "NIAI", "LFAS", "CSST", "PLO", "SRST", "CUSE"],
+        bases: &[
+            "PFPO", "TABORT", "ETND", "PPA", "NIAI", "LFAS", "CSST", "PLO", "SRST", "CUSE",
+        ],
         suffixes: &["", "R", "G", "X"],
         latency: 24,
         occupancy: 24,
@@ -657,7 +847,11 @@ mod tests {
     fn energies_are_positive_and_bounded() {
         let isa = Isa::zlike();
         for (_, d) in isa.iter() {
-            assert!(d.energy_pj > 100.0 && d.energy_pj < 3000.0, "{}", d.mnemonic);
+            assert!(
+                d.energy_pj > 100.0 && d.energy_pj < 3000.0,
+                "{}",
+                d.mnemonic
+            );
             assert!(d.latency >= 1);
             assert!(d.occupancy >= 1);
         }

@@ -171,11 +171,12 @@ mod tests {
         let cheap = isa
             .iter()
             .filter(|(_, d)| d.latency <= 1 && d.unit == crate::units::UnitKind::Fxu)
-            .min_by(|a, b| a.1.energy_pj.partial_cmp(&b.1.energy_pj).unwrap())
+            .min_by(|a, b| a.1.energy_pj.total_cmp(&b.1.energy_pj))
             .unwrap()
             .0;
         let nop_like = Kernel::single_instruction(&isa, cheap, 4000).run(&isa, &cfg);
-        let srnm = Kernel::single_instruction(&isa, isa.opcode("SRNM").unwrap(), 400).run(&isa, &cfg);
+        let srnm =
+            Kernel::single_instruction(&isa, isa.opcode("SRNM").unwrap(), 400).run(&isa, &cfg);
         assert!(
             srnm.avg_power_w < nop_like.avg_power_w,
             "srnm {} vs nop-like {}",

@@ -44,7 +44,7 @@ pub mod target;
 pub mod units;
 
 pub use deps::{assign_operands, run_with_deps, DependencyStudy, OperandPolicy};
-pub use disruptive::{DisruptedKernel, DisruptiveEvent, DisruptionStudy};
+pub use disruptive::{DisruptedKernel, DisruptionStudy, DisruptiveEvent};
 pub use epi::{EpiEntry, EpiProfile};
 pub use isa::{InstrDef, Isa, Opcode, ZLIKE_ISA_SIZE};
 pub use kernel::{Kernel, RunMetrics, EPI_REPETITIONS};

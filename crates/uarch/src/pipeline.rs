@@ -191,9 +191,7 @@ impl<'a> PipelineSim<'a> {
                 // One group per cycle, after any serialization drain.
                 dispatch_cycle = (dispatch_cycle + 1).max(serialize_until);
 
-                let is_serializing = group
-                    .iter()
-                    .any(|&i| self.isa.def(body[i]).serializing);
+                let is_serializing = group.iter().any(|&i| self.isa.def(body[i]).serializing);
                 if is_serializing {
                     // Wait for the pipeline to drain.
                     dispatch_cycle = dispatch_cycle.max(max_completion + 1);

@@ -113,7 +113,10 @@ impl TargetDefinition {
                 return bad(format!("{}: zero latency or occupancy", d.mnemonic));
             }
             if d.serializing && !d.dispatch_alone {
-                return bad(format!("{}: serializing ops must dispatch alone", d.mnemonic));
+                return bad(format!(
+                    "{}: serializing ops must dispatch alone",
+                    d.mnemonic
+                ));
             }
         }
         Ok(())

@@ -23,10 +23,15 @@ fn main() {
     let synced = run_sweep(tb, &cfg, true).expect("sweep");
     println!("  freq_hz      unsync_max  sync_max");
     for (u, s) in unsync.points.iter().zip(&synced.points) {
-        println!("  {:9.3e}  {:10.1}  {:8.1}", u.freq_hz, u.max_pct(), s.max_pct());
+        println!(
+            "  {:9.3e}  {:10.1}  {:8.1}",
+            u.freq_hz,
+            u.max_pct(),
+            s.max_pct()
+        );
     }
-    let (fu, mu) = unsync.peak();
-    let (fs, ms) = synced.peak();
+    let (fu, mu) = unsync.peak().expect("non-empty sweep");
+    let (fs, ms) = synced.peak().expect("non-empty sweep");
     println!("  unsync peak {mu:.1} %p2p at {fu:.3e} Hz; sync peak {ms:.1} %p2p at {fs:.3e} Hz");
 
     println!("\n== Fig. 8: oscilloscope shot at the resonant band ==");
@@ -36,6 +41,10 @@ fn main() {
     println!("== Fig. 10: misalignment sensitivity ==");
     let mis = run_misalignment(tb, &MisalignConfig::reduced()).expect("misalignment sweep");
     for p in &mis.points {
-        println!("  max misalignment {:6.1} ns -> {:.1} %p2p", p.max_ns(), p.mean_pct());
+        println!(
+            "  max misalignment {:6.1} ns -> {:.1} %p2p",
+            p.max_ns(),
+            p.mean_pct()
+        );
     }
 }

@@ -11,11 +11,20 @@ fn main() {
     let isa = Isa::zlike();
     let core = CoreConfig::default();
 
-    println!("== step 1: energy-per-instruction profile ({} instructions) ==", isa.len());
+    println!(
+        "== step 1: energy-per-instruction profile ({} instructions) ==",
+        isa.len()
+    );
     let profile = EpiProfile::generate(&isa, &core);
     println!("rank  instr   description                                    power");
     for (i, e) in profile.top(5).iter().enumerate() {
-        println!("{:4}  {:6}  {:45}  {:.2}", i + 1, e.mnemonic, e.description, e.rel_power);
+        println!(
+            "{:4}  {:6}  {:45}  {:.2}",
+            i + 1,
+            e.mnemonic,
+            e.description,
+            e.rel_power
+        );
     }
     println!("...");
     for (i, e) in profile.bottom(5).iter().enumerate() {
@@ -47,7 +56,10 @@ fn main() {
     );
 
     let min = min_power_sequence(&isa, &core, &profile);
-    println!("minimum power sequence: {:?}  ({:.2} W)", min.mnemonics, min.power_w);
+    println!(
+        "minimum power sequence: {:?}  ({:.2} W)",
+        min.mnemonics, min.power_w
+    );
 
     println!("\n== step 6: assemble a parameterizable dI/dt stressmark ==");
     let spec = StressmarkSpec {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, lints, tests. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q
+
+echo "All checks passed."

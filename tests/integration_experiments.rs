@@ -16,7 +16,7 @@ fn headline_claims_hold_together() {
     let prof = run_impedance(tb.chip(), &ImpedanceConfig::reduced()).unwrap();
     let (f_die, _) = prof.die_band().unwrap();
     let unsync = run_sweep(tb, &sweep_cfg, false).unwrap();
-    let (f_noise_peak, _) = unsync.peak();
+    let (f_noise_peak, _) = unsync.peak().expect("non-empty sweep");
     assert!(
         (f_noise_peak / f_die).log2().abs() < 1.5,
         "noise peak {f_noise_peak:.3e} should track impedance peak {f_die:.3e}"
@@ -24,13 +24,16 @@ fn headline_claims_hold_together() {
 
     // (b) Synchronization beats resonance.
     let synced = run_sweep(tb, &sweep_cfg, true).unwrap();
-    assert!(synced.at(45e3).unwrap().max_pct() > unsync.peak().1);
+    assert!(synced.at(45e3).unwrap().max_pct() > unsync.peak().expect("non-empty sweep").1);
 
     // (c) 62.5 ns misalignment collapses most of the sync bonus.
     let mis = run_misalignment(tb, &MisalignConfig::reduced()).unwrap();
     let bonus = mis.points[0].mean_pct() - mis.points.last().unwrap().mean_pct();
     let after_one_tick = mis.points[0].mean_pct() - mis.points[1].mean_pct();
-    assert!(after_one_tick > 0.3 * bonus, "one tick removes a large share");
+    assert!(
+        after_one_tick > 0.3 * bonus,
+        "one tick removes a large share"
+    );
 }
 
 #[test]

@@ -9,7 +9,9 @@ use voltnoise::stressmark::{ga_search, GaConfig};
 use voltnoise::system::dither::AlignmentComparison;
 use voltnoise::system::mitigation::{evaluate_governor, GovernorConfig};
 use voltnoise::system::population::PopulationStudy;
-use voltnoise::system::scheduler::{replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable};
+use voltnoise::system::scheduler::{
+    replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable,
+};
 use voltnoise::uarch::{DependencyStudy, DisruptionStudy, TargetDefinition};
 
 #[test]
@@ -17,7 +19,10 @@ fn target_definition_drives_the_same_search() {
     // A reloaded target definition yields a working search substrate.
     let def = TargetDefinition::zlike();
     let json = def.to_json();
-    let isa = TargetDefinition::from_json(&json).unwrap().build_isa().unwrap();
+    let isa = TargetDefinition::from_json(&json)
+        .unwrap()
+        .build_isa()
+        .unwrap();
     let core = def.core.clone();
     let profile = EpiProfile::generate(&isa, &core);
     assert_eq!(profile.top(1)[0].mnemonic, "CIB");

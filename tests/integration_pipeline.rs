@@ -91,7 +91,10 @@ fn different_chips_same_methodology() {
     let a = run_noise(tb.chip(), &loads, &cfg).unwrap().max_pct_p2p();
     let other = Chip::with_seed(42).unwrap();
     let b = run_noise(&other, &loads, &cfg).unwrap().max_pct_p2p();
-    assert!((a - b).abs() < 15.0, "chips should agree broadly: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 15.0,
+        "chips should agree broadly: {a} vs {b}"
+    );
     assert!(b > 30.0, "stressmark must stress any chip: {b}");
 }
 
@@ -111,7 +114,9 @@ fn vmin_experiment_detects_failure_for_worst_stressmark() {
         let v_min = out.v_min.iter().cloned().fold(f64::INFINITY, f64::min);
         path.fails_at(v_min)
     });
-    let bias = result.failing_bias.expect("worst stressmark must eventually fail");
+    let bias = result
+        .failing_bias
+        .expect("worst stressmark must eventually fail");
     assert!(bias < 1.0 && bias > 0.85, "failing bias {bias}");
     // The paper's system survives at nominal voltage.
     assert!(bias <= 1.0 - 0.005, "must not fail at nominal");
@@ -124,7 +129,9 @@ fn square_wave_abstraction_matches_cycle_trace() {
     // searched sequences through the PDN and checks the droop envelope
     // agrees with the abstraction.
     use voltnoise::pdn::transient::{Probe, TransientConfig, TransientSolver};
-    use voltnoise::pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};
+    use voltnoise::pdn::waveform::{
+        CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode,
+    };
 
     let tb = Testbed::fast();
     let sm = tb.max_stressmark(2.5e6, None);
@@ -134,12 +141,9 @@ fn square_wave_abstraction_matches_cycle_trace() {
 
     // Cycle-resolution current of the high phase.
     let reps = (sm.high_reps as usize).max(1);
-    let (_, mut high_trace) = voltnoise::uarch::Kernel::from_sequence(
-        "high",
-        sm.spec.high_body.clone(),
-        reps,
-    )
-    .run_traced(tb.isa(), core_cfg);
+    let (_, mut high_trace) =
+        voltnoise::uarch::Kernel::from_sequence("high", sm.spec.high_body.clone(), reps)
+            .run_traced(tb.isa(), core_cfg);
     high_trace.resize(phase_cycles, *high_trace.last().unwrap());
 
     // Cycle-resolution current of the low (serializing) phase.
@@ -176,12 +180,17 @@ fn square_wave_abstraction_matches_cycle_trace() {
         stim_period: 400e-9,
         duty: 0.5,
         rise_time: 2e-9,
-        mode: WaveMode::FreeRun { phase: 0.0, period_skew_ppm: 0.0 },
+        mode: WaveMode::FreeRun {
+            phase: 0.0,
+            period_skew_ppm: 0.0,
+        },
     };
     let mut waves = vec![CoreWaveform::Constant(idle); 6];
     waves[0] = CoreWaveform::Stress(wave);
     let mut solver2 = TransientSolver::new(chip.pdn().netlist()).unwrap();
-    let abstracted = solver2.run(&MultiCoreDrive::new(waves), &probe, &cfg).unwrap();
+    let abstracted = solver2
+        .run(&MultiCoreDrive::new(waves), &probe, &cfg)
+        .unwrap();
 
     let p_real = real.stats[0].peak_to_peak();
     let p_abs = abstracted.stats[0].peak_to_peak();

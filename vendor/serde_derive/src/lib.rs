@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! value-tree serde model in the vendored `serde` crate, with no external
+//! dependencies (no `syn`/`quote`): the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes cover everything this
+//! workspace derives on — non-generic named-field structs, tuple structs,
+//! and enums whose variants are unit, tuple, or struct-like. `#[serde]`
+//! attributes are not supported (none are used in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, variant body)` in declaration order.
+    Enum(Vec<(String, VariantBody)>),
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility; find `struct` or `enum`.
+    let is_enum = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Restricted visibility: consume `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("derive input has no struct or enum"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the vendored serde derive");
+        }
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Body::Enum(parse_variants(g.stream()))
+            } else {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => panic!("unsupported item body: {other:?}"),
+    };
+    Item { name, body }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and the type after each `:` (tracking `<...>` nesting so
+/// commas inside generic arguments don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected field name, found {tok:?}");
+        };
+        fields.push(id.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "expected ':' after field {}, found {other:?}",
+                fields.last().unwrap()
+            ),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields at the top level of a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tok in stream {
+        any = true;
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantBody)> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected variant name, found {tok:?}");
+        };
+        let name = id.to_string();
+        let body = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                toks.next();
+                VariantBody::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantBody::Struct(fields)
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push((name, body));
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+    }
+    variants
+}
+
+fn str_lit(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({}), ::serde::Serialize::to_value(&self.{f}))",
+                        str_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vb)| match vb {
+                    VariantBody::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({})),",
+                        str_lit(v)
+                    ),
+                    VariantBody::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({}), ::serde::Serialize::to_value(f0))]),",
+                        str_lit(v)
+                    ),
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({}), ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            str_lit(v),
+                            elems.join(", ")
+                        )
+                    }
+                    VariantBody::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({}), ::serde::Serialize::to_value({f}))",
+                                    str_lit(f)
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({}), ::serde::Value::Object(::std::vec![{}]))]),",
+                            str_lit(v),
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let err =
+        |what: &str| format!("::serde::Error::msg(::std::format!(\"expected {what} for {name}\"))");
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, {})?", str_lit(f)))
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| {})?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                err("object"),
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| {})?;\n\
+                 if arr.len() != {n} {{ return ::std::result::Result::Err({}); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                err("array"),
+                err(&format!("array of length {n}")),
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, vb)| matches!(vb, VariantBody::Unit))
+                .map(|(v, _)| format!("{} => ::std::result::Result::Ok({name}::{v}),", str_lit(v)))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, vb)| match vb {
+                    VariantBody::Unit => None,
+                    VariantBody::Tuple(1) => Some(format!(
+                        "{} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),",
+                        str_lit(v)
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{} => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| {})?;\n\
+                                 if arr.len() != {n} {{ return ::std::result::Result::Err({}); }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            str_lit(v),
+                            err("variant array"),
+                            err(&format!("variant array of length {n}")),
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantBody::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(obj, {})?", str_lit(f)))
+                            .collect();
+                        Some(format!(
+                            "{} => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| {})?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            str_lit(v),
+                            err("variant object"),
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         _ => ::std::result::Result::Err({}),\n\
+                     }},\n\
+                     ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                         let (k, inner) = &o[0];\n\
+                         let _ = inner;\n\
+                         match k.as_str() {{\n\
+                             {}\n\
+                             _ => ::std::result::Result::Err({}),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err({}),\n\
+                 }}",
+                unit_arms.join("\n"),
+                err("known unit variant"),
+                data_arms.join("\n"),
+                err("known data variant"),
+                err("enum value")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
