@@ -139,7 +139,7 @@ pub fn run_decap_ablation() -> Result<DecapAblation, PdnError> {
     let band = |params: &PdnParams| -> Result<f64, PdnError> {
         let chip = ChipPdn::build(params)?;
         let ac = AcAnalysis::new(chip.netlist());
-        let freqs = log_space(1e5, 500e6, 300);
+        let freqs = log_space(1e5, 500e6, 300)?;
         let prof = ac.sweep(chip.core_node(0), &freqs)?;
         Ok(find_peaks(&prof).first().map(|p| p.0).unwrap_or(0.0))
     };

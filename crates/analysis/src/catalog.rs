@@ -6,66 +6,95 @@
 //! views, so when a report walks the registry with one engine the later
 //! views assemble entirely from the memo cache.
 
-use crate::experiment::{run_to_output, ExperimentOutput, RegistryEntry};
-use voltnoise_pdn::PdnError;
+use crate::experiment::{
+    run_to_output_settled, ExperimentFailure, ExperimentOutput, RegistryEntry,
+};
 use voltnoise_system::engine::Engine;
 use voltnoise_system::testbed::Testbed;
 
-fn table1(tb: &Testbed, engine: &Engine, _reduced: bool) -> Result<ExperimentOutput, PdnError> {
-    run_to_output(&crate::table1::Table1Experiment, tb, engine)
+fn table1(
+    tb: &Testbed,
+    engine: &Engine,
+    _reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    run_to_output_settled(&crate::table1::Table1Experiment, tb, engine)
 }
 
-fn fig5(tb: &Testbed, engine: &Engine, _reduced: bool) -> Result<ExperimentOutput, PdnError> {
-    run_to_output(&crate::funnel::FunnelExperiment, tb, engine)
+fn fig5(
+    tb: &Testbed,
+    engine: &Engine,
+    _reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    run_to_output_settled(&crate::funnel::FunnelExperiment, tb, engine)
 }
 
-fn fig7a(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig7a(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::freq_sweep::SweepConfig::reduced()
     } else {
         crate::freq_sweep::SweepConfig::paper()
     };
-    run_to_output(
+    run_to_output_settled(
         &crate::freq_sweep::SweepExperiment { cfg, synced: false },
         tb,
         engine,
     )
 }
 
-fn fig7b(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig7b(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::impedance::ImpedanceConfig::reduced()
     } else {
         crate::impedance::ImpedanceConfig::paper()
     };
-    run_to_output(&crate::impedance::ImpedanceExperiment { cfg }, tb, engine)
+    run_to_output_settled(&crate::impedance::ImpedanceExperiment { cfg }, tb, engine)
 }
 
-fn fig8(tb: &Testbed, engine: &Engine, _reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig8(
+    tb: &Testbed,
+    engine: &Engine,
+    _reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = crate::scope_shot::ScopeConfig::default();
-    run_to_output(&crate::scope_shot::ScopeShotExperiment { cfg }, tb, engine)
+    run_to_output_settled(&crate::scope_shot::ScopeShotExperiment { cfg }, tb, engine)
 }
 
-fn fig9(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig9(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::freq_sweep::SweepConfig::reduced()
     } else {
         crate::freq_sweep::SweepConfig::paper()
     };
-    run_to_output(
+    run_to_output_settled(
         &crate::freq_sweep::SweepExperiment { cfg, synced: true },
         tb,
         engine,
     )
 }
 
-fn fig10(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig10(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::misalignment::MisalignConfig::reduced()
     } else {
         crate::misalignment::MisalignConfig::paper()
     };
-    run_to_output(&crate::misalignment::MisalignExperiment { cfg }, tb, engine)
+    run_to_output_settled(&crate::misalignment::MisalignExperiment { cfg }, tb, engine)
 }
 
 fn delta_i_view(
@@ -73,71 +102,103 @@ fn delta_i_view(
     engine: &Engine,
     reduced: bool,
     view: crate::delta_i::DeltaIView,
-) -> Result<ExperimentOutput, PdnError> {
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::delta_i::DeltaIConfig::reduced()
     } else {
         crate::delta_i::DeltaIConfig::paper()
     };
-    run_to_output(&crate::delta_i::DeltaIExperiment { cfg, view }, tb, engine)
+    run_to_output_settled(&crate::delta_i::DeltaIExperiment { cfg, view }, tb, engine)
 }
 
-fn fig11a(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig11a(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     delta_i_view(tb, engine, reduced, crate::delta_i::DeltaIView::Fig11a)
 }
 
-fn fig11b(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig11b(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     delta_i_view(tb, engine, reduced, crate::delta_i::DeltaIView::Fig11b)
 }
 
-fn fig12(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig12(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::margin::MarginConfig::reduced()
     } else {
         crate::margin::MarginConfig::paper()
     };
-    run_to_output(&crate::margin::MarginExperiment { cfg }, tb, engine)
+    run_to_output_settled(&crate::margin::MarginExperiment { cfg }, tb, engine)
 }
 
-fn fig13a(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig13a(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     delta_i_view(tb, engine, reduced, crate::delta_i::DeltaIView::Correlation)
 }
 
-fn fig13b(tb: &Testbed, engine: &Engine, _reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig13b(
+    tb: &Testbed,
+    engine: &Engine,
+    _reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let exp = crate::propagation::StepResponseExperiment {
         source_core: 0,
         step_amps: None,
     };
-    run_to_output(&exp, tb, engine)
+    run_to_output_settled(&exp, tb, engine)
 }
 
-fn fig14(tb: &Testbed, engine: &Engine, _reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig14(
+    tb: &Testbed,
+    engine: &Engine,
+    _reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let exp = crate::propagation::MappingComparisonExperiment {
         stim_freq_hz: 2.5e6,
     };
-    run_to_output(&exp, tb, engine)
+    run_to_output_settled(&exp, tb, engine)
 }
 
-fn fig15(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn fig15(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::mapping_gain::MappingGainConfig::reduced()
     } else {
         crate::mapping_gain::MappingGainConfig::paper()
     };
-    run_to_output(
+    run_to_output_settled(
         &crate::mapping_gain::MappingGainExperiment { cfg },
         tb,
         engine,
     )
 }
 
-fn guardband(tb: &Testbed, engine: &Engine, reduced: bool) -> Result<ExperimentOutput, PdnError> {
+fn guardband(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
     let cfg = if reduced {
         crate::guardband_study::GuardbandConfig::reduced()
     } else {
         crate::guardband_study::GuardbandConfig::paper()
     };
-    run_to_output(
+    run_to_output_settled(
         &crate::guardband_study::GuardbandExperiment { cfg },
         tb,
         engine,

@@ -13,13 +13,83 @@
 //! The [`registry`] lists one entry per artifact. The full report and
 //! the per-figure binaries both walk it, so adding an experiment in one
 //! place surfaces it everywhere.
+//!
+//! Experiments additionally expose a *settled* path
+//! ([`Experiment::run_settled`], [`RegistryEntry::run_settled`]): job
+//! failures captured by the engine surface as an [`ExperimentFailure`]
+//! carrying every [`JobFault`], instead of aborting the campaign. The
+//! full report uses this path to render the healthy figures and a fault
+//! summary when some experiments fail.
 
 use serde::{Serialize, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use voltnoise_pdn::PdnError;
 use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::fault::{panic_message, FaultKind, JobFault};
 use voltnoise_system::noise::NoiseOutcome;
 use voltnoise_system::testbed::Testbed;
+
+/// Why an experiment could not produce its artifact.
+///
+/// Carries every [`JobFault`] the engine captured (deduplicated — jobs
+/// sharing a content key share one fault), plus the `primary` kind a
+/// fail-fast run would have surfaced. Failures that happen outside the
+/// job layer (job construction, assembly, a panic in an override) carry
+/// an empty `faults` list and only the `primary` kind.
+#[derive(Debug, Clone)]
+pub struct ExperimentFailure {
+    /// Captured job faults, in job order, deduplicated by content key.
+    pub faults: Vec<JobFault>,
+    /// The first failure's class — what fail-fast execution would raise.
+    pub primary: FaultKind,
+}
+
+impl ExperimentFailure {
+    /// Builds a failure from the engine's captured job faults.
+    pub fn from_faults(faults: Vec<JobFault>) -> ExperimentFailure {
+        let primary = faults.first().map_or_else(
+            || FaultKind::Panic("experiment failed without a recorded fault".to_string()),
+            |f| f.fault.clone(),
+        );
+        ExperimentFailure { faults, primary }
+    }
+
+    /// Builds a failure from a panic that escaped the experiment.
+    pub fn from_panic(message: String) -> ExperimentFailure {
+        ExperimentFailure {
+            faults: Vec::new(),
+            primary: FaultKind::Panic(message),
+        }
+    }
+
+    /// One-line digest for fault-summary tables (comma-free so it can
+    /// live in a CSV cell).
+    pub fn summary(&self) -> String {
+        let detail = self.primary.to_string().replace(',', ";");
+        match self.faults.len() {
+            0 | 1 => detail,
+            n => format!("{n} job faults; first: {detail}"),
+        }
+    }
+}
+
+impl From<PdnError> for ExperimentFailure {
+    fn from(e: PdnError) -> ExperimentFailure {
+        ExperimentFailure {
+            faults: Vec::new(),
+            primary: FaultKind::Solver(e),
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "experiment failed: {}", self.summary())
+    }
+}
+
+impl std::error::Error for ExperimentFailure {}
 
 /// One reproducible paper artifact.
 pub trait Experiment {
@@ -73,6 +143,42 @@ pub trait Experiment {
         let outcomes = engine.run_jobs(&jobs)?;
         self.assemble(tb, &outcomes)
     }
+
+    /// Runs the experiment, settling job faults instead of aborting:
+    /// every failing job is captured (see
+    /// [`Engine::run_jobs_settled`]), and an experiment with any fault
+    /// returns an [`ExperimentFailure`] listing all of them. Experiments
+    /// that override [`Experiment::run`] with an adaptive flow should
+    /// override this too and route their custom flow's error through
+    /// `ExperimentFailure::from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentFailure`] when any job or the assembly fails.
+    fn run_settled(
+        &self,
+        tb: &Testbed,
+        engine: &Engine,
+    ) -> Result<Self::Artifact, ExperimentFailure> {
+        let jobs = self.jobs(tb).map_err(ExperimentFailure::from)?;
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut faults: Vec<JobFault> = Vec::new();
+        for settled in engine.run_jobs_settled(&jobs) {
+            match settled {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(fault) => {
+                    if !faults.contains(&fault) {
+                        faults.push(fault);
+                    }
+                }
+            }
+        }
+        if !faults.is_empty() {
+            return Err(ExperimentFailure::from_faults(faults));
+        }
+        self.assemble(tb, &outcomes)
+            .map_err(ExperimentFailure::from)
+    }
 }
 
 /// A finished experiment: rendered text plus the serialized artifact.
@@ -107,7 +213,38 @@ pub fn run_to_output<E: Experiment>(
     })
 }
 
-pub(crate) type EntryRun = fn(&Testbed, &Engine, bool) -> Result<ExperimentOutput, PdnError>;
+/// Runs an experiment on the settled path, additionally containing any
+/// panic that escapes the experiment itself (an override, `assemble`,
+/// or `render`) as an [`ExperimentFailure`]. This is the function the
+/// full report uses: one broken experiment degrades to a fault-summary
+/// row instead of taking the whole document down.
+///
+/// # Errors
+///
+/// Returns [`ExperimentFailure`] when the experiment fails or panics.
+pub fn run_to_output_settled<E: Experiment>(
+    exp: &E,
+    tb: &Testbed,
+    engine: &Engine,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        let artifact = exp.run_settled(tb, engine)?;
+        Ok(ExperimentOutput {
+            id: exp.id(),
+            title: exp.title(),
+            rendered: exp.render(&artifact),
+            value: artifact.to_value(),
+        })
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(ExperimentFailure::from_panic(panic_message(
+            payload.as_ref(),
+        ))),
+    }
+}
+
+pub(crate) type EntryRun =
+    fn(&Testbed, &Engine, bool) -> Result<ExperimentOutput, ExperimentFailure>;
 
 /// One registry entry: an artifact the workspace can regenerate.
 pub struct RegistryEntry {
@@ -123,17 +260,45 @@ pub struct RegistryEntry {
 
 impl RegistryEntry {
     /// Runs the entry's experiment at paper (`reduced = false`) or
-    /// reduced scale on the given engine.
+    /// reduced scale on the given engine, fail-fast: the first captured
+    /// fault is unwrapped back into the error (or panic) a direct run
+    /// would have produced.
     ///
     /// # Errors
     ///
     /// Returns [`PdnError`] when the experiment fails.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a captured worker panic.
     pub fn run(
         &self,
         tb: &Testbed,
         engine: &Engine,
         reduced: bool,
     ) -> Result<ExperimentOutput, PdnError> {
+        match (self.run)(tb, engine, reduced) {
+            Ok(output) => Ok(output),
+            Err(failure) => match failure.primary {
+                FaultKind::Solver(e) => Err(e),
+                FaultKind::Panic(msg) => panic!("{msg}"),
+            },
+        }
+    }
+
+    /// Runs the entry's experiment, capturing failure as an
+    /// [`ExperimentFailure`] instead of aborting — the full report's
+    /// degraded path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentFailure`] when the experiment fails.
+    pub fn run_settled(
+        &self,
+        tb: &Testbed,
+        engine: &Engine,
+        reduced: bool,
+    ) -> Result<ExperimentOutput, ExperimentFailure> {
         (self.run)(tb, engine, reduced)
     }
 }

@@ -32,7 +32,7 @@ impl SweepConfig {
     /// The paper-scale sweep: ~1.5 kHz to 15 MHz.
     pub fn paper() -> Self {
         SweepConfig {
-            freqs_hz: log_space(1.5e3, 15e6, 28),
+            freqs_hz: log_space(1.5e3, 15e6, 28).expect("paper sweep bounds are valid"),
             window_s: None,
             seeds: vec![1, 2, 3],
         }

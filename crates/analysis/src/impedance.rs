@@ -116,7 +116,7 @@ impl Experiment for ImpedanceExperiment {
 /// Returns [`PdnError`] on an invalid sweep or singular network.
 pub fn run_impedance(chip: &Chip, cfg: &ImpedanceConfig) -> Result<ImpedanceProfile, PdnError> {
     let ac = AcAnalysis::new(chip.pdn().netlist());
-    let freqs = log_space(cfg.f_lo_hz, cfg.f_hi_hz, cfg.points);
+    let freqs = log_space(cfg.f_lo_hz, cfg.f_hi_hz, cfg.points)?;
     let profile = ac.sweep(chip.pdn().core_node(cfg.core), &freqs)?;
     let peaks = find_peaks(&profile);
     Ok(ImpedanceProfile {

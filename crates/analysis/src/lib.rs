@@ -46,7 +46,10 @@ pub mod stats;
 pub mod table1;
 
 pub use delta_i::{run_delta_i, DeltaIConfig, DeltaIDataset, DeltaIExperiment, DeltaIView};
-pub use experiment::{find, registry, run_to_output, Experiment, ExperimentOutput, RegistryEntry};
+pub use experiment::{
+    find, registry, run_to_output, run_to_output_settled, Experiment, ExperimentFailure,
+    ExperimentOutput, RegistryEntry,
+};
 pub use freq_sweep::{run_sweep, SweepConfig, SweepExperiment, SweepResult};
 pub use funnel::{FunnelExperiment, FunnelSummary};
 pub use guardband_study::{

@@ -7,7 +7,7 @@
 //! extrapolated "worst-case customer code" line assumes unsynchronized
 //! events at 80 % of the maximum ΔI.
 
-use crate::experiment::Experiment;
+use crate::experiment::{Experiment, ExperimentFailure};
 use crate::render::Table;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -289,6 +289,17 @@ impl Experiment for MarginExperiment {
 
     fn run(&self, tb: &Testbed, engine: &Engine) -> Result<MarginResult, PdnError> {
         self.campaign(tb, engine)
+    }
+
+    // The default run_settled would route through the job-list path and
+    // assemble (which falls back to the shared engine); the adaptive
+    // campaign must keep driving the caller's engine instead.
+    fn run_settled(
+        &self,
+        tb: &Testbed,
+        engine: &Engine,
+    ) -> Result<MarginResult, ExperimentFailure> {
+        self.campaign(tb, engine).map_err(ExperimentFailure::from)
     }
 }
 

@@ -7,7 +7,8 @@
 //! and any mapping jobs repeated across Figs. 14, 15 and the §VII-B
 //! study solve once.
 
-use crate::experiment::registry;
+use crate::experiment::{registry, ExperimentFailure, RegistryEntry};
+use crate::render::Table;
 use voltnoise_pdn::PdnError;
 use voltnoise_system::engine::Engine;
 use voltnoise_system::testbed::Testbed;
@@ -25,7 +26,10 @@ pub enum ReportScale {
 ///
 /// # Errors
 ///
-/// Returns [`PdnError`] if any experiment's PDN solve fails.
+/// The signature is kept fallible for compatibility, but experiment
+/// failures no longer abort the report: each failing experiment is
+/// dropped from the document and listed in a trailing fault summary
+/// (see [`full_report_on`]).
 pub fn full_report(tb: &Testbed, scale: ReportScale) -> Result<String, PdnError> {
     full_report_on(tb, &Engine::new(), scale)
 }
@@ -34,9 +38,17 @@ pub fn full_report(tb: &Testbed, scale: ReportScale) -> Result<String, PdnError>
 /// (e.g. [`Engine::shared`], or a single-worker engine for determinism
 /// checks).
 ///
+/// Experiments run on the settled path: a failing experiment does not
+/// abort the walk. Its figure section is omitted — the surviving
+/// sections render exactly as they would in a fault-free run — and a
+/// `Fault summary` table at the end lists every failed experiment with
+/// its captured fault(s). A fault-free report carries no summary
+/// section, so healthy output is byte-identical to what this function
+/// produced before the degraded path existed.
+///
 /// # Errors
 ///
-/// Returns [`PdnError`] if any experiment's PDN solve fails.
+/// Kept for signature compatibility; currently always returns `Ok`.
 pub fn full_report_on(
     tb: &Testbed,
     engine: &Engine,
@@ -45,9 +57,27 @@ pub fn full_report_on(
     let reduced = scale == ReportScale::Reduced;
     let mut out = String::with_capacity(64 * 1024);
     out.push_str("# voltnoise — full evaluation report\n\n");
+    let mut failures: Vec<(&RegistryEntry, ExperimentFailure)> = Vec::new();
     for entry in registry().iter().filter(|e| e.in_report) {
-        out.push_str(&entry.run(tb, engine, reduced)?.rendered);
-        out.push('\n');
+        match entry.run_settled(tb, engine, reduced) {
+            Ok(output) => {
+                out.push_str(&output.rendered);
+                out.push('\n');
+            }
+            Err(failure) => failures.push((entry, failure)),
+        }
+    }
+    if !failures.is_empty() {
+        let mut t = Table::new("Fault summary: experiments that could not be rendered");
+        t.columns(["id", "job_faults", "detail"]);
+        for (entry, failure) in &failures {
+            t.row([
+                entry.id.to_string(),
+                failure.faults.len().to_string(),
+                failure.summary(),
+            ]);
+        }
+        out.push_str(&t.finish());
     }
     Ok(out)
 }

@@ -7,7 +7,7 @@ fn main() {
     let params = PdnParams::default();
     let chip = ChipPdn::build(&params).unwrap();
     let ac = AcAnalysis::new(chip.netlist());
-    let freqs = log_space(1e3, 100e6, 300);
+    let freqs = log_space(1e3, 100e6, 300).expect("valid sweep bounds");
     let prof = ac.sweep(chip.core_node(0), &freqs).unwrap();
     println!("freq_hz,z_mohm");
     for p in prof.iter().step_by(6) {

@@ -59,7 +59,7 @@ impl AcAnalysis {
     }
 
     fn solve_with_injection(&self, inject: NodeId, freq_hz: f64) -> Result<Vec<Complex>, PdnError> {
-        if freq_hz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !freq_hz.is_finite() {
+        if !(freq_hz.is_finite() && freq_hz > 0.0) {
             return Err(PdnError::InvalidTimebase {
                 reason: format!("AC analysis requires positive finite frequency, got {freq_hz}"),
             });
@@ -191,29 +191,35 @@ impl AcAnalysis {
 /// Builds `count` log-spaced frequencies between `f_lo` and `f_hi`
 /// (inclusive).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `f_lo` or `f_hi` is non-positive or `count < 2`.
+/// Returns [`PdnError::InvalidTimebase`] unless `0 < f_lo < f_hi` (both
+/// finite) and `count >= 2`.
 ///
 /// # Examples
 ///
 /// ```
-/// let f = voltnoise_pdn::ac::log_space(1e3, 1e6, 4);
+/// let f = voltnoise_pdn::ac::log_space(1e3, 1e6, 4).unwrap();
 /// assert_eq!(f.len(), 4);
 /// assert!((f[0] - 1e3).abs() < 1e-9);
 /// assert!((f[3] - 1e6).abs() < 1e-3);
 /// ```
-pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Vec<f64> {
-    assert!(
-        f_lo > 0.0 && f_hi > f_lo,
-        "log_space requires 0 < f_lo < f_hi"
-    );
-    assert!(count >= 2, "log_space requires count >= 2");
+pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Result<Vec<f64>, PdnError> {
+    if !(f_lo.is_finite() && f_hi.is_finite() && f_lo > 0.0 && f_hi > f_lo) {
+        return Err(PdnError::InvalidTimebase {
+            reason: format!("log_space requires 0 < f_lo < f_hi, got [{f_lo}, {f_hi}]"),
+        });
+    }
+    if count < 2 {
+        return Err(PdnError::InvalidTimebase {
+            reason: format!("log_space requires count >= 2, got {count}"),
+        });
+    }
     let l0 = f_lo.ln();
     let l1 = f_hi.ln();
-    (0..count)
+    Ok((0..count)
         .map(|i| (l0 + (l1 - l0) * i as f64 / (count - 1) as f64).exp())
-        .collect()
+        .collect())
 }
 
 /// Finds local maxima ("resonance peaks") of an impedance sweep, returning
@@ -276,7 +282,7 @@ mod tests {
         nl.add_capacitor(die, NodeId::GROUND, c).unwrap();
 
         let ac = AcAnalysis::new(&nl);
-        let freqs = log_space(1e5, 1e8, 200);
+        let freqs = log_space(1e5, 1e8, 200).unwrap();
         let profile = ac.sweep(die, &freqs).unwrap();
         let peaks = find_peaks(&profile);
         assert!(!peaks.is_empty());
@@ -315,8 +321,17 @@ mod tests {
 
     #[test]
     fn log_space_is_monotonic() {
-        let f = log_space(1e3, 1e8, 50);
+        let f = log_space(1e3, 1e8, 50).unwrap();
         assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn log_space_rejects_bad_bounds() {
+        assert!(log_space(0.0, 1e6, 10).is_err());
+        assert!(log_space(1e6, 1e3, 10).is_err());
+        assert!(log_space(f64::NAN, 1e6, 10).is_err());
+        assert!(log_space(1e3, f64::INFINITY, 10).is_err());
+        assert!(log_space(1e3, 1e6, 1).is_err());
     }
 
     #[test]

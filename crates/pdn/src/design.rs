@@ -107,7 +107,7 @@ pub fn check_mask(
     points: usize,
 ) -> Result<Vec<MaskViolation>, PdnError> {
     let ac = AcAnalysis::new(chip.netlist());
-    let freqs = log_space(1e3, mask.max_freq(), points.max(2));
+    let freqs = log_space(1e3, mask.max_freq(), points.max(2))?;
     let mut violations = Vec::new();
     for point in ac.sweep(node, &freqs)? {
         if let Some(limit) = mask.limit_at(point.freq_hz) {

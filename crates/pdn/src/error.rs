@@ -37,6 +37,26 @@ pub enum PdnError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A solve produced a non-finite or runaway value and was aborted
+    /// before the bad number could contaminate downstream statistics.
+    Diverged {
+        /// Simulation time (seconds) at which divergence was detected;
+        /// `0.0` when the DC operating point itself diverged.
+        t: f64,
+        /// Index of the diverging unknown: the MNA unknown index inside
+        /// the transient solver, or the core index (with `NUM_CORES`
+        /// standing for the chip power rail) in outcome-level guards.
+        node: usize,
+        /// The offending value (may be NaN or infinite).
+        value: f64,
+    },
+    /// A fault deliberately injected by a fault-injection harness (see
+    /// `voltnoise_system::fault::FaultInjector`). Never produced by a
+    /// real solve.
+    Injected {
+        /// Ordinal of the solve attempt the injector failed.
+        ordinal: usize,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -56,6 +76,13 @@ impl fmt::Display for PdnError {
             }
             PdnError::UnknownNode { node } => write!(f, "unknown node index {node}"),
             PdnError::InvalidTimebase { reason } => write!(f, "invalid timebase: {reason}"),
+            PdnError::Diverged { t, node, value } => write!(
+                f,
+                "solve diverged at t = {t:.3e} s: unknown {node} reached {value}"
+            ),
+            PdnError::Injected { ordinal } => {
+                write!(f, "injected fault at solve attempt {ordinal}")
+            }
         }
     }
 }
@@ -82,6 +109,12 @@ mod tests {
             PdnError::InvalidTimebase {
                 reason: "t_end before t_start".into(),
             },
+            PdnError::Diverged {
+                t: 1e-6,
+                node: 3,
+                value: f64::INFINITY,
+            },
+            PdnError::Injected { ordinal: 7 },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, never panic via
+// `unwrap`. Test builds (`cfg(test)`) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # voltnoise-pdn
 //!

@@ -213,6 +213,37 @@ impl Netlist {
         Ok(())
     }
 
+    /// Adds a negative-resistance element (an idealized active device).
+    ///
+    /// Regular elements reject non-positive values because a passive PDN
+    /// is unconditionally stable. This escape hatch deliberately builds
+    /// an *unstable* network for solver-robustness and fault-injection
+    /// testing: paired with a capacitor, a negative resistor produces
+    /// exponential growth that must trip the transient solver's
+    /// divergence guard ([`crate::PdnError::Diverged`]) rather than leak
+    /// NaN into results.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-negative resistance and unknown nodes.
+    pub fn add_negative_resistor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), PdnError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms.is_finite() && ohms < 0.0) {
+            return Err(PdnError::InvalidElement {
+                element: "negative resistor".to_string(),
+                value: ohms,
+            });
+        }
+        self.elements.push(Element::Resistor { a, b, ohms });
+        Ok(())
+    }
+
     /// Adds a capacitor.
     ///
     /// # Errors

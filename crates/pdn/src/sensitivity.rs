@@ -100,7 +100,7 @@ impl ParameterSensitivity {
 fn die_band(params: &PdnParams) -> Result<(f64, f64), PdnError> {
     let chip = ChipPdn::build(params)?;
     let ac = AcAnalysis::new(chip.netlist());
-    let freqs = log_space(3e5, 30e6, 180);
+    let freqs = log_space(3e5, 30e6, 180)?;
     let profile = ac.sweep(chip.core_node(0), &freqs)?;
     Ok(find_peaks(&profile).first().copied().unwrap_or((0.0, 0.0)))
 }

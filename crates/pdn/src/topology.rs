@@ -317,7 +317,7 @@ mod tests {
     fn impedance_profile_shows_two_bands() {
         let chip = ChipPdn::build(&PdnParams::default()).unwrap();
         let ac = AcAnalysis::new(chip.netlist());
-        let freqs = log_space(1e3, 50e6, 400);
+        let freqs = log_space(1e3, 50e6, 400).unwrap();
         let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
         let peaks = find_peaks(&profile);
         assert!(peaks.len() >= 2, "expected at least two resonance peaks");
@@ -338,7 +338,7 @@ mod tests {
     fn no_resonance_above_5mhz_with_deep_trench() {
         let chip = ChipPdn::build(&PdnParams::default()).unwrap();
         let ac = AcAnalysis::new(chip.netlist());
-        let freqs = log_space(5e6, 500e6, 200);
+        let freqs = log_space(5e6, 500e6, 200).unwrap();
         let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
         let peaks = find_peaks(&profile);
         // Any peak above 5 MHz must be small relative to the 2 MHz band.
@@ -355,7 +355,7 @@ mod tests {
     fn legacy_decap_moves_first_droop_up() {
         let modern = ChipPdn::build(&PdnParams::default()).unwrap();
         let legacy = ChipPdn::build(&PdnParams::legacy_decap()).unwrap();
-        let freqs = log_space(1e5, 500e6, 400);
+        let freqs = log_space(1e5, 500e6, 400).unwrap();
         let find_top_band = |chip: &ChipPdn| {
             let ac = AcAnalysis::new(chip.netlist());
             let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();

@@ -102,6 +102,14 @@ pub struct TransientConfig {
     pub settle: f64,
     /// When `Some(d)`, record every `d`-th accepted step into traces.
     pub record_decimation: Option<usize>,
+    /// Divergence guard: any MNA unknown (node voltage or branch
+    /// current) whose magnitude exceeds this bound — or goes non-finite —
+    /// aborts the solve with [`PdnError::Diverged`]. Physical PDN
+    /// solutions live within a few volts and a few hundred amperes, so
+    /// the default of `1e6` only trips on genuine numerical blow-up.
+    /// Set to `f64::INFINITY` to disable the magnitude check (the
+    /// non-finite check always applies).
+    pub divergence_limit: f64,
 }
 
 impl TransientConfig {
@@ -118,6 +126,7 @@ impl TransientConfig {
             refine_post: 10e-9,
             settle: t_end * 0.2,
             record_decimation: None,
+            divergence_limit: 1e6,
         }
     }
 
@@ -142,6 +151,9 @@ impl TransientConfig {
         }
         if self.settle >= self.t_end {
             return bad("settle must be smaller than t_end");
+        }
+        if self.divergence_limit.is_nan() || self.divergence_limit <= 0.0 {
+            return bad("divergence_limit must be positive");
         }
         Ok(())
     }
@@ -405,6 +417,17 @@ impl TransientSolver {
             }
         }
         let sol = g.lu()?.solve(&rhs)?;
+        // A singular-but-not-detected system can still yield non-finite
+        // values; catch them before they seed the element states.
+        for (node, &v) in sol.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(PdnError::Diverged {
+                    t: 0.0,
+                    node,
+                    value: v,
+                });
+            }
+        }
 
         // Load element states from the DC solution.
         let volt = |idx: Option<usize>| idx.map(|i| sol[i]).unwrap_or(0.0);
@@ -531,6 +554,20 @@ impl TransientSolver {
             self.factor_cache[fidx]
                 .1
                 .solve_into(&self.rhs, &mut self.x)?;
+
+            // Divergence guard: an unstable network (or an unstable
+            // integration of one) grows exponentially instead of
+            // settling. Abort at the first non-finite or runaway unknown
+            // so NaN never reaches the probe statistics.
+            for (node, &v) in self.x.iter().enumerate() {
+                if !v.is_finite() || v.abs() > cfg.divergence_limit {
+                    return Err(PdnError::Diverged {
+                        t: t_next,
+                        node,
+                        value: v,
+                    });
+                }
+            }
 
             // Advance element states.
             let x = &self.x;
@@ -788,6 +825,66 @@ mod tests {
         nl.add_resistor(a, b, 1.0).unwrap(); // no path to ground
         let mut solver = TransientSolver::new(&nl).unwrap();
         assert!(solver.solve_dc(&ConstantDrive::new(vec![])).is_err());
+    }
+
+    /// An RC node whose net conductance to ground is negative: the die
+    /// voltage grows exponentially after any perturbation. The solver
+    /// must abort with `Diverged`, never return NaN/Inf statistics.
+    fn unstable_netlist() -> (Netlist, NodeId) {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_resistor(vdd, die, 0.1).unwrap();
+        nl.add_capacitor(die, NodeId::GROUND, 1e-6).unwrap();
+        // -0.05 ohm to ground: net conductance at die = 10 - 20 < 0.
+        nl.add_negative_resistor(die, NodeId::GROUND, -0.05)
+            .unwrap();
+        nl.add_current_source(die, NodeId::GROUND).unwrap();
+        (nl, die)
+    }
+
+    #[test]
+    fn unstable_netlist_diverges_not_nan() {
+        let (nl, die) = unstable_netlist();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let cfg = TransientConfig::new(50e-6);
+        let err = solver
+            .run(
+                &StepDrive {
+                    t0: 1e-6,
+                    amps: 1.0,
+                },
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap_err();
+        match err {
+            PdnError::Diverged { t, value, .. } => {
+                assert!(t > 0.0 && t <= 50e-6, "t = {t}");
+                assert!(
+                    !value.is_finite() || value.abs() > cfg.divergence_limit,
+                    "value = {value}"
+                );
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_limit_is_validated() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(1e-6);
+        cfg.divergence_limit = -1.0;
+        let err = solver
+            .run(
+                &ConstantDrive::new(vec![0.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PdnError::InvalidTimebase { .. }));
     }
 
     #[test]

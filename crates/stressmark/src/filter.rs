@@ -63,7 +63,7 @@ impl Iterator for Combinations<'_> {
         if self.done {
             return None;
         }
-        let mut seq = [self.candidates[0]; SEQ_LEN];
+        let mut seq = [*self.candidates.first()?; SEQ_LEN];
         for (s, &c) in seq.iter_mut().zip(&self.counters) {
             *s = self.candidates[c];
         }

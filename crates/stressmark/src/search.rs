@@ -161,18 +161,22 @@ pub fn find_sequence_with_power(
     iterations: usize,
 ) -> SequenceEval {
     // Filler: the cheapest single-cycle FXU op keeps IPC high while
-    // contributing little energy.
-    let filler = isa
+    // contributing little energy. An ISA with no such op (impossible for
+    // z-like ISAs, but profiles are data) degrades to the max sequence.
+    let Some(filler) = isa
         .iter()
         .filter(|(_, d)| d.latency <= 1 && !d.ends_group && !d.serializing && d.occupancy == 1)
         .min_by(|a, b| a.1.energy_pj.total_cmp(&b.1.energy_pj))
         .map(|(op, _)| op)
-        .expect("ISA has single-cycle ops");
+    else {
+        return max_seq.clone();
+    };
 
     // Replace 0..=len positions of the max sequence with filler and pick
-    // the mix closest to the target power.
-    let mut best: Option<SequenceEval> = None;
-    for k in 0..=max_seq.body.len() {
+    // the mix closest to the target power. k = 0 (the unmodified max
+    // sequence) seeds the comparison, so `best` always exists.
+    let mut best = evaluate(isa, core, &max_seq.body, iterations);
+    for k in 1..=max_seq.body.len() {
         let mut body = max_seq.body.clone();
         // Replace the highest-energy non-branch positions first so group
         // structure (branches at group ends) survives.
@@ -188,15 +192,11 @@ pub fn find_sequence_with_power(
             body[pos] = filler;
         }
         let eval = evaluate(isa, core, &body, iterations);
-        let better = match &best {
-            None => true,
-            Some(b) => (eval.power_w - target_w).abs() < (b.power_w - target_w).abs(),
-        };
-        if better {
-            best = Some(eval);
+        if (eval.power_w - target_w).abs() < (best.power_w - target_w).abs() {
+            best = eval;
         }
     }
-    best.expect("at least one mix evaluated")
+    best
 }
 
 #[cfg(test)]

@@ -16,18 +16,29 @@
 //!    within one experiment or across experiments sharing an engine —
 //!    solve once and share the cached [`NoiseOutcome`].
 //!
+//! The engine is additionally the workspace's fault boundary (see
+//! `DESIGN.md`, "Failure model"). [`Engine::run_jobs_settled`] captures
+//! each job's failure — solver error or worker panic — as a
+//! [`JobFault`] instead of aborting the batch, a [`RetryPolicy`] grants
+//! transiently failing jobs extra attempts, and a [`FaultInjector`]
+//! plants deterministic faults for testing the whole degraded path.
+//! Failed solves are never cached, and all cache locks recover from
+//! poisoning, so one faulted job cannot poison the results of another.
+//!
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! and can be overridden with the `VOLTNOISE_THREADS` environment
 //! variable (`VOLTNOISE_THREADS=1` forces serial execution).
 
 use crate::chip::Chip;
+use crate::fault::{panic_message, FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 use crate::noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 
@@ -35,6 +46,14 @@ use voltnoise_pdn::PdnError;
 /// enough to keep worker threads from serializing on one mutex, small
 /// enough that an idle engine stays cheap.
 const CACHE_SHARDS: usize = 16;
+
+/// Locks a mutex, recovering the inner data if a previous holder
+/// panicked. Cache shards and result slots only ever hold data that is
+/// valid between operations (a `HashMap` insert either happened or did
+/// not), so a poisoned lock carries no torn state worth refusing.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Content key of one core's load: exactly the fields
 /// [`crate::noise::run_noise`] consumes, with floats captured bit-exactly.
@@ -103,6 +122,22 @@ pub struct JobKey {
     record_traces: bool,
     /// `NoiseRunConfig::seed`.
     seed: u64,
+}
+
+impl JobKey {
+    /// The job's random seed (useful when reporting faults: a reseeded
+    /// retry carries a different seed than the job it stands in for).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A short, deterministic digest for fault reports: a content hash
+    /// plus the run seed.
+    pub fn digest(&self) -> String {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        format!("job {:016x} (seed {})", h.finish(), self.seed)
+    }
 }
 
 /// Computes a chip's content fingerprint. The JSON rendering of the
@@ -189,6 +224,20 @@ impl SimJob {
         &self.cfg
     }
 
+    /// The same job with a different seed (used by reseeding retries).
+    fn reseeded(&self, seed: u64) -> SimJob {
+        let cfg = NoiseRunConfig {
+            seed,
+            ..self.cfg.clone()
+        };
+        SimJob::with_signature(
+            self.chip.clone(),
+            self.key.chip_sig.clone(),
+            self.loads.clone(),
+            cfg,
+        )
+    }
+
     /// Solves the job directly, bypassing any cache.
     ///
     /// # Errors
@@ -223,14 +272,24 @@ pub struct EngineStats {
     pub solves: usize,
     /// Jobs answered from the memo cache.
     pub cache_hits: usize,
+    /// Jobs that exhausted every attempt and were captured as faults.
+    pub faults: usize,
+    /// Extra attempts granted by the retry policy (a job that succeeds
+    /// on its second attempt contributes 1 here and 0 to `faults`).
+    pub retries: usize,
 }
 
 /// The parallel, memoizing job executor.
 pub struct Engine {
     workers: usize,
+    retry: RetryPolicy,
+    injector: Option<FaultInjector>,
     shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
     solves: AtomicUsize,
     hits: AtomicUsize,
+    attempts: AtomicUsize,
+    faults: AtomicUsize,
+    retries: AtomicUsize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -239,6 +298,8 @@ impl std::fmt::Debug for Engine {
             .field("workers", &self.workers)
             .field("solves", &self.solves.load(Ordering::Relaxed))
             .field("cache_hits", &self.hits.load(Ordering::Relaxed))
+            .field("faults", &self.faults.load(Ordering::Relaxed))
+            .field("retries", &self.retries.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -249,14 +310,26 @@ impl Default for Engine {
     }
 }
 
+/// Parses a `VOLTNOISE_THREADS` value into a worker count.
+fn parsed_workers(raw: &str) -> Result<usize, &'static str> {
+    let n: usize = raw.trim().parse().map_err(|_| "not a positive integer")?;
+    if n == 0 {
+        return Err("thread count must be at least 1");
+    }
+    Ok(n)
+}
+
 /// Resolves the worker count: `VOLTNOISE_THREADS` when set and valid,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. An invalid setting is
+/// reported on stderr rather than silently ignored.
 fn default_workers() -> usize {
     if let Ok(s) = std::env::var("VOLTNOISE_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match parsed_workers(&s) {
+            Ok(n) => return n,
+            Err(why) => eprintln!(
+                "voltnoise: ignoring VOLTNOISE_THREADS={s:?} ({why}); \
+                 falling back to available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -272,12 +345,32 @@ impl Engine {
     pub fn with_workers(workers: usize) -> Engine {
         Engine {
             workers: workers.max(1),
+            retry: RetryPolicy::default(),
+            injector: None,
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             solves: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            attempts: AtomicUsize::new(0),
+            faults: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets the engine's retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Engine {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a fault injector (builder style). Test harness only —
+    /// injected faults exercise the capture/retry/degraded-report paths.
+    #[must_use]
+    pub fn with_injector(mut self, injector: FaultInjector) -> Engine {
+        self.injector = Some(injector);
+        self
     }
 
     /// A process-wide shared engine: experiments routed through it share
@@ -293,6 +386,11 @@ impl Engine {
         self.workers
     }
 
+    /// The engine's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Jobs solved so far (cache misses).
     pub fn solves(&self) -> usize {
         self.solves.load(Ordering::Relaxed)
@@ -303,12 +401,31 @@ impl Engine {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Solve attempts started so far — the fault injector's ordinal
+    /// counter. Counts every attempt (including failed and retried
+    /// ones); cache hits consume no ordinal.
+    pub fn solve_attempts(&self) -> usize {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Jobs that exhausted every attempt and were captured as faults.
+    pub fn faults(&self) -> usize {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Extra attempts granted by the retry policy so far.
+    pub fn retries(&self) -> usize {
+        self.retries.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             workers: self.workers,
             solves: self.solves(),
             cache_hits: self.cache_hits(),
+            faults: self.faults(),
+            retries: self.retries(),
         }
     }
 
@@ -318,45 +435,123 @@ impl Engine {
         &self.shards[(h.finish() as usize) % CACHE_SHARDS]
     }
 
-    /// Runs one job through the cache (solving on a miss). Useful for
-    /// adaptive flows — e.g. the Vmin descent — where the next job
-    /// depends on the previous outcome.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PdnError`] when the PDN solve fails. Errors are not
-    /// cached; a failing job re-solves on retry.
-    pub fn run_one(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, PdnError> {
-        if let Some(hit) = self
-            .shard(job.key())
-            .lock()
-            .expect("cache lock")
-            .get(job.key())
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+    /// One solve attempt: consult the injector, solve, validate the
+    /// outcome, and cache it. Only finite, successful outcomes are ever
+    /// inserted into the cache, so a fault can never poison a later
+    /// lookup.
+    fn solve_attempt(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, PdnError> {
+        let ordinal = self.attempts.fetch_add(1, Ordering::Relaxed);
+        let injected = self.injector.as_ref().and_then(|inj| inj.decide(ordinal));
+        match injected {
+            Some(InjectedFault::SolverError) => return Err(PdnError::Injected { ordinal }),
+            Some(InjectedFault::WorkerPanic) => {
+                panic!("injected worker panic at solve {ordinal}")
+            }
+            Some(InjectedFault::NanOutcome) | None => {}
         }
-        let outcome = Arc::new(job.solve()?);
+        let mut outcome = job.solve()?;
+        if injected == Some(InjectedFault::NanOutcome) {
+            outcome.pct_p2p[0] = f64::NAN;
+        }
+        // run_noise guards its own output, but re-validate here so the
+        // engine boundary holds even for injected (or future alternate)
+        // producers of NoiseOutcome.
+        if let Some((node, value)) = outcome.first_non_finite() {
+            return Err(PdnError::Diverged {
+                t: job.cfg.window_s.unwrap_or(0.0),
+                node,
+                value,
+            });
+        }
+        let outcome = Arc::new(outcome);
         self.solves.fetch_add(1, Ordering::Relaxed);
-        self.shard(job.key())
-            .lock()
-            .expect("cache lock")
+        lock_recover(self.shard(job.key()))
             .entry(job.key().clone())
             .or_insert_with(|| outcome.clone());
         Ok(outcome)
     }
 
-    /// Runs a slice of jobs, deduplicating by content key up front (each
-    /// distinct key solves at most once per call) and executing the
-    /// distinct jobs on the worker pool. The output preserves input
-    /// order: `result[i]` is the outcome of `jobs[i]`.
+    /// Runs one job through the cache, capturing failure — solver error
+    /// or worker panic — as a [`JobFault`] instead of propagating it.
+    /// The retry policy grants failing jobs extra attempts; with
+    /// `reseed` set, attempt `k` re-runs with `seed + k` and a success
+    /// is cached under the reseeded key (never the original key, which
+    /// would break the key → content invariant).
     ///
     /// # Errors
     ///
-    /// Returns the error of the lowest-indexed failing job — the same
-    /// error a serial run would return — so parallel and serial
-    /// execution are indistinguishable to callers.
-    pub fn run_jobs(&self, jobs: &[SimJob]) -> Result<Vec<Arc<NoiseOutcome>>, PdnError> {
+    /// Returns the final attempt's [`JobFault`] when every allowed
+    /// attempt failed. Failures are never cached; a failing job
+    /// re-solves when resubmitted.
+    pub fn run_one_settled(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, JobFault> {
+        if let Some(hit) = lock_recover(self.shard(job.key())).get(job.key()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_fault: Option<FaultKind> = None;
+        for attempt in 0..max_attempts {
+            let reseeded;
+            let current: &SimJob = if attempt > 0 && self.retry.reseed {
+                reseeded = job.reseeded(job.cfg.seed.wrapping_add(u64::from(attempt)));
+                &reseeded
+            } else {
+                job
+            };
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match catch_unwind(AssertUnwindSafe(|| self.solve_attempt(current))) {
+                Ok(Ok(outcome)) => return Ok(outcome),
+                Ok(Err(e)) => last_fault = Some(FaultKind::Solver(e)),
+                Err(payload) => {
+                    last_fault = Some(FaultKind::Panic(panic_message(payload.as_ref())));
+                }
+            }
+        }
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        Err(JobFault {
+            key: Box::new(job.key.clone()),
+            attempts: max_attempts,
+            fault: last_fault
+                .unwrap_or_else(|| FaultKind::Panic("no attempt recorded a fault".to_string())),
+        })
+    }
+
+    /// Runs one job through the cache (solving on a miss). Useful for
+    /// adaptive flows — e.g. the Vmin descent — where the next job
+    /// depends on the previous outcome. Thin fail-fast wrapper over
+    /// [`Engine::run_one_settled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the PDN solve fails. Errors are not
+    /// cached; a failing job re-solves on retry.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a captured worker panic.
+    pub fn run_one(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, PdnError> {
+        match self.run_one_settled(job) {
+            Ok(outcome) => Ok(outcome),
+            Err(JobFault {
+                fault: FaultKind::Solver(e),
+                ..
+            }) => Err(e),
+            Err(JobFault {
+                fault: FaultKind::Panic(msg),
+                ..
+            }) => panic!("{msg}"),
+        }
+    }
+
+    /// Runs a slice of jobs, deduplicating by content key up front (each
+    /// distinct key solves at most once per call) and executing the
+    /// distinct jobs on the worker pool, capturing each unique job's
+    /// failure as a [`JobFault`] in its output slots. The output
+    /// preserves input order: `result[i]` settles `jobs[i]`, and
+    /// duplicate jobs share one result (including a shared fault).
+    pub fn run_jobs_settled(&self, jobs: &[SimJob]) -> Vec<Result<Arc<NoiseOutcome>, JobFault>> {
         let mut index_of: HashMap<&JobKey, usize> = HashMap::new();
         let mut unique: Vec<&SimJob> = Vec::new();
         let mut slots: Vec<usize> = Vec::with_capacity(jobs.len());
@@ -368,8 +563,100 @@ impl Engine {
             }
             slots.push(idx);
         }
-        let solved = self.par_map(&unique, |job| self.run_one(job))?;
-        Ok(slots.into_iter().map(|i| solved[i].clone()).collect())
+        let solved: Vec<Result<Arc<NoiseOutcome>, JobFault>> = self
+            .par_map_caught(&unique, |job| self.run_one_settled(job))
+            .into_iter()
+            .zip(&unique)
+            .map(|(r, job)| match r {
+                Ok(settled) => settled,
+                // A panic that escaped run_one_settled's own catch (it
+                // should not happen — the solve path is fully guarded).
+                Err(msg) => {
+                    self.faults.fetch_add(1, Ordering::Relaxed);
+                    Err(JobFault {
+                        key: Box::new(job.key().clone()),
+                        attempts: 1,
+                        fault: FaultKind::Panic(msg),
+                    })
+                }
+            })
+            .collect();
+        slots.into_iter().map(|i| solved[i].clone()).collect()
+    }
+
+    /// Runs a slice of jobs fail-fast: a thin wrapper over
+    /// [`Engine::run_jobs_settled`] that unwraps the first failure. The
+    /// output preserves input order: `result[i]` is the outcome of
+    /// `jobs[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job — the same
+    /// error a serial run would return — so parallel and serial
+    /// execution are indistinguishable to callers.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the lowest-indexed captured worker panic.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Result<Vec<Arc<NoiseOutcome>>, PdnError> {
+        let mut out = Vec::with_capacity(jobs.len());
+        for settled in self.run_jobs_settled(jobs) {
+            match settled {
+                Ok(outcome) => out.push(outcome),
+                Err(JobFault {
+                    fault: FaultKind::Solver(e),
+                    ..
+                }) => return Err(e),
+                Err(JobFault {
+                    fault: FaultKind::Panic(msg),
+                    ..
+                }) => panic!("{msg}"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies a function to each item on the worker pool, capturing
+    /// worker panics as `Err(message)` so one panicking item cannot
+    /// tear down the whole batch. Results arrive in input order. The
+    /// serial (1-worker) path catches panics identically, keeping
+    /// parallel and serial behavior aligned.
+    pub fn par_map_caught<T, U, F>(&self, items: &[T], f: F) -> Vec<Result<U, String>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        let call = |item: &T| -> Result<U, String> {
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(p.as_ref()))
+        };
+        if workers <= 1 {
+            return items.iter().map(call).collect();
+        }
+        let results: Vec<Mutex<Option<Result<U, String>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *lock_recover(&results[i]) = Some(call(&items[i]));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| Err("worker never filled result slot".to_string()))
+            })
+            .collect()
     }
 
     /// Applies a fallible function to each item on the worker pool and
@@ -384,40 +671,20 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panics (the panic is propagated).
+    /// Re-raises the lowest-indexed captured worker panic.
     pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Result<Vec<U>, PdnError>
     where
         T: Sync,
         U: Send,
         F: Fn(&T) -> Result<U, PdnError> + Sync,
     {
-        let n = items.len();
-        let workers = self.workers.min(n);
-        if workers <= 1 {
-            return items.iter().map(&f).collect();
-        }
-        let results: Vec<Mutex<Option<Result<U, PdnError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = f(&items[i]);
-                    *results[i].lock().expect("result slot lock") = Some(r);
-                });
+        let mut out = Vec::with_capacity(items.len());
+        for settled in self.par_map_caught(items, |item| f(item)) {
+            match settled {
+                Ok(Ok(u)) => out.push(u),
+                Ok(Err(e)) => return Err(e),
+                Err(msg) => panic!("{msg}"),
             }
-        });
-        let mut out = Vec::with_capacity(n);
-        for slot in results {
-            out.push(
-                slot.into_inner()
-                    .expect("result slot lock")
-                    .expect("worker filled slot")?,
-            );
         }
         Ok(out)
     }
@@ -549,5 +816,56 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, PdnError::UnknownNode { node: 7 }), "{err:?}");
+    }
+
+    #[test]
+    fn par_map_caught_captures_panics_in_order() {
+        for workers in [1, 4] {
+            let engine = Engine::with_workers(workers);
+            let items: Vec<usize> = (0..20).collect();
+            let settled = engine.par_map_caught(&items, |&i| {
+                assert!(i != 13, "unlucky item");
+                i * 10
+            });
+            for (i, r) in settled.iter().enumerate() {
+                if i == 13 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("unlucky item"), "{msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_workers_accepts_positive_integers() {
+        assert_eq!(parsed_workers("1"), Ok(1));
+        assert_eq!(parsed_workers(" 8 "), Ok(8));
+        assert_eq!(parsed_workers("32"), Ok(32));
+    }
+
+    #[test]
+    fn parsed_workers_rejects_garbage_and_zero() {
+        assert!(parsed_workers("0").is_err());
+        assert!(parsed_workers("-2").is_err());
+        assert!(parsed_workers("four").is_err());
+        assert!(parsed_workers("2.5").is_err());
+        assert!(parsed_workers("").is_err());
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned(), "setup: lock must be poisoned");
+        let mut guard = lock_recover(&m);
+        guard.push(4);
+        assert_eq!(*guard, vec![1, 2, 3, 4]);
     }
 }

@@ -1,0 +1,279 @@
+//! Fault vocabulary of the engine: captured per-job faults, retry
+//! policy, and the deterministic fault-injection harness.
+//!
+//! The paper's Vmin methodology (§V, Fig. 12) exists *because* runs
+//! fail: undervolted machines crash, hang, or corrupt results, and the
+//! lab flow records the failure and moves on. A characterization engine
+//! must therefore survive — and be testable under — per-job failure.
+//! This module provides the three pieces:
+//!
+//! 1. [`JobFault`] / [`FaultKind`] — what the engine records when a job
+//!    cannot be solved: the job's content key, how many attempts were
+//!    made, and whether the failure was a solver error or a worker
+//!    panic.
+//! 2. [`RetryPolicy`] — how many attempts a job gets, and whether
+//!    retries perturb the seed (useful when a fault is tied to one
+//!    random phase assignment).
+//! 3. [`FaultInjector`] — a deterministic hook the engine consults
+//!    before every solve attempt. Faults are injected by solve ordinal
+//!    (fail the Nth solve) or by a seeded pseudo-random rate, and come
+//!    in three classes: a solver error, a NaN-corrupted outcome (which
+//!    must be caught by the finite-output guard), and a worker panic
+//!    (which must be captured, not propagated).
+
+use std::collections::HashMap;
+use voltnoise_pdn::PdnError;
+
+use crate::engine::JobKey;
+
+/// Classification of a captured failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The solve returned an error ([`PdnError::Diverged`],
+    /// [`PdnError::SingularMatrix`], an injected error, ...).
+    Solver(PdnError),
+    /// The worker thread panicked; the payload's message is preserved.
+    Panic(String),
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Solver(e) => write!(f, "solver error: {e}"),
+            FaultKind::Panic(msg) => write!(f, "worker panic: {msg}"),
+        }
+    }
+}
+
+/// One job's terminal failure: every attempt allowed by the
+/// [`RetryPolicy`] was made and all failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFault {
+    /// Content key of the failed job (boxed: a key carries the full job
+    /// signature, and the settled `Result` should stay small).
+    pub key: Box<JobKey>,
+    /// Solve attempts made (≥ 1; more than 1 means retries happened).
+    pub attempts: u32,
+    /// The final attempt's failure.
+    pub fault: FaultKind,
+}
+
+impl std::fmt::Display for JobFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job failed after {} attempt(s): {}",
+            self.attempts, self.fault
+        )
+    }
+}
+
+impl std::error::Error for JobFault {}
+
+/// Retry policy for transient faults.
+///
+/// The default (`max_attempts: 1`) retries nothing — every fault is
+/// terminal, matching the engine's historical semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// When `true`, each retry perturbs the job's seed (attempt `k`
+    /// runs with `seed + k - 1`), emulating the lab practice of
+    /// re-running a flaky measurement with a fresh alignment. The
+    /// retried outcome is cached under its *own* (reseeded) key, never
+    /// the original, so the content-keyed cache stays truthful.
+    pub reseed: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            reseed: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts, without
+    /// reseeding.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            reseed: false,
+        }
+    }
+}
+
+/// The class of fault an injector plants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The solve attempt returns [`PdnError::Injected`] without running.
+    SolverError,
+    /// The solve runs, then its outcome is corrupted with NaN; the
+    /// engine's finite-output guard must convert this into
+    /// [`PdnError::Diverged`] and must not cache the outcome.
+    NanOutcome,
+    /// The worker panics mid-solve; the engine must capture the panic
+    /// as a [`FaultKind::Panic`] instead of unwinding the campaign.
+    WorkerPanic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RandomFaults {
+    seed: u64,
+    rate: f64,
+    kind: InjectedFault,
+}
+
+/// Deterministic fault-injection plan, consulted by the engine before
+/// every solve attempt.
+///
+/// Solve attempts are numbered 0, 1, 2, ... in the order the engine
+/// starts them (cache hits consume no ordinal). A plan maps ordinals to
+/// fault classes; an optional seeded random component fails a fraction
+/// of the remaining ordinals, reproducibly for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use voltnoise_system::fault::{FaultInjector, InjectedFault};
+///
+/// let inj = FaultInjector::new()
+///     .fail_solve(0, InjectedFault::SolverError)
+///     .fail_solve(3, InjectedFault::WorkerPanic);
+/// assert_eq!(inj.decide(0), Some(InjectedFault::SolverError));
+/// assert_eq!(inj.decide(1), None);
+/// assert_eq!(inj.decide(3), Some(InjectedFault::WorkerPanic));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    planned: HashMap<usize, InjectedFault>,
+    random: Option<RandomFaults>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (until configured).
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Plans a fault at one solve ordinal (builder style).
+    #[must_use]
+    pub fn fail_solve(mut self, ordinal: usize, kind: InjectedFault) -> Self {
+        self.planned.insert(ordinal, kind);
+        self
+    }
+
+    /// Builds an injector from explicit `(ordinal, fault)` pairs.
+    pub fn fail_solves<I>(plan: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, InjectedFault)>,
+    {
+        FaultInjector {
+            planned: plan.into_iter().collect(),
+            random: None,
+        }
+    }
+
+    /// Adds a seeded random component: each ordinal not covered by the
+    /// explicit plan fails with probability `rate`, decided by a
+    /// deterministic hash of `(seed, ordinal)` — the same seed always
+    /// fails the same ordinals.
+    #[must_use]
+    pub fn with_random(mut self, seed: u64, rate: f64, kind: InjectedFault) -> Self {
+        self.random = Some(RandomFaults {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kind,
+        });
+        self
+    }
+
+    /// The fault planted at `ordinal`, if any.
+    pub fn decide(&self, ordinal: usize) -> Option<InjectedFault> {
+        if let Some(&kind) = self.planned.get(&ordinal) {
+            return Some(kind);
+        }
+        let r = self.random?;
+        // splitmix64 of (seed ^ ordinal): deterministic, well mixed, and
+        // independent of the std hasher's internal randomization.
+        let mut z = r.seed ^ (ordinal as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        (unit < r.rate).then_some(r.kind)
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planned_ordinals_fire_exactly() {
+        let inj = FaultInjector::fail_solves([
+            (2, InjectedFault::NanOutcome),
+            (5, InjectedFault::SolverError),
+        ]);
+        assert_eq!(inj.decide(2), Some(InjectedFault::NanOutcome));
+        assert_eq!(inj.decide(5), Some(InjectedFault::SolverError));
+        for n in [0, 1, 3, 4, 6, 100] {
+            assert_eq!(inj.decide(n), None, "ordinal {n}");
+        }
+    }
+
+    #[test]
+    fn random_component_is_deterministic_and_rate_bounded() {
+        let inj = FaultInjector::new().with_random(42, 0.25, InjectedFault::SolverError);
+        let again = FaultInjector::new().with_random(42, 0.25, InjectedFault::SolverError);
+        let hits: Vec<usize> = (0..4000).filter(|&n| inj.decide(n).is_some()).collect();
+        let hits2: Vec<usize> = (0..4000).filter(|&n| again.decide(n).is_some()).collect();
+        assert_eq!(hits, hits2, "same seed must fail the same ordinals");
+        let rate = hits.len() as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "observed rate {rate}");
+        let other = FaultInjector::new().with_random(43, 0.25, InjectedFault::SolverError);
+        let hits3: Vec<usize> = (0..4000).filter(|&n| other.decide(n).is_some()).collect();
+        assert_ne!(hits, hits3, "different seeds should differ");
+    }
+
+    #[test]
+    fn explicit_plan_overrides_random() {
+        let inj = FaultInjector::new()
+            .fail_solve(7, InjectedFault::WorkerPanic)
+            .with_random(1, 0.0, InjectedFault::SolverError);
+        assert_eq!(inj.decide(7), Some(InjectedFault::WorkerPanic));
+        assert_eq!(inj.decide(8), None);
+    }
+
+    #[test]
+    fn retry_policy_default_is_single_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.reseed);
+        assert_eq!(RetryPolicy::attempts(3).max_attempts, 3);
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(p.as_ref()), "owned");
+        let p: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, never panic via
+// `unwrap`. Test builds (`cfg(test)`) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # voltnoise-system
 //!
@@ -19,6 +22,9 @@
 //! - [`engine`] — content-keyed [`engine::SimJob`]s, the parallel
 //!   scoped-thread executor and the sharded memo cache every experiment
 //!   runs through;
+//! - [`fault`] — the engine's failure vocabulary: captured
+//!   [`fault::JobFault`]s, the [`fault::RetryPolicy`], and the
+//!   deterministic [`fault::FaultInjector`] test harness;
 //! - [`testbed`] — ISA + EPI profile + searched sequences + chip, cached
 //!   for experiments;
 //! - [`mapping`] — noise-aware workload mapping policy (§VII-A);
@@ -40,6 +46,7 @@
 pub mod chip;
 pub mod dither;
 pub mod engine;
+pub mod fault;
 pub mod guardband;
 pub mod mapping;
 pub mod mitigation;
@@ -53,6 +60,7 @@ pub mod workload;
 pub use chip::{Chip, ChipConfig, HfNoiseParams};
 pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
 pub use engine::{chip_signature, Engine, EngineStats, JobBatch, JobKey, LoadKey, SimJob};
+pub use fault::{FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
 pub use mapping::{
     evaluate_all_mappings, evaluate_all_mappings_on, evaluate_mapping, mapping_job, naive_mapping,

@@ -130,6 +130,29 @@ pub struct NoiseOutcome {
 }
 
 impl NoiseOutcome {
+    /// First non-finite numeric field, as `(index, value)`: indices
+    /// `0..NUM_CORES` report the core whose `pct_p2p`/`v_min`/`v_max`
+    /// went bad, `NUM_CORES` reports the chip power reading. Returns
+    /// `None` for a healthy outcome.
+    ///
+    /// The engine uses this as its last line of defense: an outcome
+    /// failing the check is converted into [`PdnError::Diverged`] and is
+    /// never cached, so one bad solve cannot contaminate memoized
+    /// campaigns.
+    pub fn first_non_finite(&self) -> Option<(usize, f64)> {
+        for i in 0..NUM_CORES {
+            for v in [self.pct_p2p[i], self.v_min[i], self.v_max[i]] {
+                if !v.is_finite() {
+                    return Some((i, v));
+                }
+            }
+        }
+        if !self.chip_power.watts().is_finite() {
+            return Some((NUM_CORES, self.chip_power.watts()));
+        }
+        None
+    }
+
     /// Highest per-core noise and the core that saw it.
     pub fn worst(&self) -> (usize, f64) {
         self.pct_p2p
@@ -348,7 +371,7 @@ pub fn run_noise(
         None
     };
 
-    Ok(NoiseOutcome {
+    let outcome = NoiseOutcome {
         readings,
         pct_p2p: pct,
         v_min,
@@ -356,7 +379,19 @@ pub fn run_noise(
         chip_power,
         traces,
         steps: result.steps,
-    })
+    };
+    // Finite-output guard: the transient solver already aborts on
+    // divergence, but the analytic HF ripple model and the skitter
+    // arithmetic run outside it. Nothing non-finite may escape the
+    // kernel — downstream statistics silently absorb NaN otherwise.
+    if let Some((node, value)) = outcome.first_non_finite() {
+        return Err(PdnError::Diverged {
+            t: tc.t_end,
+            node,
+            value,
+        });
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

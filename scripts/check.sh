@@ -9,7 +9,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (solver/engine library code, unwrap is an error)"
+# Both crate roots carry `#![cfg_attr(not(test), deny(clippy::unwrap_used))]`;
+# checking the library targets (no cfg(test)) enforces it, and tests may
+# still unwrap freely.
+cargo clippy -p voltnoise-pdn -p voltnoise-system --lib -- -D warnings
+
 echo "== cargo test"
 cargo test -q
+
+echo "== fault-injection suite"
+cargo test -q -p voltnoise --test fault_tolerance
 
 echo "All checks passed."
