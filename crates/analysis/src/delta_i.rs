@@ -208,6 +208,7 @@ impl Experiment for DeltaIExperiment {
             window_s: self.cfg.window_s,
             record_traces: false,
             seed: 1,
+            ..NoiseRunConfig::default()
         };
         let batch = SimJob::batch(tb.chip());
         Ok(self

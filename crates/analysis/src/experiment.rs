@@ -78,7 +78,7 @@ impl From<PdnError> for ExperimentFailure {
     fn from(e: PdnError) -> ExperimentFailure {
         ExperimentFailure {
             faults: Vec::new(),
-            primary: FaultKind::Solver(e),
+            primary: FaultKind::of_error(e),
         }
     }
 }
@@ -280,7 +280,7 @@ impl RegistryEntry {
         match (self.run)(tb, engine, reduced) {
             Ok(output) => Ok(output),
             Err(failure) => match failure.primary {
-                FaultKind::Solver(e) => Err(e),
+                FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e) => Err(e),
                 FaultKind::Panic(msg) => panic!("{msg}"),
             },
         }

@@ -163,6 +163,7 @@ impl Experiment for SweepExperiment {
                         window_s: self.cfg.window_s,
                         record_traces: false,
                         seed,
+                        ..NoiseRunConfig::default()
                     },
                 ));
             }

@@ -152,6 +152,7 @@ impl Experiment for GuardbandExperiment {
             window_s: self.cfg.window_s,
             record_traces: false,
             seed: 1,
+            ..NoiseRunConfig::default()
         };
         let batch = SimJob::batch(tb.chip());
         Ok(self

@@ -124,6 +124,7 @@ impl MappingGainExperiment {
             window_s: self.cfg.window_s,
             record_traces: false,
             seed: 1,
+            ..NoiseRunConfig::default()
         }
     }
 

@@ -175,6 +175,7 @@ fn vmin_of_loads(
                 window_s: Some(cfg.window_s),
                 record_traces: false,
                 seed: 1,
+                ..NoiseRunConfig::default()
             },
         );
         let out = match engine.run_one(&job) {

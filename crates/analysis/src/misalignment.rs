@@ -138,6 +138,7 @@ impl Experiment for MisalignExperiment {
                         window_s: self.cfg.window_s,
                         record_traces: false,
                         seed: 1 + rot as u64,
+                        ..NoiseRunConfig::default()
                     },
                 ));
             }

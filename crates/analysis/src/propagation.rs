@@ -311,6 +311,7 @@ impl MappingComparisonExperiment {
             window_s: Some(60e-6),
             record_traces: false,
             seed: 1,
+            ..NoiseRunConfig::default()
         }
     }
 }

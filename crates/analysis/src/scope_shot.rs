@@ -96,6 +96,7 @@ impl Experiment for ScopeShotExperiment {
                 window_s: Some(self.cfg.shot_s.max(4.0 / self.cfg.stim_freq_hz)),
                 record_traces: true,
                 seed: 1,
+                ..NoiseRunConfig::default()
             },
         )])
     }

@@ -1,8 +1,9 @@
 //! Generates the complete evaluation report (every table and figure) in
 //! one run. Use `--reduced` for a fast pass; omit it for paper scale.
 
-use voltnoise::analysis::{full_report, ReportScale};
+use voltnoise::analysis::{full_report_on, ReportScale};
 use voltnoise::prelude::*;
+use voltnoise::system::Engine;
 use voltnoise_bench::HarnessOpts;
 
 fn main() {
@@ -12,6 +13,23 @@ fn main() {
     } else {
         (Testbed::shared(), ReportScale::Paper)
     };
-    let report = full_report(tb, scale).expect("all experiments run");
+    // Engine::new honors VOLTNOISE_STORE, making the whole report
+    // resumable after an interrupt.
+    let engine = Engine::new();
+    let report = full_report_on(tb, &engine, scale).expect("all experiments run");
     print!("{report}");
+    // Durability diagnostics go to stderr so the report bytes on stdout
+    // stay identical with and without a store attached.
+    if let Some(store) = engine.store() {
+        let stats = engine.stats();
+        eprintln!(
+            "voltnoise: store {} — {} entries, {} served from disk, {} solved fresh, \
+             {} corrupt lines skipped",
+            store.path().display(),
+            store.len(),
+            stats.store_hits,
+            stats.solves,
+            stats.store_corrupt_lines,
+        );
+    }
 }

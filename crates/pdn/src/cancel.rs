@@ -1,0 +1,102 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheaply clonable flag shared between a
+//! controller (an engine draining a campaign, a signal handler, a test)
+//! and the transient solver, which polls it between accepted integration
+//! steps. Cancellation is *cooperative*: nothing is interrupted
+//! mid-step, so a cancelled solve leaves no torn state behind — it
+//! simply returns [`crate::PdnError::Cancelled`] at the next step
+//! boundary.
+//!
+//! Unlike wall-clock timeouts, a token is deterministic from the
+//! caller's perspective: a run either completes or reports the exact
+//! simulation time at which it stopped, and an un-cancelled token never
+//! perturbs results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, thread-safe cancellation flag.
+///
+/// Clones observe the same flag; once [`CancelToken::cancel`] is called
+/// the token stays cancelled forever (there is no reset — build a new
+/// token for a new campaign).
+///
+/// # Examples
+///
+/// ```
+/// use voltnoise_pdn::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent and irreversible.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (on this token or any of
+    /// its clones).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().expect("observer thread"));
+    }
+}

@@ -65,8 +65,12 @@ impl ImpedanceMask {
     /// 100 kHz, relaxed through the die band, derived from the default
     /// chip's worst-case ΔI and a ~10 % noise budget.
     pub fn zlike_default() -> Self {
-        ImpedanceMask::new(vec![(100e3, 0.8e-3), (5e6, 1.4e-3), (100e6, 1.0e-3)])
-            .expect("static bands are valid")
+        // Constructed directly: the literal bands satisfy `new`'s
+        // validation (ascending positive frequencies, positive limits)
+        // by inspection, so no fallible path is needed.
+        ImpedanceMask {
+            bands: vec![(100e3, 0.8e-3), (5e6, 1.4e-3), (100e6, 1.0e-3)],
+        }
     }
 
     /// The limit applying at `freq_hz`, or `None` above the mask.
@@ -79,7 +83,9 @@ impl ImpedanceMask {
 
     /// Highest frequency the mask covers.
     pub fn max_freq(&self) -> f64 {
-        self.bands.last().expect("non-empty mask").0
+        // `new` rejects empty band lists, so a mask always has a last
+        // band; 0.0 (mask covers nothing) is the total fallback.
+        self.bands.last().map_or(0.0, |(f, _)| *f)
     }
 }
 

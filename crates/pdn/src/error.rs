@@ -57,6 +57,23 @@ pub enum PdnError {
         /// Ordinal of the solve attempt the injector failed.
         ordinal: usize,
     },
+    /// The solve's step budget ([`crate::transient::TransientConfig::max_steps`])
+    /// was exhausted before reaching `t_end`. Deterministic — unlike a
+    /// wall-clock timeout, the same netlist and budget always fail at
+    /// the same step — so budget faults are reproducible and cacheable
+    /// campaign facts, not scheduling accidents.
+    BudgetExceeded {
+        /// Accepted integration steps taken when the budget ran out.
+        steps: usize,
+        /// Simulation time (seconds) reached within the budget.
+        t: f64,
+    },
+    /// The solve was cancelled cooperatively via a
+    /// [`crate::cancel::CancelToken`] between accepted steps.
+    Cancelled {
+        /// Simulation time (seconds) at which cancellation was observed.
+        t: f64,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -83,6 +100,11 @@ impl fmt::Display for PdnError {
             PdnError::Injected { ordinal } => {
                 write!(f, "injected fault at solve attempt {ordinal}")
             }
+            PdnError::BudgetExceeded { steps, t } => write!(
+                f,
+                "step budget exhausted after {steps} accepted steps at t = {t:.3e} s"
+            ),
+            PdnError::Cancelled { t } => write!(f, "solve cancelled at t = {t:.3e} s"),
         }
     }
 }
@@ -115,6 +137,11 @@ mod tests {
                 value: f64::INFINITY,
             },
             PdnError::Injected { ordinal: 7 },
+            PdnError::BudgetExceeded {
+                steps: 400,
+                t: 2e-6,
+            },
+            PdnError::Cancelled { t: 1e-6 },
         ];
         for e in errors {
             let msg = e.to_string();

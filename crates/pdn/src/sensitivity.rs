@@ -88,8 +88,9 @@ impl ParameterSensitivity {
     /// Logarithmic frequency sensitivity `d ln(f) / d ln(factor)` between
     /// the first and last point (≈ −0.5 for the LC pair members).
     pub fn log_slope(&self) -> f64 {
-        let first = self.points.first().expect("points exist");
-        let last = self.points.last().expect("points exist");
+        let (Some(first), Some(last)) = (self.points.first(), self.points.last()) else {
+            return 0.0;
+        };
         if first.freq_hz <= 0.0 || last.freq_hz <= 0.0 {
             return 0.0;
         }

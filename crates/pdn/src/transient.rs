@@ -8,6 +8,7 @@
 //! factorizations are ever computed, and every simulation step is a dense
 //! back-substitution over a system with a few dozen unknowns.
 
+use crate::cancel::CancelToken;
 use crate::error::PdnError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Element, Netlist, NodeId};
@@ -110,6 +111,20 @@ pub struct TransientConfig {
     /// Set to `f64::INFINITY` to disable the magnitude check (the
     /// non-finite check always applies).
     pub divergence_limit: f64,
+    /// Step budget: when `Some(n)`, the run fails with
+    /// [`PdnError::BudgetExceeded`] as soon as it would need more than
+    /// `n` accepted steps to reach `t_end`. A run finishing in exactly
+    /// `n` steps succeeds. Deterministic (unlike a wall-clock timeout):
+    /// the same netlist and configuration always hit the budget at the
+    /// same step, so one pathological netlist cannot hang a campaign
+    /// while well-behaved jobs are unaffected. `None` disables the
+    /// budget.
+    pub max_steps: Option<usize>,
+    /// Cooperative cancellation: when set, the token is polled between
+    /// accepted steps and a cancelled run aborts with
+    /// [`PdnError::Cancelled`]. An un-cancelled token never changes
+    /// results.
+    pub cancel: Option<CancelToken>,
 }
 
 impl TransientConfig {
@@ -127,6 +142,8 @@ impl TransientConfig {
             settle: t_end * 0.2,
             record_decimation: None,
             divergence_limit: 1e6,
+            max_steps: None,
+            cancel: None,
         }
     }
 
@@ -504,6 +521,20 @@ impl TransientSolver {
         let eps = cfg.h_fine * 1e-6;
 
         while t < cfg.t_end - eps {
+            // Cooperative interruption, polled once per accepted step:
+            // the budget bounds how much work a runaway netlist may
+            // consume, the token lets a controller drain a campaign.
+            // Both abort at a step boundary, so no torn state escapes.
+            if let Some(budget) = cfg.max_steps {
+                if steps >= budget {
+                    return Err(PdnError::BudgetExceeded { steps, t });
+                }
+            }
+            if let Some(token) = &cfg.cancel {
+                if token.is_cancelled() {
+                    return Err(PdnError::Cancelled { t });
+                }
+            }
             while widx < windows.len() && t >= windows[widx].1 {
                 widx += 1;
             }
@@ -906,5 +937,142 @@ mod tests {
             .unwrap();
         let uniform_fine_steps = (100e-6 / 1e-9) as usize;
         assert!(res.steps * 10 < uniform_fine_steps, "steps = {}", res.steps);
+    }
+
+    #[test]
+    fn step_budget_fails_deterministically() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(100e-6);
+        cfg.max_steps = Some(10);
+        let err = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap_err();
+        let PdnError::BudgetExceeded { steps, t } = err else {
+            panic!("expected BudgetExceeded, got {err:?}");
+        };
+        assert_eq!(steps, 10);
+        assert!(t > 0.0 && t < 100e-6, "t = {t}");
+        // The same budget fails at the same step every time.
+        let err2 = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn exact_step_budget_succeeds_and_matches_unbudgeted_run() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let cfg = TransientConfig::new(20e-6);
+        let drive = ConstantDrive::new(vec![1.0]);
+        let probes = [Probe::NodeVoltage(die)];
+        let free = solver.run(&drive, &probes, &cfg).unwrap();
+        // Granting exactly the needed number of steps changes nothing.
+        let mut exact = cfg.clone();
+        exact.max_steps = Some(free.steps);
+        let budgeted = solver.run(&drive, &probes, &exact).unwrap();
+        assert_eq!(budgeted.steps, free.steps);
+        assert_eq!(budgeted.stats[0].min.to_bits(), free.stats[0].min.to_bits());
+        assert_eq!(budgeted.stats[0].max.to_bits(), free.stats[0].max.to_bits());
+        assert_eq!(
+            budgeted.stats[0].mean.to_bits(),
+            free.stats[0].mean.to_bits()
+        );
+        // One step fewer fails.
+        let mut short = cfg;
+        short.max_steps = Some(free.steps - 1);
+        assert!(matches!(
+            solver.run(&drive, &probes, &short),
+            Err(PdnError::BudgetExceeded { .. })
+        ));
+    }
+
+    /// A drive that cancels its token once the simulation passes a set
+    /// time — a deterministic stand-in for an external controller.
+    struct CancellingDrive {
+        token: CancelToken,
+        after: f64,
+        amps: f64,
+    }
+
+    impl Drive for CancellingDrive {
+        fn currents(&self, t: f64, out: &mut [f64]) {
+            if t > self.after {
+                self.token.cancel();
+            }
+            out.fill(self.amps);
+        }
+        fn edges(&self, _t0: f64, _t1: f64, _out: &mut Vec<f64>) {}
+    }
+
+    #[test]
+    fn cancellation_aborts_between_steps() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let token = CancelToken::new();
+        let mut cfg = TransientConfig::new(100e-6);
+        cfg.cancel = Some(token.clone());
+        let drive = CancellingDrive {
+            token,
+            after: 40e-6,
+            amps: 1.0,
+        };
+        let err = solver
+            .run(&drive, &[Probe::NodeVoltage(die)], &cfg)
+            .unwrap_err();
+        let PdnError::Cancelled { t } = err else {
+            panic!("expected Cancelled, got {err:?}");
+        };
+        assert!((40e-6..100e-6).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cfg = TransientConfig::new(100e-6);
+        cfg.cancel = Some(token);
+        let err = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, PdnError::Cancelled { t } if t == 0.0),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let drive = StepDrive {
+            t0: 50e-6,
+            amps: 1.0,
+        };
+        let probes = [Probe::NodeVoltage(die)];
+        let plain = solver
+            .run(&drive, &probes, &TransientConfig::new(100e-6))
+            .unwrap();
+        let mut cfg = TransientConfig::new(100e-6);
+        cfg.cancel = Some(CancelToken::new());
+        let watched = solver.run(&drive, &probes, &cfg).unwrap();
+        assert_eq!(plain.steps, watched.steps);
+        assert_eq!(plain.stats[0].min.to_bits(), watched.stats[0].min.to_bits());
+        assert_eq!(plain.stats[0].max.to_bits(), watched.stats[0].max.to_bits());
     }
 }

@@ -14,12 +14,14 @@ use crate::search::SequenceEval;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use voltnoise_uarch::isa::{Isa, Opcode};
 use voltnoise_uarch::kernel::Kernel;
 use voltnoise_uarch::pipeline::CoreConfig;
 
 /// GA configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
     /// Individuals per generation.
     pub population: usize,
@@ -35,6 +37,21 @@ pub struct GaConfig {
     pub eval_iterations: usize,
     /// RNG seed.
     pub seed: u64,
+    /// When set, the search serializes its full state (population, RNG,
+    /// fitness cache, convergence history) here after every
+    /// `checkpoint_every`-th generation, atomically (tmp file + rename).
+    /// A write failure is reported on stderr and skipped — checkpointing
+    /// never fails the search itself.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Generations between checkpoint writes (clamped to ≥ 1; the final
+    /// generation always checkpoints when a path is set).
+    pub checkpoint_every: usize,
+    /// When set, the search first tries to restore state from this file
+    /// and continues from the saved generation — bit-identically to a
+    /// run that was never interrupted. A missing file starts fresh
+    /// silently (first run of a resumable campaign); a corrupt or
+    /// incompatible file is reported on stderr and starts fresh.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for GaConfig {
@@ -47,8 +64,124 @@ impl Default for GaConfig {
             elites: 2,
             eval_iterations: 120,
             seed: 1,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
         }
     }
+}
+
+/// The scalar parameters a checkpoint echoes so a resume can verify it
+/// is continuing the same search. `generations` is deliberately absent:
+/// resuming with a larger horizon *extends* a finished campaign, which
+/// is exactly the useful case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GaParams {
+    population: usize,
+    mutation_rate: f64,
+    tournament: usize,
+    elites: usize,
+    eval_iterations: usize,
+    seed: u64,
+}
+
+impl GaParams {
+    fn of(cfg: &GaConfig) -> GaParams {
+        GaParams {
+            population: cfg.population,
+            mutation_rate: cfg.mutation_rate,
+            tournament: cfg.tournament,
+            elites: cfg.elites,
+            eval_iterations: cfg.eval_iterations,
+            seed: cfg.seed,
+        }
+    }
+}
+
+/// On-disk GA search state. Genomes are stored as candidate opcode
+/// indices (`Opcode::index()` as `u16`), which stay meaningful as long
+/// as the candidate alphabet is unchanged — the `candidates` echo lets
+/// a resume detect an alphabet mismatch and refuse the checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GaCheckpoint {
+    version: u32,
+    params: GaParams,
+    candidates: Vec<u16>,
+    /// Next generation to run (all generations `< generation` are done).
+    generation: usize,
+    rng_state: [u64; 4],
+    population: Vec<Vec<u16>>,
+    best_genome: Vec<u16>,
+    best_fit: f64,
+    evaluations: usize,
+    history: Vec<f64>,
+    /// Fitness cache, sorted by key for deterministic bytes.
+    cache: Vec<(Vec<u16>, f64)>,
+}
+
+const GA_CHECKPOINT_VERSION: u32 = 1;
+
+fn encode_genome(genome: &[Opcode]) -> Vec<u16> {
+    genome.iter().map(|op| op.index() as u16).collect()
+}
+
+fn write_checkpoint(path: &Path, ckpt: &GaCheckpoint) {
+    let attempt = || -> std::io::Result<()> {
+        let json = serde_json::to_string(ckpt)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    };
+    if let Err(e) = attempt() {
+        eprintln!(
+            "voltnoise: GA checkpoint write to {} failed ({e}); continuing without",
+            path.display()
+        );
+    }
+}
+
+/// Tries to load and validate a checkpoint. `None` means "start fresh":
+/// silently for a missing file, with a stderr report for a corrupt or
+/// incompatible one.
+fn load_checkpoint(path: &Path, params: &GaParams, candidates: &[u16]) -> Option<GaCheckpoint> {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!(
+                "voltnoise: GA checkpoint {} unreadable ({e}); starting fresh",
+                path.display()
+            );
+            return None;
+        }
+    };
+    let ckpt: GaCheckpoint = match serde_json::from_str(&raw) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "voltnoise: GA checkpoint {} corrupt ({e}); starting fresh",
+                path.display()
+            );
+            return None;
+        }
+    };
+    if ckpt.version != GA_CHECKPOINT_VERSION
+        || ckpt.params != *params
+        || ckpt.candidates != candidates
+        || ckpt.population.len() != params.population
+        || ckpt.population.iter().any(|g| g.len() != SEQ_LEN)
+        || ckpt.best_genome.len() != SEQ_LEN
+    {
+        eprintln!(
+            "voltnoise: GA checkpoint {} does not match this search \
+             (version/params/candidates differ); starting fresh",
+            path.display()
+        );
+        return None;
+    }
+    Some(ckpt)
 }
 
 /// Outcome of a GA run.
@@ -94,41 +227,97 @@ pub fn ga_search(isa: &Isa, core: &CoreConfig, candidates: &[Opcode], cfg: &GaCo
         "degenerate GA config"
     );
     let filter = FilterConfig::default();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut cache: std::collections::HashMap<Vec<u16>, f64> = std::collections::HashMap::new();
-    let mut evaluations = 0usize;
-
-    let random_genome = |rng: &mut SmallRng| -> Genome {
-        std::array::from_fn(|_| candidates[rng.gen_range(0..candidates.len())])
-    };
-    let mut population: Vec<Genome> = (0..cfg.population)
-        .map(|_| random_genome(&mut rng))
+    let params = GaParams::of(cfg);
+    let cand_codes = encode_genome(candidates);
+    let op_of_code: HashMap<u16, Opcode> = candidates
+        .iter()
+        .map(|&op| (op.index() as u16, op))
         .collect();
-
-    let fitness_of = |genome: &Genome,
-                      cache: &mut std::collections::HashMap<Vec<u16>, f64>,
-                      evaluations: &mut usize|
-     -> f64 {
-        let key: Vec<u16> = genome.iter().map(|op| op.index() as u16).collect();
-        if let Some(&f) = cache.get(&key) {
-            return f;
-        }
-        *evaluations += 1;
-        let power = evaluate(isa, core, genome, cfg.eval_iterations).power_w;
-        let fit = if microarch_filter(isa, core, &filter, genome) {
-            power
-        } else {
-            power * 0.5
-        };
-        cache.insert(key, fit);
-        fit
+    let decode_genome = |codes: &[u16]| -> Option<Genome> {
+        let ops: Vec<Opcode> = codes
+            .iter()
+            .map(|c| op_of_code.get(c).copied())
+            .collect::<Option<_>>()?;
+        ops.try_into().ok()
     };
 
-    let mut history = Vec::with_capacity(cfg.generations);
-    let mut best_genome = population[0];
-    let mut best_fit = f64::NEG_INFINITY;
+    // Restore a prior campaign's state, or start fresh. All mutable
+    // search state lives in these bindings so a checkpoint captures the
+    // search completely.
+    let restored = cfg
+        .resume_from
+        .as_deref()
+        .and_then(|path| load_checkpoint(path, &params, &cand_codes))
+        .and_then(|ckpt| {
+            let population: Option<Vec<Genome>> =
+                ckpt.population.iter().map(|g| decode_genome(g)).collect();
+            let best_genome = decode_genome(&ckpt.best_genome);
+            match (population, best_genome) {
+                (Some(p), Some(b)) => Some((ckpt, p, b)),
+                _ => {
+                    eprintln!(
+                        "voltnoise: GA checkpoint genome outside the candidate \
+                         alphabet; starting fresh"
+                    );
+                    None
+                }
+            }
+        });
 
-    for _gen in 0..cfg.generations {
+    let mut rng;
+    let mut cache: HashMap<Vec<u16>, f64>;
+    let mut evaluations;
+    let mut population: Vec<Genome>;
+    let mut history;
+    let mut best_genome;
+    let mut best_fit;
+    let start_gen;
+    match restored {
+        Some((ckpt, pop, best)) => {
+            rng = SmallRng::from_state(ckpt.rng_state);
+            cache = ckpt.cache.into_iter().collect();
+            evaluations = ckpt.evaluations;
+            population = pop;
+            history = ckpt.history;
+            best_genome = best;
+            best_fit = ckpt.best_fit;
+            start_gen = ckpt.generation;
+        }
+        None => {
+            rng = SmallRng::seed_from_u64(cfg.seed);
+            cache = HashMap::new();
+            evaluations = 0;
+            let random_genome = |rng: &mut SmallRng| -> Genome {
+                std::array::from_fn(|_| candidates[rng.gen_range(0..candidates.len())])
+            };
+            population = (0..cfg.population)
+                .map(|_| random_genome(&mut rng))
+                .collect();
+            history = Vec::with_capacity(cfg.generations);
+            best_genome = population[0];
+            best_fit = f64::NEG_INFINITY;
+            start_gen = 0;
+        }
+    }
+
+    let fitness_of =
+        |genome: &Genome, cache: &mut HashMap<Vec<u16>, f64>, evaluations: &mut usize| -> f64 {
+            let key = encode_genome(genome);
+            if let Some(&f) = cache.get(&key) {
+                return f;
+            }
+            *evaluations += 1;
+            let power = evaluate(isa, core, genome, cfg.eval_iterations).power_w;
+            let fit = if microarch_filter(isa, core, &filter, genome) {
+                power
+            } else {
+                power * 0.5
+            };
+            cache.insert(key, fit);
+            fit
+        };
+
+    for gen in start_gen..cfg.generations {
         let fits: Vec<f64> = population
             .iter()
             .map(|g| fitness_of(g, &mut cache, &mut evaluations))
@@ -175,6 +364,31 @@ pub fn ga_search(isa: &Isa, core: &CoreConfig, candidates: &[Opcode], cfg: &GaCo
             next.push(child);
         }
         population = next;
+
+        if let Some(path) = &cfg.checkpoint_path {
+            let done = gen + 1;
+            if done % cfg.checkpoint_every.max(1) == 0 || done == cfg.generations {
+                let mut cache_vec: Vec<(Vec<u16>, f64)> =
+                    cache.iter().map(|(k, &v)| (k.clone(), v)).collect();
+                cache_vec.sort_by(|a, b| a.0.cmp(&b.0));
+                write_checkpoint(
+                    path,
+                    &GaCheckpoint {
+                        version: GA_CHECKPOINT_VERSION,
+                        params: params.clone(),
+                        candidates: cand_codes.clone(),
+                        generation: done,
+                        rng_state: rng.state(),
+                        population: population.iter().map(|g| encode_genome(g)).collect(),
+                        best_genome: encode_genome(&best_genome),
+                        best_fit,
+                        evaluations,
+                        history: history.clone(),
+                        cache: cache_vec,
+                    },
+                );
+            }
+        }
     }
 
     GaOutcome {
@@ -267,6 +481,146 @@ mod tests {
         };
         let out = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
         assert!(out.history.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("voltnoise-ga-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn resume_continues_bit_identically() {
+        let f = fx();
+        let path = temp_ckpt("resume");
+        let _ = std::fs::remove_file(&path);
+        let base_cfg = GaConfig {
+            generations: 6,
+            population: 16,
+            ..GaConfig::default()
+        };
+        let uninterrupted = ga_search(&f.isa, &f.core, &f.candidates, &base_cfg);
+
+        // Simulated crash: run only 3 generations, checkpointing as we go.
+        let first_half = ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                generations: 3,
+                checkpoint_path: Some(path.clone()),
+                ..base_cfg.clone()
+            },
+        );
+        assert!(path.exists(), "checkpoint must have been written");
+
+        // Resume to the full horizon: the continuation must be
+        // bit-identical to the run that was never interrupted.
+        let resumed = ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                resume_from: Some(path.clone()),
+                ..base_cfg
+            },
+        );
+        assert_eq!(resumed.best.body, uninterrupted.best.body);
+        assert_eq!(resumed.history.len(), uninterrupted.history.len());
+        for (a, b) in resumed.history.iter().zip(&uninterrupted.history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The fitness cache travels in the checkpoint, so the total
+        // evaluation count matches too (no duplicate work on resume).
+        assert_eq!(resumed.evaluations, uninterrupted.evaluations);
+        assert!(first_half.evaluations < uninterrupted.evaluations);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_starts_fresh() {
+        let f = fx();
+        let path = temp_ckpt("corrupt");
+        std::fs::write(&path, "{ not json at all").unwrap();
+        let cfg = GaConfig {
+            generations: 4,
+            population: 12,
+            resume_from: Some(path.clone()),
+            ..GaConfig::default()
+        };
+        let resumed = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        let fresh = ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                resume_from: None,
+                ..cfg
+            },
+        );
+        assert_eq!(resumed.best.body, fresh.best.body);
+        assert_eq!(resumed.evaluations, fresh.evaluations);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_checkpoint_starts_fresh() {
+        let f = fx();
+        let cfg = GaConfig {
+            generations: 4,
+            population: 12,
+            resume_from: Some(temp_ckpt("never-written")),
+            ..GaConfig::default()
+        };
+        let resumed = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        let fresh = ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                resume_from: None,
+                ..cfg
+            },
+        );
+        assert_eq!(resumed.best.body, fresh.best.body);
+        assert_eq!(resumed.evaluations, fresh.evaluations);
+    }
+
+    #[test]
+    fn mismatched_params_reject_checkpoint() {
+        let f = fx();
+        let path = temp_ckpt("mismatch");
+        let _ = std::fs::remove_file(&path);
+        ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                generations: 2,
+                population: 12,
+                checkpoint_path: Some(path.clone()),
+                ..GaConfig::default()
+            },
+        );
+        // A different seed is a different search: the checkpoint must be
+        // refused, not silently continued.
+        let cfg = GaConfig {
+            generations: 3,
+            population: 12,
+            seed: 99,
+            resume_from: Some(path.clone()),
+            ..GaConfig::default()
+        };
+        let resumed = ga_search(&f.isa, &f.core, &f.candidates, &cfg);
+        let fresh = ga_search(
+            &f.isa,
+            &f.core,
+            &f.candidates,
+            &GaConfig {
+                resume_from: None,
+                ..cfg
+            },
+        );
+        assert_eq!(resumed.best.body, fresh.best.body);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -147,6 +147,10 @@ impl Chip {
     /// # Panics
     ///
     /// Never panics: the default parameters are valid by construction.
+    // The one sanctioned expect in this crate: the default-config build
+    // is validated by the test suite, and an infallible constructor is
+    // the documented contract of this method.
+    #[allow(clippy::expect_used)]
     pub fn paper_default() -> Self {
         Chip::new(&ChipConfig::default()).expect("default chip parameters are valid")
     }

@@ -32,15 +32,17 @@
 use crate::chip::Chip;
 use crate::fault::{panic_message, FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 use crate::noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
+use crate::store::{Fnv128, ResultStore};
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use voltnoise_pdn::topology::NUM_CORES;
-use voltnoise_pdn::PdnError;
+use voltnoise_pdn::{CancelToken, PdnError};
 
 /// Number of independently locked cache shards. A small power of two:
 /// enough to keep worker threads from serializing on one mutex, small
@@ -122,6 +124,11 @@ pub struct JobKey {
     record_traces: bool,
     /// `NoiseRunConfig::seed`.
     seed: u64,
+    /// `NoiseRunConfig::max_steps` — part of the key because a budgeted
+    /// job is a different experiment than an unbudgeted one (it may fail
+    /// where the other succeeds). The cancellation token is deliberately
+    /// *not* keyed: an un-cancelled token never changes results.
+    max_steps: Option<usize>,
 }
 
 impl JobKey {
@@ -138,23 +145,105 @@ impl JobKey {
         self.hash(&mut h);
         format!("job {:016x} (seed {})", h.finish(), self.seed)
     }
+
+    /// Stable 128-bit content digest used as the persistent-store key.
+    ///
+    /// Unlike [`JobKey::digest`] (which uses the std hasher and is only
+    /// meaningful within one process), this digest is computed with a
+    /// fixed FNV-1a over a canonical byte rendering of every key field —
+    /// chip signature included — so it stays valid across processes,
+    /// machines and toolchain upgrades. It is the on-disk key contract
+    /// of [`ResultStore`]; changing the rendering requires bumping the
+    /// store's key-scheme version.
+    pub fn store_digest(&self) -> String {
+        let mut h = Fnv128::new();
+        h.update(self.chip_sig.as_bytes());
+        h.update(&[0x1f]);
+        for load in &self.loads {
+            match load {
+                LoadKey::Idle => h.update(&[0]),
+                LoadKey::Stress {
+                    stim_freq,
+                    duty,
+                    i_high,
+                    i_low,
+                    i_idle,
+                    sync,
+                } => {
+                    h.update(&[1]);
+                    for v in [stim_freq, duty, i_high, i_low, i_idle] {
+                        h.update(&v.to_le_bytes());
+                    }
+                    match sync {
+                        None => h.update(&[0]),
+                        Some((interval, offset, events)) => {
+                            h.update(&[1]);
+                            h.update(&interval.to_le_bytes());
+                            h.update(&offset.to_le_bytes());
+                            h.update(&events.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        match self.window {
+            None => h.update(&[0]),
+            Some(w) => {
+                h.update(&[1]);
+                h.update(&w.to_le_bytes());
+            }
+        }
+        h.update(&[u8::from(self.record_traces)]);
+        h.update(&self.seed.to_le_bytes());
+        match self.max_steps {
+            None => h.update(&[0]),
+            Some(n) => {
+                h.update(&[1]);
+                h.update(&(n as u64).to_le_bytes());
+            }
+        }
+        h.finish_hex()
+    }
 }
 
-/// Computes a chip's content fingerprint. The JSON rendering of the
-/// configuration is canonical (struct fields serialize in declaration
+/// Fallibly computes a chip's content fingerprint. The JSON rendering of
+/// the configuration is canonical (struct fields serialize in declaration
 /// order, map keys sorted), so equal configurations produce equal
 /// signatures.
-pub fn chip_signature(chip: &Chip) -> Arc<str> {
-    let cfg = serde_json::to_string(chip.config()).expect("chip config serializes");
+///
+/// # Errors
+///
+/// Returns [`PdnError::InvalidTimebase`] when a configuration fails to
+/// serialize. The vendored JSON writer is total for the plain-data
+/// config structs, so this cannot happen today; the fallible signature
+/// exists so the error path stays typed if a config ever grows a
+/// non-serializable field.
+pub fn try_chip_signature(chip: &Chip) -> Result<Arc<str>, PdnError> {
+    let render = |what: &str, r: Result<String, serde_json::Error>| {
+        r.map_err(|e| PdnError::InvalidTimebase {
+            reason: format!("{what} configuration failed to serialize: {e}"),
+        })
+    };
+    let cfg = render("chip", serde_json::to_string(chip.config()))?;
     let mut sig = String::with_capacity(cfg.len() + 64 * NUM_CORES);
     sig.push_str(&cfg);
     for i in 0..NUM_CORES {
         sig.push('|');
-        sig.push_str(
-            &serde_json::to_string(chip.skitter(i).config()).expect("skitter config serializes"),
-        );
+        sig.push_str(&render(
+            "skitter",
+            serde_json::to_string(chip.skitter(i).config()),
+        )?);
     }
-    Arc::from(sig)
+    Ok(Arc::from(sig))
+}
+
+/// Computes a chip's content fingerprint (infallible wrapper over
+/// [`try_chip_signature`]). In the impossible case that serialization
+/// fails, falls back to the `Debug` rendering of the chip configuration —
+/// still deterministic and content-derived, so memoization stays sound.
+pub fn chip_signature(chip: &Chip) -> Arc<str> {
+    try_chip_signature(chip)
+        .unwrap_or_else(|_| Arc::from(format!("debug-fallback|{:?}", chip.config())))
 }
 
 /// A pure, hashable unit of simulation work: one [`run_noise`] call.
@@ -188,6 +277,7 @@ impl SimJob {
             window: cfg.window_s.map(f64::to_bits),
             record_traces: cfg.record_traces,
             seed: cfg.seed,
+            max_steps: cfg.max_steps,
         };
         SimJob {
             chip,
@@ -277,6 +367,16 @@ pub struct EngineStats {
     /// Extra attempts granted by the retry policy (a job that succeeds
     /// on its second attempt contributes 1 here and 0 to `faults`).
     pub retries: usize,
+    /// Jobs answered from the persistent result store (a store hit also
+    /// promotes the outcome into the in-memory cache, so later lookups
+    /// count as `cache_hits`).
+    pub store_hits: usize,
+    /// Corrupt lines skipped when the persistent store was opened
+    /// (zero without a store).
+    pub store_corrupt_lines: usize,
+    /// Faults whose terminal kind was budget exhaustion
+    /// ([`crate::fault::FaultKind::Budget`]); a subset of `faults`.
+    pub budget_faults: usize,
 }
 
 /// The parallel, memoizing job executor.
@@ -284,12 +384,17 @@ pub struct Engine {
     workers: usize,
     retry: RetryPolicy,
     injector: Option<FaultInjector>,
+    store: Option<ResultStore>,
+    cancel: Option<CancelToken>,
+    step_budget: Option<usize>,
     shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
     solves: AtomicUsize,
     hits: AtomicUsize,
     attempts: AtomicUsize,
     faults: AtomicUsize,
     retries: AtomicUsize,
+    store_hits: AtomicUsize,
+    budget_faults: AtomicUsize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -300,6 +405,8 @@ impl std::fmt::Debug for Engine {
             .field("cache_hits", &self.hits.load(Ordering::Relaxed))
             .field("faults", &self.faults.load(Ordering::Relaxed))
             .field("retries", &self.retries.load(Ordering::Relaxed))
+            .field("store", &self.store)
+            .field("store_hits", &self.store_hits.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -336,9 +443,23 @@ fn default_workers() -> usize {
 }
 
 impl Engine {
-    /// An engine with the default worker count (see module docs).
+    /// An engine with the default worker count (see module docs). When
+    /// `VOLTNOISE_STORE` names a path, the engine additionally opens a
+    /// persistent [`ResultStore`] there; an unopenable store is reported
+    /// on stderr and skipped rather than aborting (durability degrades,
+    /// the campaign does not).
     pub fn new() -> Engine {
-        Engine::with_workers(default_workers())
+        let mut engine = Engine::with_workers(default_workers());
+        if let Ok(raw) = std::env::var("VOLTNOISE_STORE") {
+            match ResultStore::open(&raw) {
+                Ok(store) => engine.store = Some(store),
+                Err(why) => eprintln!(
+                    "voltnoise: ignoring VOLTNOISE_STORE={raw:?} ({why}); \
+                     running without a persistent store"
+                ),
+            }
+        }
+        engine
     }
 
     /// An engine with an explicit worker count (≥ 1; 1 = serial).
@@ -347,6 +468,9 @@ impl Engine {
             workers: workers.max(1),
             retry: RetryPolicy::default(),
             injector: None,
+            store: None,
+            cancel: None,
+            step_budget: None,
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -355,6 +479,8 @@ impl Engine {
             attempts: AtomicUsize::new(0),
             faults: AtomicUsize::new(0),
             retries: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            budget_faults: AtomicUsize::new(0),
         }
     }
 
@@ -370,6 +496,43 @@ impl Engine {
     #[must_use]
     pub fn with_injector(mut self, injector: FaultInjector) -> Engine {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Attaches a persistent result store at `path` (builder style):
+    /// previously solved jobs are answered from disk, and every new
+    /// solve is appended. See [`ResultStore`] for the format and its
+    /// crash-tolerance guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the store file cannot be opened or
+    /// created.
+    pub fn with_store<P: AsRef<Path>>(mut self, path: P) -> std::io::Result<Engine> {
+        self.store = Some(ResultStore::open(path)?);
+        Ok(self)
+    }
+
+    /// Installs a cooperative cancellation token (builder style). Once
+    /// the token is cancelled, jobs not yet started settle as
+    /// [`FaultKind::Cancelled`] faults and in-flight solves abort at
+    /// their next accepted step; already-cached (and store-backed)
+    /// results are still served, so a cancelled batch drains into a
+    /// deterministic partial result set.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Engine {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets a default per-job step budget (builder style): jobs whose
+    /// own [`NoiseRunConfig::max_steps`] is `None` inherit this bound.
+    /// The engine-level budget is an execution property, not part of the
+    /// job content key — within one engine it applies uniformly, and a
+    /// cached or stored result (already paid for) is never re-budgeted.
+    #[must_use]
+    pub fn with_step_budget(mut self, max_steps: usize) -> Engine {
+        self.step_budget = Some(max_steps);
         self
     }
 
@@ -418,6 +581,21 @@ impl Engine {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// The attached persistent result store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Jobs answered from the persistent store so far.
+    pub fn store_hits(&self) -> usize {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Faults whose terminal kind was budget exhaustion.
+    pub fn budget_faults(&self) -> usize {
+        self.budget_faults.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -426,7 +604,41 @@ impl Engine {
             cache_hits: self.cache_hits(),
             faults: self.faults(),
             retries: self.retries(),
+            store_hits: self.store_hits(),
+            store_corrupt_lines: self.store.as_ref().map_or(0, ResultStore::corrupt_lines),
+            budget_faults: self.budget_faults(),
         }
+    }
+
+    /// Whether a cancellation has been requested for this job, via either
+    /// the engine-level token or the job's own config token.
+    fn cancel_requested(&self, job: &SimJob) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || job
+                .cfg
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Solves a job with the engine-level step budget and cancellation
+    /// token injected wherever the job's own config leaves them unset.
+    /// The common case (no engine-level overrides) avoids the config
+    /// clone entirely.
+    fn solve_job(&self, job: &SimJob) -> Result<NoiseOutcome, PdnError> {
+        let inject_budget = job.cfg.max_steps.is_none() && self.step_budget.is_some();
+        let inject_cancel = job.cfg.cancel.is_none() && self.cancel.is_some();
+        if !inject_budget && !inject_cancel {
+            return job.solve();
+        }
+        let mut cfg = job.cfg.clone();
+        if inject_budget {
+            cfg.max_steps = self.step_budget;
+        }
+        if inject_cancel {
+            cfg.cancel = self.cancel.clone();
+        }
+        run_noise(&job.chip, &job.loads, &cfg)
     }
 
     fn shard(&self, key: &JobKey) -> &Mutex<HashMap<JobKey, Arc<NoiseOutcome>>> {
@@ -449,7 +661,7 @@ impl Engine {
             }
             Some(InjectedFault::NanOutcome) | None => {}
         }
-        let mut outcome = job.solve()?;
+        let mut outcome = self.solve_job(job)?;
         if injected == Some(InjectedFault::NanOutcome) {
             outcome.pct_p2p[0] = f64::NAN;
         }
@@ -465,6 +677,9 @@ impl Engine {
         }
         let outcome = Arc::new(outcome);
         self.solves.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.append(&job.key().store_digest(), &outcome);
+        }
         lock_recover(self.shard(job.key()))
             .entry(job.key().clone())
             .or_insert_with(|| outcome.clone());
@@ -488,8 +703,36 @@ impl Engine {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
+        // Memory miss: consult the persistent store before solving. A
+        // store hit promotes the outcome into the in-memory cache so the
+        // disk lookup (and digest computation) happens at most once per
+        // key per engine. Cached and stored results are served even when
+        // cancellation is requested — they are already paid for, and
+        // draining them keeps a cancelled batch's partial results
+        // deterministic.
+        if let Some(store) = &self.store {
+            if let Some(outcome) = store.get(&job.key().store_digest()) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                lock_recover(self.shard(job.key()))
+                    .entry(job.key().clone())
+                    .or_insert_with(|| outcome.clone());
+                return Ok(outcome);
+            }
+        }
+        // Jobs that would have to *solve* after cancellation fail fast
+        // without consuming an attempt (attempts = 0: the solver was
+        // never entered).
+        if self.cancel_requested(job) {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(JobFault {
+                key: Box::new(job.key.clone()),
+                attempts: 0,
+                fault: FaultKind::Cancelled(PdnError::Cancelled { t: 0.0 }),
+            });
+        }
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_fault: Option<FaultKind> = None;
+        let mut attempts_made = 0u32;
         for attempt in 0..max_attempts {
             let reseeded;
             let current: &SimJob = if attempt > 0 && self.retry.reseed {
@@ -501,20 +744,36 @@ impl Engine {
             if attempt > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
             }
+            attempts_made = attempt + 1;
             match catch_unwind(AssertUnwindSafe(|| self.solve_attempt(current))) {
                 Ok(Ok(outcome)) => return Ok(outcome),
-                Ok(Err(e)) => last_fault = Some(FaultKind::Solver(e)),
+                Ok(Err(e)) => {
+                    let kind = FaultKind::of_error(e);
+                    // Budget exhaustion and cancellation are final:
+                    // retrying is guaranteed to reproduce them (budgets
+                    // are deterministic, tokens stay cancelled), so the
+                    // attempts a retry policy would spend are saved.
+                    let stop = kind.is_final();
+                    last_fault = Some(kind);
+                    if stop {
+                        break;
+                    }
+                }
                 Err(payload) => {
                     last_fault = Some(FaultKind::Panic(panic_message(payload.as_ref())));
                 }
             }
         }
         self.faults.fetch_add(1, Ordering::Relaxed);
+        let fault = last_fault
+            .unwrap_or_else(|| FaultKind::Panic("no attempt recorded a fault".to_string()));
+        if matches!(fault, FaultKind::Budget(_)) {
+            self.budget_faults.fetch_add(1, Ordering::Relaxed);
+        }
         Err(JobFault {
             key: Box::new(job.key.clone()),
-            attempts: max_attempts,
-            fault: last_fault
-                .unwrap_or_else(|| FaultKind::Panic("no attempt recorded a fault".to_string())),
+            attempts: attempts_made,
+            fault,
         })
     }
 
@@ -535,7 +794,7 @@ impl Engine {
         match self.run_one_settled(job) {
             Ok(outcome) => Ok(outcome),
             Err(JobFault {
-                fault: FaultKind::Solver(e),
+                fault: FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e),
                 ..
             }) => Err(e),
             Err(JobFault {
@@ -604,7 +863,7 @@ impl Engine {
             match settled {
                 Ok(outcome) => out.push(outcome),
                 Err(JobFault {
-                    fault: FaultKind::Solver(e),
+                    fault: FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e),
                     ..
                 }) => return Err(e),
                 Err(JobFault {
@@ -709,6 +968,7 @@ mod tests {
                         window_s: Some(25e-6),
                         record_traces: false,
                         seed: 1,
+                        ..NoiseRunConfig::default()
                     },
                 )
             })
@@ -759,6 +1019,7 @@ mod tests {
             window_s: Some(25e-6),
             record_traces: false,
             seed: 1,
+            ..NoiseRunConfig::default()
         };
         let a = batch.job(loads.clone(), base.clone());
         let b = batch.job(

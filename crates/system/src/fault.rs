@@ -32,14 +32,52 @@ pub enum FaultKind {
     /// The solve returned an error ([`PdnError::Diverged`],
     /// [`PdnError::SingularMatrix`], an injected error, ...).
     Solver(PdnError),
+    /// The job's step budget ran out; always carries
+    /// [`PdnError::BudgetExceeded`]. Deterministic and final — retrying
+    /// the identical job would burn the identical budget — so the engine
+    /// never retries budget faults.
+    Budget(PdnError),
+    /// The job was cancelled cooperatively; always carries
+    /// [`PdnError::Cancelled`]. Final: a cancelled campaign must drain,
+    /// not retry.
+    Cancelled(PdnError),
     /// The worker thread panicked; the payload's message is preserved.
     Panic(String),
+}
+
+impl FaultKind {
+    /// Classifies a solve error into its fault kind: budget exhaustion
+    /// and cancellation get their own kinds, everything else is a
+    /// generic solver fault.
+    pub fn of_error(e: PdnError) -> FaultKind {
+        match e {
+            PdnError::BudgetExceeded { .. } => FaultKind::Budget(e),
+            PdnError::Cancelled { .. } => FaultKind::Cancelled(e),
+            _ => FaultKind::Solver(e),
+        }
+    }
+
+    /// True for faults that retrying cannot change: a budget fault is
+    /// deterministic, and a cancelled campaign is draining.
+    pub fn is_final(&self) -> bool {
+        matches!(self, FaultKind::Budget(_) | FaultKind::Cancelled(_))
+    }
+
+    /// The underlying solver error, when the fault carries one.
+    pub fn as_error(&self) -> Option<&PdnError> {
+        match self {
+            FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e) => Some(e),
+            FaultKind::Panic(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FaultKind::Solver(e) => write!(f, "solver error: {e}"),
+            FaultKind::Budget(e) => write!(f, "budget fault: {e}"),
+            FaultKind::Cancelled(e) => write!(f, "cancelled: {e}"),
             FaultKind::Panic(msg) => write!(f, "worker panic: {msg}"),
         }
     }
@@ -52,7 +90,8 @@ pub struct JobFault {
     /// Content key of the failed job (boxed: a key carries the full job
     /// signature, and the settled `Result` should stay small).
     pub key: Box<JobKey>,
-    /// Solve attempts made (≥ 1; more than 1 means retries happened).
+    /// Solve attempts made (more than 1 means retries happened; 0 means
+    /// the job was cancelled before any attempt started).
     pub attempts: u32,
     /// The final attempt's failure.
     pub fault: FaultKind,
@@ -265,6 +304,23 @@ mod tests {
         assert_eq!(p.max_attempts, 1);
         assert!(!p.reseed);
         assert_eq!(RetryPolicy::attempts(3).max_attempts, 3);
+    }
+
+    #[test]
+    fn classification_routes_budget_and_cancel() {
+        let budget = FaultKind::of_error(PdnError::BudgetExceeded { steps: 7, t: 1e-6 });
+        assert!(matches!(budget, FaultKind::Budget(_)));
+        assert!(budget.is_final());
+        assert!(budget.to_string().starts_with("budget fault:"));
+        let cancelled = FaultKind::of_error(PdnError::Cancelled { t: 2e-6 });
+        assert!(matches!(cancelled, FaultKind::Cancelled(_)));
+        assert!(cancelled.is_final());
+        assert!(cancelled.to_string().starts_with("cancelled:"));
+        let solver = FaultKind::of_error(PdnError::Injected { ordinal: 3 });
+        assert!(matches!(solver, FaultKind::Solver(_)));
+        assert!(!solver.is_final());
+        assert!(solver.as_error().is_some());
+        assert!(FaultKind::Panic("boom".into()).as_error().is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 // Library code must surface failures as typed errors, never panic via
-// `unwrap`. Test builds (`cfg(test)`) are exempt.
-#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// `unwrap` or `expect`. Test builds (`cfg(test)`) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # voltnoise-system
 //!
@@ -25,6 +25,10 @@
 //! - [`fault`] — the engine's failure vocabulary: captured
 //!   [`fault::JobFault`]s, the [`fault::RetryPolicy`], and the
 //!   deterministic [`fault::FaultInjector`] test harness;
+//! - [`store`] — the append-only persistent result store
+//!   ([`store::ResultStore`]) that lets an interrupted campaign resume
+//!   without re-solving (attach via `Engine::with_store` or the
+//!   `VOLTNOISE_STORE` environment variable);
 //! - [`testbed`] — ISA + EPI profile + searched sequences + chip, cached
 //!   for experiments;
 //! - [`mapping`] — noise-aware workload mapping policy (§VII-A);
@@ -53,13 +57,16 @@ pub mod mitigation;
 pub mod noise;
 pub mod population;
 pub mod scheduler;
+pub mod store;
 pub mod testbed;
 pub mod tod;
 pub mod workload;
 
 pub use chip::{Chip, ChipConfig, HfNoiseParams};
 pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
-pub use engine::{chip_signature, Engine, EngineStats, JobBatch, JobKey, LoadKey, SimJob};
+pub use engine::{
+    chip_signature, try_chip_signature, Engine, EngineStats, JobBatch, JobKey, LoadKey, SimJob,
+};
 pub use fault::{FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
 pub use mapping::{
@@ -72,6 +79,7 @@ pub use population::PopulationStudy;
 pub use scheduler::{
     replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy,
 };
+pub use store::ResultStore;
 pub use testbed::Testbed;
 pub use tod::{spread_offsets, TodSync};
 pub use workload::{all_distributions, mappings_of, Distribution, Mapping, WorkloadKind};

@@ -94,6 +94,17 @@ pub struct NoiseRunConfig {
     pub record_traces: bool,
     /// Seed of the random free-run phases.
     pub seed: u64,
+    /// Per-job step budget: the transient solve fails with
+    /// [`PdnError::BudgetExceeded`] when it would need more than this
+    /// many accepted steps. Part of the job's content key — a budgeted
+    /// job and an unbudgeted one are different experiments. `None`
+    /// (default) disables the budget.
+    pub max_steps: Option<usize>,
+    /// Cooperative cancellation token polled by the solver between
+    /// accepted steps. *Not* part of the content key: an un-cancelled
+    /// token never changes results, and a cancelled run produces no
+    /// result at all.
+    pub cancel: Option<voltnoise_pdn::CancelToken>,
 }
 
 impl Default for NoiseRunConfig {
@@ -102,6 +113,8 @@ impl Default for NoiseRunConfig {
             window_s: None,
             record_traces: false,
             seed: 1,
+            max_steps: None,
+            cancel: None,
         }
     }
 }
@@ -111,7 +124,7 @@ impl Default for NoiseRunConfig {
 /// Serializable so that determinism can be checked end to end: the
 /// engine's parallel-equals-serial invariant compares JSON renderings of
 /// whole outcomes.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NoiseOutcome {
     /// Per-core sticky skitter readings.
     pub readings: [SkitterReading; NUM_CORES],
@@ -155,12 +168,15 @@ impl NoiseOutcome {
 
     /// Highest per-core noise and the core that saw it.
     pub fn worst(&self) -> (usize, f64) {
-        self.pct_p2p
-            .iter()
-            .copied()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("six cores")
+        // Manual fold (ties keep the later core, like `max_by` did):
+        // total on any NUM_CORES ≥ 1, no unwrap/expect needed.
+        let mut worst = (0, self.pct_p2p[0]);
+        for (i, &p) in self.pct_p2p.iter().enumerate().skip(1) {
+            if p.total_cmp(&worst.1).is_ge() {
+                worst = (i, p);
+            }
+        }
+        worst
     }
 
     /// Maximum %p2p across cores.
@@ -303,6 +319,8 @@ fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> Tran
     tc.record_decimation = cfg
         .record_traces
         .then(|| 1.max((window / tc.h_coarse) as usize / 4000));
+    tc.max_steps = cfg.max_steps;
+    tc.cancel = cfg.cancel.clone();
     tc
 }
 
@@ -361,9 +379,15 @@ pub fn run_noise(
     let traces = if cfg.record_traces {
         let mut out = Vec::with_capacity(NUM_CORES);
         for i in 0..NUM_CORES {
+            // The solver records strictly increasing times, so this only
+            // fails on a solver bug — surfaced as a typed error rather
+            // than a panic so a campaign records it like any other fault.
             out.push(
-                ScopeTrace::new(result.times.clone(), result.traces[i].clone())
-                    .expect("solver produces monotonic times"),
+                ScopeTrace::new(result.times.clone(), result.traces[i].clone()).map_err(|e| {
+                    PdnError::InvalidTimebase {
+                        reason: format!("recorded trace rejected: {e}"),
+                    }
+                })?,
             );
         }
         Some(out)
@@ -471,6 +495,7 @@ mod tests {
                 window_s: Some(30e-6),
                 record_traces: true,
                 seed: 1,
+                ..NoiseRunConfig::default()
             },
         )
         .unwrap();

@@ -1,0 +1,457 @@
+//! Persistent content-keyed result store: on-disk JSONL backing for the
+//! engine's in-memory `JobKey → NoiseOutcome` cache.
+//!
+//! A long characterization campaign — the paper's stressmark methodology
+//! is thousands of transient solves — must survive being killed at hour
+//! N. The store makes solved jobs durable facts:
+//!
+//! - **Format** — line 1 is a versioned header, every further line one
+//!   `{"key": "<digest>", "outcome": {...}}` record. The key is a stable
+//!   128-bit FNV-1a digest of the full [`crate::engine::JobKey`]
+//!   *including the chip signature*, so results from differently
+//!   configured chips can share one store without ever colliding.
+//! - **Append-on-solve** — each successful solve appends one flushed
+//!   line, so a `kill -9` loses at most the line being written.
+//! - **Corrupt-line tolerance** — a torn or garbled line (the usual
+//!   crash artifact) is skipped and counted, never aborts a load; the
+//!   entries around it stay usable.
+//! - **Atomic compaction** — [`ResultStore::compact`] rewrites the file
+//!   (deduplicated, corrupt lines dropped, deterministic key order) via
+//!   a temp file + rename, so a crash mid-compaction leaves the old
+//!   file intact.
+//!
+//! A store whose header does not match the current format/version is
+//! *reset* on open: the store is a cache of recomputable results, so
+//! discarding unreadable generations is always safe.
+
+use crate::noise::NoiseOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Magic format name in the header line.
+pub const STORE_FORMAT: &str = "voltnoise-store";
+/// Current store format version. Bumped whenever the record layout or
+/// the key scheme changes incompatibly.
+pub const STORE_VERSION: u32 = 1;
+/// Identifier of the key scheme: FNV-1a 128 over the canonical byte
+/// rendering of a `JobKey` (chip signature included).
+const KEY_SCHEME: &str = "jobkey-fnv1a128/1";
+
+/// Stable 128-bit FNV-1a hasher. The standard library's `DefaultHasher`
+/// is explicitly not stable across Rust releases, so store keys — which
+/// must stay valid across processes, machines and toolchains — use this
+/// fixed, documented function instead.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    pub(crate) fn new() -> Fnv128 {
+        Fnv128 {
+            state: Fnv128::OFFSET,
+        }
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(Fnv128::PRIME);
+        }
+    }
+
+    pub(crate) fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct StoreHeader {
+    format: String,
+    version: u32,
+    key_scheme: String,
+}
+
+impl StoreHeader {
+    fn current() -> StoreHeader {
+        StoreHeader {
+            format: STORE_FORMAT.to_string(),
+            version: STORE_VERSION,
+            key_scheme: KEY_SCHEME.to_string(),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct StoreRecord {
+    key: String,
+    outcome: NoiseOutcome,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    entries: HashMap<String, Arc<NoiseOutcome>>,
+    corrupt_lines: usize,
+    /// Set once when an append fails, so a full disk warns once instead
+    /// of spamming stderr for every remaining solve.
+    append_warned: bool,
+}
+
+/// The on-disk JSONL store. Thread-safe: the engine's workers append
+/// concurrently through one mutex.
+pub struct ResultStore {
+    path: PathBuf,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("entries", &inner.entries.len())
+            .field("corrupt_lines", &inner.corrupt_lines)
+            .finish()
+    }
+}
+
+impl ResultStore {
+    /// Opens (or creates) a store at `path`, loading every readable
+    /// record. Corrupt lines are skipped and counted; a missing,
+    /// empty, or version-mismatched file starts the store fresh (the
+    /// mismatched file is atomically rewritten with the current header).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file exists but cannot be read, or
+    /// when a fresh store file cannot be created.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<ResultStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries: HashMap<String, Arc<NoiseOutcome>> = HashMap::new();
+        let mut corrupt_lines = 0usize;
+        let mut header_ok = false;
+        match File::open(&path) {
+            Ok(file) => {
+                let mut lines = BufReader::new(file).lines();
+                match lines.next() {
+                    None => header_ok = true, // empty file: adopt it
+                    // A non-UTF-8 first line is as alien as a wrong
+                    // header: reset below.
+                    Some(first) => {
+                        if first
+                            .ok()
+                            .and_then(|l| serde_json::from_str::<StoreHeader>(&l).ok())
+                            .is_some_and(|h| h == StoreHeader::current())
+                        {
+                            header_ok = true;
+                            for line in lines {
+                                // A torn tail may not even be UTF-8; any
+                                // unreadable line counts as corrupt and
+                                // is skipped, never fatal.
+                                let Ok(line) = line else {
+                                    corrupt_lines += 1;
+                                    continue;
+                                };
+                                if line.trim().is_empty() {
+                                    continue;
+                                }
+                                match serde_json::from_str::<StoreRecord>(&line) {
+                                    Ok(rec) => {
+                                        entries
+                                            .entry(rec.key)
+                                            .or_insert_with(|| Arc::new(rec.outcome));
+                                    }
+                                    Err(_) => corrupt_lines += 1,
+                                }
+                            }
+                        }
+                        // Alien or future-version header: the whole file
+                        // is unreadable to this code. Reset below.
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let store = ResultStore {
+            path,
+            inner: Mutex::new(StoreInner {
+                entries,
+                corrupt_lines,
+                append_warned: false,
+            }),
+        };
+        let fresh = {
+            let inner = store.lock();
+            inner.entries.is_empty() && inner.corrupt_lines == 0
+        };
+        // A fresh store is written out so line 1 is always the header; an
+        // unrecognized generation is reset — results are recomputable.
+        if !header_ok || fresh {
+            store.rewrite()?;
+        }
+        Ok(store)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The store's backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of loaded (plus appended) records.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Corrupt lines skipped when the store was opened (compaction
+    /// resets this to zero).
+    pub fn corrupt_lines(&self) -> usize {
+        self.lock().corrupt_lines
+    }
+
+    /// Looks up a stored outcome by its stable key digest.
+    pub fn get(&self, key: &str) -> Option<Arc<NoiseOutcome>> {
+        self.lock().entries.get(key).cloned()
+    }
+
+    /// Records one solved outcome: inserts it in memory and appends a
+    /// flushed JSONL line. A key already present is skipped (results
+    /// are content-keyed, so the stored outcome is identical). Append
+    /// I/O failures are reported on stderr once but never abort — a
+    /// full disk degrades durability, not the campaign.
+    pub fn append(&self, key: &str, outcome: &NoiseOutcome) {
+        let mut inner = self.lock();
+        if inner.entries.contains_key(key) {
+            return;
+        }
+        inner
+            .entries
+            .insert(key.to_string(), Arc::new(outcome.clone()));
+        let record = StoreRecord {
+            key: key.to_string(),
+            outcome: outcome.clone(),
+        };
+        let appended = serde_json::to_string(&record)
+            .map_err(std::io::Error::other)
+            .and_then(|line| {
+                let mut file = OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(&self.path)?;
+                writeln!(file, "{line}")?;
+                file.flush()
+            });
+        if let Err(why) = appended {
+            if !inner.append_warned {
+                inner.append_warned = true;
+                eprintln!(
+                    "voltnoise: result store {} stopped persisting ({why}); \
+                     continuing in memory only",
+                    self.path.display()
+                );
+            }
+        }
+    }
+
+    /// Rewrites the backing file from the in-memory entries: header
+    /// first, then one record per distinct key in sorted (deterministic)
+    /// order. Corrupt and duplicate lines do not survive. Atomic: the
+    /// new content is written to a sibling temp file and renamed over
+    /// the store, so a crash mid-compaction cannot lose the old file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the temp file cannot be written or
+    /// renamed; the original file is left untouched in that case.
+    pub fn compact(&self) -> std::io::Result<()> {
+        self.rewrite()
+    }
+
+    fn rewrite(&self) -> std::io::Result<()> {
+        let mut inner = self.lock();
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            let header =
+                serde_json::to_string(&StoreHeader::current()).map_err(std::io::Error::other)?;
+            writeln!(file, "{header}")?;
+            let mut keys: Vec<&String> = inner.entries.keys().collect();
+            keys.sort();
+            for key in keys {
+                let record = StoreRecord {
+                    key: key.clone(),
+                    outcome: NoiseOutcome::clone(&inner.entries[key]),
+                };
+                let line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
+                writeln!(file, "{line}")?;
+            }
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        inner.corrupt_lines = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltnoise_measure::power::PowerMeter;
+    use voltnoise_measure::skitter::SkitterReading;
+    use voltnoise_pdn::topology::NUM_CORES;
+
+    fn outcome(tag: f64) -> NoiseOutcome {
+        NoiseOutcome {
+            readings: [SkitterReading {
+                min_tap: 10,
+                max_tap: 20,
+                taps: 129,
+                samples: 100,
+            }; NUM_CORES],
+            pct_p2p: [tag; NUM_CORES],
+            v_min: [1.0 - tag / 100.0; NUM_CORES],
+            v_max: [1.0 + tag / 100.0; NUM_CORES],
+            chip_power: PowerMeter::new().read(1.05, 40.0),
+            traces: None,
+            steps: 1234,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "voltnoise_store_{}_{name}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            store.append("aaaa", &outcome(5.0));
+            store.append("bbbb", &outcome(7.5));
+            // Duplicate key appends only once.
+            store.append("aaaa", &outcome(5.0));
+            assert_eq!(store.len(), 2);
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.corrupt_lines(), 0);
+        let got = store.get("bbbb").unwrap();
+        assert_eq!(
+            serde_json::to_string(&*got).unwrap(),
+            serde_json::to_string(&outcome(7.5)).unwrap()
+        );
+        assert!(store.get("cccc").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_and_counted() {
+        let path = tmp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::open(&path).unwrap();
+            store.append("good1", &outcome(1.0));
+            store.append("good2", &outcome(2.0));
+        }
+        // Simulate a crash artifact: a torn line and binary garbage.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{{\"key\":\"torn\",\"outcome\":{{\"reading").unwrap();
+            writeln!(f, "\u{7f}\u{0}garbage").unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.corrupt_lines(), 2);
+        assert!(store.get("good1").is_some());
+        // Compaction drops the corrupt lines for good.
+        store.compact().unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.corrupt_lines(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn alien_header_resets_the_store() {
+        let path = tmp_path("alien");
+        std::fs::write(&path, "this is not a voltnoise store\nat all\n").unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        store.append("k", &outcome(3.0));
+        drop(store);
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn future_version_resets_instead_of_guessing() {
+        let path = tmp_path("future");
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"format\":\"{STORE_FORMAT}\",\"version\":{},\
+                 \"key_scheme\":\"jobkey-fnv1a128/9\"}}\n\
+                 {{\"key\":\"x\",\"outcome\":\"opaque-v9-payload\"}}\n",
+                STORE_VERSION + 8
+            ),
+        )
+        .unwrap();
+        let store = ResultStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.corrupt_lines(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_is_deterministic_and_sorted() {
+        let path = tmp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let store = ResultStore::open(&path).unwrap();
+        store.append("zz", &outcome(1.0));
+        store.append("aa", &outcome(2.0));
+        store.compact().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        store.compact().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second);
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"aa\""), "sorted order: {}", lines[1]);
+        assert!(lines[2].contains("\"zz\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv128_is_stable_and_sensitive() {
+        let mut h = Fnv128::new();
+        h.update(b"voltnoise");
+        // Fixed digest: this value is part of the on-disk contract. If
+        // it changes, the key scheme version must be bumped.
+        assert_eq!(h.finish_hex(), "69f5776130067a9b37288bf33cabec94");
+        let mut h2 = Fnv128::new();
+        h2.update(b"voltnoisf");
+        assert_ne!(h.finish_hex(), h2.finish_hex());
+    }
+}

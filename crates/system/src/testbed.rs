@@ -65,6 +65,10 @@ impl Testbed {
     /// # Panics
     ///
     /// Never panics: default parameters are valid.
+    // Sanctioned expect: the default-config build is validated by the
+    // test suite, and an infallible constructor is the documented
+    // contract of this method.
+    #[allow(clippy::expect_used)]
     pub fn new() -> Testbed {
         Testbed::build(&SearchConfig::default(), &ChipConfig::default())
             .expect("default chip parameters are valid")
@@ -73,6 +77,8 @@ impl Testbed {
     /// A cached reduced-search testbed for tests: the funnel keeps 60
     /// sequences instead of 1000, which preserves the winner's character
     /// at a fraction of the cost.
+    // Sanctioned expect: same infallible-constructor contract as `new`.
+    #[allow(clippy::expect_used)]
     pub fn fast() -> &'static Testbed {
         static CELL: OnceLock<Testbed> = OnceLock::new();
         CELL.get_or_init(|| {
@@ -156,6 +162,7 @@ impl Testbed {
             duty: 0.5,
             sync,
         };
+        #[allow(clippy::expect_used)] // documented panic contract (see max_stressmark)
         compile(&self.isa, &self.core, spec)
             .expect("searched sequences compile at paper frequencies")
     }

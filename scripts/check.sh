@@ -9,8 +9,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (solver/engine library code, unwrap is an error)"
-# Both crate roots carry `#![cfg_attr(not(test), deny(clippy::unwrap_used))]`;
+echo "== cargo clippy (solver/engine library code, unwrap/expect are errors)"
+# Both crate roots carry
+# `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`;
 # checking the library targets (no cfg(test)) enforces it, and tests may
 # still unwrap freely.
 cargo clippy -p voltnoise-pdn -p voltnoise-system --lib -- -D warnings
@@ -20,5 +21,11 @@ cargo test -q
 
 echo "== fault-injection suite"
 cargo test -q -p voltnoise --test fault_tolerance
+
+echo "== durability suite"
+cargo test -q -p voltnoise --test durability
+
+echo "== kill-and-resume smoke test"
+scripts/resume_smoke.sh
 
 echo "All checks passed."

@@ -23,6 +23,7 @@ fn test_jobs(tb: &Testbed, n: u64) -> Vec<SimJob> {
                     window_s: Some(20e-6),
                     record_traces: false,
                     seed,
+                    ..NoiseRunConfig::default()
                 },
             )
         })
@@ -250,6 +251,7 @@ fn noise_outcomes_are_finite_over_seed_and_frequency_grid() {
                     window_s: Some(20e-6),
                     record_traces: false,
                     seed,
+                    ..NoiseRunConfig::default()
                 },
             );
             let out = job

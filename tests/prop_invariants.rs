@@ -401,6 +401,7 @@ fn sim_job_hash_consistent_with_equality() {
             window_s: windows[rng.gen_range(0..windows.len() as u32) as usize],
             record_traces: rng.gen_range(0..2u32) == 1,
             seed: u64::from(rng.gen_range(0..4u32)),
+            ..NoiseRunConfig::default()
         };
         let a = batch.job(loads_of(freq, synced), cfg.clone());
         let b = batch.job(loads_of(freq, synced), cfg.clone());
