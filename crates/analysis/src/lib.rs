@@ -65,7 +65,9 @@ pub use propagation::{
     run_mapping_comparison, run_step_response, CorrelationAnalysis, MappingComparison,
     MappingComparisonExperiment, StepResponse, StepResponseExperiment,
 };
-pub use report::{full_report, full_report_on, ReportScale};
+pub use report::{
+    full_report, full_report_on, full_report_with_telemetry, telemetry_section, ReportScale,
+};
 pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot, ScopeShotExperiment};
 pub use stats::CorrelationMatrix;
 pub use table1::{Table1, Table1Experiment};

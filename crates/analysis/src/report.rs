@@ -10,7 +10,8 @@
 use crate::experiment::{registry, ExperimentFailure, RegistryEntry};
 use crate::render::Table;
 use voltnoise_pdn::PdnError;
-use voltnoise_system::engine::Engine;
+use voltnoise_system::engine::{Engine, EngineStats};
+use voltnoise_system::telemetry::LogHistogram;
 use voltnoise_system::testbed::Testbed;
 
 /// Scale at which the report is generated.
@@ -82,6 +83,89 @@ pub fn full_report_on(
     Ok(out)
 }
 
+/// Generates the full report plus a rendered telemetry section for the
+/// engine that produced it, as two **separate** documents.
+///
+/// They are separate on purpose: the report's figure bytes are a golden
+/// artifact — identical whether tracing is on or off, whether a run was
+/// fresh or store-resumed — while the telemetry section describes *this
+/// particular run* (solve counts, cache hits, wall-clock histograms)
+/// and differs every time. Callers print the report to stdout and the
+/// telemetry next to it (the `full_report` binary sends it to stderr,
+/// alongside the existing store diagnostics).
+///
+/// # Errors
+///
+/// Kept for signature compatibility; currently always returns `Ok`.
+pub fn full_report_with_telemetry(
+    tb: &Testbed,
+    engine: &Engine,
+    scale: ReportScale,
+) -> Result<(String, String), PdnError> {
+    let report = full_report_on(tb, engine, scale)?;
+    let telemetry = telemetry_section(&engine.stats());
+    Ok((report, telemetry))
+}
+
+fn quantiles_cell(h: &LogHistogram) -> String {
+    match (h.median(), h.p95()) {
+        (Some(med), Some(p95)) => format!("median ≥{med} ns / p95 ≥{p95} ns ({})", h.count()),
+        _ => "no samples".to_string(),
+    }
+}
+
+/// Renders an engine's run statistics and aggregated solver telemetry
+/// as a report-style `#`-commented CSV table.
+///
+/// This section never enters [`full_report_on`] output — it rides next
+/// to the report, in the same way store diagnostics do, so that figure
+/// bytes stay a pure function of the experiment content.
+pub fn telemetry_section(stats: &EngineStats) -> String {
+    let tel = &stats.telemetry;
+    let mut t = Table::new("Engine telemetry (this run only; never part of figure bytes)");
+    t.columns(["metric", "value"]);
+    for (metric, value) in [
+        ("workers", stats.workers),
+        ("jobs_solved", stats.solves),
+        ("cache_hits", stats.cache_hits),
+        ("store_hits", stats.store_hits),
+        ("faults", stats.faults),
+    ] {
+        t.row([metric.to_string(), value.to_string()]);
+    }
+    for (metric, value) in [
+        ("solver_steps", tel.solver.steps),
+        ("dc_solves", tel.solver.dc_solves),
+        ("lu_factorizations", tel.solver.lu_factorizations),
+        ("factor_cache_hits", tel.solver.factor_cache_hits),
+        ("solve_calls", tel.solver.solve_calls),
+        ("est_flops", tel.solver.est_flops),
+    ] {
+        t.row([metric.to_string(), value.to_string()]);
+    }
+    if tel.job_wall.is_empty() {
+        t.note("wall-clock histograms empty — tracing disabled (set VOLTNOISE_TRACE=1)");
+    } else {
+        for (metric, hist) in [
+            ("job_wall", &tel.job_wall),
+            ("phase_assemble", &tel.assemble),
+            ("phase_factor", &tel.factor),
+            ("phase_step", &tel.step),
+            ("phase_validate", &tel.validate),
+        ] {
+            t.row([metric.to_string(), quantiles_cell(hist)]);
+        }
+        t.note(&format!(
+            "phase totals: assemble {} ns, factor {} ns, step {} ns, validate {} ns",
+            tel.phase_ns.assemble_ns,
+            tel.phase_ns.factor_ns,
+            tel.phase_ns.step_ns,
+            tel.phase_ns.validate_ns
+        ));
+    }
+    t.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +181,23 @@ mod tests {
             assert!(report.contains(marker), "report missing {marker}");
         }
         assert!(report.len() > 4_000, "report suspiciously short");
+    }
+
+    #[test]
+    fn telemetry_section_rides_alongside_not_inside() {
+        let tb = Testbed::fast();
+        let engine = Engine::with_workers(2);
+        let (report, telemetry) =
+            full_report_with_telemetry(tb, &engine, ReportScale::Reduced).unwrap();
+        // The report half is exactly what full_report_on produces on an
+        // equivalent engine — telemetry never leaks into figure bytes.
+        let plain = full_report_on(tb, &Engine::with_workers(2), ReportScale::Reduced).unwrap();
+        assert_eq!(report, plain);
+        assert!(telemetry.starts_with("# Engine telemetry"));
+        assert!(telemetry.contains("jobs_solved"));
+        assert!(telemetry.contains("solver_steps"));
+        // Untraced run: the section says so instead of printing zeros.
+        assert!(telemetry.contains("tracing disabled"));
+        assert!(!report.contains("Engine telemetry"));
     }
 }

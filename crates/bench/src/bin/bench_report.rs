@@ -1,0 +1,260 @@
+//! Benchmark harness: runs a pinned subset of registry experiments N
+//! times and emits a schema-versioned `BENCH_report.json` with
+//! per-experiment median/p95 wall time and solver work counters.
+//!
+//! The pinned subset covers the three solver regimes the workspace
+//! exercises: a single long transient (`fig8`), a frequency sweep of
+//! many small jobs (`fig9`), and a mapping campaign dominated by
+//! engine scheduling (`fig11a`). Each iteration runs on a **fresh**
+//! engine so no memo cache or persistent store hides solver cost.
+//!
+//! Every experiment is timed both untraced and traced
+//! (`VOLTNOISE_TRACE` equivalent, toggled in-process via `set_trace`),
+//! so the report doubles as a regression guard on the cost of the
+//! instrumentation itself: `overhead_ratio` is traced-median over
+//! untraced-median and should sit near 1.
+//!
+//! `--smoke` runs one iteration and asserts the report is sane (parses
+//! back, counters nonzero, overhead within a generous bound) — the mode
+//! `scripts/check.sh` wires into CI.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+use voltnoise::analysis::find;
+use voltnoise::system::{set_trace, Engine, SolverCounters, Testbed};
+
+/// Experiments benchmarked by default: one long transient, one sweep of
+/// many small jobs, one mapping campaign.
+const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
+
+/// Report format version. Bump when the JSON shape changes.
+const SCHEMA: &str = "voltnoise-bench/1";
+
+/// Generous smoke-mode bound on `overhead_ratio` (single-iteration
+/// timings are noisy; real overhead is a few percent).
+const SMOKE_MAX_OVERHEAD: f64 = 10.0;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WallStats {
+    median_ns: u64,
+    p95_ns: u64,
+    samples_ns: Vec<u64>,
+}
+
+impl WallStats {
+    fn of(mut samples: Vec<u64>) -> WallStats {
+        samples.sort_unstable();
+        WallStats {
+            median_ns: percentile(&samples, 0.5),
+            p95_ns: percentile(&samples, 0.95),
+            samples_ns: samples,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample set.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ExperimentBench {
+    id: String,
+    untraced: WallStats,
+    traced: WallStats,
+    /// Traced median over untraced median: the wall-clock cost of the
+    /// instrumentation itself.
+    overhead_ratio: f64,
+    /// Jobs solved per iteration (identical across iterations: fresh
+    /// engine, deterministic experiment).
+    solves: usize,
+    /// Solver work counters of one iteration (deterministic).
+    counters: SolverCounters,
+    /// Median per-job wall time from the traced engine's histogram
+    /// (bucket floor, nanoseconds).
+    job_wall_median_ns: u64,
+    /// p95 per-job wall time from the traced engine's histogram.
+    job_wall_p95_ns: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    iterations: usize,
+    reduced: bool,
+    workers: usize,
+    experiments: Vec<ExperimentBench>,
+}
+
+struct Opts {
+    iters: usize,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        iters: 5,
+        out: PathBuf::from("BENCH_report.json"),
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                opts.smoke = true;
+                opts.iters = 1;
+            }
+            "--iters" => {
+                opts.iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                opts.out = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report [--smoke] [--iters N] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One timed run of `id` on a fresh engine. Returns wall time plus the
+/// engine's post-run snapshot.
+fn timed_run(id: &str, reduced: bool) -> (u64, voltnoise::system::EngineStats) {
+    let entry = find(id).unwrap_or_else(|| panic!("{id} is not a registered experiment"));
+    let tb = if reduced {
+        Testbed::fast()
+    } else {
+        Testbed::shared()
+    };
+    let engine = Engine::with_workers(workers());
+    let t0 = Instant::now();
+    entry
+        .run(tb, &engine, reduced)
+        .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+    (t0.elapsed().as_nanos() as u64, engine.stats())
+}
+
+fn bench_experiment(id: &str, iters: usize, reduced: bool) -> ExperimentBench {
+    let mut untraced = Vec::with_capacity(iters);
+    let mut traced = Vec::with_capacity(iters);
+    let mut counters = SolverCounters::default();
+    let mut solves = 0usize;
+    let mut traced_stats = None;
+    for _ in 0..iters {
+        set_trace(false);
+        let (ns, stats) = timed_run(id, reduced);
+        untraced.push(ns);
+        counters = stats.telemetry.solver;
+        solves = stats.solves;
+        set_trace(true);
+        let (ns, stats) = timed_run(id, reduced);
+        traced.push(ns);
+        traced_stats = Some(stats);
+    }
+    set_trace(false);
+    let untraced = WallStats::of(untraced);
+    let traced = WallStats::of(traced);
+    let overhead_ratio = traced.median_ns as f64 / (untraced.median_ns.max(1)) as f64;
+    let job_wall = traced_stats
+        .map(|s| s.telemetry.job_wall)
+        .unwrap_or_default();
+    ExperimentBench {
+        id: id.to_string(),
+        untraced,
+        traced,
+        overhead_ratio,
+        solves,
+        counters,
+        job_wall_median_ns: job_wall.median().unwrap_or(0),
+        job_wall_p95_ns: job_wall.p95().unwrap_or(0),
+    }
+}
+
+fn smoke_check(json: &str) {
+    let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
+    assert_eq!(report.schema, SCHEMA, "schema version mismatch");
+    assert!(!report.experiments.is_empty(), "no experiments benchmarked");
+    for exp in &report.experiments {
+        assert!(
+            exp.counters.steps > 0
+                && exp.counters.solve_calls > 0
+                && exp.counters.lu_factorizations > 0,
+            "{}: solver counters must be nonzero, got {:?}",
+            exp.id,
+            exp.counters
+        );
+        assert!(exp.solves > 0, "{}: no jobs solved", exp.id);
+        assert!(
+            exp.job_wall_p95_ns > 0,
+            "{}: traced run recorded no job wall times",
+            exp.id
+        );
+        assert!(
+            exp.overhead_ratio < SMOKE_MAX_OVERHEAD,
+            "{}: telemetry overhead ratio {:.2} exceeds {SMOKE_MAX_OVERHEAD}",
+            exp.id,
+            exp.overhead_ratio
+        );
+    }
+    eprintln!("# smoke checks passed");
+}
+
+fn main() {
+    let opts = parse_args();
+    // Build the shared testbed outside the timed region.
+    let _ = Testbed::fast();
+    let experiments: Vec<ExperimentBench> = PINNED
+        .iter()
+        .map(|id| {
+            eprintln!("# benchmarking {id} ({} iterations)", opts.iters);
+            bench_experiment(id, opts.iters, true)
+        })
+        .collect();
+    let report = BenchReport {
+        schema: SCHEMA.to_string(),
+        iterations: opts.iters,
+        reduced: true,
+        workers: workers(),
+        experiments,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
+    for exp in &report.experiments {
+        println!(
+            "{:8} median {:>12} ns  p95 {:>12} ns  solves {:>4}  steps {:>8}  overhead x{:.2}",
+            exp.id,
+            exp.untraced.median_ns,
+            exp.untraced.p95_ns,
+            exp.solves,
+            exp.counters.steps,
+            exp.overhead_ratio
+        );
+    }
+    eprintln!("# wrote {}", opts.out.display());
+    if opts.smoke {
+        smoke_check(&json);
+    }
+}

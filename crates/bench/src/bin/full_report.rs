@@ -1,9 +1,15 @@
 //! Generates the complete evaluation report (every table and figure) in
 //! one run. Use `--reduced` for a fast pass; omit it for paper scale.
+//!
+//! The figure bytes on stdout are a pure function of the experiment
+//! content: everything about *this run* — store diagnostics, the engine
+//! telemetry table — goes to stderr, and the machine-readable stats JSON
+//! goes to the file named by `VOLTNOISE_STATS_PATH` (when set). Set
+//! `VOLTNOISE_TRACE=1` to additionally collect wall-clock histograms.
 
-use voltnoise::analysis::{full_report_on, ReportScale};
+use voltnoise::analysis::{full_report_with_telemetry, ReportScale};
 use voltnoise::prelude::*;
-use voltnoise::system::Engine;
+use voltnoise::system::{export_stats_json, Engine};
 use voltnoise_bench::HarnessOpts;
 
 fn main() {
@@ -16,10 +22,11 @@ fn main() {
     // Engine::new honors VOLTNOISE_STORE, making the whole report
     // resumable after an interrupt.
     let engine = Engine::new();
-    let report = full_report_on(tb, &engine, scale).expect("all experiments run");
+    let (report, telemetry) =
+        full_report_with_telemetry(tb, &engine, scale).expect("all experiments run");
     print!("{report}");
-    // Durability diagnostics go to stderr so the report bytes on stdout
-    // stay identical with and without a store attached.
+    // Run diagnostics go to stderr so the report bytes on stdout stay
+    // identical with and without a store attached or tracing enabled.
     if let Some(store) = engine.store() {
         let stats = engine.stats();
         eprintln!(
@@ -31,5 +38,14 @@ fn main() {
             stats.solves,
             stats.store_corrupt_lines,
         );
+    }
+    eprint!("{telemetry}");
+    match engine.stats().to_json() {
+        Ok(json) => {
+            if let Some(path) = export_stats_json(&json) {
+                eprintln!("voltnoise: wrote engine stats to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("voltnoise: engine stats did not serialize: {e}"),
     }
 }

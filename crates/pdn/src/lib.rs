@@ -61,6 +61,7 @@ pub mod error;
 pub mod linalg;
 pub mod netlist;
 pub mod sensitivity;
+pub mod telemetry;
 pub mod topology;
 pub mod transient;
 pub mod waveform;
@@ -74,6 +75,7 @@ pub use netlist::{Netlist, NodeId, SourceId};
 pub use sensitivity::{
     full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter,
 };
+pub use telemetry::{set_trace, trace_enabled, PhaseTimes, SolverCounters};
 pub use topology::{ChipPdn, PdnParams, NUM_CORES};
 pub use transient::{Drive, Probe, ProbeStats, TransientConfig, TransientResult, TransientSolver};
 pub use waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};

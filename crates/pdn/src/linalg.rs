@@ -130,6 +130,17 @@ impl<T: Scalar> Matrix<T> {
         y
     }
 
+    /// Estimated floating-point operations of one LU factorization of
+    /// this matrix: the classic dense count `2n³/3 + n²/2`. Part of the
+    /// solver cost model surfaced by
+    /// [`crate::telemetry::SolverCounters::est_flops`]; an estimate, not
+    /// a measurement (pivot searches and zero-skip branches are not
+    /// charged).
+    pub fn lu_flops(&self) -> u64 {
+        let n = self.rows as u64;
+        2 * n * n * n / 3 + n * n / 2
+    }
+
     /// Factors the matrix as `P*A = L*U` with partial pivoting.
     ///
     /// # Errors
@@ -213,6 +224,14 @@ impl<T: Scalar> LuFactors<T> {
     /// Dimension of the factored system.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Estimated floating-point operations of one back-substitution
+    /// against these factors: `2n²` (forward plus backward sweep). The
+    /// companion of [`Matrix::lu_flops`] in the solver cost model.
+    pub fn solve_flops(&self) -> u64 {
+        let n = self.n as u64;
+        2 * n * n
     }
 
     /// Solves `A x = b`.
@@ -355,6 +374,14 @@ mod tests {
         a[(0, 2)] = 2.0;
         a[(1, 1)] = -1.0;
         assert_eq!(a.mul_vec(&[1.0, 2.0, 3.0]), vec![7.0, -2.0]);
+    }
+
+    #[test]
+    fn flop_estimates_follow_dense_cost_model() {
+        let a = Matrix::<f64>::identity(10);
+        // 2n³/3 + n²/2 with n = 10, integer arithmetic.
+        assert_eq!(a.lu_flops(), 2 * 1000 / 3 + 100 / 2);
+        assert_eq!(a.lu().unwrap().solve_flops(), 200);
     }
 
     #[test]

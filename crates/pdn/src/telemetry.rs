@@ -1,0 +1,196 @@
+//! Solver-level telemetry: exact work counters and optional phase
+//! timing.
+//!
+//! The counters answer "where does solve time go" without perturbing
+//! what is solved: they are plain integer tallies of the algebraic work
+//! a run performed (accepted steps, LU factorizations, factor-cache
+//! hits, back-substitutions), deterministic for a given netlist and
+//! configuration, and **never** part of any result content — a cached or
+//! store-resumed outcome stays byte-identical whether or not anyone
+//! looks at the counters.
+//!
+//! Phase *timing* ([`PhaseTimes`]) is the opposite: wall-clock and
+//! therefore nondeterministic. It is only collected when tracing is
+//! enabled ([`trace_enabled`], i.e. `VOLTNOISE_TRACE` set to anything
+//! but `0`), costs two branch checks per step when disabled, and flows
+//! into diagnostics only — never into figures.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Exact work counters of one transient run (or an aggregate of many).
+///
+/// All fields are deterministic: the same netlist, drive and
+/// configuration produce the same counters on every machine. They are
+/// *observations about* a solve, not part of its result, so they are
+/// excluded from content keys and from [`crate::transient`] output
+/// serialization paths that feed caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverCounters {
+    /// Accepted integration steps.
+    pub steps: u64,
+    /// DC operating-point solves.
+    pub dc_solves: u64,
+    /// LU factorizations computed (factor-cache misses, plus DC system
+    /// factorizations).
+    pub lu_factorizations: u64,
+    /// Factor-cache hits: steps that reused an existing factorization.
+    pub factor_cache_hits: u64,
+    /// Back-substitutions (`solve`/`solve_into` calls).
+    pub solve_calls: u64,
+    /// Estimated floating-point operations, from the dense cost model
+    /// ([`crate::linalg::Matrix::lu_flops`] /
+    /// [`crate::linalg::LuFactors::solve_flops`]).
+    pub est_flops: u64,
+}
+
+impl SolverCounters {
+    /// Adds another counter set into this one. Merging is associative
+    /// and commutative, so per-run counters can be aggregated in any
+    /// order (worker threads included).
+    pub fn merge(&mut self, other: &SolverCounters) {
+        self.steps += other.steps;
+        self.dc_solves += other.dc_solves;
+        self.lu_factorizations += other.lu_factorizations;
+        self.factor_cache_hits += other.factor_cache_hits;
+        self.solve_calls += other.solve_calls;
+        self.est_flops += other.est_flops;
+    }
+
+    /// True when every counter is zero (no work recorded).
+    pub fn is_zero(&self) -> bool {
+        *self == SolverCounters::default()
+    }
+}
+
+/// Cumulative wall-clock time spent in each solver phase, nanoseconds.
+///
+/// All zeros unless the producing run had phase timing enabled
+/// ([`crate::transient::TransientConfig::collect_phase_times`]).
+/// Wall-clock values are nondeterministic; they exist for diagnostics
+/// and benchmark reports, never for figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Building the per-step right-hand side (sources + companion
+    /// history).
+    pub assemble_ns: u64,
+    /// LU factorization (cache misses only).
+    pub factor_ns: u64,
+    /// Back-substitution of the factored system.
+    pub step_ns: u64,
+    /// Divergence validation and element-state advance.
+    pub validate_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Adds another phase-time set into this one (associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.assemble_ns += other.assemble_ns;
+        self.factor_ns += other.factor_ns;
+        self.step_ns += other.step_ns;
+        self.validate_ns += other.validate_ns;
+    }
+
+    /// Total time across all phases, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.assemble_ns + self.factor_ns + self.step_ns + self.validate_ns
+    }
+}
+
+/// Tri-state trace flag: 0 = read `VOLTNOISE_TRACE` on first use,
+/// 1 = disabled, 2 = enabled.
+static TRACE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether wall-clock tracing is enabled for this process.
+///
+/// Resolved from the `VOLTNOISE_TRACE` environment variable on first
+/// call: unset, empty, or `0` means disabled (the default — figures are
+/// generated untraced); any other value enables it. The resolved value
+/// is cached; [`set_trace`] overrides it at any time.
+pub fn trace_enabled() -> bool {
+    match TRACE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = std::env::var("VOLTNOISE_TRACE").is_ok_and(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            });
+            TRACE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the process-wide trace flag, overriding `VOLTNOISE_TRACE`.
+///
+/// Exists for harnesses and tests that must compare traced and untraced
+/// runs within one process without racing on environment variables.
+/// Tracing affects diagnostics only — toggling it never changes any
+/// simulated result (an invariant the golden-output tests enforce).
+pub fn set_trace(enabled: bool) {
+    TRACE.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_associative_and_total_preserving() {
+        let a = SolverCounters {
+            steps: 1,
+            dc_solves: 2,
+            lu_factorizations: 3,
+            factor_cache_hits: 4,
+            solve_calls: 5,
+            est_flops: 6,
+        };
+        let b = SolverCounters {
+            steps: 10,
+            dc_solves: 20,
+            lu_factorizations: 30,
+            factor_cache_hits: 40,
+            solve_calls: 50,
+            est_flops: 60,
+        };
+        let c = SolverCounters {
+            steps: 100,
+            ..SolverCounters::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.steps, 111);
+        assert_eq!(ab_c.solve_calls, 55);
+    }
+
+    #[test]
+    fn zero_check_and_phase_total() {
+        assert!(SolverCounters::default().is_zero());
+        let mut p = PhaseTimes::default();
+        assert_eq!(p.total_ns(), 0);
+        p.merge(&PhaseTimes {
+            assemble_ns: 1,
+            factor_ns: 2,
+            step_ns: 3,
+            validate_ns: 4,
+        });
+        assert_eq!(p.total_ns(), 10);
+    }
+
+    #[test]
+    fn set_trace_overrides() {
+        set_trace(true);
+        assert!(trace_enabled());
+        set_trace(false);
+        assert!(!trace_enabled());
+    }
+}

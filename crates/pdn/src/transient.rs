@@ -12,6 +12,8 @@ use crate::cancel::CancelToken;
 use crate::error::PdnError;
 use crate::linalg::{LuFactors, Matrix};
 use crate::netlist::{Element, Netlist, NodeId};
+use crate::telemetry::{PhaseTimes, SolverCounters};
+use std::time::Instant;
 
 /// Time-varying load currents driving the simulation.
 ///
@@ -125,6 +127,14 @@ pub struct TransientConfig {
     /// [`PdnError::Cancelled`]. An un-cancelled token never changes
     /// results.
     pub cancel: Option<CancelToken>,
+    /// When true, the run additionally records wall-clock time spent in
+    /// each solver phase into [`TransientResult::phase_times`].
+    /// Wall-clock readings are nondeterministic, so this is diagnostics
+    /// only — it never changes any solved value — and it defaults to
+    /// off, where its cost is two branch checks per accepted step.
+    /// Deterministic work counters ([`TransientResult::counters`]) are
+    /// always collected regardless of this flag.
+    pub collect_phase_times: bool,
 }
 
 impl TransientConfig {
@@ -144,6 +154,7 @@ impl TransientConfig {
             divergence_limit: 1e6,
             max_steps: None,
             cancel: None,
+            collect_phase_times: false,
         }
     }
 
@@ -187,6 +198,12 @@ pub struct TransientResult {
     pub stats: Vec<ProbeStats>,
     /// Number of accepted integration steps.
     pub steps: usize,
+    /// Exact work counters of this run (always collected; deterministic
+    /// for a given netlist, drive and configuration).
+    pub counters: SolverCounters,
+    /// Per-phase wall-clock time; all zeros unless
+    /// [`TransientConfig::collect_phase_times`] was set.
+    pub phase_times: PhaseTimes,
 }
 
 struct ResistorStamp {
@@ -256,6 +273,7 @@ pub struct TransientSolver {
     vsources: Vec<VsrcStamp>,
     isources: Vec<IsrcStamp>,
     factor_cache: Vec<(u64, LuFactors<f64>)>,
+    counters: SolverCounters,
     rhs: Vec<f64>,
     x: Vec<f64>,
     drive_buf: Vec<f64>,
@@ -279,6 +297,7 @@ impl TransientSolver {
             vsources: Vec::new(),
             isources: Vec::new(),
             factor_cache: Vec::new(),
+            counters: SolverCounters::default(),
             rhs: vec![0.0; n],
             x: vec![0.0; n],
             drive_buf: vec![0.0; netlist.current_source_count()],
@@ -360,17 +379,31 @@ impl TransientSolver {
         g
     }
 
+    /// Returns the cache index of the factorization for step size `h`,
+    /// computing it on a miss. The cache is LRU: the front is the most
+    /// recently used entry and evictions take the back, so a step size
+    /// in active rotation is never evicted by a burst of one-off sizes
+    /// (e.g. end-of-run clamps).
     fn factors_for(&mut self, h: f64) -> Result<usize, PdnError> {
         let key = h.to_bits();
         if let Some(pos) = self.factor_cache.iter().position(|(k, _)| *k == key) {
-            return Ok(pos);
+            self.counters.factor_cache_hits += 1;
+            // Move-to-front on hit keeps the recency order explicit in
+            // the Vec itself; with at most 8 entries the shuffle is a
+            // few pointer moves.
+            let entry = self.factor_cache.remove(pos);
+            self.factor_cache.insert(0, entry);
+            return Ok(0);
         }
-        let lu = self.build_matrix(h).lu()?;
+        let matrix = self.build_matrix(h);
+        self.counters.est_flops += matrix.lu_flops();
+        let lu = matrix.lu()?;
+        self.counters.lu_factorizations += 1;
         if self.factor_cache.len() >= 8 {
             self.factor_cache.pop();
         }
-        self.factor_cache.push((key, lu));
-        Ok(self.factor_cache.len() - 1)
+        self.factor_cache.insert(0, (key, lu));
+        Ok(0)
     }
 
     /// Solves the DC operating point (capacitors open, inductors shorted)
@@ -433,7 +466,13 @@ impl TransientSolver {
                 rhs[ito] += j;
             }
         }
-        let sol = g.lu()?.solve(&rhs)?;
+        self.counters.dc_solves += 1;
+        self.counters.est_flops += g.lu_flops();
+        let factors = g.lu()?;
+        self.counters.lu_factorizations += 1;
+        self.counters.solve_calls += 1;
+        self.counters.est_flops += factors.solve_flops();
+        let sol = factors.solve(&rhs)?;
         // A singular-but-not-detected system can still yield non-finite
         // values; catch them before they seed the element states.
         for (node, &v) in sol.iter().enumerate() {
@@ -473,6 +512,9 @@ impl TransientSolver {
     ) -> Result<TransientResult, PdnError> {
         cfg.validate()?;
         self.factor_cache.clear();
+        self.counters = SolverCounters::default();
+        let timing = cfg.collect_phase_times;
+        let mut phase = PhaseTimes::default();
         let dc = self.solve_dc(drive)?;
 
         // Build merged refinement windows from the drive's edge times.
@@ -545,10 +587,15 @@ impl TransientSolver {
                 h = cfg.t_end - t;
             }
 
+            let t0 = timing.then(Instant::now);
             let fidx = self.factors_for(h)?;
+            if let Some(t0) = t0 {
+                phase.factor_ns += t0.elapsed().as_nanos() as u64;
+            }
             let t_next = t + h;
 
             // Assemble the RHS: sources at t_next plus companion history.
+            let t0 = timing.then(Instant::now);
             self.rhs.fill(0.0);
             drive.currents(t_next, &mut self.drive_buf);
             for s in &self.isources {
@@ -581,11 +628,21 @@ impl TransientSolver {
             for v in &self.vsources {
                 self.rhs[v.row] = v.volts;
             }
+            if let Some(t0) = t0 {
+                phase.assemble_ns += t0.elapsed().as_nanos() as u64;
+            }
 
+            let t0 = timing.then(Instant::now);
             self.factor_cache[fidx]
                 .1
                 .solve_into(&self.rhs, &mut self.x)?;
+            self.counters.solve_calls += 1;
+            self.counters.est_flops += self.factor_cache[fidx].1.solve_flops();
+            if let Some(t0) = t0 {
+                phase.step_ns += t0.elapsed().as_nanos() as u64;
+            }
 
+            let t0 = timing.then(Instant::now);
             // Divergence guard: an unstable network (or an unstable
             // integration of one) grows exponentially instead of
             // settling. Abort at the first non-finite or runaway unknown
@@ -612,6 +669,9 @@ impl TransientSolver {
                 let v_new = volt(l.a) - volt(l.b);
                 l.i_prev += (h / (2.0 * l.l)) * (v_new + l.v_prev);
                 l.v_prev = v_new;
+            }
+            if let Some(t0) = t0 {
+                phase.validate_ns += t0.elapsed().as_nanos() as u64;
             }
 
             t = t_next;
@@ -650,11 +710,14 @@ impl TransientSolver {
                 },
             })
             .collect();
+        self.counters.steps = steps as u64;
         Ok(TransientResult {
             times,
             traces,
             stats,
             steps,
+            counters: self.counters,
+            phase_times: phase,
         })
     }
 }
@@ -937,6 +1000,105 @@ mod tests {
             .unwrap();
         let uniform_fine_steps = (100e-6 / 1e-9) as usize;
         assert!(res.steps * 10 < uniform_fine_steps, "steps = {}", res.steps);
+    }
+
+    /// Regression test for the factor-cache eviction policy. The old
+    /// policy evicted with `Vec::pop()` — the most recently *inserted*
+    /// factorization — so a hot step size introduced after the cache
+    /// filled was thrown out on every following miss and refactored on
+    /// every following use. True LRU keeps it: once the cache is full
+    /// (8 cold sizes), alternating one hot size against a stream of
+    /// fresh one-off sizes must refactor only the one-offs.
+    #[test]
+    fn factor_cache_keeps_hot_entry_under_lru() {
+        let (nl, _) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let h_of = |i: usize| (i as f64 + 1.0) * 1e-9;
+        // Fill the cache with 8 cold step sizes.
+        for i in 0..8 {
+            solver.factors_for(h_of(i)).unwrap();
+        }
+        assert_eq!(solver.counters.lu_factorizations, 8);
+        assert_eq!(solver.counters.factor_cache_hits, 0);
+        // Alternate a hot size against 8 more fresh sizes (9 sizes in
+        // rotation against a capacity of 8).
+        let hot = 0.5e-9;
+        for i in 8..16 {
+            solver.factors_for(hot).unwrap();
+            solver.factors_for(h_of(i)).unwrap();
+        }
+        // The hot size factored exactly once (its first use); every
+        // later use was a cache hit despite the eviction pressure.
+        assert_eq!(solver.counters.lu_factorizations, 8 + 1 + 8);
+        assert_eq!(solver.counters.factor_cache_hits, 7);
+        // And a hit reports the move-to-front index.
+        assert_eq!(solver.factors_for(hot).unwrap(), 0);
+        assert_eq!(solver.counters.factor_cache_hits, 8);
+    }
+
+    /// Counters are exact on a hand-built RC netlist whose timebase is
+    /// chosen so every accepted step uses the same power-of-two step
+    /// size: `t += h` stays exact in floating point, no end-of-run
+    /// clamp fires, and the counts are knowable in closed form.
+    #[test]
+    fn counters_are_exact_on_known_run() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let h = (2.0f64).powi(-27); // ~7.45 ns, exactly representable
+        let n_steps = 128u64;
+        let mut cfg = TransientConfig::new(h * n_steps as f64);
+        cfg.h_coarse = h;
+        cfg.h_fine = h;
+        cfg.settle = 0.0;
+        let res = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(res.steps as u64, n_steps);
+        let c = res.counters;
+        assert_eq!(c.steps, n_steps);
+        assert_eq!(c.dc_solves, 1);
+        // One transient factorization (single step size) plus the DC one.
+        assert_eq!(c.lu_factorizations, 2);
+        assert_eq!(c.factor_cache_hits, n_steps - 1);
+        // One back-substitution per step plus the DC solve.
+        assert_eq!(c.solve_calls, n_steps + 1);
+        assert!(c.est_flops > 0);
+        // Phase timing stayed off: no wall-clock was recorded.
+        assert_eq!(res.phase_times.total_ns(), 0);
+    }
+
+    #[test]
+    fn phase_times_are_recorded_when_enabled() {
+        let (nl, die) = simple_rc();
+        let mut solver = TransientSolver::new(&nl).unwrap();
+        let mut cfg = TransientConfig::new(20e-6);
+        cfg.collect_phase_times = true;
+        let timed = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap();
+        assert!(timed.phase_times.total_ns() > 0, "no phase time recorded");
+        // Timing collection must not change the solved values.
+        cfg.collect_phase_times = false;
+        let plain = solver
+            .run(
+                &ConstantDrive::new(vec![1.0]),
+                &[Probe::NodeVoltage(die)],
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(plain.steps, timed.steps);
+        assert_eq!(plain.counters, timed.counters);
+        assert_eq!(plain.stats[0].min.to_bits(), timed.stats[0].min.to_bits());
+        assert_eq!(plain.stats[0].max.to_bits(), timed.stats[0].max.to_bits());
+        assert_eq!(plain.stats[0].mean.to_bits(), timed.stats[0].mean.to_bits());
     }
 
     #[test]

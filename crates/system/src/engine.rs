@@ -31,9 +31,12 @@
 
 use crate::chip::Chip;
 use crate::fault::{panic_message, FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
-use crate::noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
+use crate::noise::{
+    run_noise, run_noise_instrumented, CoreLoad, NoiseOutcome, NoiseRunConfig, SolveTelemetry,
+};
 use crate::store::{Fnv128, ResultStore};
-use serde::Serialize;
+use crate::telemetry::{trace_enabled, EngineTelemetry};
+use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -41,6 +44,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::{CancelToken, PdnError};
 
@@ -354,7 +358,7 @@ impl JobBatch {
 }
 
 /// Run statistics of an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Worker threads the engine schedules onto.
     pub workers: usize,
@@ -377,6 +381,32 @@ pub struct EngineStats {
     /// Faults whose terminal kind was budget exhaustion
     /// ([`crate::fault::FaultKind::Budget`]); a subset of `faults`.
     pub budget_faults: usize,
+    /// Aggregated solver telemetry: deterministic work counters plus
+    /// (when tracing was enabled) wall-clock histograms.
+    pub telemetry: EngineTelemetry,
+}
+
+impl EngineStats {
+    /// Renders the stats as pretty-printed JSON, the format consumed by
+    /// the benchmark harness and written to `VOLTNOISE_STATS_PATH`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error; cannot happen for this plain-data
+    /// struct, but the path stays typed rather than panicking.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses stats back from the JSON rendering of
+    /// [`EngineStats::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed or mismatched JSON.
+    pub fn from_json(json: &str) -> Result<EngineStats, serde_json::Error> {
+        serde_json::from_str(json)
+    }
 }
 
 /// The parallel, memoizing job executor.
@@ -395,6 +425,7 @@ pub struct Engine {
     retries: AtomicUsize,
     store_hits: AtomicUsize,
     budget_faults: AtomicUsize,
+    telemetry: Mutex<EngineTelemetry>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -481,6 +512,7 @@ impl Engine {
             retries: AtomicUsize::new(0),
             store_hits: AtomicUsize::new(0),
             budget_faults: AtomicUsize::new(0),
+            telemetry: Mutex::new(EngineTelemetry::default()),
         }
     }
 
@@ -596,6 +628,13 @@ impl Engine {
         self.budget_faults.load(Ordering::Relaxed)
     }
 
+    /// A snapshot of the engine's aggregated solver telemetry. Solver
+    /// work counters are always populated; the wall-clock histograms
+    /// only fill while tracing is enabled (`VOLTNOISE_TRACE`).
+    pub fn telemetry(&self) -> EngineTelemetry {
+        *lock_recover(&self.telemetry)
+    }
+
     /// A snapshot of the engine's counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -607,6 +646,7 @@ impl Engine {
             store_hits: self.store_hits(),
             store_corrupt_lines: self.store.as_ref().map_or(0, ResultStore::corrupt_lines),
             budget_faults: self.budget_faults(),
+            telemetry: self.telemetry(),
         }
     }
 
@@ -624,12 +664,14 @@ impl Engine {
     /// Solves a job with the engine-level step budget and cancellation
     /// token injected wherever the job's own config leaves them unset.
     /// The common case (no engine-level overrides) avoids the config
-    /// clone entirely.
-    fn solve_job(&self, job: &SimJob) -> Result<NoiseOutcome, PdnError> {
+    /// clone entirely. Returns the outcome together with the solve's
+    /// telemetry (which the caller aggregates; it never enters the
+    /// outcome, the cache or the store).
+    fn solve_job(&self, job: &SimJob) -> Result<(NoiseOutcome, SolveTelemetry), PdnError> {
         let inject_budget = job.cfg.max_steps.is_none() && self.step_budget.is_some();
         let inject_cancel = job.cfg.cancel.is_none() && self.cancel.is_some();
         if !inject_budget && !inject_cancel {
-            return job.solve();
+            return run_noise_instrumented(&job.chip, &job.loads, &job.cfg);
         }
         let mut cfg = job.cfg.clone();
         if inject_budget {
@@ -638,7 +680,7 @@ impl Engine {
         if inject_cancel {
             cfg.cancel = self.cancel.clone();
         }
-        run_noise(&job.chip, &job.loads, &cfg)
+        run_noise_instrumented(&job.chip, &job.loads, &cfg)
     }
 
     fn shard(&self, key: &JobKey) -> &Mutex<HashMap<JobKey, Arc<NoiseOutcome>>> {
@@ -661,7 +703,10 @@ impl Engine {
             }
             Some(InjectedFault::NanOutcome) | None => {}
         }
-        let mut outcome = self.solve_job(job)?;
+        // Wall-clock is only sampled while tracing: untraced solves pay
+        // two branch checks, not two clock reads.
+        let wall_t0 = trace_enabled().then(Instant::now);
+        let (mut outcome, solve_tel) = self.solve_job(job)?;
         if injected == Some(InjectedFault::NanOutcome) {
             outcome.pct_p2p[0] = f64::NAN;
         }
@@ -677,6 +722,8 @@ impl Engine {
         }
         let outcome = Arc::new(outcome);
         self.solves.fetch_add(1, Ordering::Relaxed);
+        let wall_ns = wall_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+        lock_recover(&self.telemetry).record_job(&solve_tel.counters, &solve_tel.phase, wall_ns);
         if let Some(store) = &self.store {
             store.append(&job.key().store_digest(), &outcome);
         }

@@ -29,6 +29,9 @@
 //!   ([`store::ResultStore`]) that lets an interrupted campaign resume
 //!   without re-solving (attach via `Engine::with_store` or the
 //!   `VOLTNOISE_STORE` environment variable);
+//! - [`telemetry`] — engine observability: always-on solver work
+//!   counters, trace-gated wall-clock histograms (`VOLTNOISE_TRACE`),
+//!   and the `VOLTNOISE_STATS_PATH` JSON export;
 //! - [`testbed`] — ISA + EPI profile + searched sequences + chip, cached
 //!   for experiments;
 //! - [`mapping`] — noise-aware workload mapping policy (§VII-A);
@@ -58,6 +61,7 @@ pub mod noise;
 pub mod population;
 pub mod scheduler;
 pub mod store;
+pub mod telemetry;
 pub mod testbed;
 pub mod tod;
 pub mod workload;
@@ -74,12 +78,16 @@ pub use mapping::{
     MappingEvaluation, NoiseAwareMapper,
 };
 pub use mitigation::{evaluate_governor, GlobalNoiseGovernor, GovernorConfig, GovernorEvaluation};
-pub use noise::{run_noise, CoreLoad, NoiseOutcome, NoiseRunConfig};
+pub use noise::{run_noise, run_noise_instrumented, CoreLoad, NoiseOutcome, NoiseRunConfig};
 pub use population::PopulationStudy;
 pub use scheduler::{
     replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy,
 };
 pub use store::ResultStore;
+pub use telemetry::{
+    export_stats_json, set_trace, trace_enabled, EngineTelemetry, LogHistogram, PhaseTimes,
+    SolverCounters,
+};
 pub use testbed::Testbed;
 pub use tod::{spread_offsets, TodSync};
 pub use workload::{all_distributions, mappings_of, Distribution, Mapping, WorkloadKind};

@@ -14,6 +14,7 @@
 //!    analytically and added to the simulated extrema.
 
 use crate::chip::Chip;
+use crate::telemetry::{PhaseTimes, SolverCounters};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use voltnoise_measure::power::{PowerMeter, PowerReading};
@@ -324,6 +325,22 @@ fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> Tran
     tc
 }
 
+/// Solver telemetry of one noise run: exact work counters (always) plus
+/// wall-clock phase times (only when tracing is enabled — all zeros
+/// otherwise).
+///
+/// Deliberately a separate value from [`NoiseOutcome`]: outcomes are
+/// content (cached, stored, compared bitwise), telemetry is observation.
+/// Keeping them apart is what lets a cached result stay byte-identical
+/// whether or not anyone measured the solve that produced it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveTelemetry {
+    /// Deterministic solver work counters.
+    pub counters: SolverCounters,
+    /// Wall-clock per-phase times (traced runs only).
+    pub phase: PhaseTimes,
+}
+
 /// Runs one noise experiment: simulate the PDN under the given per-core
 /// loads and return skitter readings, extrema, chip power and optional
 /// traces.
@@ -337,6 +354,25 @@ pub fn run_noise(
     loads: &[CoreLoad; NUM_CORES],
     cfg: &NoiseRunConfig,
 ) -> Result<NoiseOutcome, PdnError> {
+    run_noise_instrumented(chip, loads, cfg).map(|(outcome, _)| outcome)
+}
+
+/// [`run_noise`] plus the solve's telemetry.
+///
+/// Counters are collected unconditionally (they are integer tallies the
+/// solver maintains anyway); phase wall-clock timing is enabled only
+/// when tracing is on ([`crate::telemetry::trace_enabled`]). The outcome
+/// is identical to what [`run_noise`] returns — telemetry rides
+/// alongside, never inside.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] when the PDN solve fails.
+pub fn run_noise_instrumented(
+    chip: &Chip,
+    loads: &[CoreLoad; NUM_CORES],
+    cfg: &NoiseRunConfig,
+) -> Result<(NoiseOutcome, SolveTelemetry), PdnError> {
     let idle_current = chip.config().core.static_power_w / chip.config().core.v_nom;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let waves: Vec<CoreWaveform> = loads
@@ -346,7 +382,8 @@ pub fn run_noise(
         .collect();
     let drive = MultiCoreDrive::new(waves);
 
-    let tc = transient_config(loads, cfg);
+    let mut tc = transient_config(loads, cfg);
+    tc.collect_phase_times = crate::telemetry::trace_enabled();
     let mut solver = TransientSolver::new(chip.pdn().netlist())?;
     let mut probes: Vec<Probe> = (0..NUM_CORES)
         .map(|i| Probe::NodeVoltage(chip.pdn().core_node(i)))
@@ -415,7 +452,11 @@ pub fn run_noise(
             value,
         });
     }
-    Ok(outcome)
+    let telemetry = SolveTelemetry {
+        counters: result.counters,
+        phase: result.phase_times,
+    };
+    Ok((outcome, telemetry))
 }
 
 #[cfg(test)]

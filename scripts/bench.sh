@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Benchmark harness wrapper: builds the release bench_report binary and
+# runs the pinned experiment subset, writing BENCH_report.json.
+#
+# Usage:
+#   scripts/bench.sh                 # 5 iterations, BENCH_report.json
+#   scripts/bench.sh --smoke         # 1 iteration + sanity assertions (CI)
+#   scripts/bench.sh --iters 9 --out /tmp/bench.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p voltnoise-bench --bin bench_report
+exec target/release/bench_report "$@"

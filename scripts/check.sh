@@ -28,4 +28,10 @@ cargo test -q -p voltnoise --test durability
 echo "== kill-and-resume smoke test"
 scripts/resume_smoke.sh
 
+echo "== telemetry suite"
+cargo test -q -p voltnoise --test telemetry
+
+echo "== benchmark smoke test"
+scripts/bench.sh --smoke --out target/BENCH_smoke.json
+
 echo "All checks passed."

@@ -8,7 +8,7 @@
 use voltnoise::analysis::{full_report_on, registry, ReportScale};
 use voltnoise::pdn::{CancelToken, PdnError};
 use voltnoise::prelude::*;
-use voltnoise::system::{FaultKind, JobFault, NoiseOutcome, ResultStore, RetryPolicy};
+use voltnoise::system::{set_trace, FaultKind, JobFault, NoiseOutcome, ResultStore, RetryPolicy};
 
 /// A unique temp path per test (one process may run many tests).
 fn temp_store(tag: &str) -> std::path::PathBuf {
@@ -271,6 +271,54 @@ fn interrupted_report_campaign_resumes_byte_identically() {
         second.solves() + paid_for,
         baseline_engine.solves(),
         "resume must add zero duplicate solves"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Golden-output guard: the full report's figure bytes are identical
+/// with telemetry tracing on and off, and identical again when the
+/// traced run resumes from a persistent store (where the engine's
+/// solve/store-hit counters differ wildly from the baseline's).
+/// Telemetry observes; it may never perturb.
+#[test]
+fn report_bytes_are_identical_traced_untraced_and_resumed() {
+    let tb = Testbed::fast();
+    let path = temp_store("golden-trace");
+    let _ = std::fs::remove_file(&path);
+
+    // Untraced baseline.
+    set_trace(false);
+    let baseline = full_report_on(tb, &Engine::with_workers(2), ReportScale::Reduced).unwrap();
+
+    // Traced run, fresh engine: every solve carries phase timing.
+    set_trace(true);
+    let traced_engine = Engine::with_workers(2);
+    let traced = full_report_on(tb, &traced_engine, ReportScale::Reduced).unwrap();
+    assert!(
+        traced_engine.telemetry().job_wall.count() > 0,
+        "setup: the traced run must actually have recorded wall times"
+    );
+    assert_eq!(
+        traced, baseline,
+        "tracing must not change a byte of the report"
+    );
+
+    // Traced + store-resumed: partial campaign, "crash", then a resumed
+    // report served largely from disk — still byte-identical, even
+    // though this engine's stats (solves, store hits, histograms) are
+    // nothing like the baseline engine's.
+    let first = Engine::with_workers(2).with_store(&path).unwrap();
+    for entry in registry().iter().filter(|e| e.in_report).take(3) {
+        let _ = entry.run_settled(tb, &first, true);
+    }
+    drop(first);
+    let second = Engine::with_workers(2).with_store(&path).unwrap();
+    let resumed = full_report_on(tb, &second, ReportScale::Reduced).unwrap();
+    set_trace(false);
+    assert!(second.store_hits() > 0, "setup: resume must hit the store");
+    assert_eq!(
+        resumed, baseline,
+        "a traced, store-resumed report must be byte-identical"
     );
     let _ = std::fs::remove_file(&path);
 }

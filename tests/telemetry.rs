@@ -1,0 +1,215 @@
+//! Telemetry integration suite: solver work counters are exact and
+//! deterministic end to end, histogram merging is associative, engine
+//! stats round-trip through JSON, and — most importantly — telemetry is
+//! pure observation: toggling it never changes a single result bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use voltnoise::pdn::transient::{ConstantDrive, Probe, TransientConfig};
+use voltnoise::pdn::{Netlist, NodeId, TransientSolver};
+use voltnoise::prelude::*;
+use voltnoise::system::{
+    run_noise_instrumented, set_trace, EngineStats, LogHistogram, NoiseRunConfig,
+};
+
+/// Six distinct (by seed) stressmark jobs on the fast testbed chip.
+fn test_jobs(tb: &Testbed, n: u64) -> Vec<SimJob> {
+    let batch = SimJob::batch(tb.chip());
+    (1..=n)
+        .map(|seed| {
+            let sm = tb.max_stressmark(2.5e6, None);
+            let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            batch.job(
+                loads,
+                NoiseRunConfig {
+                    window_s: Some(20e-6),
+                    record_traces: false,
+                    seed,
+                    ..NoiseRunConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Exact counters on a hand-built RC netlist: with a power-of-two step
+/// and a power-of-two step count, floating-point time accumulation is
+/// exact, so every counter is predictable to the unit.
+#[test]
+fn counters_are_exact_on_hand_built_rc() {
+    let mut nl = Netlist::new();
+    let vdd = nl.add_node("vdd");
+    nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+    let die = nl.add_node("die");
+    nl.add_resistor(vdd, die, 0.1).unwrap();
+    nl.add_capacitor(die, NodeId::GROUND, 1e-6).unwrap();
+    nl.add_current_source(die, NodeId::GROUND).unwrap();
+
+    let mut solver = TransientSolver::new(&nl).unwrap();
+    let h = (2.0f64).powi(-27); // ~7.45 ns, exactly representable
+    let n_steps = 256u64;
+    let mut cfg = TransientConfig::new(h * n_steps as f64);
+    cfg.h_coarse = h;
+    cfg.h_fine = h;
+    cfg.settle = 0.0;
+    let res = solver
+        .run(
+            &ConstantDrive::new(vec![2.0]),
+            &[Probe::NodeVoltage(die)],
+            &cfg,
+        )
+        .unwrap();
+    let c = res.counters;
+    assert_eq!(c.steps, n_steps);
+    assert_eq!(c.dc_solves, 1);
+    assert_eq!(c.lu_factorizations, 2, "one DC + one transient step size");
+    assert_eq!(c.factor_cache_hits, n_steps - 1);
+    assert_eq!(c.solve_calls, n_steps + 1);
+    assert!(c.est_flops > 0);
+}
+
+/// The instrumented noise path returns exactly the outcome the plain
+/// path returns, with counters that tie out against the outcome's own
+/// step count — and counters are identical across repeated runs.
+#[test]
+fn instrumented_noise_run_matches_plain_run() {
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, None);
+    let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let cfg = NoiseRunConfig {
+        window_s: Some(20e-6),
+        seed: 7,
+        ..NoiseRunConfig::default()
+    };
+    let plain = run_noise(tb.chip(), &loads, &cfg).unwrap();
+    let (instr, tel1) = run_noise_instrumented(tb.chip(), &loads, &cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&instr).unwrap(),
+        "instrumentation must not change the outcome"
+    );
+    assert_eq!(tel1.counters.steps, instr.steps as u64);
+    assert_eq!(tel1.counters.dc_solves, 1);
+    // One back-substitution per accepted step plus the DC solve.
+    assert_eq!(
+        tel1.counters.solve_calls,
+        tel1.counters.steps + tel1.counters.dc_solves
+    );
+    // Every accepted step either reused a factorization or computed one.
+    assert_eq!(
+        tel1.counters.factor_cache_hits + tel1.counters.lu_factorizations - tel1.counters.dc_solves,
+        tel1.counters.steps
+    );
+    let (_, tel2) = run_noise_instrumented(tb.chip(), &loads, &cfg).unwrap();
+    assert_eq!(
+        tel1.counters, tel2.counters,
+        "counters must be deterministic"
+    );
+}
+
+/// Engine-aggregated counters are independent of worker count and of
+/// cache hits (a cached answer performs no solver work).
+#[test]
+fn engine_counters_are_schedule_independent() {
+    let tb = Testbed::fast();
+    let jobs = test_jobs(tb, 4);
+    let serial = Engine::with_workers(1);
+    serial.run_jobs(&jobs).unwrap();
+    let parallel = Engine::with_workers(4);
+    parallel.run_jobs(&jobs).unwrap();
+    let s = serial.telemetry().solver;
+    let p = parallel.telemetry().solver;
+    assert!(!s.is_zero(), "solved jobs must record work");
+    assert_eq!(s, p, "counters must not depend on the schedule");
+    // Re-running the same jobs answers from cache: zero new work.
+    parallel.run_jobs(&jobs).unwrap();
+    assert_eq!(parallel.telemetry().solver, p);
+}
+
+/// `EngineStats` (telemetry included) survives a JSON round trip.
+#[test]
+fn engine_stats_round_trip_through_json() {
+    let tb = Testbed::fast();
+    let engine = Engine::with_workers(2);
+    engine.run_jobs(&test_jobs(tb, 2)).unwrap();
+    let stats = engine.stats();
+    let json = stats.to_json().unwrap();
+    let parsed = EngineStats::from_json(&json).unwrap();
+    assert_eq!(parsed, stats);
+    assert_eq!(parsed.telemetry.solver, engine.telemetry().solver);
+}
+
+/// Histogram merge is associative and total-count-preserving over
+/// seeded random sample sets, and equals recording the union directly.
+#[test]
+fn histogram_merge_property() {
+    let mut rng = SmallRng::seed_from_u64(0x7e1e);
+    for _ in 0..100 {
+        let sets: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                let n = rng.gen_range(0..30usize);
+                (0..n)
+                    .map(|_| rng.gen::<u64>() >> rng.gen_range(0..64u32))
+                    .collect()
+            })
+            .collect();
+        let hist = |samples: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let mut left = hist(&sets[0]);
+        left.merge(&hist(&sets[1]));
+        left.merge(&hist(&sets[2]));
+        let mut tail = hist(&sets[1]);
+        tail.merge(&hist(&sets[2]));
+        let mut right = hist(&sets[0]);
+        right.merge(&tail);
+        let union: Vec<u64> = sets.concat();
+        assert_eq!(left, right);
+        assert_eq!(left, hist(&union));
+        assert_eq!(left.count(), union.len() as u64);
+    }
+}
+
+/// The one test allowed to flip the process-wide trace flag (the flag
+/// is global, so gating assertions and the on/off comparison must live
+/// in a single test to avoid racing siblings).
+///
+/// Untraced engines record no wall-clock samples; traced engines record
+/// one histogram sample per solve; and the outcomes are bit-identical
+/// either way.
+#[test]
+fn tracing_fills_histograms_without_changing_results() {
+    let tb = Testbed::fast();
+    let jobs = test_jobs(tb, 3);
+
+    set_trace(false);
+    let untraced = Engine::with_workers(2);
+    let base = untraced.run_jobs(&jobs).unwrap();
+    let cold = untraced.telemetry();
+    assert!(!cold.solver.is_zero(), "counters are always collected");
+    assert!(cold.job_wall.is_empty(), "untraced: no wall samples");
+    assert_eq!(cold.phase_ns.total_ns(), 0, "untraced: no phase time");
+
+    set_trace(true);
+    let traced = Engine::with_workers(2);
+    let hot = traced.run_jobs(&jobs).unwrap();
+    let warm = traced.telemetry();
+    set_trace(false);
+
+    assert_eq!(warm.solver, cold.solver, "counters ignore the trace flag");
+    assert_eq!(warm.job_wall.count(), jobs.len() as u64);
+    assert_eq!(warm.step.count(), jobs.len() as u64);
+    assert!(warm.phase_ns.total_ns() > 0, "traced: phase time recorded");
+    assert!(warm.job_wall.p95().is_some());
+    for (a, b) in base.iter().zip(&hot) {
+        assert_eq!(
+            serde_json::to_string(&**a).unwrap(),
+            serde_json::to_string(&**b).unwrap(),
+            "tracing must never change an outcome"
+        );
+    }
+}
