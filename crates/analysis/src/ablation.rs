@@ -141,7 +141,7 @@ pub fn run_decap_ablation() -> Result<DecapAblation, PdnError> {
         let ac = AcAnalysis::new(chip.netlist());
         let freqs = log_space(1e5, 500e6, 300)?;
         let prof = ac.sweep(chip.core_node(0), &freqs)?;
-        Ok(find_peaks(&prof).first().map(|p| p.0).unwrap_or(0.0))
+        Ok(find_peaks(&prof)?.first().map(|p| p.0).unwrap_or(0.0))
     };
     Ok(DecapAblation {
         modern_first_droop_hz: band(&PdnParams::default())?,

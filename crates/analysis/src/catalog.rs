@@ -188,6 +188,26 @@ fn fig15(
     )
 }
 
+fn drawer_prop(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    let cfg = if reduced {
+        voltnoise_system::noise::DrawerStepConfig {
+            window_s: 2e-6,
+            ..voltnoise_system::noise::DrawerStepConfig::default()
+        }
+    } else {
+        voltnoise_system::noise::DrawerStepConfig::default()
+    };
+    run_to_output_settled(
+        &crate::propagation::DrawerPropagationExperiment { cfg },
+        tb,
+        engine,
+    )
+}
+
 fn guardband(
     tb: &Testbed,
     engine: &Engine,
@@ -296,5 +316,13 @@ pub(crate) static ENTRIES: &[RegistryEntry] = &[
         title: "§VII-B: utilization-based dynamic guard-banding",
         in_report: true,
         run: guardband,
+    },
+    // Drawer-scale study: not part of the golden report (figure bytes
+    // stay fixed); runnable on demand and exercised by the bench harness.
+    RegistryEntry {
+        id: "drawer-prop",
+        title: "Drawer study: dI step propagation across chips on a shared board PDN",
+        in_report: false,
+        run: drawer_prop,
     },
 ];

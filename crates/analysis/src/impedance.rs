@@ -118,7 +118,7 @@ pub fn run_impedance(chip: &Chip, cfg: &ImpedanceConfig) -> Result<ImpedanceProf
     let ac = AcAnalysis::new(chip.pdn().netlist());
     let freqs = log_space(cfg.f_lo_hz, cfg.f_hi_hz, cfg.points)?;
     let profile = ac.sweep(chip.pdn().core_node(cfg.core), &freqs)?;
-    let peaks = find_peaks(&profile);
+    let peaks = find_peaks(&profile)?;
     Ok(ImpedanceProfile {
         points: profile.iter().map(|p| (p.freq_hz, p.magnitude())).collect(),
         peaks,

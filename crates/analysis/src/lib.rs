@@ -62,8 +62,9 @@ pub use mapping_gain::{
 pub use margin::{run_margin, MarginConfig, MarginExperiment, MarginResult};
 pub use misalignment::{run_misalignment, MisalignConfig, MisalignExperiment, MisalignResult};
 pub use propagation::{
-    run_mapping_comparison, run_step_response, CorrelationAnalysis, MappingComparison,
-    MappingComparisonExperiment, StepResponse, StepResponseExperiment,
+    run_drawer_propagation, run_mapping_comparison, run_step_response, CorrelationAnalysis,
+    DrawerPropagation, DrawerPropagationExperiment, MappingComparison, MappingComparisonExperiment,
+    StepResponse, StepResponseExperiment,
 };
 pub use report::{
     full_report, full_report_on, full_report_with_telemetry, telemetry_section, ReportScale,

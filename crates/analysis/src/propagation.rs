@@ -2,6 +2,7 @@
 
 use crate::delta_i::DeltaIDataset;
 use crate::experiment::Experiment;
+use crate::experiment::ExperimentFailure;
 use crate::stats::CorrelationMatrix;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -11,8 +12,8 @@ use voltnoise_pdn::transient::{Drive, Probe, TransientConfig, TransientSolver};
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
 use voltnoise_system::chip::Chip;
-use voltnoise_system::engine::{Engine, SimJob};
-use voltnoise_system::noise::{NoiseOutcome, NoiseRunConfig};
+use voltnoise_system::engine::{DrawerJob, Engine, SimJob};
+use voltnoise_system::noise::{DrawerStepConfig, DrawerStepOutcome, NoiseOutcome, NoiseRunConfig};
 use voltnoise_system::testbed::Testbed;
 use voltnoise_system::workload::{Mapping, WorkloadKind};
 
@@ -357,6 +358,118 @@ impl Experiment for MappingComparisonExperiment {
     }
 }
 
+/// The drawer-scale chip-to-chip propagation artifact: a ΔI step on one
+/// chip of a multi-chip drawer, observed at every chip's package node.
+///
+/// The drawer analogue of Fig. 13b: where the paper studies how noise
+/// crosses core boundaries inside one chip, this study scales the same
+/// question to chips sharing a board PDN (the zEC12 drawer/book level
+/// the paper measures in §III). Not part of the golden report — it runs
+/// on demand (`drawer-prop`) and inside the benchmark harness, where its
+/// 200+-unknown system exercises the sparse solver path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrawerPropagation {
+    /// The configuration the study ran.
+    pub config: DrawerStepConfig,
+    /// The solved outcome.
+    pub outcome: DrawerStepOutcome,
+}
+
+impl DrawerPropagation {
+    /// Renders the chip-to-chip summary rows.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# Drawer propagation: dI step on chip {} core {} — {} chips, {} MNA unknowns\n\
+             chip,droop_depth_mv,arrival_ns\n",
+            self.config.source_chip,
+            self.config.source_core,
+            self.config.drawer.chips,
+            self.outcome.system_size
+        );
+        for (c, (d, a)) in self
+            .outcome
+            .droop_depth_v
+            .iter()
+            .zip(&self.outcome.arrival_s)
+            .enumerate()
+        {
+            out.push_str(&format!("chip{c},{:.3},{:.1}\n", d * 1e3, a * 1e9));
+        }
+        out.push_str(&format!(
+            "# stepped core droop: {:.3} mV; transient steps: {}\n",
+            self.outcome.source_core_droop_v * 1e3,
+            self.outcome.steps
+        ));
+        out
+    }
+}
+
+/// The drawer chip-to-chip propagation experiment. Its solve routes
+/// through [`Engine::run_drawer`] (the engine's drawer memo), so repeat
+/// runs on a shared engine assemble from cache.
+#[derive(Debug, Clone)]
+pub struct DrawerPropagationExperiment {
+    /// The drawer step configuration to run.
+    pub cfg: DrawerStepConfig,
+}
+
+impl Experiment for DrawerPropagationExperiment {
+    type Artifact = DrawerPropagation;
+
+    fn id(&self) -> &'static str {
+        "drawer-prop"
+    }
+
+    fn title(&self) -> &'static str {
+        "Drawer study: dI step propagation across chips on a shared board PDN"
+    }
+
+    /// Direct-solve fallback used only when the experiment is driven
+    /// through the default job pipeline (no engine in scope); the
+    /// overridden [`Experiment::run`] is the memoized path.
+    fn assemble(
+        &self,
+        _tb: &Testbed,
+        _outcomes: &[Arc<NoiseOutcome>],
+    ) -> Result<DrawerPropagation, PdnError> {
+        let outcome = DrawerJob::new(self.cfg.clone())?.solve()?;
+        Ok(DrawerPropagation {
+            config: self.cfg.clone(),
+            outcome,
+        })
+    }
+
+    fn render(&self, artifact: &DrawerPropagation) -> String {
+        artifact.render()
+    }
+
+    fn run(&self, _tb: &Testbed, engine: &Engine) -> Result<DrawerPropagation, PdnError> {
+        let job = DrawerJob::new(self.cfg.clone())?;
+        let outcome = engine.run_drawer(&job)?;
+        Ok(DrawerPropagation {
+            config: self.cfg.clone(),
+            outcome: (*outcome).clone(),
+        })
+    }
+
+    fn run_settled(
+        &self,
+        tb: &Testbed,
+        engine: &Engine,
+    ) -> Result<DrawerPropagation, ExperimentFailure> {
+        self.run(tb, engine).map_err(ExperimentFailure::from)
+    }
+}
+
+/// Runs the drawer propagation study on the shared engine.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] if the PDN solve fails.
+pub fn run_drawer_propagation(cfg: &DrawerStepConfig) -> Result<DrawerPropagation, PdnError> {
+    DrawerPropagationExperiment { cfg: cfg.clone() }.run(Testbed::fast(), Engine::shared())
+}
+
 /// Runs the Fig. 14 comparison on the shared engine.
 ///
 /// # Errors
@@ -409,6 +522,28 @@ mod tests {
             .min(resp.arrival_s[3])
             .min(resp.arrival_s[5]);
         assert!(t_same <= t_cross + 1e-9, "same {t_same} vs cross {t_cross}");
+    }
+
+    #[test]
+    fn drawer_experiment_is_registered_and_renders() {
+        let entry = crate::experiment::find("drawer-prop").unwrap();
+        assert!(!entry.in_report, "drawer study must stay out of the report");
+        let cfg = DrawerStepConfig {
+            window_s: 1e-6,
+            ..DrawerStepConfig::default()
+        };
+        let exp = DrawerPropagationExperiment { cfg };
+        let engine = Engine::with_workers(1);
+        let art = exp.run(Testbed::fast(), &engine).unwrap();
+        assert_eq!(art.outcome.droop_depth_v.len(), art.config.drawer.chips);
+        assert!(art.outcome.system_size > 150);
+        let rendered = exp.render(&art);
+        assert!(rendered.contains("Drawer propagation"), "{rendered}");
+        assert!(rendered.contains("chip5"), "{rendered}");
+        // Re-running on the same engine answers from the drawer memo.
+        let solves = engine.solves();
+        exp.run(Testbed::fast(), &engine).unwrap();
+        assert_eq!(engine.solves(), solves);
     }
 
     #[test]

@@ -140,6 +140,8 @@ pub fn telemetry_section(stats: &EngineStats) -> String {
         ("factor_cache_hits", tel.solver.factor_cache_hits),
         ("solve_calls", tel.solver.solve_calls),
         ("est_flops", tel.solver.est_flops),
+        ("sparse_solves", tel.solver.sparse_solves),
+        ("pattern_reuses", tel.solver.pattern_reuses),
     ] {
         t.row([metric.to_string(), value.to_string()]);
     }

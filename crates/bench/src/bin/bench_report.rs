@@ -22,14 +22,20 @@ use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
 use voltnoise::analysis::find;
-use voltnoise::system::{set_trace, Engine, SolverCounters, Testbed};
+use voltnoise::system::{set_trace, DrawerJob, DrawerStepConfig, Engine, SolverCounters, Testbed};
 
 /// Experiments benchmarked by default: one long transient, one sweep of
 /// many small jobs, one mapping campaign.
 const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 
 /// Report format version. Bump when the JSON shape changes.
-const SCHEMA: &str = "voltnoise-bench/1";
+/// `/2`: added the `drawer` section (sparse-solver cost accounting).
+const SCHEMA: &str = "voltnoise-bench/2";
+
+/// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
+/// the sparse backend must beat the dense cost model by at least this
+/// factor on the 200+-unknown drawer system (measured ~10x).
+const MIN_DRAWER_FLOPS_RATIO: f64 = 5.0;
 
 /// Generous smoke-mode bound on `overhead_ratio` (single-iteration
 /// timings are noisy; real overhead is a few percent).
@@ -82,6 +88,30 @@ struct ExperimentBench {
     job_wall_p95_ns: u64,
 }
 
+/// The drawer-scale sparse-solver benchmark: one pinned transient run on
+/// a 6-chip drawer (200+ MNA unknowns, past the sparse threshold), with
+/// the measured nnz-aware flop count compared against what the dense
+/// cost model would charge for the same factorization/solve sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DrawerBench {
+    /// Chips on the benchmarked drawer.
+    chips: usize,
+    /// MNA unknowns of the drawer system.
+    system_size: usize,
+    /// Wall time per fresh-engine solve.
+    wall: WallStats,
+    /// Solver counters of one iteration (deterministic).
+    counters: SolverCounters,
+    /// Actual (nnz-aware) flops the sparse backend charged.
+    sparse_est_flops: u64,
+    /// What the dense cost model (2n^3/3 + n^2/2 per factorization,
+    /// 2n^2 per solve) would charge for the same operation sequence.
+    dense_model_flops: u64,
+    /// `dense_model_flops / sparse_est_flops`: how many times cheaper
+    /// the sparse path is on this topology.
+    flops_ratio: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -89,6 +119,7 @@ struct BenchReport {
     reduced: bool,
     workers: usize,
     experiments: Vec<ExperimentBench>,
+    drawer: DrawerBench,
 }
 
 struct Opts {
@@ -193,6 +224,41 @@ fn bench_experiment(id: &str, iters: usize, reduced: bool) -> ExperimentBench {
     }
 }
 
+/// Benchmarks the pinned drawer transient on fresh engines and derives
+/// the dense-model comparison. The configuration is
+/// [`DrawerStepConfig::default`] — 6 chips, a fixed step drive and
+/// window — so the counters are deterministic across machines.
+fn bench_drawer(iters: usize) -> DrawerBench {
+    let cfg = DrawerStepConfig::default();
+    let mut wall = Vec::with_capacity(iters);
+    let mut counters = SolverCounters::default();
+    let mut system_size = 0usize;
+    for _ in 0..iters {
+        let engine = Engine::with_workers(1);
+        let job = DrawerJob::new(cfg.clone()).expect("drawer config serializes");
+        let t0 = Instant::now();
+        let outcome = engine
+            .run_drawer(&job)
+            .unwrap_or_else(|e| panic!("drawer solve failed: {e}"));
+        wall.push(t0.elapsed().as_nanos() as u64);
+        counters = engine.stats().telemetry.solver;
+        system_size = outcome.system_size;
+    }
+    let n = system_size as f64;
+    let dense_model = counters.lu_factorizations as f64 * (2.0 * n * n * n / 3.0 + n * n / 2.0)
+        + counters.solve_calls as f64 * 2.0 * n * n;
+    let sparse_est_flops = counters.est_flops;
+    DrawerBench {
+        chips: cfg.drawer.chips,
+        system_size,
+        wall: WallStats::of(wall),
+        counters,
+        sparse_est_flops,
+        dense_model_flops: dense_model as u64,
+        flops_ratio: dense_model / sparse_est_flops.max(1) as f64,
+    }
+}
+
 fn smoke_check(json: &str) {
     let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
     assert_eq!(report.schema, SCHEMA, "schema version mismatch");
@@ -219,6 +285,25 @@ fn smoke_check(json: &str) {
             exp.overhead_ratio
         );
     }
+    let drawer = &report.drawer;
+    assert!(
+        drawer.system_size >= 150,
+        "drawer must be drawer-scale, got {} unknowns",
+        drawer.system_size
+    );
+    assert!(
+        drawer.counters.sparse_solves > 0,
+        "drawer run must exercise the sparse backend, got {:?}",
+        drawer.counters
+    );
+    assert!(
+        drawer.flops_ratio >= MIN_DRAWER_FLOPS_RATIO,
+        "drawer sparse path must beat the dense cost model by >= {MIN_DRAWER_FLOPS_RATIO}x, \
+         got {:.2}x ({} sparse vs {} dense-model flops)",
+        drawer.flops_ratio,
+        drawer.sparse_est_flops,
+        drawer.dense_model_flops
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -233,12 +318,18 @@ fn main() {
             bench_experiment(id, opts.iters, true)
         })
         .collect();
+    eprintln!(
+        "# benchmarking drawer transient ({} iterations)",
+        opts.iters
+    );
+    let drawer = bench_drawer(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
         reduced: true,
         workers: workers(),
         experiments,
+        drawer,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -253,6 +344,14 @@ fn main() {
             exp.overhead_ratio
         );
     }
+    println!(
+        "{:8} median {:>12} ns  {} unknowns  sparse_solves {:>6}  flops x{:.2} vs dense model",
+        "drawer",
+        report.drawer.wall.median_ns,
+        report.drawer.system_size,
+        report.drawer.counters.sparse_solves,
+        report.drawer.flops_ratio
+    );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {
         smoke_check(&json);

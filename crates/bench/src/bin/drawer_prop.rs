@@ -1,0 +1,11 @@
+//! Regenerates the drawer propagation study: a dI step on one chip of a
+//! multi-chip drawer, observing droop depth and arrival time at every
+//! chip down the shared board PDN. Not part of the paper's evaluation
+//! (the zEC12 data is single-chip), so it stays out of `full_report`.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
+
+fn main() {
+    voltnoise_bench::run_registry_bin("drawer-prop");
+}

@@ -14,7 +14,7 @@ fn main() {
         println!("{:.4e},{:.4}", p.freq_hz, p.magnitude() * 1e3);
     }
     println!("peaks:");
-    for (f, m) in find_peaks(&prof).iter().take(6) {
+    for (f, m) in find_peaks(&prof).expect("non-empty profile").iter().take(6) {
         println!("  f={:.4e} Hz |Z|={:.4} mOhm", f, m * 1e3);
     }
     for f in [40e3, 2e6] {

@@ -9,7 +9,10 @@
 use crate::complex::Complex;
 use crate::error::PdnError;
 use crate::linalg::Matrix;
-use crate::netlist::{Element, Netlist, NodeId};
+use crate::mna::{MnaSystem, SolverBackend, SystemPattern};
+use crate::netlist::{Netlist, NodeId};
+use crate::sparse::{CsrMatrix, SparseLu};
+use std::sync::Arc;
 
 /// One point of an impedance sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,15 +50,40 @@ impl ImpedancePoint {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AcAnalysis {
-    netlist: Netlist,
+    sys: MnaSystem,
+    backend: SolverBackend,
+    /// Symbolic pattern for the sparse path, computed once at
+    /// construction (the AC matrix has the same pattern at every
+    /// frequency). `None` on the dense fast path.
+    pattern: Option<Arc<SystemPattern>>,
 }
 
 impl AcAnalysis {
-    /// Creates an analyzer for a snapshot of the netlist.
+    /// Creates an analyzer for a snapshot of the netlist with automatic
+    /// dense/sparse backend selection (see [`SolverBackend::Auto`]).
     pub fn new(netlist: &Netlist) -> Self {
+        Self::with_backend(netlist, SolverBackend::Auto)
+    }
+
+    /// Creates an analyzer with an explicit backend choice; `Auto` is
+    /// right for almost everything.
+    pub fn with_backend(netlist: &Netlist, backend: SolverBackend) -> Self {
+        let sys = MnaSystem::new(netlist);
+        let pattern = if backend.is_sparse(sys.size()) {
+            Some(Arc::new(SystemPattern::coupled(&sys)))
+        } else {
+            None
+        };
         AcAnalysis {
-            netlist: netlist.clone(),
+            sys,
+            backend,
+            pattern,
         }
+    }
+
+    /// Whether this analyzer runs on the sparse path.
+    pub fn uses_sparse(&self) -> bool {
+        self.backend.is_sparse(self.sys.size())
     }
 
     fn solve_with_injection(&self, inject: NodeId, freq_hz: f64) -> Result<Vec<Complex>, PdnError> {
@@ -64,72 +92,26 @@ impl AcAnalysis {
                 reason: format!("AC analysis requires positive finite frequency, got {freq_hz}"),
             });
         }
-        let n = self.netlist.system_size();
-        let n_nodes = self.netlist.node_count() - 1;
+        // Unit sinusoidal current drawn out of the injection node (a load).
+        let Some(idx) = inject.unknown_index() else {
+            return Err(PdnError::UnknownNode { node: 0 });
+        };
+        let n = self.sys.size();
         let omega = 2.0 * std::f64::consts::PI * freq_hz;
-        let mut g = Matrix::<Complex>::zeros(n, n);
         let mut rhs = vec![Complex::ZERO; n];
-
-        let stamp_adm =
-            |m: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, y: Complex| {
-                if let Some(ia) = a {
-                    m.stamp(ia, ia, y);
-                }
-                if let Some(ib) = b {
-                    m.stamp(ib, ib, y);
-                }
-                if let (Some(ia), Some(ib)) = (a, b) {
-                    m.stamp(ia, ib, -y);
-                    m.stamp(ib, ia, -y);
-                }
-            };
-
-        let mut vrow = n_nodes;
-        for el in self.netlist.elements() {
-            match *el {
-                Element::Resistor { a, b, ohms } => stamp_adm(
-                    &mut g,
-                    a.unknown_index(),
-                    b.unknown_index(),
-                    Complex::from_real(1.0 / ohms),
-                ),
-                Element::Capacitor { a, b, farads } => stamp_adm(
-                    &mut g,
-                    a.unknown_index(),
-                    b.unknown_index(),
-                    Complex::new(0.0, omega * farads),
-                ),
-                Element::Inductor { a, b, henries } => stamp_adm(
-                    &mut g,
-                    a.unknown_index(),
-                    b.unknown_index(),
-                    Complex::new(0.0, -1.0 / (omega * henries)),
-                ),
-                Element::VoltageSource { plus, minus, .. } => {
-                    // DC sources are AC shorts: constrain v(plus)-v(minus)=0.
-                    if let Some(ip) = plus.unknown_index() {
-                        g.stamp(ip, vrow, Complex::ONE);
-                        g.stamp(vrow, ip, Complex::ONE);
-                    }
-                    if let Some(im) = minus.unknown_index() {
-                        g.stamp(im, vrow, -Complex::ONE);
-                        g.stamp(vrow, im, -Complex::ONE);
-                    }
-                    vrow += 1;
-                }
-                Element::CurrentSource { .. } => {
-                    // Load sources are small-signal open circuits.
-                }
+        rhs[idx] = -Complex::ONE;
+        match &self.pattern {
+            Some(pattern) => {
+                let mut m = CsrMatrix::<Complex>::zeros(pattern.clone());
+                self.sys.stamp_ac(&mut m, omega);
+                SparseLu::factor(&m)?.solve(&rhs)
+            }
+            None => {
+                let mut g = Matrix::<Complex>::zeros(n, n);
+                self.sys.stamp_ac(&mut g, omega);
+                g.lu()?.solve(&rhs)
             }
         }
-
-        // Unit sinusoidal current drawn out of the injection node (a load).
-        if let Some(idx) = inject.unknown_index() {
-            rhs[idx] = -Complex::ONE;
-        } else {
-            return Err(PdnError::UnknownNode { node: 0 });
-        }
-        g.lu()?.solve(&rhs)
     }
 
     /// Impedance magnitude/phase seen *into the PDN* at `node` for a unit
@@ -191,10 +173,17 @@ impl AcAnalysis {
 /// Builds `count` log-spaced frequencies between `f_lo` and `f_hi`
 /// (inclusive).
 ///
+/// A degenerate span `f_lo == f_hi` is allowed and yields `count`
+/// copies of that frequency (so a sweep collapsed to a single point is
+/// a valid single-frequency sweep, not a silent divide-by-zero in the
+/// spacing formula).
+///
 /// # Errors
 ///
-/// Returns [`PdnError::InvalidTimebase`] unless `0 < f_lo < f_hi` (both
-/// finite) and `count >= 2`.
+/// Returns [`PdnError::InvalidTimebase`] unless `0 < f_lo <= f_hi`
+/// (both finite), `count >= 1`, and additionally `count >= 2` whenever
+/// `f_hi > f_lo` (two distinct endpoints cannot be covered by one
+/// point).
 ///
 /// # Examples
 ///
@@ -205,10 +194,18 @@ impl AcAnalysis {
 /// assert!((f[3] - 1e6).abs() < 1e-3);
 /// ```
 pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Result<Vec<f64>, PdnError> {
-    if !(f_lo.is_finite() && f_hi.is_finite() && f_lo > 0.0 && f_hi > f_lo) {
+    if !(f_lo.is_finite() && f_hi.is_finite() && f_lo > 0.0 && f_hi >= f_lo) {
         return Err(PdnError::InvalidTimebase {
-            reason: format!("log_space requires 0 < f_lo < f_hi, got [{f_lo}, {f_hi}]"),
+            reason: format!("log_space requires 0 < f_lo <= f_hi, got [{f_lo}, {f_hi}]"),
         });
+    }
+    if count == 0 {
+        return Err(PdnError::InvalidTimebase {
+            reason: "log_space requires count >= 1".to_string(),
+        });
+    }
+    if f_hi == f_lo {
+        return Ok(vec![f_lo; count]);
     }
     if count < 2 {
         return Err(PdnError::InvalidTimebase {
@@ -224,7 +221,21 @@ pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Result<Vec<f64>, PdnErro
 
 /// Finds local maxima ("resonance peaks") of an impedance sweep, returning
 /// `(freq_hz, magnitude)` pairs sorted by descending magnitude.
-pub fn find_peaks(profile: &[ImpedancePoint]) -> Vec<(f64, f64)> {
+///
+/// Only *interior* maxima count: a profile rising monotonically into an
+/// endpoint returns no peaks (use [`find_peaks_with_endpoints`] when
+/// sweep-edge resonances matter). A monotone or flat profile therefore
+/// yields an empty, not erroneous, result.
+///
+/// # Errors
+///
+/// Returns [`PdnError::EmptyProfile`] for an empty profile — asking for
+/// the resonances of nothing is a caller bug (typically a sweep that
+/// silently produced no points), not a "no peaks found" answer.
+pub fn find_peaks(profile: &[ImpedancePoint]) -> Result<Vec<(f64, f64)>, PdnError> {
+    if profile.is_empty() {
+        return Err(PdnError::EmptyProfile);
+    }
     let mut peaks = Vec::new();
     for i in 1..profile.len().saturating_sub(1) {
         let m = profile[i].magnitude();
@@ -233,7 +244,34 @@ pub fn find_peaks(profile: &[ImpedancePoint]) -> Vec<(f64, f64)> {
         }
     }
     peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
-    peaks
+    Ok(peaks)
+}
+
+/// Like [`find_peaks`], but endpoints may qualify: the first point
+/// counts when it is at least its successor, the last when it strictly
+/// exceeds its predecessor (mirroring the interior tie-breaking), and a
+/// single-point profile is its own peak. Use for truncated sweeps whose
+/// resonance may sit at the sweep edge.
+///
+/// # Errors
+///
+/// Returns [`PdnError::EmptyProfile`] for an empty profile.
+pub fn find_peaks_with_endpoints(profile: &[ImpedancePoint]) -> Result<Vec<(f64, f64)>, PdnError> {
+    let mut peaks = find_peaks(profile)?;
+    if profile.len() == 1 {
+        peaks.push((profile[0].freq_hz, profile[0].magnitude()));
+    } else {
+        let first = profile[0].magnitude();
+        if first >= profile[1].magnitude() {
+            peaks.push((profile[0].freq_hz, first));
+        }
+        let last = profile[profile.len() - 1].magnitude();
+        if last > profile[profile.len() - 2].magnitude() {
+            peaks.push((profile[profile.len() - 1].freq_hz, last));
+        }
+    }
+    peaks.sort_by(|a, b| b.1.total_cmp(&a.1));
+    Ok(peaks)
 }
 
 #[cfg(test)]
@@ -284,7 +322,7 @@ mod tests {
         let ac = AcAnalysis::new(&nl);
         let freqs = log_space(1e5, 1e8, 200).unwrap();
         let profile = ac.sweep(die, &freqs).unwrap();
-        let peaks = find_peaks(&profile);
+        let peaks = find_peaks(&profile).unwrap();
         assert!(!peaks.is_empty());
         let (f_peak, _) = peaks[0];
         assert!(
@@ -332,21 +370,104 @@ mod tests {
         assert!(log_space(f64::NAN, 1e6, 10).is_err());
         assert!(log_space(1e3, f64::INFINITY, 10).is_err());
         assert!(log_space(1e3, 1e6, 1).is_err());
+        assert!(log_space(1e3, 1e6, 0).is_err());
+        assert!(log_space(1e3, 1e3, 0).is_err());
     }
 
     #[test]
-    fn find_peaks_orders_by_magnitude() {
-        let profile: Vec<ImpedancePoint> = [1.0, 3.0, 1.0, 5.0, 1.0]
-            .iter()
+    fn log_space_degenerate_span_repeats_the_point() {
+        let f = log_space(2e6, 2e6, 1).unwrap();
+        assert_eq!(f, vec![2e6]);
+        let f = log_space(2e6, 2e6, 3).unwrap();
+        assert_eq!(f, vec![2e6, 2e6, 2e6]);
+    }
+
+    fn profile_of(mags: &[f64]) -> Vec<ImpedancePoint> {
+        mags.iter()
             .enumerate()
             .map(|(i, &m)| ImpedancePoint {
                 freq_hz: (i + 1) as f64,
                 z: Complex::from_real(m),
             })
-            .collect();
-        let peaks = find_peaks(&profile);
+            .collect()
+    }
+
+    #[test]
+    fn find_peaks_orders_by_magnitude() {
+        let peaks = find_peaks(&profile_of(&[1.0, 3.0, 1.0, 5.0, 1.0])).unwrap();
         assert_eq!(peaks.len(), 2);
         assert_eq!(peaks[0].0, 4.0);
         assert_eq!(peaks[1].0, 2.0);
+    }
+
+    #[test]
+    fn find_peaks_rejects_empty_profile() {
+        assert_eq!(find_peaks(&[]), Err(PdnError::EmptyProfile));
+        assert_eq!(find_peaks_with_endpoints(&[]), Err(PdnError::EmptyProfile));
+    }
+
+    #[test]
+    fn monotone_profile_has_no_interior_peaks() {
+        assert!(find_peaks(&profile_of(&[1.0, 2.0, 3.0, 4.0]))
+            .unwrap()
+            .is_empty());
+        assert!(find_peaks(&profile_of(&[4.0, 3.0, 2.0, 1.0]))
+            .unwrap()
+            .is_empty());
+        assert!(find_peaks(&profile_of(&[2.0, 2.0, 2.0]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn endpoint_peaks_are_found_when_asked() {
+        // Rising into the right endpoint.
+        let rising = profile_of(&[1.0, 2.0, 3.0]);
+        assert!(find_peaks(&rising).unwrap().is_empty());
+        let peaks = find_peaks_with_endpoints(&rising).unwrap();
+        assert_eq!(peaks, vec![(3.0, 3.0)]);
+        // Falling from the left endpoint.
+        let falling = profile_of(&[3.0, 2.0, 1.0]);
+        let peaks = find_peaks_with_endpoints(&falling).unwrap();
+        assert_eq!(peaks, vec![(1.0, 3.0)]);
+        // A single point is its own peak.
+        let single = profile_of(&[7.0]);
+        let peaks = find_peaks_with_endpoints(&single).unwrap();
+        assert_eq!(peaks, vec![(1.0, 7.0)]);
+        // Both interior and endpoint peaks, ordered by magnitude.
+        let both = profile_of(&[1.0, 5.0, 1.0, 9.0]);
+        let peaks = find_peaks_with_endpoints(&both).unwrap();
+        assert_eq!(peaks, vec![(4.0, 9.0), (2.0, 5.0)]);
+    }
+
+    #[test]
+    fn forced_sparse_ac_matches_dense() {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_series_rl(vdd, die, 1e-4, 1e-9).unwrap();
+        nl.add_capacitor_with_esr(die, NodeId::GROUND, 1e-6, 1e-3)
+            .unwrap();
+        let dense = AcAnalysis::with_backend(&nl, SolverBackend::Dense);
+        let sparse = AcAnalysis::with_backend(&nl, SolverBackend::Sparse);
+        assert!(!dense.uses_sparse());
+        assert!(sparse.uses_sparse());
+        for f in [1e4, 1e6, 5e6, 1e8] {
+            let zd = dense.impedance_at(die, f).unwrap();
+            let zs = sparse.impedance_at(die, f).unwrap();
+            assert!(
+                (zd.re - zs.re).abs() < 1e-9,
+                "re {f}: {} vs {}",
+                zd.re,
+                zs.re
+            );
+            assert!(
+                (zd.im - zs.im).abs() < 1e-9,
+                "im {f}: {} vs {}",
+                zd.im,
+                zs.im
+            );
+        }
     }
 }

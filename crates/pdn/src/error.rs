@@ -74,6 +74,8 @@ pub enum PdnError {
         /// Simulation time (seconds) at which cancellation was observed.
         t: f64,
     },
+    /// Peak detection was asked to analyze an empty impedance profile.
+    EmptyProfile,
 }
 
 impl fmt::Display for PdnError {
@@ -105,6 +107,9 @@ impl fmt::Display for PdnError {
                 "step budget exhausted after {steps} accepted steps at t = {t:.3e} s"
             ),
             PdnError::Cancelled { t } => write!(f, "solve cancelled at t = {t:.3e} s"),
+            PdnError::EmptyProfile => {
+                write!(f, "empty impedance profile has no peaks")
+            }
         }
     }
 }
@@ -142,6 +147,7 @@ mod tests {
                 t: 2e-6,
             },
             PdnError::Cancelled { t: 1e-6 },
+            PdnError::EmptyProfile,
         ];
         for e in errors {
             let msg = e.to_string();

@@ -59,8 +59,10 @@ pub mod complex;
 pub mod design;
 pub mod error;
 pub mod linalg;
+pub mod mna;
 pub mod netlist;
 pub mod sensitivity;
+pub mod sparse;
 pub mod telemetry;
 pub mod topology;
 pub mod transient;
@@ -71,11 +73,12 @@ pub use cancel::CancelToken;
 pub use complex::Complex;
 pub use design::{check_mask, size_decap, DecapSizing, ImpedanceMask, MaskViolation};
 pub use error::PdnError;
+pub use mna::{MnaSystem, SolverBackend, SystemPattern, SPARSE_THRESHOLD};
 pub use netlist::{Netlist, NodeId, SourceId};
 pub use sensitivity::{
     full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter,
 };
 pub use telemetry::{set_trace, trace_enabled, PhaseTimes, SolverCounters};
-pub use topology::{ChipPdn, PdnParams, NUM_CORES};
+pub use topology::{ChipPdn, DrawerParams, DrawerPdn, PdnParams, NUM_CORES};
 pub use transient::{Drive, Probe, ProbeStats, TransientConfig, TransientResult, TransientSolver};
 pub use waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};

@@ -363,12 +363,25 @@ impl Netlist {
 
     /// Rescales the DC voltage of every voltage source by `factor`
     /// (used by the Vmin harness to undervolt the whole network).
-    pub fn scale_voltage_sources(&mut self, factor: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or negative factors with
+    /// [`PdnError::InvalidElement`] — a NaN or negative scale would
+    /// silently corrupt every downstream solve.
+    pub fn scale_voltage_sources(&mut self, factor: f64) -> Result<(), PdnError> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(PdnError::InvalidElement {
+                element: "voltage source scale factor".to_string(),
+                value: factor,
+            });
+        }
         for el in &mut self.elements {
             if let Element::VoltageSource { volts, .. } = el {
                 *volts *= factor;
             }
         }
+        Ok(())
     }
 }
 
@@ -454,9 +467,25 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.add_node("a");
         nl.add_voltage_source(a, NodeId::GROUND, 1.0).unwrap();
-        nl.scale_voltage_sources(0.95);
+        nl.scale_voltage_sources(0.95).unwrap();
         match &nl.elements()[0] {
             Element::VoltageSource { volts, .. } => assert!((volts - 0.95).abs() < 1e-12),
+            other => panic!("unexpected element {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_voltage_sources_rejects_bad_factors() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node("a");
+        nl.add_voltage_source(a, NodeId::GROUND, 1.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            let err = nl.scale_voltage_sources(bad).unwrap_err();
+            assert!(matches!(err, PdnError::InvalidElement { .. }), "{bad}");
+        }
+        // A rejected factor must leave the netlist untouched.
+        match &nl.elements()[0] {
+            Element::VoltageSource { volts, .. } => assert_eq!(*volts, 1.0),
             other => panic!("unexpected element {other:?}"),
         }
     }

@@ -103,7 +103,7 @@ fn die_band(params: &PdnParams) -> Result<(f64, f64), PdnError> {
     let ac = AcAnalysis::new(chip.netlist());
     let freqs = log_space(3e5, 30e6, 180)?;
     let profile = ac.sweep(chip.core_node(0), &freqs)?;
-    Ok(find_peaks(&profile).first().copied().unwrap_or((0.0, 0.0)))
+    Ok(find_peaks(&profile)?.first().copied().unwrap_or((0.0, 0.0)))
 }
 
 /// Sweeps one parameter over the given factors.

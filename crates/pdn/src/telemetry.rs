@@ -38,10 +38,19 @@ pub struct SolverCounters {
     pub factor_cache_hits: u64,
     /// Back-substitutions (`solve`/`solve_into` calls).
     pub solve_calls: u64,
-    /// Estimated floating-point operations, from the dense cost model
-    /// ([`crate::linalg::Matrix::lu_flops`] /
-    /// [`crate::linalg::LuFactors::solve_flops`]).
+    /// Estimated floating-point operations. Dense solves use the dense
+    /// cost model ([`crate::linalg::Matrix::lu_flops`] /
+    /// [`crate::linalg::LuFactors::solve_flops`]); sparse solves count
+    /// nnz-aware actual work ([`crate::sparse::SparseLu::factor_flops`] /
+    /// [`crate::sparse::SparseLu::solve_flops`]).
     pub est_flops: u64,
+    /// Back-substitutions performed by the sparse backend (a subset of
+    /// `solve_calls`; zero whenever the system stayed on the dense fast
+    /// path).
+    pub sparse_solves: u64,
+    /// Sparse refactorizations that reused a previously discovered
+    /// elimination order instead of re-running pivot selection.
+    pub pattern_reuses: u64,
 }
 
 impl SolverCounters {
@@ -55,6 +64,8 @@ impl SolverCounters {
         self.factor_cache_hits += other.factor_cache_hits;
         self.solve_calls += other.solve_calls;
         self.est_flops += other.est_flops;
+        self.sparse_solves += other.sparse_solves;
+        self.pattern_reuses += other.pattern_reuses;
     }
 
     /// True when every counter is zero (no work recorded).
@@ -146,6 +157,8 @@ mod tests {
             factor_cache_hits: 4,
             solve_calls: 5,
             est_flops: 6,
+            sparse_solves: 7,
+            pattern_reuses: 8,
         };
         let b = SolverCounters {
             steps: 10,
@@ -154,6 +167,8 @@ mod tests {
             factor_cache_hits: 40,
             solve_calls: 50,
             est_flops: 60,
+            sparse_solves: 70,
+            pattern_reuses: 80,
         };
         let c = SolverCounters {
             steps: 100,
@@ -170,6 +185,8 @@ mod tests {
         assert_eq!(ab_c, a_bc);
         assert_eq!(ab_c.steps, 111);
         assert_eq!(ab_c.solve_calls, 55);
+        assert_eq!(ab_c.sparse_solves, 77);
+        assert_eq!(ab_c.pattern_reuses, 88);
     }
 
     #[test]

@@ -126,6 +126,80 @@ impl PdnParams {
     }
 }
 
+/// Handles to one chip's observable nodes, as returned by
+/// [`attach_chip`]. Shared by the single-chip [`ChipPdn`] and the
+/// multi-chip [`DrawerPdn`].
+#[derive(Debug, Clone)]
+struct ChipNodes {
+    pkg: NodeId,
+    domains: [NodeId; 2],
+    l3: NodeId,
+    cores: [NodeId; NUM_CORES],
+    core_sources: [SourceId; NUM_CORES],
+}
+
+/// Builds one package-and-below chip subtree hanging off `attach`
+/// (a board-plane node): package, two on-die domains, L3 bridge, six
+/// cores with loads, and the neighbor coupling resistors.
+///
+/// The element and node creation sequence here is byte-identity
+/// critical: auto-generated intermediate node names (`rl_mid_N`,
+/// `esr_mid_N`) derive from the running node count, and dense stamping
+/// order follows element insertion order, so [`ChipPdn::build`] calling
+/// this with an empty prefix must reproduce the historical netlist
+/// exactly.
+fn attach_chip(
+    nl: &mut Netlist,
+    attach: NodeId,
+    params: &PdnParams,
+    prefix: &str,
+) -> Result<ChipNodes, PdnError> {
+    let pkg = nl.add_node(format!("{prefix}pkg"));
+    nl.add_series_rl(attach, pkg, params.r_board, params.l_board)?;
+    nl.add_capacitor_with_esr(pkg, NodeId::GROUND, params.c_pkg, params.esr_pkg)?;
+
+    let mut domains = [NodeId::GROUND; 2];
+    for (d, dom) in domains.iter_mut().enumerate() {
+        let node = nl.add_node(format!("{prefix}domain{d}"));
+        nl.add_series_rl(pkg, node, params.r_c4, params.l_c4)?;
+        nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_domain, params.esr_domain)?;
+        *dom = node;
+    }
+
+    let l3 = nl.add_node(format!("{prefix}l3"));
+    for dom in domains {
+        nl.add_series_rl(dom, l3, params.r_l3, params.l_l3)?;
+    }
+    nl.add_capacitor_with_esr(l3, NodeId::GROUND, params.c_l3, params.esr_l3)?;
+
+    let mut cores = [NodeId::GROUND; NUM_CORES];
+    let mut core_sources = [SourceId(0); NUM_CORES];
+    for i in 0..NUM_CORES {
+        let node = nl.add_node(format!("{prefix}core{i}"));
+        let dom = domains[core_domain(i)];
+        nl.add_series_rl(
+            dom,
+            node,
+            params.r_grid * params.grid_variation[i],
+            params.l_grid,
+        )?;
+        nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_core, params.esr_core)?;
+        core_sources[i] = nl.add_current_source(node, NodeId::GROUND)?;
+        cores[i] = node;
+    }
+    for (a, b) in NEIGHBOR_PAIRS {
+        nl.add_resistor(cores[a], cores[b], params.r_neighbor)?;
+    }
+
+    Ok(ChipNodes {
+        pkg,
+        domains,
+        l3,
+        cores,
+        core_sources,
+    })
+}
+
 /// A built chip PDN: the netlist plus handles to every observable node.
 #[derive(Debug, Clone)]
 pub struct ChipPdn {
@@ -155,52 +229,17 @@ impl ChipPdn {
         nl.add_series_rl(vrm, board, params.r_vrm, params.l_vrm)?;
         nl.add_capacitor_with_esr(board, NodeId::GROUND, params.c_bulk, params.esr_bulk)?;
 
-        let pkg = nl.add_node("pkg");
-        nl.add_series_rl(board, pkg, params.r_board, params.l_board)?;
-        nl.add_capacitor_with_esr(pkg, NodeId::GROUND, params.c_pkg, params.esr_pkg)?;
-
-        let mut domains = [NodeId::GROUND; 2];
-        for (d, dom) in domains.iter_mut().enumerate() {
-            let node = nl.add_node(format!("domain{d}"));
-            nl.add_series_rl(pkg, node, params.r_c4, params.l_c4)?;
-            nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_domain, params.esr_domain)?;
-            *dom = node;
-        }
-
-        let l3 = nl.add_node("l3");
-        for dom in domains {
-            nl.add_series_rl(dom, l3, params.r_l3, params.l_l3)?;
-        }
-        nl.add_capacitor_with_esr(l3, NodeId::GROUND, params.c_l3, params.esr_l3)?;
-
-        let mut cores = [NodeId::GROUND; NUM_CORES];
-        let mut core_sources = [SourceId(0); NUM_CORES];
-        for i in 0..NUM_CORES {
-            let node = nl.add_node(format!("core{i}"));
-            let dom = domains[core_domain(i)];
-            nl.add_series_rl(
-                dom,
-                node,
-                params.r_grid * params.grid_variation[i],
-                params.l_grid,
-            )?;
-            nl.add_capacitor_with_esr(node, NodeId::GROUND, params.c_core, params.esr_core)?;
-            core_sources[i] = nl.add_current_source(node, NodeId::GROUND)?;
-            cores[i] = node;
-        }
-        for (a, b) in NEIGHBOR_PAIRS {
-            nl.add_resistor(cores[a], cores[b], params.r_neighbor)?;
-        }
+        let chip = attach_chip(&mut nl, board, params, "")?;
 
         Ok(ChipPdn {
             netlist: nl,
             params: params.clone(),
             board,
-            pkg,
-            domains,
-            l3,
-            cores,
-            core_sources,
+            pkg: chip.pkg,
+            domains: chip.domains,
+            l3: chip.l3,
+            cores: chip.cores,
+            core_sources: chip.core_sources,
         })
     }
 
@@ -268,6 +307,165 @@ impl ChipPdn {
     }
 }
 
+/// Parameters of a multi-chip drawer: N zEC12-like chips sharing one
+/// board PDN, joined by a resistive/inductive board spine.
+///
+/// Models the paper's drawer/book hierarchy above the single-chip
+/// substrate: one VRM and bulk capacitance feed a chain of board plane
+/// segments, and each segment carries one full chip (package, domains,
+/// L3, six cores). A 6-chip drawer assembles 200+ MNA unknowns —
+/// deliberately past [`crate::mna::SPARSE_THRESHOLD`], so drawer
+/// studies exercise the sparse solver path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrawerParams {
+    /// Number of chips on the drawer (>= 1).
+    pub chips: usize,
+    /// Per-chip electrical parameters (shared by every chip).
+    pub chip: PdnParams,
+    /// Board spine resistance between adjacent chip sites (ohms).
+    pub r_spine: f64,
+    /// Board spine inductance between adjacent chip sites (henries).
+    pub l_spine: f64,
+}
+
+impl Default for DrawerParams {
+    fn default() -> Self {
+        DrawerParams {
+            chips: 6,
+            chip: PdnParams::default(),
+            r_spine: 0.02e-3,
+            l_spine: 0.5e-9,
+        }
+    }
+}
+
+/// A built multi-chip drawer PDN: the netlist plus handles to every
+/// chip's observable nodes.
+#[derive(Debug, Clone)]
+pub struct DrawerPdn {
+    netlist: Netlist,
+    params: DrawerParams,
+    boards: Vec<NodeId>,
+    chips: Vec<ChipNodes>,
+}
+
+impl DrawerPdn {
+    /// Builds the drawer PDN: a VRM feeding board segment 0, spine
+    /// segments chaining to board `i`, and one chip subtree per
+    /// segment. Chip `i`'s core loads occupy drive slots
+    /// `NUM_CORES*i .. NUM_CORES*(i+1)` in chip/core order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidElement`] for a zero chip count or
+    /// any non-positive/non-finite electrical parameter.
+    pub fn build(params: &DrawerParams) -> Result<Self, PdnError> {
+        if params.chips == 0 {
+            return Err(PdnError::InvalidElement {
+                element: "drawer chip count".to_string(),
+                value: 0.0,
+            });
+        }
+        let p = &params.chip;
+        let mut nl = Netlist::new();
+        let vrm = nl.add_node("vrm");
+        nl.add_voltage_source(vrm, NodeId::GROUND, p.v_nom)?;
+
+        let mut boards = Vec::with_capacity(params.chips);
+        let board0 = nl.add_node("board0");
+        nl.add_series_rl(vrm, board0, p.r_vrm, p.l_vrm)?;
+        nl.add_capacitor_with_esr(board0, NodeId::GROUND, p.c_bulk, p.esr_bulk)?;
+        boards.push(board0);
+        for i in 1..params.chips {
+            let board = nl.add_node(format!("board{i}"));
+            nl.add_series_rl(boards[i - 1], board, params.r_spine, params.l_spine)?;
+            boards.push(board);
+        }
+
+        let mut chips = Vec::with_capacity(params.chips);
+        for (i, &board) in boards.iter().enumerate() {
+            chips.push(attach_chip(&mut nl, board, p, &format!("c{i}_"))?);
+        }
+
+        Ok(DrawerPdn {
+            netlist: nl,
+            params: params.clone(),
+            boards,
+            chips,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Parameters the drawer was built from.
+    pub fn params(&self) -> &DrawerParams {
+        &self.params
+    }
+
+    /// Number of chips on the drawer.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Board plane node of chip site `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()`.
+    pub fn board_node(&self, chip: usize) -> NodeId {
+        self.boards[chip]
+    }
+
+    /// Package node of chip `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()`.
+    pub fn package_node(&self, chip: usize) -> NodeId {
+        self.chips[chip].pkg
+    }
+
+    /// On-die domain node `d` (0 or 1) of chip `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()` or `d > 1`.
+    pub fn domain_node(&self, chip: usize, d: usize) -> NodeId {
+        self.chips[chip].domains[d]
+    }
+
+    /// L3 decap node of chip `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()`.
+    pub fn l3_node(&self, chip: usize) -> NodeId {
+        self.chips[chip].l3
+    }
+
+    /// Supply node of core `core` on chip `chip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()` or `core >= NUM_CORES`.
+    pub fn core_node(&self, chip: usize, core: usize) -> NodeId {
+        self.chips[chip].cores[core]
+    }
+
+    /// Current-source id of core `core` on chip `chip` (equals
+    /// `NUM_CORES * chip + core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= num_chips()` or `core >= NUM_CORES`.
+    pub fn core_source(&self, chip: usize, core: usize) -> SourceId {
+        self.chips[chip].core_sources[core]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,7 +517,7 @@ mod tests {
         let ac = AcAnalysis::new(chip.netlist());
         let freqs = log_space(1e3, 50e6, 400).unwrap();
         let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
-        let peaks = find_peaks(&profile);
+        let peaks = find_peaks(&profile).unwrap();
         assert!(peaks.len() >= 2, "expected at least two resonance peaks");
         let mut freqs_sorted: Vec<f64> = peaks.iter().take(2).map(|p| p.0).collect();
         freqs_sorted.sort_by(|a, b| a.total_cmp(b));
@@ -340,7 +538,7 @@ mod tests {
         let ac = AcAnalysis::new(chip.netlist());
         let freqs = log_space(5e6, 500e6, 200).unwrap();
         let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
-        let peaks = find_peaks(&profile);
+        let peaks = find_peaks(&profile).unwrap();
         // Any peak above 5 MHz must be small relative to the 2 MHz band.
         let z_2mhz = ac.impedance_at(chip.core_node(0), 2e6).unwrap().abs();
         for (f, m) in peaks {
@@ -359,7 +557,11 @@ mod tests {
         let find_top_band = |chip: &ChipPdn| {
             let ac = AcAnalysis::new(chip.netlist());
             let profile = ac.sweep(chip.core_node(0), &freqs).unwrap();
-            find_peaks(&profile).first().map(|p| p.0).unwrap_or(0.0)
+            find_peaks(&profile)
+                .unwrap()
+                .first()
+                .map(|p| p.0)
+                .unwrap_or(0.0)
         };
         let f_modern = find_top_band(&modern);
         let f_legacy = find_top_band(&legacy);
@@ -416,6 +618,80 @@ mod tests {
         for st in &res.stats {
             assert!(st.mean > 0.9 * chip.params().v_nom);
             assert!(st.peak_to_peak() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn drawer_rejects_zero_chips() {
+        let params = DrawerParams {
+            chips: 0,
+            ..DrawerParams::default()
+        };
+        assert!(matches!(
+            DrawerPdn::build(&params),
+            Err(PdnError::InvalidElement { .. })
+        ));
+    }
+
+    #[test]
+    fn drawer_scale_exceeds_sparse_threshold() {
+        let drawer = DrawerPdn::build(&DrawerParams::default()).unwrap();
+        assert_eq!(drawer.num_chips(), 6);
+        let nl = drawer.netlist();
+        assert_eq!(nl.current_source_count(), 6 * NUM_CORES);
+        assert_eq!(nl.voltage_source_count(), 1);
+        let size = nl.system_size();
+        assert!(
+            size >= 150,
+            "drawer must be drawer-scale, got {size} unknowns"
+        );
+        assert!(size > crate::mna::SPARSE_THRESHOLD);
+        let solver = TransientSolver::new(nl).unwrap();
+        assert!(solver.uses_sparse(), "drawer must take the sparse path");
+    }
+
+    #[test]
+    fn drawer_dc_droop_grows_down_the_spine() {
+        let drawer = DrawerPdn::build(&DrawerParams::default()).unwrap();
+        let mut solver = TransientSolver::new(drawer.netlist()).unwrap();
+        let amps = vec![10.0; drawer.num_chips() * NUM_CORES];
+        let sol = solver.solve_dc(&ConstantDrive::new(amps)).unwrap();
+        let volt = |n: NodeId| sol[n.unknown_index().unwrap()];
+        // Under a uniform load, chips farther along the spine see more
+        // board-level IR drop than chip 0.
+        let v_first = volt(drawer.package_node(0));
+        let v_last = volt(drawer.package_node(drawer.num_chips() - 1));
+        assert!(
+            v_last < v_first,
+            "far chip {v_last} should droop below near chip {v_first}"
+        );
+        // Every chip still lands near nominal.
+        for c in 0..drawer.num_chips() {
+            let v = volt(drawer.core_node(c, 0));
+            assert!(v > 0.9 * drawer.params().chip.v_nom, "chip {c} at {v}");
+        }
+    }
+
+    #[test]
+    fn drawer_chips_are_electrically_identical_chips() {
+        // A 1-chip drawer's chip subtree matches the standalone chip: the
+        // only difference is the board spine (absent for chip 0).
+        let params = DrawerParams {
+            chips: 1,
+            ..DrawerParams::default()
+        };
+        let drawer = DrawerPdn::build(&params).unwrap();
+        let chip = ChipPdn::build(&params.chip).unwrap();
+        assert_eq!(drawer.netlist().system_size(), chip.netlist().system_size());
+        let mut ds = TransientSolver::new(drawer.netlist()).unwrap();
+        let mut cs = TransientSolver::new(chip.netlist()).unwrap();
+        let drive = ConstantDrive::new(vec![15.0; NUM_CORES]);
+        let dv = ds.solve_dc(&drive).unwrap();
+        let cv = cs.solve_dc(&drive).unwrap();
+        for core in 0..NUM_CORES {
+            let a = dv[drawer.core_node(0, core).unknown_index().unwrap()];
+            let b = cv[chip.core_node(core).unknown_index().unwrap()];
+            assert!((a - b).abs() < 1e-12, "core {core}: {a} vs {b}");
         }
     }
 }

@@ -5,14 +5,25 @@
 //! the stimulus period, refined to a fine step inside windows around the
 //! abrupt dI/dt edges reported by the [`Drive`]. Because only two step
 //! sizes occur (plus an end-of-run clamp), only a couple of LU
-//! factorizations are ever computed, and every simulation step is a dense
-//! back-substitution over a system with a few dozen unknowns.
+//! factorizations are ever computed, and every simulation step is a
+//! back-substitution.
+//!
+//! Assembly routes through the shared [`crate::mna`] core. Small
+//! systems (a single chip, a few dozen unknowns) use the dense
+//! [`Matrix`] fast path exactly as before; at or above
+//! [`crate::mna::SPARSE_THRESHOLD`] unknowns a [`SolverBackend::Auto`]
+//! solver switches to CSR sparse LU with the symbolic pattern computed
+//! once and elimination orders reused across same-pattern
+//! refactorizations (see [`crate::sparse`]).
 
 use crate::cancel::CancelToken;
 use crate::error::PdnError;
 use crate::linalg::{LuFactors, Matrix};
-use crate::netlist::{Element, Netlist, NodeId};
+use crate::mna::{MnaSystem, SolverBackend, SystemPattern};
+use crate::netlist::{Netlist, NodeId};
+use crate::sparse::{CsrMatrix, EliminationOrder, SparseLu};
 use crate::telemetry::{PhaseTimes, SolverCounters};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Time-varying load currents driving the simulation.
@@ -206,39 +217,38 @@ pub struct TransientResult {
     pub phase_times: PhaseTimes,
 }
 
-struct ResistorStamp {
-    a: Option<usize>,
-    b: Option<usize>,
-    g: f64,
-}
-
-struct CapState {
-    a: Option<usize>,
-    b: Option<usize>,
-    c: f64,
+/// Trapezoidal companion history of one capacitor or inductor, kept in
+/// vectors parallel to the immutable element views in [`MnaSystem`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CompanionState {
     v_prev: f64,
     i_prev: f64,
 }
 
-struct IndState {
-    a: Option<usize>,
-    b: Option<usize>,
-    l: f64,
-    v_prev: f64,
-    i_prev: f64,
+/// A cached factorization from either backend, solvable uniformly.
+enum Factors {
+    Dense(LuFactors<f64>),
+    Sparse(SparseLu<f64>),
 }
 
-struct VsrcStamp {
-    plus: Option<usize>,
-    minus: Option<usize>,
-    volts: f64,
-    row: usize,
-}
+impl Factors {
+    fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), PdnError> {
+        match self {
+            Factors::Dense(f) => f.solve_into(b, x),
+            Factors::Sparse(f) => f.solve_into(b, x),
+        }
+    }
 
-struct IsrcStamp {
-    from: Option<usize>,
-    to: Option<usize>,
-    source: usize,
+    fn solve_flops(&self) -> u64 {
+        match self {
+            Factors::Dense(f) => f.solve_flops(),
+            Factors::Sparse(f) => f.solve_flops(),
+        }
+    }
+
+    fn is_sparse(&self) -> bool {
+        matches!(self, Factors::Sparse(_))
+    }
 }
 
 /// Transient simulator for one netlist.
@@ -267,12 +277,20 @@ struct IsrcStamp {
 /// ```
 pub struct TransientSolver {
     n: usize,
-    resistors: Vec<ResistorStamp>,
-    caps: Vec<CapState>,
-    inductors: Vec<IndState>,
-    vsources: Vec<VsrcStamp>,
-    isources: Vec<IsrcStamp>,
-    factor_cache: Vec<(u64, LuFactors<f64>)>,
+    sys: MnaSystem,
+    backend: SolverBackend,
+    cap_state: Vec<CompanionState>,
+    ind_state: Vec<CompanionState>,
+    factor_cache: Vec<(u64, Factors)>,
+    /// Symbolic pattern of the coupled system, computed lazily on the
+    /// first sparse factorization and shared by every later one.
+    pattern: Option<Arc<SystemPattern>>,
+    /// Symbolic pattern of the DC system (inductor branch rows added).
+    dc_pattern: Option<Arc<SystemPattern>>,
+    /// Pivot order of the last fresh coupled-system factorization,
+    /// replayed by later same-pattern refactorizations.
+    elim: Option<EliminationOrder>,
+    dc_elim: Option<EliminationOrder>,
     counters: SolverCounters,
     rhs: Vec<f64>,
     x: Vec<f64>,
@@ -280,103 +298,81 @@ pub struct TransientSolver {
 }
 
 impl TransientSolver {
-    /// Builds a solver for the given netlist.
+    /// Builds a solver for the given netlist with automatic dense/sparse
+    /// backend selection (see [`SolverBackend::Auto`]).
     ///
     /// # Errors
     ///
     /// Returns [`PdnError`] if the netlist's DC system is singular (checked
     /// lazily at run time rather than here).
     pub fn new(netlist: &Netlist) -> Result<Self, PdnError> {
-        let n_nodes = netlist.node_count() - 1;
-        let n = netlist.system_size();
-        let mut solver = TransientSolver {
+        Self::with_backend(netlist, SolverBackend::Auto)
+    }
+
+    /// Builds a solver with an explicit backend choice. `Auto` is right
+    /// for almost everything; forcing `Dense` or `Sparse` exists for
+    /// equivalence tests and benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] if the netlist's DC system is singular (checked
+    /// lazily at run time rather than here).
+    pub fn with_backend(netlist: &Netlist, backend: SolverBackend) -> Result<Self, PdnError> {
+        let sys = MnaSystem::new(netlist);
+        let n = sys.size();
+        Ok(TransientSolver {
             n,
-            resistors: Vec::new(),
-            caps: Vec::new(),
-            inductors: Vec::new(),
-            vsources: Vec::new(),
-            isources: Vec::new(),
+            cap_state: vec![CompanionState::default(); sys.caps.len()],
+            ind_state: vec![CompanionState::default(); sys.inductors.len()],
             factor_cache: Vec::new(),
+            pattern: None,
+            dc_pattern: None,
+            elim: None,
+            dc_elim: None,
             counters: SolverCounters::default(),
             rhs: vec![0.0; n],
             x: vec![0.0; n],
-            drive_buf: vec![0.0; netlist.current_source_count()],
-        };
-        let mut vrow = n_nodes;
-        for el in netlist.elements() {
-            match *el {
-                Element::Resistor { a, b, ohms } => solver.resistors.push(ResistorStamp {
-                    a: a.unknown_index(),
-                    b: b.unknown_index(),
-                    g: 1.0 / ohms,
-                }),
-                Element::Capacitor { a, b, farads } => solver.caps.push(CapState {
-                    a: a.unknown_index(),
-                    b: b.unknown_index(),
-                    c: farads,
-                    v_prev: 0.0,
-                    i_prev: 0.0,
-                }),
-                Element::Inductor { a, b, henries } => solver.inductors.push(IndState {
-                    a: a.unknown_index(),
-                    b: b.unknown_index(),
-                    l: henries,
-                    v_prev: 0.0,
-                    i_prev: 0.0,
-                }),
-                Element::VoltageSource { plus, minus, volts } => {
-                    solver.vsources.push(VsrcStamp {
-                        plus: plus.unknown_index(),
-                        minus: minus.unknown_index(),
-                        volts,
-                        row: vrow,
-                    });
-                    vrow += 1;
-                }
-                Element::CurrentSource { from, to, source } => solver.isources.push(IsrcStamp {
-                    from: from.unknown_index(),
-                    to: to.unknown_index(),
-                    source: source.index(),
-                }),
-            }
-        }
-        Ok(solver)
+            drive_buf: vec![0.0; sys.drive_len()],
+            backend,
+            sys,
+        })
     }
 
-    fn build_matrix(&self, h: f64) -> Matrix<f64> {
-        let mut g = Matrix::zeros(self.n, self.n);
-        let stamp_g = |m: &mut Matrix<f64>, a: Option<usize>, b: Option<usize>, geq: f64| {
-            if let Some(ia) = a {
-                m.stamp(ia, ia, geq);
-            }
-            if let Some(ib) = b {
-                m.stamp(ib, ib, geq);
-            }
-            if let (Some(ia), Some(ib)) = (a, b) {
-                m.stamp(ia, ib, -geq);
-                m.stamp(ib, ia, -geq);
-            }
+    /// Whether this solver's coupled system runs on the sparse path.
+    pub fn uses_sparse(&self) -> bool {
+        self.backend.is_sparse(self.n)
+    }
+
+    /// Factors a sparse system, replaying the cached elimination order
+    /// when one exists for this system kind (coupled or DC) and falling
+    /// back to a fresh Markowitz factorization when the reuse fails a
+    /// numeric pivot check. Counts `pattern_reuses` and nnz-aware
+    /// `est_flops`; the caller counts `lu_factorizations`.
+    fn sparse_factor(&mut self, m: &CsrMatrix<f64>, dc: bool) -> Result<SparseLu<f64>, PdnError> {
+        let existing = if dc {
+            self.dc_elim.as_ref()
+        } else {
+            self.elim.as_ref()
         };
-        for r in &self.resistors {
-            stamp_g(&mut g, r.a, r.b, r.g);
-        }
-        for c in &self.caps {
-            stamp_g(&mut g, c.a, c.b, 2.0 * c.c / h);
-        }
-        for l in &self.inductors {
-            stamp_g(&mut g, l.a, l.b, h / (2.0 * l.l));
-        }
-        for v in &self.vsources {
-            if let Some(ip) = v.plus {
-                g.stamp(ip, v.row, 1.0);
-                g.stamp(v.row, ip, 1.0);
+        let refactored = existing.and_then(|o| SparseLu::refactor(m, o).ok());
+        match refactored {
+            Some(lu) => {
+                self.counters.pattern_reuses += 1;
+                self.counters.est_flops += lu.factor_flops();
+                Ok(lu)
             }
-            if let Some(im) = v.minus {
-                g.stamp(im, v.row, -1.0);
-                g.stamp(v.row, im, -1.0);
+            None => {
+                let lu = SparseLu::factor(m)?;
+                self.counters.est_flops += lu.factor_flops();
+                let order = lu.order();
+                if dc {
+                    self.dc_elim = Some(order);
+                } else {
+                    self.elim = Some(order);
+                }
+                Ok(lu)
             }
         }
-        g
     }
 
     /// Returns the cache index of the factorization for step size `h`,
@@ -395,10 +391,28 @@ impl TransientSolver {
             self.factor_cache.insert(0, entry);
             return Ok(0);
         }
-        let matrix = self.build_matrix(h);
-        self.counters.est_flops += matrix.lu_flops();
-        let lu = matrix.lu()?;
-        self.counters.lu_factorizations += 1;
+        let lu = if self.backend.is_sparse(self.n) {
+            let pattern = match &self.pattern {
+                Some(p) => p.clone(),
+                None => {
+                    let p = Arc::new(SystemPattern::coupled(&self.sys));
+                    self.pattern = Some(p.clone());
+                    p
+                }
+            };
+            let mut m = CsrMatrix::zeros(pattern);
+            self.sys.stamp_transient(&mut m, h);
+            let lu = self.sparse_factor(&m, false)?;
+            self.counters.lu_factorizations += 1;
+            Factors::Sparse(lu)
+        } else {
+            let mut g = Matrix::zeros(self.n, self.n);
+            self.sys.stamp_transient(&mut g, h);
+            self.counters.est_flops += g.lu_flops();
+            let lu = g.lu()?;
+            self.counters.lu_factorizations += 1;
+            Factors::Dense(lu)
+        };
         if self.factor_cache.len() >= 8 {
             self.factor_cache.pop();
         }
@@ -415,49 +429,14 @@ impl TransientSolver {
     /// Returns [`PdnError::SingularMatrix`] when the DC system is singular.
     pub fn solve_dc(&mut self, drive: &dyn Drive) -> Result<Vec<f64>, PdnError> {
         // DC system: nodes + vsource branches + inductor branches (shorts).
-        let n_extra = self.inductors.len();
-        let n = self.n + n_extra;
-        let mut g = Matrix::zeros(n, n);
+        let n = self.sys.dc_size();
         let mut rhs = vec![0.0; n];
-
-        for r in &self.resistors {
-            if let Some(ia) = r.a {
-                g.stamp(ia, ia, r.g);
-            }
-            if let Some(ib) = r.b {
-                g.stamp(ib, ib, r.g);
-            }
-            if let (Some(ia), Some(ib)) = (r.a, r.b) {
-                g.stamp(ia, ib, -r.g);
-                g.stamp(ib, ia, -r.g);
-            }
-        }
-        for v in &self.vsources {
-            if let Some(ip) = v.plus {
-                g.stamp(ip, v.row, 1.0);
-                g.stamp(v.row, ip, 1.0);
-            }
-            if let Some(im) = v.minus {
-                g.stamp(im, v.row, -1.0);
-                g.stamp(v.row, im, -1.0);
-            }
+        for v in &self.sys.vsources {
             rhs[v.row] = v.volts;
-        }
-        for (k, l) in self.inductors.iter().enumerate() {
-            let row = self.n + k;
-            // Branch current unknown with constraint v(a) - v(b) = 0.
-            if let Some(ia) = l.a {
-                g.stamp(ia, row, 1.0);
-                g.stamp(row, ia, 1.0);
-            }
-            if let Some(ib) = l.b {
-                g.stamp(ib, row, -1.0);
-                g.stamp(row, ib, -1.0);
-            }
         }
         self.drive_buf.fill(0.0);
         drive.currents(0.0, &mut self.drive_buf);
-        for s in &self.isources {
+        for s in &self.sys.isources {
             let j = self.drive_buf[s.source];
             if let Some(ifrom) = s.from {
                 rhs[ifrom] -= j;
@@ -467,12 +446,35 @@ impl TransientSolver {
             }
         }
         self.counters.dc_solves += 1;
-        self.counters.est_flops += g.lu_flops();
-        let factors = g.lu()?;
-        self.counters.lu_factorizations += 1;
-        self.counters.solve_calls += 1;
-        self.counters.est_flops += factors.solve_flops();
-        let sol = factors.solve(&rhs)?;
+        // Backend choice keys on the *coupled* size so one solver stays
+        // on one path for its whole run.
+        let sol = if self.backend.is_sparse(self.n) {
+            let pattern = match &self.dc_pattern {
+                Some(p) => p.clone(),
+                None => {
+                    let p = Arc::new(SystemPattern::dc(&self.sys));
+                    self.dc_pattern = Some(p.clone());
+                    p
+                }
+            };
+            let mut m = CsrMatrix::zeros(pattern);
+            self.sys.stamp_dc(&mut m);
+            let factors = self.sparse_factor(&m, true)?;
+            self.counters.lu_factorizations += 1;
+            self.counters.solve_calls += 1;
+            self.counters.est_flops += factors.solve_flops();
+            self.counters.sparse_solves += 1;
+            factors.solve(&rhs)?
+        } else {
+            let mut g = Matrix::zeros(n, n);
+            self.sys.stamp_dc(&mut g);
+            self.counters.est_flops += g.lu_flops();
+            let factors = g.lu()?;
+            self.counters.lu_factorizations += 1;
+            self.counters.solve_calls += 1;
+            self.counters.est_flops += factors.solve_flops();
+            factors.solve(&rhs)?
+        };
         // A singular-but-not-detected system can still yield non-finite
         // values; catch them before they seed the element states.
         for (node, &v) in sol.iter().enumerate() {
@@ -487,13 +489,13 @@ impl TransientSolver {
 
         // Load element states from the DC solution.
         let volt = |idx: Option<usize>| idx.map(|i| sol[i]).unwrap_or(0.0);
-        for c in &mut self.caps {
-            c.v_prev = volt(c.a) - volt(c.b);
-            c.i_prev = 0.0;
+        for (c, st) in self.sys.caps.iter().zip(self.cap_state.iter_mut()) {
+            st.v_prev = volt(c.a) - volt(c.b);
+            st.i_prev = 0.0;
         }
-        for (k, l) in self.inductors.iter_mut().enumerate() {
-            l.i_prev = sol[self.n + k];
-            l.v_prev = 0.0;
+        for (k, st) in self.ind_state.iter_mut().enumerate() {
+            st.i_prev = sol[self.n + k];
+            st.v_prev = 0.0;
         }
         Ok(sol[..self.n].to_vec())
     }
@@ -531,17 +533,18 @@ impl TransientSolver {
             }
         }
 
-        let read_probe = |x: &[f64], p: &Probe, n_nodes: usize, vsources: &[VsrcStamp]| -> f64 {
-            match p {
-                Probe::NodeVoltage(node) => node.unknown_index().map(|i| x[i]).unwrap_or(0.0),
-                Probe::SourceCurrent(k) => {
-                    let _ = n_nodes;
-                    vsources.get(*k).map(|v| x[v.row]).unwrap_or(0.0)
+        let read_probe =
+            |x: &[f64], p: &Probe, n_nodes: usize, vsources: &[crate::mna::BranchStamp]| -> f64 {
+                match p {
+                    Probe::NodeVoltage(node) => node.unknown_index().map(|i| x[i]).unwrap_or(0.0),
+                    Probe::SourceCurrent(k) => {
+                        let _ = n_nodes;
+                        vsources.get(*k).map(|v| x[v.row]).unwrap_or(0.0)
+                    }
                 }
-            }
-        };
+            };
 
-        let n_nodes = self.n - self.vsources.len();
+        let n_nodes = self.n - self.sys.vsources.len();
         let mut stats: Vec<(f64, f64, f64)> =
             vec![(f64::INFINITY, f64::NEG_INFINITY, 0.0); probes.len()];
         let mut stat_time = 0.0f64;
@@ -552,7 +555,7 @@ impl TransientSolver {
         if cfg.record_decimation.is_some() {
             times.push(0.0);
             for (trace, p) in traces.iter_mut().zip(probes) {
-                trace.push(read_probe(&dc, p, n_nodes, &self.vsources));
+                trace.push(read_probe(&dc, p, n_nodes, &self.sys.vsources));
             }
         }
 
@@ -598,7 +601,7 @@ impl TransientSolver {
             let t0 = timing.then(Instant::now);
             self.rhs.fill(0.0);
             drive.currents(t_next, &mut self.drive_buf);
-            for s in &self.isources {
+            for s in &self.sys.isources {
                 let j = self.drive_buf[s.source];
                 if let Some(ifrom) = s.from {
                     self.rhs[ifrom] -= j;
@@ -607,8 +610,8 @@ impl TransientSolver {
                     self.rhs[ito] += j;
                 }
             }
-            for c in &self.caps {
-                let ieq = (2.0 * c.c / h) * c.v_prev + c.i_prev;
+            for (c, st) in self.sys.caps.iter().zip(&self.cap_state) {
+                let ieq = (2.0 * c.value / h) * st.v_prev + st.i_prev;
                 if let Some(ia) = c.a {
                     self.rhs[ia] += ieq;
                 }
@@ -616,8 +619,8 @@ impl TransientSolver {
                     self.rhs[ib] -= ieq;
                 }
             }
-            for l in &self.inductors {
-                let ieq = l.i_prev + (h / (2.0 * l.l)) * l.v_prev;
+            for (l, st) in self.sys.inductors.iter().zip(&self.ind_state) {
+                let ieq = st.i_prev + (h / (2.0 * l.value)) * st.v_prev;
                 if let Some(ia) = l.a {
                     self.rhs[ia] -= ieq;
                 }
@@ -625,7 +628,7 @@ impl TransientSolver {
                     self.rhs[ib] += ieq;
                 }
             }
-            for v in &self.vsources {
+            for v in &self.sys.vsources {
                 self.rhs[v.row] = v.volts;
             }
             if let Some(t0) = t0 {
@@ -638,6 +641,9 @@ impl TransientSolver {
                 .solve_into(&self.rhs, &mut self.x)?;
             self.counters.solve_calls += 1;
             self.counters.est_flops += self.factor_cache[fidx].1.solve_flops();
+            if self.factor_cache[fidx].1.is_sparse() {
+                self.counters.sparse_solves += 1;
+            }
             if let Some(t0) = t0 {
                 phase.step_ns += t0.elapsed().as_nanos() as u64;
             }
@@ -660,15 +666,15 @@ impl TransientSolver {
             // Advance element states.
             let x = &self.x;
             let volt = |idx: Option<usize>| idx.map(|i| x[i]).unwrap_or(0.0);
-            for c in &mut self.caps {
+            for (c, st) in self.sys.caps.iter().zip(self.cap_state.iter_mut()) {
                 let v_new = volt(c.a) - volt(c.b);
-                c.i_prev = (2.0 * c.c / h) * (v_new - c.v_prev) - c.i_prev;
-                c.v_prev = v_new;
+                st.i_prev = (2.0 * c.value / h) * (v_new - st.v_prev) - st.i_prev;
+                st.v_prev = v_new;
             }
-            for l in &mut self.inductors {
+            for (l, st) in self.sys.inductors.iter().zip(self.ind_state.iter_mut()) {
                 let v_new = volt(l.a) - volt(l.b);
-                l.i_prev += (h / (2.0 * l.l)) * (v_new + l.v_prev);
-                l.v_prev = v_new;
+                st.i_prev += (h / (2.0 * l.value)) * (v_new + st.v_prev);
+                st.v_prev = v_new;
             }
             if let Some(t0) = t0 {
                 phase.validate_ns += t0.elapsed().as_nanos() as u64;
@@ -679,7 +685,7 @@ impl TransientSolver {
 
             if t >= cfg.settle {
                 for (st, p) in stats.iter_mut().zip(probes) {
-                    let v = read_probe(&self.x, p, n_nodes, &self.vsources);
+                    let v = read_probe(&self.x, p, n_nodes, &self.sys.vsources);
                     st.0 = st.0.min(v);
                     st.1 = st.1.max(v);
                     st.2 += v * h;
@@ -692,7 +698,7 @@ impl TransientSolver {
                     rec_counter = 0;
                     times.push(t);
                     for (trace, p) in traces.iter_mut().zip(probes) {
-                        trace.push(read_probe(&self.x, p, n_nodes, &self.vsources));
+                        trace.push(read_probe(&self.x, p, n_nodes, &self.sys.vsources));
                     }
                 }
             }

@@ -32,7 +32,8 @@
 use crate::chip::Chip;
 use crate::fault::{panic_message, FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 use crate::noise::{
-    run_noise, run_noise_instrumented, CoreLoad, NoiseOutcome, NoiseRunConfig, SolveTelemetry,
+    run_drawer_step_instrumented, run_noise, run_noise_instrumented, CoreLoad, DrawerStepConfig,
+    DrawerStepOutcome, NoiseOutcome, NoiseRunConfig, SolveTelemetry,
 };
 use crate::store::{Fnv128, ResultStore};
 use crate::telemetry::{trace_enabled, EngineTelemetry};
@@ -342,6 +343,62 @@ impl SimJob {
     }
 }
 
+/// A content-keyed drawer-scale simulation job: one
+/// [`run_drawer_step_instrumented`] call.
+///
+/// Unlike [`SimJob`] (keyed on structured [`JobKey`] fields), a drawer
+/// job's key is the [`Fnv128`] digest of the canonical JSON rendering of
+/// its [`DrawerStepConfig`] — the config is plain serializable data, so
+/// the rendering *is* the content. Drawer outcomes are memoized in
+/// memory only; they do not enter the persistent [`ResultStore`], whose
+/// record format is [`NoiseOutcome`]-typed.
+#[derive(Debug, Clone)]
+pub struct DrawerJob {
+    cfg: DrawerStepConfig,
+    digest: String,
+}
+
+impl DrawerJob {
+    /// Builds a job, computing its content digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidTimebase`] when the configuration fails
+    /// to serialize (cannot happen for this plain-data struct; the error
+    /// path stays typed rather than panicking).
+    pub fn new(cfg: DrawerStepConfig) -> Result<DrawerJob, PdnError> {
+        let json = serde_json::to_string(&cfg).map_err(|e| PdnError::InvalidTimebase {
+            reason: format!("drawer config failed to serialize: {e}"),
+        })?;
+        let mut h = Fnv128::new();
+        h.update(b"drawer-step/1|");
+        h.update(json.as_bytes());
+        Ok(DrawerJob {
+            cfg,
+            digest: h.finish_hex(),
+        })
+    }
+
+    /// The job's configuration.
+    pub fn config(&self) -> &DrawerStepConfig {
+        &self.cfg
+    }
+
+    /// The job's stable content digest (the memo key).
+    pub fn digest(&self) -> &str {
+        &self.digest
+    }
+
+    /// Solves the job directly, bypassing any cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the PDN solve fails.
+    pub fn solve(&self) -> Result<DrawerStepOutcome, PdnError> {
+        run_drawer_step_instrumented(&self.cfg).map(|(outcome, _)| outcome)
+    }
+}
+
 /// Factory producing [`SimJob`]s that share one chip instance and one
 /// precomputed signature.
 #[derive(Debug, Clone)]
@@ -418,6 +475,7 @@ pub struct Engine {
     cancel: Option<CancelToken>,
     step_budget: Option<usize>,
     shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
+    drawer_memo: Mutex<HashMap<String, Arc<DrawerStepOutcome>>>,
     solves: AtomicUsize,
     hits: AtomicUsize,
     attempts: AtomicUsize,
@@ -505,6 +563,7 @@ impl Engine {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            drawer_memo: Mutex::new(HashMap::new()),
             solves: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             attempts: AtomicUsize::new(0),
@@ -681,6 +740,33 @@ impl Engine {
             cfg.cancel = self.cancel.clone();
         }
         run_noise_instrumented(&job.chip, &job.loads, &cfg)
+    }
+
+    /// Runs one drawer-scale job through the engine's drawer memo,
+    /// solving on a miss. Solves count into [`Engine::solves`], memo
+    /// answers into [`Engine::cache_hits`], and solver telemetry —
+    /// including the sparse-backend counters the drawer exercises —
+    /// aggregates into [`Engine::telemetry`] exactly like chip jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] when the PDN solve fails. Failures are never
+    /// memoized; a failing job re-solves when resubmitted.
+    pub fn run_drawer(&self, job: &DrawerJob) -> Result<Arc<DrawerStepOutcome>, PdnError> {
+        if let Some(hit) = lock_recover(&self.drawer_memo).get(job.digest()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let wall_t0 = trace_enabled().then(Instant::now);
+        let (outcome, solve_tel) = run_drawer_step_instrumented(job.config())?;
+        let outcome = Arc::new(outcome);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let wall_ns = wall_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+        lock_recover(&self.telemetry).record_job(&solve_tel.counters, &solve_tel.phase, wall_ns);
+        lock_recover(&self.drawer_memo)
+            .entry(job.digest().to_string())
+            .or_insert_with(|| outcome.clone());
+        Ok(outcome)
     }
 
     fn shard(&self, key: &JobKey) -> &Mutex<HashMap<JobKey, Arc<NoiseOutcome>>> {
@@ -1144,6 +1230,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn drawer_jobs_memoize_by_content() {
+        let engine = Engine::with_workers(1);
+        let cfg = DrawerStepConfig {
+            window_s: 1e-6,
+            ..DrawerStepConfig::default()
+        };
+        let job = DrawerJob::new(cfg.clone()).unwrap();
+        let first = engine.run_drawer(&job).unwrap();
+        assert_eq!(engine.solves(), 1);
+        // Same content, fresh job value: answered from the memo.
+        let again = engine
+            .run_drawer(&DrawerJob::new(cfg.clone()).unwrap())
+            .unwrap();
+        assert_eq!(engine.solves(), 1, "identical drawer jobs solve once");
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(
+            serde_json::to_string(&*first).unwrap(),
+            serde_json::to_string(&*again).unwrap()
+        );
+        // Different content gets a different digest and its own solve.
+        let other = DrawerJob::new(DrawerStepConfig {
+            step_amps: cfg.step_amps * 2.0,
+            ..cfg
+        })
+        .unwrap();
+        assert_ne!(job.digest(), other.digest());
+        engine.run_drawer(&other).unwrap();
+        assert_eq!(engine.solves(), 2);
+        // Drawer solves feed the same aggregated telemetry as chip jobs,
+        // including the sparse-backend counters.
+        let tel = engine.telemetry();
+        assert!(tel.solver.sparse_solves > 0, "{:?}", tel.solver);
+        assert!(tel.solver.pattern_reuses > 0, "{:?}", tel.solver);
     }
 
     #[test]

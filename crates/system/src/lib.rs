@@ -69,7 +69,8 @@ pub mod workload;
 pub use chip::{Chip, ChipConfig, HfNoiseParams};
 pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
 pub use engine::{
-    chip_signature, try_chip_signature, Engine, EngineStats, JobBatch, JobKey, LoadKey, SimJob,
+    chip_signature, try_chip_signature, DrawerJob, Engine, EngineStats, JobBatch, JobKey, LoadKey,
+    SimJob,
 };
 pub use fault::{FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
@@ -78,7 +79,10 @@ pub use mapping::{
     MappingEvaluation, NoiseAwareMapper,
 };
 pub use mitigation::{evaluate_governor, GlobalNoiseGovernor, GovernorConfig, GovernorEvaluation};
-pub use noise::{run_noise, run_noise_instrumented, CoreLoad, NoiseOutcome, NoiseRunConfig};
+pub use noise::{
+    run_drawer_step_instrumented, run_noise, run_noise_instrumented, CoreLoad, DrawerStepConfig,
+    DrawerStepOutcome, NoiseOutcome, NoiseRunConfig,
+};
 pub use population::PopulationStudy;
 pub use scheduler::{
     replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy,

@@ -20,8 +20,8 @@ use rand::{Rng, SeedableRng};
 use voltnoise_measure::power::{PowerMeter, PowerReading};
 use voltnoise_measure::scope::ScopeTrace;
 use voltnoise_measure::skitter::SkitterReading;
-use voltnoise_pdn::topology::{core_domain, NUM_CORES};
-use voltnoise_pdn::transient::{Probe, TransientConfig, TransientSolver};
+use voltnoise_pdn::topology::{core_domain, DrawerParams, DrawerPdn, NUM_CORES};
+use voltnoise_pdn::transient::{Drive, Probe, TransientConfig, TransientSolver};
 use voltnoise_pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, WaveMode};
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::CompiledStressmark;
@@ -459,6 +459,182 @@ pub fn run_noise_instrumented(
     Ok((outcome, telemetry))
 }
 
+/// Content-keyed configuration of one drawer-scale step experiment: a ΔI
+/// step on one core of one chip of a multi-chip drawer, with every other
+/// core idling.
+///
+/// Every field is part of the experiment's content — the engine's drawer
+/// memo keys on the canonical JSON rendering of this struct, so two
+/// configs that serialize identically share one solve.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DrawerStepConfig {
+    /// Drawer topology parameters.
+    pub drawer: DrawerParams,
+    /// Chip receiving the step.
+    pub source_chip: usize,
+    /// Core (on `source_chip`) receiving the step.
+    pub source_core: usize,
+    /// Step amplitude, amperes.
+    pub step_amps: f64,
+    /// Static current every core idles at, amperes.
+    pub idle_amps: f64,
+    /// Step time, seconds after the window start.
+    pub t0_s: f64,
+    /// Simulated window, seconds.
+    pub window_s: f64,
+}
+
+impl Default for DrawerStepConfig {
+    fn default() -> Self {
+        DrawerStepConfig {
+            drawer: DrawerParams::default(),
+            source_chip: 0,
+            source_core: 0,
+            step_amps: 12.0,
+            idle_amps: 2.0,
+            t0_s: 0.5e-6,
+            window_s: 4e-6,
+        }
+    }
+}
+
+/// Outcome of one drawer step experiment: how a ΔI event on one chip
+/// propagates to every chip sharing the board PDN.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DrawerStepOutcome {
+    /// Chip that received the step.
+    pub source_chip: usize,
+    /// Per-chip package-node droop depth, volts below the pre-step level.
+    pub droop_depth_v: Vec<f64>,
+    /// Per-chip time (seconds after the step) at which the package node
+    /// first crossed 25 % of its final droop — the disturbance's arrival.
+    pub arrival_s: Vec<f64>,
+    /// Droop depth at the stepped core itself.
+    pub source_core_droop_v: f64,
+    /// MNA unknowns of the drawer system (records the problem scale).
+    pub system_size: usize,
+    /// Accepted transient steps (cost accounting).
+    pub steps: usize,
+}
+
+/// Step drive over a drawer's flat drive slots: slot `s` steps by
+/// `amps` at `t0`, every slot carries `idle` before and besides.
+struct DrawerStepDrive {
+    slot: usize,
+    t0: f64,
+    amps: f64,
+    idle: f64,
+}
+
+impl Drive for DrawerStepDrive {
+    fn currents(&self, t: f64, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.idle
+                + if i == self.slot && t >= self.t0 {
+                    self.amps
+                } else {
+                    0.0
+                };
+        }
+    }
+    fn edges(&self, t0: f64, t1: f64, out: &mut Vec<f64>) {
+        if self.t0 >= t0 && self.t0 < t1 {
+            out.push(self.t0);
+        }
+    }
+}
+
+/// Runs one drawer step experiment and returns the outcome plus solver
+/// telemetry. A default-sized drawer (6 chips, 200+ unknowns) sits past
+/// [`voltnoise_pdn::SPARSE_THRESHOLD`], so this is the workspace's
+/// standing exercise of the sparse solver path.
+///
+/// # Errors
+///
+/// Returns [`PdnError`] on invalid parameters (chip/core out of range,
+/// non-positive window, bad electrical values) or a failed solve.
+pub fn run_drawer_step_instrumented(
+    cfg: &DrawerStepConfig,
+) -> Result<(DrawerStepOutcome, SolveTelemetry), PdnError> {
+    if cfg.source_chip >= cfg.drawer.chips {
+        return Err(PdnError::UnknownNode {
+            node: cfg.source_chip,
+        });
+    }
+    if cfg.source_core >= NUM_CORES {
+        return Err(PdnError::UnknownNode {
+            node: cfg.source_core,
+        });
+    }
+    let drawer = DrawerPdn::build(&cfg.drawer)?;
+    let drive = DrawerStepDrive {
+        slot: cfg.source_chip * NUM_CORES + cfg.source_core,
+        t0: cfg.t0_s,
+        amps: cfg.step_amps,
+        idle: cfg.idle_amps,
+    };
+    // Probes: each chip's package node, then the stepped core.
+    let mut probes: Vec<Probe> = (0..drawer.num_chips())
+        .map(|c| Probe::NodeVoltage(drawer.package_node(c)))
+        .collect();
+    probes.push(Probe::NodeVoltage(
+        drawer.core_node(cfg.source_chip, cfg.source_core),
+    ));
+    let mut tc = TransientConfig::new(cfg.window_s);
+    tc.h_coarse = 2e-9;
+    tc.h_fine = 0.5e-9;
+    tc.settle = 0.0;
+    tc.record_decimation = Some(1);
+    tc.collect_phase_times = crate::telemetry::trace_enabled();
+    let mut solver = TransientSolver::new(drawer.netlist())?;
+    let res = solver.run(&drive, &probes, &tc)?;
+
+    let droop_of = |trace: &[f64]| -> (f64, f64) {
+        let pre_idx = res
+            .times
+            .partition_point(|&t| t < cfg.t0_s)
+            .saturating_sub(1);
+        let v_pre = trace[pre_idx];
+        let mut depth = 0.0f64;
+        for (t, v) in res.times.iter().zip(trace) {
+            if *t >= cfg.t0_s {
+                depth = depth.max(v_pre - v);
+            }
+        }
+        let threshold = v_pre - 0.25 * depth;
+        let arrival = res
+            .times
+            .iter()
+            .zip(trace)
+            .find(|(t, v)| **t >= cfg.t0_s && **v <= threshold)
+            .map(|(t, _)| t - cfg.t0_s)
+            .unwrap_or(f64::INFINITY);
+        (depth, arrival)
+    };
+    let mut droop_depth_v = Vec::with_capacity(drawer.num_chips());
+    let mut arrival_s = Vec::with_capacity(drawer.num_chips());
+    for c in 0..drawer.num_chips() {
+        let (d, a) = droop_of(&res.traces[c]);
+        droop_depth_v.push(d);
+        arrival_s.push(a);
+    }
+    let (source_core_droop_v, _) = droop_of(&res.traces[drawer.num_chips()]);
+
+    let outcome = DrawerStepOutcome {
+        source_chip: cfg.source_chip,
+        droop_depth_v,
+        arrival_s,
+        source_core_droop_v,
+        system_size: drawer.netlist().system_size(),
+        steps: res.steps,
+    };
+    let telemetry = SolveTelemetry {
+        counters: res.counters,
+        phase: res.phase_times,
+    };
+    Ok((outcome, telemetry))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +720,49 @@ mod tests {
         assert_eq!(traces.len(), NUM_CORES);
         assert!(traces[0].len() > 100);
         assert!(traces[0].peak_to_peak() > 0.0);
+    }
+
+    #[test]
+    fn drawer_step_propagates_down_the_spine() {
+        let cfg = DrawerStepConfig {
+            window_s: 2e-6,
+            ..DrawerStepConfig::default()
+        };
+        let (out, tel) = run_drawer_step_instrumented(&cfg).unwrap();
+        assert_eq!(out.droop_depth_v.len(), cfg.drawer.chips);
+        assert!(out.system_size > voltnoise_pdn::SPARSE_THRESHOLD);
+        // The drawer exercises the sparse backend and reuses its
+        // elimination order across refactorizations.
+        assert!(tel.counters.sparse_solves > 0, "{:?}", tel.counters);
+        assert!(tel.counters.pattern_reuses > 0, "{:?}", tel.counters);
+        // The stepped core droops deeper than any package node, and the
+        // source chip's package droops deepest of the packages.
+        assert!(out.source_core_droop_v > out.droop_depth_v[0]);
+        for c in 1..cfg.drawer.chips {
+            assert!(
+                out.droop_depth_v[0] > out.droop_depth_v[c],
+                "chip {c}: source {:.6} vs remote {:.6}",
+                out.droop_depth_v[0],
+                out.droop_depth_v[c]
+            );
+            assert!(out.droop_depth_v[c] > 0.0, "chip {c} must see the event");
+        }
+        // The disturbance reaches farther chips no earlier.
+        assert!(out.arrival_s[cfg.drawer.chips - 1] >= out.arrival_s[0]);
+    }
+
+    #[test]
+    fn drawer_step_rejects_out_of_range_sources() {
+        let bad_chip = DrawerStepConfig {
+            source_chip: 6,
+            ..DrawerStepConfig::default()
+        };
+        assert!(run_drawer_step_instrumented(&bad_chip).is_err());
+        let bad_core = DrawerStepConfig {
+            source_core: NUM_CORES,
+            ..DrawerStepConfig::default()
+        };
+        assert!(run_drawer_step_instrumented(&bad_core).is_err());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Solver-core equivalence suite: the sparse backend must agree with the
+//! dense backend on any netlist, and the golden reduced report must stay
+//! byte-identical across solver-core changes.
+//!
+//! The dense path is the reference implementation (direct LU with
+//! partial pivoting); the sparse path (CSR + Markowitz LU with pattern
+//! reuse) is an optimization that must never change results. Random RLC
+//! ladders exercise both transient and AC analysis on both backends.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use voltnoise::pdn::ac::{log_space, AcAnalysis};
+use voltnoise::pdn::netlist::{Netlist, NodeId};
+use voltnoise::pdn::transient::{ConstantDrive, Probe, TransientConfig, TransientSolver};
+use voltnoise::pdn::SolverBackend;
+
+/// Builds a random but well-posed RLC ladder: a voltage source feeding a
+/// chain of series R (sometimes R+L) segments, each node shunted to
+/// ground by a capacitor (sometimes with ESR), with a few branch
+/// resistors for off-ladder fill and current-source loads at random
+/// nodes. Every node has a resistive path to ground, so both backends
+/// must factor it without pivoting trouble.
+fn random_ladder(rng: &mut SmallRng, segments: usize, loads: usize) -> (Netlist, Vec<NodeId>) {
+    let mut nl = Netlist::new();
+    let vdd = nl.add_node("vdd");
+    nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+    let mut nodes = Vec::with_capacity(segments);
+    let mut prev = vdd;
+    for i in 0..segments {
+        let n = nl.add_node(format!("n{i}"));
+        let r = 0.1e-3 + rng.gen::<f64>() * 2e-3;
+        if rng.gen::<f64>() < 0.35 {
+            let l = 0.05e-9 + rng.gen::<f64>() * 1e-9;
+            nl.add_series_rl(prev, n, r, l).unwrap();
+        } else {
+            nl.add_resistor(prev, n, r).unwrap();
+        }
+        let c = 1e-9 + rng.gen::<f64>() * 100e-9;
+        if rng.gen::<f64>() < 0.6 {
+            let esr = 0.1e-3 + rng.gen::<f64>() * 1e-3;
+            nl.add_capacitor_with_esr(n, NodeId::GROUND, c, esr)
+                .unwrap();
+        } else {
+            nl.add_capacitor(n, NodeId::GROUND, c).unwrap();
+        }
+        nodes.push(n);
+        prev = n;
+    }
+    // Off-ladder fill: a few resistive rungs between random node pairs.
+    for _ in 0..segments / 3 {
+        let a = nodes[rng.gen_range(0..segments)];
+        let b = nodes[rng.gen_range(0..segments)];
+        if a != b {
+            nl.add_resistor(a, b, 0.5e-3 + rng.gen::<f64>() * 2e-3)
+                .unwrap();
+        }
+    }
+    for _ in 0..loads {
+        let at = nodes[rng.gen_range(0..segments)];
+        nl.add_current_source(at, NodeId::GROUND).unwrap();
+    }
+    (nl, nodes)
+}
+
+#[test]
+fn transient_sparse_matches_dense_on_random_netlists() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_c0de);
+    for trial in 0..6 {
+        let segments = 10 + (trial % 3) * 6;
+        let loads = 2 + trial % 3;
+        let (nl, nodes) = random_ladder(&mut rng, segments, loads);
+        let amps: Vec<f64> = (0..loads).map(|_| 1.0 + rng.gen::<f64>() * 20.0).collect();
+        let drive = ConstantDrive::new(amps);
+        let probes: Vec<Probe> = nodes
+            .iter()
+            .step_by(3)
+            .map(|&n| Probe::NodeVoltage(n))
+            .collect();
+        let mut tc = TransientConfig::new(2e-6);
+        tc.record_decimation = Some(1);
+
+        let mut dense = TransientSolver::with_backend(&nl, SolverBackend::Dense).unwrap();
+        let mut sparse = TransientSolver::with_backend(&nl, SolverBackend::Sparse).unwrap();
+        assert!(!dense.uses_sparse() && sparse.uses_sparse());
+
+        // DC operating points agree element-wise.
+        let dc_d = dense.solve_dc(&drive).unwrap();
+        let dc_s = sparse.solve_dc(&drive).unwrap();
+        assert_eq!(dc_d.len(), dc_s.len());
+        for (i, (a, b)) in dc_d.iter().zip(&dc_s).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "trial {trial} DC node {i}: dense {a} vs sparse {b}"
+            );
+        }
+
+        // Full transient runs agree at every recorded sample.
+        let rd = dense.run(&drive, &probes, &tc).unwrap();
+        let rs = sparse.run(&drive, &probes, &tc).unwrap();
+        assert_eq!(rd.steps, rs.steps, "trial {trial}: step counts differ");
+        for (p, (td, ts)) in rd.traces.iter().zip(&rs.traces).enumerate() {
+            for (k, (a, b)) in td.iter().zip(ts).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "trial {trial} probe {p} sample {k}: dense {a} vs sparse {b}"
+                );
+            }
+        }
+        for (p, (sd, ss)) in rd.stats.iter().zip(&rs.stats).enumerate() {
+            assert!((sd.mean - ss.mean).abs() < 1e-9, "trial {trial} probe {p}");
+            assert!((sd.min - ss.min).abs() < 1e-9, "trial {trial} probe {p}");
+            assert!((sd.max - ss.max).abs() < 1e-9, "trial {trial} probe {p}");
+        }
+        // The forced-sparse run actually took the sparse path.
+        assert!(rs.counters.sparse_solves > 0);
+        assert_eq!(rd.counters.sparse_solves, 0);
+        // And the nnz-aware cost model charged the sparse run less.
+        assert!(rs.counters.est_flops < rd.counters.est_flops);
+    }
+}
+
+#[test]
+fn ac_sparse_matches_dense_on_random_netlists() {
+    let mut rng = SmallRng::seed_from_u64(0xac5eed);
+    for trial in 0..6 {
+        let (nl, nodes) = random_ladder(&mut rng, 14, 2);
+        let dense = AcAnalysis::with_backend(&nl, SolverBackend::Dense);
+        let sparse = AcAnalysis::with_backend(&nl, SolverBackend::Sparse);
+        assert!(!dense.uses_sparse() && sparse.uses_sparse());
+        let freqs = log_space(1e4, 100e6, 25).unwrap();
+        let inject = nodes[nodes.len() / 2];
+        let pd = dense.sweep(inject, &freqs).unwrap();
+        let ps = sparse.sweep(inject, &freqs).unwrap();
+        assert_eq!(pd.len(), ps.len());
+        for (k, (a, b)) in pd.iter().zip(&ps).enumerate() {
+            assert!(
+                (a.z.re - b.z.re).abs() < 1e-9 && (a.z.im - b.z.im).abs() < 1e-9,
+                "trial {trial} point {k}: dense {}+{}j vs sparse {}+{}j",
+                a.z.re,
+                a.z.im,
+                b.z.re,
+                b.z.im
+            );
+        }
+    }
+}
+
+#[test]
+fn full_report_reduced_is_byte_identical_to_golden() {
+    use voltnoise::analysis::{full_report_on, ReportScale};
+    use voltnoise::system::{Engine, Testbed};
+    let golden = include_str!("golden/full_report_reduced.txt");
+    let report = full_report_on(
+        Testbed::fast(),
+        &Engine::with_workers(2),
+        ReportScale::Reduced,
+    )
+    .unwrap();
+    assert!(
+        report == golden,
+        "reduced full report drifted from tests/golden/full_report_reduced.txt \
+         (solver-core changes must not alter figure bytes); \
+         lengths: got {} golden {}",
+        report.len(),
+        golden.len()
+    );
+}
