@@ -208,6 +208,19 @@ fn drawer_prop(
     )
 }
 
+fn rom_error(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    let cfg = if reduced {
+        crate::rom_error::RomErrorConfig::reduced()
+    } else {
+        crate::rom_error::RomErrorConfig::paper()
+    };
+    run_to_output_settled(&crate::rom_error::RomErrorExperiment { cfg }, tb, engine)
+}
+
 fn guardband(
     tb: &Testbed,
     engine: &Engine,
@@ -324,5 +337,13 @@ pub(crate) static ENTRIES: &[RegistryEntry] = &[
         title: "Drawer study: dI step propagation across chips on a shared board PDN",
         in_report: false,
         run: drawer_prop,
+    },
+    // ROM accuracy study: backs the macromodel's error-budget contract;
+    // like the drawer study it stays out of the golden report.
+    RegistryEntry {
+        id: "rom-error",
+        title: "ROM study: macromodel error vs budget on the drawer step",
+        in_report: false,
+        run: rom_error,
     },
 ];

@@ -21,6 +21,7 @@
 //! | Fig. 15 (mapping opportunity) | [`mapping_gain`] |
 //! | §VII-B (dynamic guard-banding) | [`guardband_study`] |
 //! | DESIGN.md ablations | [`ablation`] |
+//! | Solve-backend ROM study | [`rom_error`] |
 //!
 //! Every driver has a `paper()` configuration matching the paper's scale
 //! and a `reduced()` configuration for quick runs, and returns a
@@ -41,6 +42,7 @@ pub mod misalignment;
 pub mod propagation;
 pub mod render;
 pub mod report;
+pub mod rom_error;
 pub mod scope_shot;
 pub mod stats;
 pub mod table1;
@@ -68,6 +70,9 @@ pub use propagation::{
 };
 pub use report::{
     full_report, full_report_on, full_report_with_telemetry, telemetry_section, ReportScale,
+};
+pub use rom_error::{
+    run_rom_error_study, RomErrorConfig, RomErrorExperiment, RomErrorRow, RomErrorStudy,
 };
 pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot, ScopeShotExperiment};
 pub use stats::CorrelationMatrix;

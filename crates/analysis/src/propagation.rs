@@ -400,6 +400,13 @@ impl DrawerPropagation {
             self.outcome.source_core_droop_v * 1e3,
             self.outcome.steps
         ));
+        if self.outcome.rom_states > 0 {
+            out.push_str(&format!(
+                "# reduced-order model: {} states, calibrated max error {:.3} mV\n",
+                self.outcome.rom_states,
+                self.outcome.rom_max_error_v * 1e3
+            ));
+        }
         out
     }
 }

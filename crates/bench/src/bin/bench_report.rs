@@ -22,7 +22,12 @@ use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
 use voltnoise::analysis::find;
-use voltnoise::system::{set_trace, DrawerJob, DrawerStepConfig, Engine, SolverCounters, Testbed};
+use voltnoise::pdn::ac::log_space;
+use voltnoise::pdn::{
+    AcAnalysis, DrawerParams, DrawerPdn, MnaSystem, NodeId, RomSpec, SolveSpec, SolverBackend,
+    SolverCounters, NUM_CORES,
+};
+use voltnoise::system::{set_trace, DrawerJob, DrawerStepConfig, Engine, Testbed};
 
 /// Experiments benchmarked by default: one long transient, one sweep of
 /// many small jobs, one mapping campaign.
@@ -30,12 +35,25 @@ const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 
 /// Report format version. Bump when the JSON shape changes.
 /// `/2`: added the `drawer` section (sparse-solver cost accounting).
-const SCHEMA: &str = "voltnoise-bench/2";
+/// `/3`: added the `ac_batch` (factor-once multi-RHS AC sweep) and
+/// `rom` (reduced-order macromodel) sections.
+const SCHEMA: &str = "voltnoise-bench/3";
 
 /// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
 /// the sparse backend must beat the dense cost model by at least this
 /// factor on the 200+-unknown drawer system (measured ~10x).
 const MIN_DRAWER_FLOPS_RATIO: f64 = 5.0;
+
+/// Smoke-mode floor on the AC sweep's batched-solve advantage: factoring
+/// once per frequency and back-substituting every injection must charge
+/// at least this many times fewer flops than the per-injection
+/// refactorization baseline (measured ~24x on the 36-injection drawer).
+const MIN_AC_BATCH_FLOPS_RATIO: f64 = 5.0;
+
+/// Smoke-mode floor on the macromodel's flop advantage over the
+/// full-order transient on the long drawer window (measured ~25x; the
+/// ROM's cost is dominated by its one fixed-length calibration run).
+const MIN_ROM_FLOPS_RATIO: f64 = 10.0;
 
 /// Generous smoke-mode bound on `overhead_ratio` (single-iteration
 /// timings are noisy; real overhead is a few percent).
@@ -112,6 +130,71 @@ struct DrawerBench {
     flops_ratio: f64,
 }
 
+/// The batched AC-sweep benchmark: a full drawer impedance sweep (every
+/// core node as an injection port) on the dense backend, where the
+/// analyzer factors the complex MNA matrix **once per frequency** and
+/// back-substitutes all injections through the shared factors. The
+/// baseline is the per-injection refactorization the sweep used before
+/// factorization hoisting: one factor + one solve per (frequency,
+/// injection) pair, priced by the same flop model the backend charges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AcBatchBench {
+    /// MNA unknowns of the drawer system.
+    system_size: usize,
+    /// Frequencies in the sweep.
+    frequencies: usize,
+    /// Injection ports solved per frequency.
+    injections: usize,
+    /// Wall time per fresh-analyzer sweep.
+    wall: WallStats,
+    /// Analyzer work counters of one sweep (deterministic).
+    counters: SolverCounters,
+    /// Actual flops charged by the factor-once batched sweep.
+    batched_est_flops: u64,
+    /// What one factorization + one solve per (frequency, injection)
+    /// pair would charge under the same dense flop model.
+    per_injection_model_flops: u64,
+    /// `per_injection_model_flops / batched_est_flops`.
+    flops_ratio: f64,
+}
+
+/// The reduced-order macromodel benchmark: the drawer ΔI step on a long
+/// window, solved once with the full-order sparse transient and once
+/// with the Krylov macromodel (`SolveSpec::reduced`). The ROM's counters
+/// include its calibration run (a full-order solve over a short fixed
+/// window), so `flops_ratio` is an end-to-end cost comparison, not just
+/// the integration loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RomBench {
+    /// Chips on the benchmarked drawer.
+    chips: usize,
+    /// MNA unknowns of the full-order drawer system.
+    system_size: usize,
+    /// Simulated window (seconds).
+    window_s: f64,
+    /// Error budget the macromodel was calibrated against (volts).
+    budget_v: f64,
+    /// Reduced order the calibration settled on.
+    rom_states: usize,
+    /// Worst-case probe error the calibration measured (volts).
+    rom_max_error_v: f64,
+    /// Transient steps of the full-order solve.
+    full_steps: usize,
+    /// Transient steps of the reduced solve.
+    rom_steps: usize,
+    /// Wall time per fresh-engine full-order solve.
+    full_wall: WallStats,
+    /// Wall time per fresh-engine reduced solve (includes calibration).
+    rom_wall: WallStats,
+    /// Flops charged by the full-order solve.
+    full_est_flops: u64,
+    /// Flops charged by the reduced solve (build + calibration +
+    /// integration).
+    rom_est_flops: u64,
+    /// `full_est_flops / rom_est_flops`.
+    flops_ratio: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -120,6 +203,8 @@ struct BenchReport {
     workers: usize,
     experiments: Vec<ExperimentBench>,
     drawer: DrawerBench,
+    ac_batch: AcBatchBench,
+    rom: RomBench,
 }
 
 struct Opts {
@@ -259,6 +344,118 @@ fn bench_drawer(iters: usize) -> DrawerBench {
     }
 }
 
+/// Benchmarks the factor-once batched AC sweep on the drawer netlist
+/// with the dense backend forced, so the batched path is compared
+/// against the per-injection refactorization baseline under the exact
+/// flop model the backend charges.
+fn bench_ac_batch(iters: usize) -> AcBatchBench {
+    let drawer = DrawerPdn::build(&DrawerParams::default()).expect("drawer builds");
+    let system_size = MnaSystem::new(drawer.netlist()).size();
+    let drawer_ref = &drawer;
+    let nodes: Vec<NodeId> = (0..drawer.num_chips())
+        .flat_map(|chip| (0..NUM_CORES).map(move |core| drawer_ref.core_node(chip, core)))
+        .collect();
+    let freqs = log_space(1e5, 1e8, 24).expect("frequency grid");
+    let mut wall = Vec::with_capacity(iters);
+    let mut counters = SolverCounters::default();
+    for _ in 0..iters {
+        let ac = AcAnalysis::with_backend(drawer.netlist(), SolverBackend::Dense);
+        let t0 = Instant::now();
+        for &f in &freqs {
+            ac.impedance_batch(&nodes, f)
+                .unwrap_or_else(|e| panic!("AC sweep failed at {f} Hz: {e}"));
+        }
+        wall.push(t0.elapsed().as_nanos() as u64);
+        counters = ac.counters();
+    }
+    let n = system_size as f64;
+    let factor_model = 2.0 * n * n * n / 3.0 + n * n / 2.0;
+    let solve_model = 2.0 * n * n;
+    let per_injection_model = counters.solve_calls as f64 * (factor_model + solve_model);
+    let batched_est_flops = counters.est_flops;
+    AcBatchBench {
+        system_size,
+        frequencies: freqs.len(),
+        injections: nodes.len(),
+        wall: WallStats::of(wall),
+        counters,
+        batched_est_flops,
+        per_injection_model_flops: per_injection_model as u64,
+        flops_ratio: per_injection_model / batched_est_flops.max(1) as f64,
+    }
+}
+
+/// One fresh-engine drawer solve under `spec`; returns wall time, the
+/// outcome, and the engine's solver counters.
+fn timed_drawer(
+    base: &DrawerStepConfig,
+    spec: SolveSpec,
+) -> (u64, voltnoise::system::DrawerStepOutcome, SolverCounters) {
+    let cfg = DrawerStepConfig {
+        solve: spec,
+        ..base.clone()
+    };
+    let engine = Engine::with_workers(1);
+    let job = DrawerJob::new(cfg).expect("drawer config serializes");
+    let t0 = Instant::now();
+    let outcome = engine
+        .run_drawer(&job)
+        .unwrap_or_else(|e| panic!("drawer solve failed: {e}"));
+    let ns = t0.elapsed().as_nanos() as u64;
+    let counters = engine.stats().telemetry.solver;
+    (ns, (*outcome).clone(), counters)
+}
+
+/// Benchmarks the reduced-order macromodel against the full-order
+/// transient on a long drawer window (15x the default), where the ROM's
+/// fixed calibration cost amortizes.
+fn bench_rom(iters: usize) -> RomBench {
+    // A doubled coarse-step dilation relative to the default: the
+    // calibration validates the error budget at exactly this stepping,
+    // so the extra speed stays inside the accuracy contract.
+    let spec = RomSpec {
+        dilation: 12,
+        ..RomSpec::default()
+    };
+    let base = DrawerStepConfig {
+        window_s: 100e-6,
+        ..DrawerStepConfig::default()
+    };
+    let mut full_wall = Vec::with_capacity(iters);
+    let mut rom_wall = Vec::with_capacity(iters);
+    let mut full_counters = SolverCounters::default();
+    let mut rom_counters = SolverCounters::default();
+    let mut full_outcome = None;
+    let mut rom_outcome = None;
+    for _ in 0..iters {
+        let (ns, outcome, counters) = timed_drawer(&base, SolveSpec::full());
+        full_wall.push(ns);
+        full_counters = counters;
+        full_outcome = Some(outcome);
+        let (ns, outcome, counters) = timed_drawer(&base, SolveSpec::reduced(spec));
+        rom_wall.push(ns);
+        rom_counters = counters;
+        rom_outcome = Some(outcome);
+    }
+    let full = full_outcome.expect("at least one iteration");
+    let rom = rom_outcome.expect("at least one iteration");
+    RomBench {
+        chips: base.drawer.chips,
+        system_size: full.system_size,
+        window_s: base.window_s,
+        budget_v: spec.budget_v,
+        rom_states: rom.rom_states,
+        rom_max_error_v: rom.rom_max_error_v,
+        full_steps: full.steps,
+        rom_steps: rom.steps,
+        full_wall: WallStats::of(full_wall),
+        rom_wall: WallStats::of(rom_wall),
+        full_est_flops: full_counters.est_flops,
+        rom_est_flops: rom_counters.est_flops,
+        flops_ratio: full_counters.est_flops as f64 / rom_counters.est_flops.max(1) as f64,
+    }
+}
+
 fn smoke_check(json: &str) {
     let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
     assert_eq!(report.schema, SCHEMA, "schema version mismatch");
@@ -304,6 +501,49 @@ fn smoke_check(json: &str) {
         drawer.sparse_est_flops,
         drawer.dense_model_flops
     );
+    let ac = &report.ac_batch;
+    assert!(
+        ac.counters.batched_solves > 0,
+        "AC sweep must route through the batched path, got {:?}",
+        ac.counters
+    );
+    assert_eq!(
+        ac.counters.lu_factorizations as usize, ac.frequencies,
+        "batched AC sweep must factor exactly once per frequency"
+    );
+    assert!(
+        ac.flops_ratio >= MIN_AC_BATCH_FLOPS_RATIO,
+        "batched AC sweep must beat per-injection refactorization by >= \
+         {MIN_AC_BATCH_FLOPS_RATIO}x, got {:.2}x ({} batched vs {} baseline flops)",
+        ac.flops_ratio,
+        ac.batched_est_flops,
+        ac.per_injection_model_flops
+    );
+    let rom = &report.rom;
+    assert!(
+        rom.rom_states > 0 && rom.rom_est_flops > 0,
+        "ROM solve must report its reduced order and charge work"
+    );
+    assert!(
+        rom.rom_max_error_v <= rom.budget_v,
+        "ROM calibrated error {:.3e} V exceeds its {:.3e} V budget",
+        rom.rom_max_error_v,
+        rom.budget_v
+    );
+    assert!(
+        rom.rom_steps < rom.full_steps,
+        "ROM solve must take fewer steps ({} vs {})",
+        rom.rom_steps,
+        rom.full_steps
+    );
+    assert!(
+        rom.flops_ratio >= MIN_ROM_FLOPS_RATIO,
+        "ROM must beat the full-order transient by >= {MIN_ROM_FLOPS_RATIO}x flops on the \
+         long window, got {:.2}x ({} rom vs {} full flops)",
+        rom.flops_ratio,
+        rom.rom_est_flops,
+        rom.full_est_flops
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -323,6 +563,16 @@ fn main() {
         opts.iters
     );
     let drawer = bench_drawer(opts.iters);
+    eprintln!(
+        "# benchmarking batched AC drawer sweep ({} iterations)",
+        opts.iters
+    );
+    let ac_batch = bench_ac_batch(opts.iters);
+    eprintln!(
+        "# benchmarking reduced-order drawer transient ({} iterations)",
+        opts.iters
+    );
+    let rom = bench_rom(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
@@ -330,6 +580,8 @@ fn main() {
         workers: workers(),
         experiments,
         drawer,
+        ac_batch,
+        rom,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -351,6 +603,28 @@ fn main() {
         report.drawer.system_size,
         report.drawer.counters.sparse_solves,
         report.drawer.flops_ratio
+    );
+    println!(
+        "{:8} median {:>12} ns  {} freqs x {} ports  batched_solves {:>6}  flops x{:.2} vs \
+         per-injection refactor",
+        "ac_batch",
+        report.ac_batch.wall.median_ns,
+        report.ac_batch.frequencies,
+        report.ac_batch.injections,
+        report.ac_batch.counters.batched_solves,
+        report.ac_batch.flops_ratio
+    );
+    println!(
+        "{:8} median {:>12} ns  {} states  max_err {:.3} mV (budget {:.3} mV)  steps {} vs {}  \
+         flops x{:.2} vs full order",
+        "rom",
+        report.rom.rom_wall.median_ns,
+        report.rom.rom_states,
+        report.rom.rom_max_error_v * 1e3,
+        report.rom.budget_v * 1e3,
+        report.rom.rom_steps,
+        report.rom.full_steps,
+        report.rom.flops_ratio
     );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {

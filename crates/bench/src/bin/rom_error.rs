@@ -1,0 +1,12 @@
+//! Regenerates the ROM error study: the drawer dI-step solved by the
+//! reduced-order macromodel under several error budgets, tabulating the
+//! order the calibration settles on, the calibrated worst-case error,
+//! and the droop gap actually measured against the full-order solver.
+//! Not part of the paper's evaluation, so it stays out of `full_report`.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
+
+fn main() {
+    voltnoise_bench::run_registry_bin("rom-error");
+}

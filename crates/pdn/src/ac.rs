@@ -5,13 +5,25 @@
 //! port (with the DC sources shorted) and report the complex impedance
 //! `Z(f) = V / I` seen at that port, or the transfer impedance to another
 //! node.
+//!
+//! The solve path factors **once per frequency**: the stamped matrix
+//! depends only on `ω`, so any number of injection nodes at one
+//! frequency share a single factorization ([`AcAnalysis::impedance_batch`]
+//! solves them as one multi-RHS batch). On the sparse path the
+//! elimination order discovered at the first frequency is replayed at
+//! every later one (the pattern never changes), skipping the Markowitz
+//! search. Work is tallied in [`SolverCounters`] — telemetry only,
+//! never part of results.
 
+use crate::backend::Factorization;
 use crate::complex::Complex;
 use crate::error::PdnError;
 use crate::linalg::Matrix;
 use crate::mna::{MnaSystem, SolverBackend, SystemPattern};
 use crate::netlist::{Netlist, NodeId};
-use crate::sparse::{CsrMatrix, SparseLu};
+use crate::sparse::{CsrMatrix, EliminationOrder, SparseLu};
+use crate::telemetry::SolverCounters;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// One point of an impedance sweep.
@@ -56,6 +68,20 @@ pub struct AcAnalysis {
     /// construction (the AC matrix has the same pattern at every
     /// frequency). `None` on the dense fast path.
     pattern: Option<Arc<SystemPattern>>,
+    /// Interior-mutable solve state: work counters plus the cached
+    /// sparse elimination order. `RefCell` (not `Mutex`) on purpose —
+    /// an analyzer is a per-thread object; concurrent sweeps construct
+    /// one analyzer each.
+    state: RefCell<AcState>,
+}
+
+/// Mutable solve state of an [`AcAnalysis`].
+#[derive(Debug, Clone, Default)]
+struct AcState {
+    counters: SolverCounters,
+    /// Elimination order discovered at the first sparse factorization,
+    /// replayed at every later frequency (same pattern, new values).
+    elim: Option<EliminationOrder>,
 }
 
 impl AcAnalysis {
@@ -78,6 +104,7 @@ impl AcAnalysis {
             sys,
             backend,
             pattern,
+            state: RefCell::new(AcState::default()),
         }
     }
 
@@ -86,32 +113,128 @@ impl AcAnalysis {
         self.backend.is_sparse(self.sys.size())
     }
 
-    fn solve_with_injection(&self, inject: NodeId, freq_hz: f64) -> Result<Vec<Complex>, PdnError> {
+    /// Snapshot of the work counters this analyzer has accumulated
+    /// (factorizations, solves, batched solves, estimated flops).
+    /// Telemetry only — reading them never affects any result.
+    pub fn counters(&self) -> SolverCounters {
+        self.state.borrow().counters
+    }
+
+    /// Factors the AC system matrix at one frequency. Every injection
+    /// at this frequency shares the returned factors; on the sparse
+    /// path the first discovered elimination order is replayed for all
+    /// later frequencies (counted as `pattern_reuses`).
+    fn factor_at(&self, freq_hz: f64) -> Result<Factorization<Complex>, PdnError> {
         if !(freq_hz.is_finite() && freq_hz > 0.0) {
             return Err(PdnError::InvalidTimebase {
                 reason: format!("AC analysis requires positive finite frequency, got {freq_hz}"),
             });
         }
-        // Unit sinusoidal current drawn out of the injection node (a load).
-        let Some(idx) = inject.unknown_index() else {
-            return Err(PdnError::UnknownNode { node: 0 });
-        };
         let n = self.sys.size();
         let omega = 2.0 * std::f64::consts::PI * freq_hz;
-        let mut rhs = vec![Complex::ZERO; n];
-        rhs[idx] = -Complex::ONE;
+        let mut st = self.state.borrow_mut();
         match &self.pattern {
             Some(pattern) => {
                 let mut m = CsrMatrix::<Complex>::zeros(pattern.clone());
                 self.sys.stamp_ac(&mut m, omega);
-                SparseLu::factor(&m)?.solve(&rhs)
+                // Replay the cached pivot order when its threshold
+                // check still passes at the new values; fall back to a
+                // fresh Markowitz factorization (and re-cache) when not.
+                let reused = st
+                    .elim
+                    .as_ref()
+                    .and_then(|order| SparseLu::refactor(&m, order).ok());
+                let lu = match reused {
+                    Some(lu) => {
+                        st.counters.pattern_reuses += 1;
+                        lu
+                    }
+                    None => {
+                        let lu = SparseLu::factor(&m)?;
+                        st.elim = Some(lu.order());
+                        lu
+                    }
+                };
+                st.counters.lu_factorizations += 1;
+                st.counters.est_flops += lu.factor_flops();
+                Ok(Factorization::Sparse(lu))
             }
             None => {
                 let mut g = Matrix::<Complex>::zeros(n, n);
                 self.sys.stamp_ac(&mut g, omega);
-                g.lu()?.solve(&rhs)
+                st.counters.lu_factorizations += 1;
+                st.counters.est_flops += g.lu_flops();
+                Ok(Factorization::Dense(g.lu()?))
             }
         }
+    }
+
+    fn solve_with_injection(&self, inject: NodeId, freq_hz: f64) -> Result<Vec<Complex>, PdnError> {
+        // Unit sinusoidal current drawn out of the injection node (a load).
+        let Some(idx) = inject.unknown_index() else {
+            return Err(PdnError::UnknownNode { node: 0 });
+        };
+        let factors = self.factor_at(freq_hz)?;
+        let n = self.sys.size();
+        let mut rhs = vec![Complex::ZERO; n];
+        rhs[idx] = -Complex::ONE;
+        let mut x = vec![Complex::ZERO; n];
+        factors.solve_into(&rhs, &mut x)?;
+        let mut st = self.state.borrow_mut();
+        st.counters.solve_calls += 1;
+        st.counters.est_flops += factors.solve_flops();
+        if factors.is_sparse() {
+            st.counters.sparse_solves += 1;
+        }
+        Ok(x)
+    }
+
+    /// Self-impedances at several nodes for one frequency, solved as a
+    /// single multi-RHS batch against **one** factorization — the
+    /// "many injection ports, one matrix" case of a drawer
+    /// characterization sweep. Results are bitwise identical to calling
+    /// [`AcAnalysis::impedance_at`] per node (the batched triangular
+    /// solves preserve per-column operation order); only the work
+    /// differs: one factorization instead of `nodes.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] for non-positive frequency, ground
+    /// injection, or a singular network.
+    pub fn impedance_batch(
+        &self,
+        nodes: &[NodeId],
+        freq_hz: f64,
+    ) -> Result<Vec<Complex>, PdnError> {
+        if nodes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let idxs: Vec<usize> = nodes
+            .iter()
+            .map(|nd| nd.unknown_index().ok_or(PdnError::UnknownNode { node: 0 }))
+            .collect::<Result<_, _>>()?;
+        let factors = self.factor_at(freq_hz)?;
+        let n = self.sys.size();
+        let k = idxs.len();
+        let mut rhs = vec![Complex::ZERO; n * k];
+        for (col, &idx) in idxs.iter().enumerate() {
+            rhs[col * n + idx] = -Complex::ONE;
+        }
+        let mut x = vec![Complex::ZERO; n * k];
+        factors.solve_batch_into(&rhs, &mut x)?;
+        let mut st = self.state.borrow_mut();
+        st.counters.solve_calls += k as u64;
+        st.counters.batched_solves += k as u64;
+        st.counters.est_flops += k as u64 * factors.solve_flops();
+        if factors.is_sparse() {
+            st.counters.sparse_solves += k as u64;
+        }
+        // The load draws +1 A at each port, so each node voltage is -Z.
+        Ok(idxs
+            .iter()
+            .enumerate()
+            .map(|(col, &idx)| -x[col * n + idx])
+            .collect())
     }
 
     /// Impedance magnitude/phase seen *into the PDN* at `node` for a unit
@@ -154,16 +277,23 @@ impl AcAnalysis {
 
     /// Sweeps the self-impedance at `node` over the given frequencies.
     ///
+    /// Routed through the batched path ([`AcAnalysis::impedance_batch`]
+    /// with a single injection per frequency), which is bitwise
+    /// identical to the looped path — sweep-derived figures are pinned
+    /// byte-for-byte on the dense backend.
+    ///
     /// # Errors
     ///
     /// Fails on the first frequency that errors.
     pub fn sweep(&self, node: NodeId, freqs: &[f64]) -> Result<Vec<ImpedancePoint>, PdnError> {
+        let ports = [node];
         freqs
             .iter()
             .map(|&f| {
+                let z = self.impedance_batch(&ports, f)?;
                 Ok(ImpedancePoint {
                     freq_hz: f,
-                    z: self.impedance_at(node, f)?,
+                    z: z[0],
                 })
             })
             .collect()
@@ -438,6 +568,87 @@ mod tests {
         let both = profile_of(&[1.0, 5.0, 1.0, 9.0]);
         let peaks = find_peaks_with_endpoints(&both).unwrap();
         assert_eq!(peaks, vec![(4.0, 9.0), (2.0, 5.0)]);
+    }
+
+    #[test]
+    fn batch_matches_looped_bitwise_and_counts_work() {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let mut ports = Vec::new();
+        let mut prev = vdd;
+        for i in 0..5 {
+            let n = nl.add_node(format!("n{i}"));
+            nl.add_series_rl(prev, n, 1e-4 * (i + 1) as f64, 0.3e-9)
+                .unwrap();
+            nl.add_capacitor_with_esr(n, NodeId::GROUND, 2e-6, 0.5e-3)
+                .unwrap();
+            ports.push(n);
+            prev = n;
+        }
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            // Fresh analyzers so the looped reference pays one
+            // factorization per injection, exactly as the batch's
+            // single factorization must reproduce.
+            let looped = AcAnalysis::with_backend(&nl, backend);
+            let batched = AcAnalysis::with_backend(&nl, backend);
+            for f in [1e5, 3e6, 5e7] {
+                let zb = batched.impedance_batch(&ports, f).unwrap();
+                assert_eq!(zb.len(), ports.len());
+                for (i, &p) in ports.iter().enumerate() {
+                    let zl = looped.impedance_at(p, f).unwrap();
+                    assert_eq!(
+                        zl.re.to_bits(),
+                        zb[i].re.to_bits(),
+                        "{backend:?} re {f} {i}"
+                    );
+                    assert_eq!(
+                        zl.im.to_bits(),
+                        zb[i].im.to_bits(),
+                        "{backend:?} im {f} {i}"
+                    );
+                }
+            }
+            let cl = looped.counters();
+            let cb = batched.counters();
+            // One factorization per frequency instead of one per
+            // (frequency, injection) pair.
+            assert_eq!(cb.lu_factorizations, 3);
+            assert_eq!(cl.lu_factorizations, 3 * ports.len() as u64);
+            assert_eq!(cb.batched_solves, 3 * ports.len() as u64);
+            assert_eq!(cl.batched_solves, 0);
+            assert_eq!(cb.solve_calls, cl.solve_calls);
+            assert!(cb.est_flops < cl.est_flops);
+        }
+    }
+
+    #[test]
+    fn sparse_sweep_reuses_elimination_order() {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_node("vdd");
+        nl.add_voltage_source(vdd, NodeId::GROUND, 1.0).unwrap();
+        let die = nl.add_node("die");
+        nl.add_series_rl(vdd, die, 1e-4, 1e-9).unwrap();
+        nl.add_capacitor_with_esr(die, NodeId::GROUND, 1e-6, 1e-3)
+            .unwrap();
+        let ac = AcAnalysis::with_backend(&nl, SolverBackend::Sparse);
+        let freqs = log_space(1e4, 1e8, 12).unwrap();
+        ac.sweep(die, &freqs).unwrap();
+        let c = ac.counters();
+        assert_eq!(c.lu_factorizations, 12);
+        // Every frequency after the first replays the cached order.
+        assert_eq!(c.pattern_reuses, 11);
+        assert_eq!(c.sparse_solves, 12);
+    }
+
+    #[test]
+    fn batch_rejects_ground_port_and_allows_empty() {
+        let mut nl = Netlist::new();
+        let die = nl.add_node("die");
+        nl.add_resistor(die, NodeId::GROUND, 1.0).unwrap();
+        let ac = AcAnalysis::new(&nl);
+        assert!(ac.impedance_batch(&[die, NodeId::GROUND], 1e6).is_err());
+        assert!(ac.impedance_batch(&[], 1e6).unwrap().is_empty());
     }
 
     #[test]

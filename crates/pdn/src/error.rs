@@ -76,6 +76,18 @@ pub enum PdnError {
     },
     /// Peak detection was asked to analyze an empty impedance profile.
     EmptyProfile,
+    /// A reduced-order model could not meet its caller-supplied error
+    /// budget even at the maximum permitted order. The caller should
+    /// fall back to the full-order solver (or raise the budget).
+    RomBudget {
+        /// Worst-case voltage-error budget the caller configured.
+        budget_v: f64,
+        /// Smallest worst-case calibration error any candidate order
+        /// achieved.
+        achieved_v: f64,
+        /// Largest reduced order tried.
+        states: usize,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -110,6 +122,15 @@ impl fmt::Display for PdnError {
             PdnError::EmptyProfile => {
                 write!(f, "empty impedance profile has no peaks")
             }
+            PdnError::RomBudget {
+                budget_v,
+                achieved_v,
+                states,
+            } => write!(
+                f,
+                "reduced-order model missed its error budget: best {achieved_v:.3e} V \
+                 against budget {budget_v:.3e} V at {states} states"
+            ),
         }
     }
 }
@@ -148,6 +169,11 @@ mod tests {
             },
             PdnError::Cancelled { t: 1e-6 },
             PdnError::EmptyProfile,
+            PdnError::RomBudget {
+                budget_v: 1e-3,
+                achieved_v: 4e-3,
+                states: 16,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

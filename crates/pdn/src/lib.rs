@@ -54,6 +54,7 @@
 //! ```
 
 pub mod ac;
+pub mod backend;
 pub mod cancel;
 pub mod complex;
 pub mod design;
@@ -61,6 +62,7 @@ pub mod error;
 pub mod linalg;
 pub mod mna;
 pub mod netlist;
+pub mod rom;
 pub mod sensitivity;
 pub mod sparse;
 pub mod telemetry;
@@ -69,12 +71,14 @@ pub mod transient;
 pub mod waveform;
 
 pub use ac::{AcAnalysis, ImpedancePoint};
+pub use backend::{Factorization, RomSpec, SolveSpec};
 pub use cancel::CancelToken;
 pub use complex::Complex;
 pub use design::{check_mask, size_decap, DecapSizing, ImpedanceMask, MaskViolation};
 pub use error::PdnError;
 pub use mna::{MnaSystem, SolverBackend, SystemPattern, SPARSE_THRESHOLD};
 pub use netlist::{Netlist, NodeId, SourceId};
+pub use rom::{solve_step_rom, ReducedPdn, RomOutcome, RomStepProblem};
 pub use sensitivity::{
     full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter,
 };

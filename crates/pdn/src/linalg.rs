@@ -286,6 +286,62 @@ impl<T: Scalar> LuFactors<T> {
         }
         Ok(())
     }
+
+    /// Solves `A X = B` for a batch of right-hand sides stored
+    /// column-contiguously: RHS `k` occupies `rhs[k*n .. (k+1)*n]` and
+    /// its solution lands in the same slice of `x`.
+    ///
+    /// The triangular sweeps run row-outer so each LU entry is loaded
+    /// once per row and applied across the whole batch. Per-column the
+    /// operation sequence is exactly that of [`LuFactors::solve_into`]
+    /// (columns are independent), so results are **bitwise identical**
+    /// to solving each RHS alone — batching is a pure traversal
+    /// reordering, never a numerical change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::DimensionMismatch`] when the buffer lengths
+    /// differ or are not a multiple of the factored dimension.
+    pub fn solve_batch_into(&self, rhs: &[T], x: &mut [T]) -> Result<(), PdnError> {
+        let n = self.n;
+        if n == 0 || rhs.len() != x.len() || !rhs.len().is_multiple_of(n) {
+            return Err(PdnError::DimensionMismatch {
+                expected: n,
+                actual: rhs.len().min(x.len()),
+            });
+        }
+        let k = rhs.len() / n;
+        // Forward substitution on the permuted RHS (L has unit
+        // diagonal); x[col*n + i] plays the role of solve_into's `acc`.
+        for i in 0..n {
+            let pi = self.perm[i];
+            for col in 0..k {
+                x[col * n + i] = rhs[col * n + pi];
+            }
+            for j in 0..i {
+                let lij = self.lu[i * n + j];
+                for col in 0..k {
+                    let sub = lij * x[col * n + j];
+                    x[col * n + i] = x[col * n + i] - sub;
+                }
+            }
+        }
+        // Backward substitution, same batch-inner traversal.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let uij = self.lu[i * n + j];
+                for col in 0..k {
+                    let sub = uij * x[col * n + j];
+                    x[col * n + i] = x[col * n + i] - sub;
+                }
+            }
+            let d = self.lu[i * n + i];
+            for col in 0..k {
+                x[col * n + i] = x[col * n + i] / d;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +438,47 @@ mod tests {
         // 2n³/3 + n²/2 with n = 10, integer arithmetic.
         assert_eq!(a.lu_flops(), 2 * 1000 / 3 + 100 / 2);
         assert_eq!(a.lu().unwrap().solve_flops(), 200);
+    }
+
+    #[test]
+    fn batched_solve_is_bitwise_identical_to_looped() {
+        // An ill-scaled, non-symmetric system so rounding would expose
+        // any operation-order drift between the two code paths.
+        let n = 7;
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = ((r * 31 + c * 17) as f64).sin() * 1e3_f64.powi((r % 3) as i32 - 1);
+            }
+            a[(r, r)] += 50.0;
+        }
+        let lu = a.lu().unwrap();
+        let k = 5;
+        let rhs: Vec<f64> = (0..n * k).map(|i| ((i * 13) as f64).cos() * 7.5).collect();
+        let mut batched = vec![0.0; n * k];
+        lu.solve_batch_into(&rhs, &mut batched).unwrap();
+        for col in 0..k {
+            let mut single = vec![0.0; n];
+            lu.solve_into(&rhs[col * n..(col + 1) * n], &mut single)
+                .unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    single[i].to_bits(),
+                    batched[col * n + i].to_bits(),
+                    "col {col} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solve_rejects_ragged_buffers() {
+        let lu = Matrix::<f64>::identity(3).lu().unwrap();
+        let mut x = [0.0; 6];
+        assert!(lu.solve_batch_into(&[1.0; 7], &mut x[..6]).is_err());
+        assert!(lu.solve_batch_into(&[1.0; 6], &mut x[..3]).is_err());
+        // Empty batch is a valid no-op.
+        assert!(lu.solve_batch_into(&[], &mut []).is_ok());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::complex::Complex;
 use crate::linalg::{Matrix, Scalar};
 use crate::netlist::{Element, Netlist};
+use serde::{Deserialize, Serialize};
 
 /// System-size threshold (in MNA unknowns) above which
 /// [`SolverBackend::Auto`] switches from the dense LU fast path to the
@@ -36,7 +37,12 @@ use crate::netlist::{Element, Netlist};
 pub const SPARSE_THRESHOLD: usize = 96;
 
 /// Dense/sparse backend selection for the MNA solvers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializable and hashable so it can participate in content keys
+/// (see `voltnoise_system`): which backend solved a job is part of what
+/// was computed, because the backends are only equivalent up to
+/// floating-point rounding, not byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SolverBackend {
     /// Dense below [`SPARSE_THRESHOLD`] unknowns, sparse at or above it.
     #[default]
@@ -317,6 +323,29 @@ impl MnaSystem {
         }
     }
 
+    /// Stamps the dynamic (energy-storage) part of the DC-sized
+    /// descriptor system, scaled by `scale`: capacitors as admittances
+    /// `scale·C`, then for each inductor `k` the entry `-scale·L` on the
+    /// branch-row diagonal `(size() + k, size() + k)`.
+    ///
+    /// Together with [`MnaSystem::stamp_dc`] this forms the descriptor
+    /// pair `(G, C)` of `C·ż + G·z = B·u` over [`MnaSystem::dc_size`]
+    /// unknowns: node KCL rows gain `C·dv/dt` terms, and each inductor
+    /// branch row reads `v(a) - v(b) - L·di/dt = 0`. This is the
+    /// state-space form the reduced-order macromodel projects.
+    pub fn stamp_capacitance<M: StampTarget<f64>>(&self, target: &mut M, scale: f64) {
+        {
+            let mut s = Stamper::new(target);
+            for c in &self.caps {
+                s.admittance(c.a, c.b, scale * c.value);
+            }
+        }
+        for (k, l) in self.inductors.iter().enumerate() {
+            let row = self.n + k;
+            target.add(row, row, -scale * l.value);
+        }
+    }
+
     /// Stamps the complex admittance matrix at angular frequency
     /// `omega`, in netlist element order (the historical AC assembly
     /// order): resistors `1/R`, capacitors `jωC`, inductors `-j/(ωL)`,
@@ -418,6 +447,18 @@ impl SystemPattern {
         b.finish()
     }
 
+    /// Pattern of the DC-sized descriptor pair: the union of the static
+    /// part ([`MnaSystem::stamp_dc`]) and the dynamic part
+    /// ([`MnaSystem::stamp_capacitance`]), so one pattern serves `G`,
+    /// `C`, and any shifted combination `G + s·C` the reduced-order
+    /// model factors.
+    pub fn dc_dynamic(sys: &MnaSystem) -> SystemPattern {
+        let mut b = PatternBuilder::new(sys.dc_size());
+        sys.stamp_dc(&mut b);
+        sys.stamp_capacitance(&mut b, 1.0);
+        b.finish()
+    }
+
     /// Matrix dimension.
     pub fn size(&self) -> usize {
         self.n
@@ -506,6 +547,32 @@ mod tests {
         // A voltage-source branch row has no diagonal entry.
         let vrow = sys.vsources[0].row;
         assert_eq!(p.index_of(vrow, vrow), None);
+    }
+
+    #[test]
+    fn dc_dynamic_pattern_covers_descriptor_pair() {
+        let nl = rlc_netlist();
+        let sys = MnaSystem::new(&nl);
+        let p = SystemPattern::dc_dynamic(&sys);
+        assert_eq!(p.size(), sys.dc_size());
+        // The inductor branch-row diagonal is present (it holds -L in
+        // the dynamic part) even though the static DC pattern lacks it.
+        let lrow = sys.size(); // one inductor -> first extra row
+        assert!(p.index_of(lrow, lrow).is_some());
+        assert!(SystemPattern::dc(&sys).index_of(lrow, lrow).is_none());
+        // stamp_capacitance lands entirely inside the pattern and its
+        // values scale linearly.
+        let n = sys.dc_size();
+        let mut c1 = Matrix::<f64>::zeros(n, n);
+        sys.stamp_capacitance(&mut c1, 1.0);
+        let mut c2 = Matrix::<f64>::zeros(n, n);
+        sys.stamp_capacitance(&mut c2, 2.0);
+        assert_eq!(c1[(lrow, lrow)], -1e-9);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(2.0 * c1[(r, c)], c2[(r, c)]);
+            }
+        }
     }
 
     #[test]

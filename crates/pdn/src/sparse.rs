@@ -92,6 +92,33 @@ impl<T: Scalar> CsrMatrix<T> {
             .unwrap_or(T::ZERO)
     }
 
+    /// Matrix-vector product `y = A x`, the sparse analogue of
+    /// [`crate::linalg::Matrix::mul_vec`]. Used by the reduced-order
+    /// model to project the descriptor matrices onto a Krylov basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::DimensionMismatch`] when `x.len()` differs
+    /// from the matrix dimension.
+    pub fn mul_vec(&self, x: &[T]) -> Result<Vec<T>, PdnError> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(PdnError::DimensionMismatch {
+                expected: n,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![T::ZERO; n];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for (c, v) in self.row(r) {
+                acc = acc + v * x[c];
+            }
+            *yr = acc;
+        }
+        Ok(y)
+    }
+
     /// One row as `(col, value)` pairs, sorted by column.
     fn row(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
         let cols = self.pattern.row_cols(r);
@@ -340,6 +367,57 @@ impl<T: Scalar> SparseLu<T> {
         self.solve_into(b, &mut x)?;
         Ok(x)
     }
+
+    /// Solves `A X = B` for a batch of right-hand sides stored
+    /// column-contiguously (RHS `k` in `rhs[k*n .. (k+1)*n]`), the
+    /// sparse analogue of
+    /// [`crate::linalg::LuFactors::solve_batch_into`].
+    ///
+    /// The elimination replay and backward sweep run column-outer, so
+    /// each column performs exactly the operation sequence of
+    /// [`SparseLu::solve_into`] — results are bitwise identical to
+    /// solving each RHS alone. The batch shares one workspace
+    /// allocation instead of one per RHS.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::DimensionMismatch`] when the buffer lengths differ
+    /// or are not a multiple of the factored dimension.
+    pub fn solve_batch_into(&self, rhs: &[T], x: &mut [T]) -> Result<(), PdnError> {
+        let n = self.n;
+        if n == 0 || rhs.len() != x.len() || !rhs.len().is_multiple_of(n) {
+            return Err(PdnError::DimensionMismatch {
+                expected: n,
+                actual: rhs.len().min(x.len()),
+            });
+        }
+        let k = rhs.len() / n;
+        let mut w = rhs.to_vec();
+        for step in 0..n {
+            let r0 = self.row_of[step];
+            for col in 0..k {
+                let base = col * n;
+                let yk = w[base + r0];
+                for &(r, m) in &self.l_cols[step] {
+                    w[base + r] = w[base + r] - m * yk;
+                }
+            }
+        }
+        for step in (0..n).rev() {
+            let r0 = self.row_of[step];
+            let c0 = self.col_of[step];
+            let d = self.u_diag[step];
+            for col in 0..k {
+                let base = col * n;
+                let mut acc = w[base + r0];
+                for &(c, u) in &self.u_rows[step] {
+                    acc = acc - u * x[base + c];
+                }
+                x[base + c0] = acc / d;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Markowitz pivot selection under threshold pivoting: among entries
@@ -554,6 +632,51 @@ mod tests {
             lu.factor_flops(),
             dense.lu_flops()
         );
+    }
+
+    #[test]
+    fn batched_solve_is_bitwise_identical_to_looped() {
+        let nl = chip_like_netlist(9);
+        let sys = MnaSystem::new(&nl);
+        let pattern = Arc::new(SystemPattern::coupled(&sys));
+        let m = sparse_of(&sys, &pattern, 3e-9);
+        let lu = SparseLu::factor(&m).unwrap();
+        let n = sys.size();
+        let k = 4;
+        let mut rng = SmallRng::seed_from_u64(0xba7c);
+        let rhs: Vec<f64> = (0..n * k).map(|_| rng.gen_range(-8.0..8.0)).collect();
+        let mut batched = vec![0.0; n * k];
+        lu.solve_batch_into(&rhs, &mut batched).unwrap();
+        for col in 0..k {
+            let single = lu.solve(&rhs[col * n..(col + 1) * n]).unwrap();
+            for i in 0..n {
+                assert_eq!(
+                    single[i].to_bits(),
+                    batched[col * n + i].to_bits(),
+                    "col {col} row {i}"
+                );
+            }
+        }
+        // Ragged buffers are rejected; an empty batch is a no-op.
+        let mut x = vec![0.0; n + 1];
+        assert!(lu.solve_batch_into(&rhs[..n + 1], &mut x).is_err());
+        assert!(lu.solve_batch_into(&[], &mut []).is_ok());
+    }
+
+    #[test]
+    fn mul_vec_matches_dense_product() {
+        let nl = chip_like_netlist(5);
+        let sys = MnaSystem::new(&nl);
+        let pattern = Arc::new(SystemPattern::coupled(&sys));
+        let m = sparse_of(&sys, &pattern, 2e-9);
+        let dense = dense_of(&sys, 2e-9);
+        let x: Vec<f64> = (0..sys.size()).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let ys = m.mul_vec(&x).unwrap();
+        let yd = dense.mul_vec(&x);
+        for (s, d) in ys.iter().zip(&yd) {
+            assert!((s - d).abs() < 1e-9, "sparse {s} vs dense {d}");
+        }
+        assert!(m.mul_vec(&x[..1]).is_err());
     }
 
     #[test]

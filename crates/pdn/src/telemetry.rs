@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// *observations about* a solve, not part of its result, so they are
 /// excluded from content keys and from [`crate::transient`] output
 /// serialization paths that feed caches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct SolverCounters {
     /// Accepted integration steps.
     pub steps: u64,
@@ -51,6 +51,49 @@ pub struct SolverCounters {
     /// Sparse refactorizations that reused a previously discovered
     /// elimination order instead of re-running pivot selection.
     pub pattern_reuses: u64,
+    /// Right-hand sides solved through a batched multi-RHS
+    /// back-substitution (each RHS in a batch counts once; a subset of
+    /// `solve_calls`). Zero on paths that solve one RHS at a time.
+    pub batched_solves: u64,
+    /// Reduced-order-model integration steps (each one a dense solve of
+    /// the projected system). Disjoint from `solve_calls`, which counts
+    /// full-order back-substitutions only.
+    pub rom_solves: u64,
+    /// Total reduced states across every reduced-order model built (one
+    /// ROM of order `q` contributes `q`). Summed like every other
+    /// counter so merging stays associative.
+    pub rom_states: u64,
+}
+
+/// Hand-written deserialization so the batched/ROM counters default to
+/// zero when absent: stats JSON written before those fields existed
+/// must keep parsing (the vendored serde derive has no `#[serde
+/// (default)]`).
+impl Deserialize for SolverCounters {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for SolverCounters"))?;
+        let opt = |name: &str| -> Result<u64, serde::Error> {
+            match obj.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => Deserialize::from_value(v),
+                None => Ok(0),
+            }
+        };
+        Ok(SolverCounters {
+            steps: serde::field(obj, "steps")?,
+            dc_solves: serde::field(obj, "dc_solves")?,
+            lu_factorizations: serde::field(obj, "lu_factorizations")?,
+            factor_cache_hits: serde::field(obj, "factor_cache_hits")?,
+            solve_calls: serde::field(obj, "solve_calls")?,
+            est_flops: serde::field(obj, "est_flops")?,
+            sparse_solves: serde::field(obj, "sparse_solves")?,
+            pattern_reuses: serde::field(obj, "pattern_reuses")?,
+            batched_solves: opt("batched_solves")?,
+            rom_solves: opt("rom_solves")?,
+            rom_states: opt("rom_states")?,
+        })
+    }
 }
 
 impl SolverCounters {
@@ -66,6 +109,9 @@ impl SolverCounters {
         self.est_flops += other.est_flops;
         self.sparse_solves += other.sparse_solves;
         self.pattern_reuses += other.pattern_reuses;
+        self.batched_solves += other.batched_solves;
+        self.rom_solves += other.rom_solves;
+        self.rom_states += other.rom_states;
     }
 
     /// True when every counter is zero (no work recorded).
@@ -159,6 +205,9 @@ mod tests {
             est_flops: 6,
             sparse_solves: 7,
             pattern_reuses: 8,
+            batched_solves: 9,
+            rom_solves: 10,
+            rom_states: 11,
         };
         let b = SolverCounters {
             steps: 10,
@@ -169,6 +218,9 @@ mod tests {
             est_flops: 60,
             sparse_solves: 70,
             pattern_reuses: 80,
+            batched_solves: 90,
+            rom_solves: 100,
+            rom_states: 110,
         };
         let c = SolverCounters {
             steps: 100,
@@ -187,6 +239,23 @@ mod tests {
         assert_eq!(ab_c.solve_calls, 55);
         assert_eq!(ab_c.sparse_solves, 77);
         assert_eq!(ab_c.pattern_reuses, 88);
+        assert_eq!(ab_c.batched_solves, 99);
+        assert_eq!(ab_c.rom_solves, 110);
+        assert_eq!(ab_c.rom_states, 121);
+    }
+
+    #[test]
+    fn counters_json_without_new_fields_still_parses() {
+        // Stats JSON written before the batched/ROM counters existed
+        // must keep round-tripping: the new fields default to zero.
+        let legacy = r#"{"steps":1,"dc_solves":2,"lu_factorizations":3,
+            "factor_cache_hits":4,"solve_calls":5,"est_flops":6,
+            "sparse_solves":7,"pattern_reuses":8}"#;
+        let c: SolverCounters = serde_json::from_str(legacy).unwrap();
+        assert_eq!(c.steps, 1);
+        assert_eq!(c.batched_solves, 0);
+        assert_eq!(c.rom_solves, 0);
+        assert_eq!(c.rom_states, 0);
     }
 
     #[test]

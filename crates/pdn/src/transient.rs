@@ -16,9 +16,10 @@
 //! once and elimination orders reused across same-pattern
 //! refactorizations (see [`crate::sparse`]).
 
+use crate::backend::Factorization;
 use crate::cancel::CancelToken;
 use crate::error::PdnError;
-use crate::linalg::{LuFactors, Matrix};
+use crate::linalg::Matrix;
 use crate::mna::{MnaSystem, SolverBackend, SystemPattern};
 use crate::netlist::{Netlist, NodeId};
 use crate::sparse::{CsrMatrix, EliminationOrder, SparseLu};
@@ -225,32 +226,6 @@ struct CompanionState {
     i_prev: f64,
 }
 
-/// A cached factorization from either backend, solvable uniformly.
-enum Factors {
-    Dense(LuFactors<f64>),
-    Sparse(SparseLu<f64>),
-}
-
-impl Factors {
-    fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), PdnError> {
-        match self {
-            Factors::Dense(f) => f.solve_into(b, x),
-            Factors::Sparse(f) => f.solve_into(b, x),
-        }
-    }
-
-    fn solve_flops(&self) -> u64 {
-        match self {
-            Factors::Dense(f) => f.solve_flops(),
-            Factors::Sparse(f) => f.solve_flops(),
-        }
-    }
-
-    fn is_sparse(&self) -> bool {
-        matches!(self, Factors::Sparse(_))
-    }
-}
-
 /// Transient simulator for one netlist.
 ///
 /// # Examples
@@ -281,7 +256,9 @@ pub struct TransientSolver {
     backend: SolverBackend,
     cap_state: Vec<CompanionState>,
     ind_state: Vec<CompanionState>,
-    factor_cache: Vec<(u64, Factors)>,
+    /// LRU factor cache keyed by step-size bits; entries come from the
+    /// shared [`Factorization`] type in [`crate::backend`].
+    factor_cache: Vec<(u64, Factorization<f64>)>,
     /// Symbolic pattern of the coupled system, computed lazily on the
     /// first sparse factorization and shared by every later one.
     pattern: Option<Arc<SystemPattern>>,
@@ -404,14 +381,14 @@ impl TransientSolver {
             self.sys.stamp_transient(&mut m, h);
             let lu = self.sparse_factor(&m, false)?;
             self.counters.lu_factorizations += 1;
-            Factors::Sparse(lu)
+            Factorization::Sparse(lu)
         } else {
             let mut g = Matrix::zeros(self.n, self.n);
             self.sys.stamp_transient(&mut g, h);
             self.counters.est_flops += g.lu_flops();
             let lu = g.lu()?;
             self.counters.lu_factorizations += 1;
-            Factors::Dense(lu)
+            Factorization::Dense(lu)
         };
         if self.factor_cache.len() >= 8 {
             self.factor_cache.pop();

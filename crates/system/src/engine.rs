@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 use voltnoise_pdn::topology::NUM_CORES;
-use voltnoise_pdn::{CancelToken, PdnError};
+use voltnoise_pdn::{CancelToken, PdnError, SolveSpec, SolverBackend};
 
 /// Number of independently locked cache shards. A small power of two:
 /// enough to keep worker threads from serializing on one mutex, small
@@ -134,6 +134,39 @@ pub struct JobKey {
     /// where the other succeeds). The cancellation token is deliberately
     /// *not* keyed: an un-cancelled token never changes results.
     max_steps: Option<usize>,
+    /// `NoiseRunConfig::solve` captured bit-exactly (see [`SolveKey`]):
+    /// a result computed under a different solve spec — another backend,
+    /// or a reduced-order model with any error budget — is a different
+    /// result, even when the outputs happen to agree.
+    solve: SolveKey,
+}
+
+/// Bit-exact, hashable rendering of a [`SolveSpec`] for content keys:
+/// the backend enum plus (when a ROM is requested) every [`voltnoise_pdn::RomSpec`]
+/// field with floats captured as `to_bits`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SolveKey {
+    backend: SolverBackend,
+    /// `(budget_v bits, max_states, expansion_hz bits, calib_window_s
+    /// bits, dilation)` when a reduced-order model is requested.
+    rom: Option<(u64, u64, u64, u64, u32)>,
+}
+
+impl SolveKey {
+    fn of(spec: &SolveSpec) -> SolveKey {
+        SolveKey {
+            backend: spec.backend,
+            rom: spec.rom.map(|r| {
+                (
+                    r.budget_v.to_bits(),
+                    r.max_states as u64,
+                    r.expansion_hz.to_bits(),
+                    r.calib_window_s.to_bits(),
+                    r.dilation,
+                )
+            }),
+        }
+    }
 }
 
 impl JobKey {
@@ -205,6 +238,21 @@ impl JobKey {
             Some(n) => {
                 h.update(&[1]);
                 h.update(&(n as u64).to_le_bytes());
+            }
+        }
+        h.update(&[match self.solve.backend {
+            SolverBackend::Auto => 0,
+            SolverBackend::Dense => 1,
+            SolverBackend::Sparse => 2,
+        }]);
+        match self.solve.rom {
+            None => h.update(&[0]),
+            Some((budget, states, expansion, calib, dilation)) => {
+                h.update(&[1]);
+                for v in [budget, states, expansion, calib] {
+                    h.update(&v.to_le_bytes());
+                }
+                h.update(&dilation.to_le_bytes());
             }
         }
         h.finish_hex()
@@ -283,6 +331,7 @@ impl SimJob {
             record_traces: cfg.record_traces,
             seed: cfg.seed,
             max_steps: cfg.max_steps,
+            solve: SolveKey::of(&cfg.solve),
         };
         SimJob {
             chip,
@@ -371,7 +420,7 @@ impl DrawerJob {
             reason: format!("drawer config failed to serialize: {e}"),
         })?;
         let mut h = Fnv128::new();
-        h.update(b"drawer-step/1|");
+        h.update(b"drawer-step/2|");
         h.update(json.as_bytes());
         Ok(DrawerJob {
             cfg,
@@ -1173,15 +1222,70 @@ mod tests {
             loads,
             NoiseRunConfig {
                 record_traces: true,
-                ..base
+                ..base.clone()
             },
         );
-        let keys = [a.key(), b.key(), c.key(), d.key()];
+        let e = batch.job(
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone())),
+            NoiseRunConfig {
+                solve: SolveSpec {
+                    backend: SolverBackend::Dense,
+                    rom: None,
+                },
+                ..base.clone()
+            },
+        );
+        let f = batch.job(
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone())),
+            NoiseRunConfig {
+                solve: SolveSpec::reduced(voltnoise_pdn::RomSpec::default()),
+                ..base.clone()
+            },
+        );
+        let keys = [a.key(), b.key(), c.key(), d.key(), e.key(), f.key()];
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {
                 assert_ne!(keys[i], keys[j], "jobs {i} and {j} must differ");
+                assert_ne!(
+                    keys[i].store_digest(),
+                    keys[j].store_digest(),
+                    "digests {i} and {j} must differ"
+                );
             }
         }
+        // A ROM budget change alone changes the key: the budget is
+        // content.
+        let g = batch.job(
+            std::array::from_fn(|_| CoreLoad::Idle),
+            NoiseRunConfig {
+                solve: SolveSpec::reduced(voltnoise_pdn::RomSpec {
+                    budget_v: 2e-3,
+                    ..voltnoise_pdn::RomSpec::default()
+                }),
+                ..NoiseRunConfig::default()
+            },
+        );
+        let h = batch.job(
+            std::array::from_fn(|_| CoreLoad::Idle),
+            NoiseRunConfig {
+                solve: SolveSpec::reduced(voltnoise_pdn::RomSpec::default()),
+                ..NoiseRunConfig::default()
+            },
+        );
+        assert_ne!(g.key(), h.key());
+        assert_ne!(g.key().store_digest(), h.key().store_digest());
+    }
+
+    #[test]
+    fn stats_json_round_trips_with_rom_counters() {
+        let mut stats = Engine::with_workers(3).stats();
+        stats.telemetry.solver.batched_solves = 7;
+        stats.telemetry.solver.rom_solves = 11;
+        stats.telemetry.solver.rom_states = 13;
+        let json = stats.to_json().unwrap();
+        let back = EngineStats::from_json(&json).unwrap();
+        assert_eq!(stats, back);
+        assert_eq!(back.telemetry.solver.rom_states, 13);
     }
 
     #[test]

@@ -20,10 +20,11 @@ use rand::{Rng, SeedableRng};
 use voltnoise_measure::power::{PowerMeter, PowerReading};
 use voltnoise_measure::scope::ScopeTrace;
 use voltnoise_measure::skitter::SkitterReading;
+use voltnoise_pdn::rom::{solve_step_rom, RomStepProblem};
 use voltnoise_pdn::topology::{core_domain, DrawerParams, DrawerPdn, NUM_CORES};
 use voltnoise_pdn::transient::{Drive, Probe, TransientConfig, TransientSolver};
 use voltnoise_pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, WaveMode};
-use voltnoise_pdn::PdnError;
+use voltnoise_pdn::{PdnError, SolveSpec};
 use voltnoise_stressmark::CompiledStressmark;
 
 /// Deterministic per-core period skew (ppm) of free-running stressmarks:
@@ -106,6 +107,13 @@ pub struct NoiseRunConfig {
     /// token never changes results, and a cancelled run produces no
     /// result at all.
     pub cancel: Option<voltnoise_pdn::CancelToken>,
+    /// Solve-backend specification. The `backend` field selects the
+    /// transient factorization backend; the chip-scale path ignores any
+    /// `rom` request (the reduced-order macromodel is a drawer-scale
+    /// tool — see [`DrawerStepConfig::solve`]) but the field is still
+    /// part of the job's content key, so a spec change never aliases a
+    /// cached result.
+    pub solve: SolveSpec,
 }
 
 impl Default for NoiseRunConfig {
@@ -116,6 +124,7 @@ impl Default for NoiseRunConfig {
             seed: 1,
             max_steps: None,
             cancel: None,
+            solve: SolveSpec::full(),
         }
     }
 }
@@ -384,7 +393,7 @@ pub fn run_noise_instrumented(
 
     let mut tc = transient_config(loads, cfg);
     tc.collect_phase_times = crate::telemetry::trace_enabled();
-    let mut solver = TransientSolver::new(chip.pdn().netlist())?;
+    let mut solver = TransientSolver::with_backend(chip.pdn().netlist(), cfg.solve.backend)?;
     let mut probes: Vec<Probe> = (0..NUM_CORES)
         .map(|i| Probe::NodeVoltage(chip.pdn().core_node(i)))
         .collect();
@@ -466,7 +475,7 @@ pub fn run_noise_instrumented(
 /// Every field is part of the experiment's content — the engine's drawer
 /// memo keys on the canonical JSON rendering of this struct, so two
 /// configs that serialize identically share one solve.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct DrawerStepConfig {
     /// Drawer topology parameters.
     pub drawer: DrawerParams,
@@ -482,6 +491,37 @@ pub struct DrawerStepConfig {
     pub t0_s: f64,
     /// Simulated window, seconds.
     pub window_s: f64,
+    /// Solve-backend specification. `rom: Some(..)` routes the solve
+    /// through the reduced-order macromodel
+    /// ([`voltnoise_pdn::rom::solve_step_rom`]) with the given error
+    /// budget; the default full-order spec is the byte-identity
+    /// baseline.
+    pub solve: SolveSpec,
+}
+
+/// Hand-written deserialization so `solve` defaults when absent —
+/// drawer configurations serialized before the solve spec existed must
+/// keep parsing (the vendored serde derive has no `#[serde(default)]`).
+impl serde::Deserialize for DrawerStepConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for DrawerStepConfig"))?;
+        let solve = match obj.iter().find(|(k, _)| k == "solve") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => SolveSpec::full(),
+        };
+        Ok(DrawerStepConfig {
+            drawer: serde::field(obj, "drawer")?,
+            source_chip: serde::field(obj, "source_chip")?,
+            source_core: serde::field(obj, "source_core")?,
+            step_amps: serde::field(obj, "step_amps")?,
+            idle_amps: serde::field(obj, "idle_amps")?,
+            t0_s: serde::field(obj, "t0_s")?,
+            window_s: serde::field(obj, "window_s")?,
+            solve,
+        })
+    }
 }
 
 impl Default for DrawerStepConfig {
@@ -494,13 +534,14 @@ impl Default for DrawerStepConfig {
             idle_amps: 2.0,
             t0_s: 0.5e-6,
             window_s: 4e-6,
+            solve: SolveSpec::full(),
         }
     }
 }
 
 /// Outcome of one drawer step experiment: how a ΔI event on one chip
 /// propagates to every chip sharing the board PDN.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct DrawerStepOutcome {
     /// Chip that received the step.
     pub source_chip: usize,
@@ -515,6 +556,41 @@ pub struct DrawerStepOutcome {
     pub system_size: usize,
     /// Accepted transient steps (cost accounting).
     pub steps: usize,
+    /// Reduced-order states the solve used (zero on the full-order
+    /// path).
+    pub rom_states: usize,
+    /// Calibrated worst-case ROM probe error, volts (zero on the
+    /// full-order path).
+    pub rom_max_error_v: f64,
+}
+
+/// Hand-written deserialization so the ROM fields default when absent —
+/// outcomes serialized before the reduced-order path existed must keep
+/// parsing (the vendored serde derive has no `#[serde(default)]`).
+impl serde::Deserialize for DrawerStepOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("expected object for DrawerStepOutcome"))?;
+        let rom_states = match obj.iter().find(|(k, _)| k == "rom_states") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => 0,
+        };
+        let rom_max_error_v = match obj.iter().find(|(k, _)| k == "rom_max_error_v") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => 0.0,
+        };
+        Ok(DrawerStepOutcome {
+            source_chip: serde::field(obj, "source_chip")?,
+            droop_depth_v: serde::field(obj, "droop_depth_v")?,
+            arrival_s: serde::field(obj, "arrival_s")?,
+            source_core_droop_v: serde::field(obj, "source_core_droop_v")?,
+            system_size: serde::field(obj, "system_size")?,
+            steps: serde::field(obj, "steps")?,
+            rom_states,
+            rom_max_error_v,
+        })
+    }
 }
 
 /// Step drive over a drawer's flat drive slots: slot `s` steps by
@@ -580,30 +656,64 @@ pub fn run_drawer_step_instrumented(
     probes.push(Probe::NodeVoltage(
         drawer.core_node(cfg.source_chip, cfg.source_core),
     ));
-    let mut tc = TransientConfig::new(cfg.window_s);
-    tc.h_coarse = 2e-9;
-    tc.h_fine = 0.5e-9;
-    tc.settle = 0.0;
-    tc.record_decimation = Some(1);
-    tc.collect_phase_times = crate::telemetry::trace_enabled();
-    let mut solver = TransientSolver::new(drawer.netlist())?;
-    let res = solver.run(&drive, &probes, &tc)?;
+    // One solve, two routes: the full-order transient (the byte-identity
+    // baseline) or the reduced-order macromodel when the spec carries a
+    // ROM request with an error budget.
+    let (times, traces, steps, rom_states, rom_max_error_v, telemetry) = match cfg.solve.rom {
+        Some(rom_spec) => {
+            let problem = RomStepProblem {
+                netlist: drawer.netlist(),
+                slot: drive.slot,
+                idle_amps: cfg.idle_amps,
+                delta_amps: cfg.step_amps,
+                t0_s: cfg.t0_s,
+                window_s: cfg.window_s,
+                probes: &probes,
+                h_coarse: 2e-9,
+                h_fine: 0.5e-9,
+            };
+            let out = solve_step_rom(&problem, &rom_spec)?;
+            let telemetry = SolveTelemetry {
+                counters: out.counters,
+                phase: PhaseTimes::default(),
+            };
+            (
+                out.times,
+                out.traces,
+                out.steps,
+                out.states,
+                out.max_error_v,
+                telemetry,
+            )
+        }
+        None => {
+            let mut tc = TransientConfig::new(cfg.window_s);
+            tc.h_coarse = 2e-9;
+            tc.h_fine = 0.5e-9;
+            tc.settle = 0.0;
+            tc.record_decimation = Some(1);
+            tc.collect_phase_times = crate::telemetry::trace_enabled();
+            let mut solver = TransientSolver::with_backend(drawer.netlist(), cfg.solve.backend)?;
+            let res = solver.run(&drive, &probes, &tc)?;
+            let telemetry = SolveTelemetry {
+                counters: res.counters,
+                phase: res.phase_times,
+            };
+            (res.times, res.traces, res.steps, 0, 0.0, telemetry)
+        }
+    };
 
     let droop_of = |trace: &[f64]| -> (f64, f64) {
-        let pre_idx = res
-            .times
-            .partition_point(|&t| t < cfg.t0_s)
-            .saturating_sub(1);
+        let pre_idx = times.partition_point(|&t| t < cfg.t0_s).saturating_sub(1);
         let v_pre = trace[pre_idx];
         let mut depth = 0.0f64;
-        for (t, v) in res.times.iter().zip(trace) {
+        for (t, v) in times.iter().zip(trace) {
             if *t >= cfg.t0_s {
                 depth = depth.max(v_pre - v);
             }
         }
         let threshold = v_pre - 0.25 * depth;
-        let arrival = res
-            .times
+        let arrival = times
             .iter()
             .zip(trace)
             .find(|(t, v)| **t >= cfg.t0_s && **v <= threshold)
@@ -613,12 +723,12 @@ pub fn run_drawer_step_instrumented(
     };
     let mut droop_depth_v = Vec::with_capacity(drawer.num_chips());
     let mut arrival_s = Vec::with_capacity(drawer.num_chips());
-    for c in 0..drawer.num_chips() {
-        let (d, a) = droop_of(&res.traces[c]);
+    for trace in traces.iter().take(drawer.num_chips()) {
+        let (d, a) = droop_of(trace);
         droop_depth_v.push(d);
         arrival_s.push(a);
     }
-    let (source_core_droop_v, _) = droop_of(&res.traces[drawer.num_chips()]);
+    let (source_core_droop_v, _) = droop_of(&traces[drawer.num_chips()]);
 
     let outcome = DrawerStepOutcome {
         source_chip: cfg.source_chip,
@@ -626,11 +736,9 @@ pub fn run_drawer_step_instrumented(
         arrival_s,
         source_core_droop_v,
         system_size: drawer.netlist().system_size(),
-        steps: res.steps,
-    };
-    let telemetry = SolveTelemetry {
-        counters: res.counters,
-        phase: res.phase_times,
+        steps,
+        rom_states,
+        rom_max_error_v,
     };
     Ok((outcome, telemetry))
 }
@@ -749,6 +857,60 @@ mod tests {
         }
         // The disturbance reaches farther chips no earlier.
         assert!(out.arrival_s[cfg.drawer.chips - 1] >= out.arrival_s[0]);
+    }
+
+    #[test]
+    fn drawer_step_rom_tracks_full_solver_cheaply() {
+        let full_cfg = DrawerStepConfig::default();
+        let rom_cfg = DrawerStepConfig {
+            solve: voltnoise_pdn::SolveSpec::reduced(voltnoise_pdn::RomSpec::default()),
+            ..full_cfg.clone()
+        };
+        let (full, _) = run_drawer_step_instrumented(&full_cfg).unwrap();
+        let (rom, rom_tel) = run_drawer_step_instrumented(&rom_cfg).unwrap();
+        // The reduced path reports its order and calibrated error; the
+        // full path reports zeros.
+        assert_eq!(full.rom_states, 0);
+        assert_eq!(full.rom_max_error_v, 0.0);
+        assert!(rom.rom_states >= 1);
+        assert!(rom.rom_max_error_v <= 1e-3, "{}", rom.rom_max_error_v);
+        assert!(rom_tel.counters.rom_solves > 0);
+        // Figures of merit agree within a few budgets (droop depth is a
+        // difference of two probe samples, each within the budget over
+        // the calibration window).
+        assert!(
+            (rom.source_core_droop_v - full.source_core_droop_v).abs() <= 3e-3,
+            "rom {} vs full {}",
+            rom.source_core_droop_v,
+            full.source_core_droop_v
+        );
+        for c in 0..full_cfg.drawer.chips {
+            assert!(
+                (rom.droop_depth_v[c] - full.droop_depth_v[c]).abs() <= 3e-3,
+                "chip {c}: rom {} vs full {}",
+                rom.droop_depth_v[c],
+                full.droop_depth_v[c]
+            );
+        }
+        // And it is cheaper: far fewer time steps than the full run.
+        assert!(
+            rom.steps * 2 < full.steps,
+            "rom {} vs full {} steps",
+            rom.steps,
+            full.steps
+        );
+    }
+
+    #[test]
+    fn drawer_config_without_solve_field_still_parses() {
+        // A pre-solve-spec serialized config (no "solve" key) must keep
+        // deserializing with the full-order default.
+        let legacy = serde_json::to_string(&DrawerStepConfig::default())
+            .unwrap()
+            .replace(",\"solve\":{\"backend\":\"Auto\",\"rom\":null}", "");
+        assert!(!legacy.contains("solve"), "{legacy}");
+        let parsed: DrawerStepConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, DrawerStepConfig::default());
     }
 
     #[test]

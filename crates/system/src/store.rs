@@ -38,8 +38,10 @@ pub const STORE_FORMAT: &str = "voltnoise-store";
 /// the key scheme changes incompatibly.
 pub const STORE_VERSION: u32 = 1;
 /// Identifier of the key scheme: FNV-1a 128 over the canonical byte
-/// rendering of a `JobKey` (chip signature included).
-const KEY_SCHEME: &str = "jobkey-fnv1a128/1";
+/// rendering of a `JobKey` (chip signature included). `/2` added the
+/// solve-spec fields (backend selection plus the optional reduced-order
+/// budget) to the rendering.
+const KEY_SCHEME: &str = "jobkey-fnv1a128/2";
 
 /// Stable 128-bit FNV-1a hasher. The standard library's `DefaultHasher`
 /// is explicitly not stable across Rust releases, so store keys — which

@@ -146,6 +146,112 @@ fn ac_sparse_matches_dense_on_random_netlists() {
 }
 
 #[test]
+fn ac_batched_injections_match_looped_bitwise() {
+    let mut rng = SmallRng::seed_from_u64(0x0ba7_c4ed);
+    for trial in 0..4 {
+        let (nl, nodes) = random_ladder(&mut rng, 12 + trial * 4, 2);
+        let freqs = log_space(1e5, 50e6, 7).unwrap();
+        let ports: Vec<NodeId> = nodes.iter().step_by(2).copied().collect();
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let batched = AcAnalysis::with_backend(&nl, backend);
+            let looped = AcAnalysis::with_backend(&nl, backend);
+            for &f in &freqs {
+                let zb = batched.impedance_batch(&ports, f).unwrap();
+                for (i, &node) in ports.iter().enumerate() {
+                    let zl = looped.impedance_at(node, f).unwrap();
+                    assert!(
+                        zb[i].re.to_bits() == zl.re.to_bits()
+                            && zb[i].im.to_bits() == zl.im.to_bits(),
+                        "trial {trial} {backend:?} port {i} at {f} Hz: \
+                         batched {}+{}j vs looped {}+{}j must be bitwise equal",
+                        zb[i].re,
+                        zb[i].im,
+                        zl.re,
+                        zl.im
+                    );
+                }
+            }
+            // The batched analyzer factored once per frequency; the
+            // looped one refactored per (frequency, port) pair.
+            let cb = batched.counters();
+            let cl = looped.counters();
+            assert_eq!(cb.lu_factorizations as usize, freqs.len());
+            assert_eq!(
+                cl.lu_factorizations as usize,
+                freqs.len() * ports.len(),
+                "looped path must factor per injection"
+            );
+            assert!(cb.batched_solves > 0 && cl.batched_solves == 0);
+            assert!(cb.est_flops < cl.est_flops);
+        }
+    }
+}
+
+#[test]
+fn rom_tracks_full_solver_across_drawer_topologies() {
+    use voltnoise::pdn::{DrawerParams, RomSpec, SolveSpec};
+    use voltnoise::system::{DrawerJob, DrawerStepConfig};
+    let topologies = [
+        DrawerParams {
+            chips: 4,
+            ..DrawerParams::default()
+        },
+        DrawerParams {
+            chips: 8,
+            r_spine: 0.05e-3,
+            ..DrawerParams::default()
+        },
+    ];
+    for (t, drawer) in topologies.into_iter().enumerate() {
+        let base = DrawerStepConfig {
+            drawer,
+            window_s: 3e-6,
+            ..DrawerStepConfig::default()
+        };
+        let full = DrawerJob::new(base.clone()).unwrap().solve().unwrap();
+        let spec = RomSpec::default();
+        let rom = DrawerJob::new(DrawerStepConfig {
+            solve: SolveSpec::reduced(spec),
+            ..base.clone()
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!(
+            rom.rom_states > 0,
+            "topology {t}: ROM must report its order"
+        );
+        assert!(
+            rom.rom_max_error_v <= spec.budget_v,
+            "topology {t}: calibrated error {:.3e} V above budget {:.3e} V",
+            rom.rom_max_error_v,
+            spec.budget_v
+        );
+        assert!(
+            rom.steps < full.steps,
+            "topology {t}: reduced solve must take fewer steps ({} vs {})",
+            rom.steps,
+            full.steps
+        );
+        let gap = full
+            .droop_depth_v
+            .iter()
+            .zip(&rom.droop_depth_v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(
+                (full.source_core_droop_v - rom.source_core_droop_v).abs(),
+                f64::max,
+            );
+        assert!(
+            gap <= 3.0 * spec.budget_v,
+            "topology {t}: droop gap {:.3e} V far above the {:.3e} V budget",
+            gap,
+            spec.budget_v
+        );
+    }
+}
+
+#[test]
 fn full_report_reduced_is_byte_identical_to_golden() {
     use voltnoise::analysis::{full_report_on, ReportScale};
     use voltnoise::system::{Engine, Testbed};
