@@ -280,7 +280,10 @@ impl RegistryEntry {
         match (self.run)(tb, engine, reduced) {
             Ok(output) => Ok(output),
             Err(failure) => match failure.primary {
-                FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e) => Err(e),
+                FaultKind::Solver(e)
+                | FaultKind::Budget(e)
+                | FaultKind::Cancelled(e)
+                | FaultKind::Deadline(e) => Err(e),
                 FaultKind::Panic(msg) => panic!("{msg}"),
             },
         }

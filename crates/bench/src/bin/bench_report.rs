@@ -20,7 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use voltnoise::analysis::find;
 use voltnoise::pdn::ac::log_space;
 use voltnoise::pdn::{
@@ -28,6 +28,7 @@ use voltnoise::pdn::{
     SolverCounters, NUM_CORES,
 };
 use voltnoise::system::{set_trace, DrawerJob, DrawerStepConfig, Engine, Testbed};
+use voltnoise_server::{http_request, Server, ServerConfig};
 
 /// Experiments benchmarked by default: one long transient, one sweep of
 /// many small jobs, one mapping campaign.
@@ -37,7 +38,9 @@ const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 /// `/2`: added the `drawer` section (sparse-solver cost accounting).
 /// `/3`: added the `ac_batch` (factor-once multi-RHS AC sweep) and
 /// `rom` (reduced-order macromodel) sections.
-const SCHEMA: &str = "voltnoise-bench/3";
+/// `/4`: added the `server_rtt` section (campaign-daemon request
+/// latency over loopback HTTP).
+const SCHEMA: &str = "voltnoise-bench/4";
 
 /// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
 /// the sparse backend must beat the dense cost model by at least this
@@ -195,6 +198,29 @@ struct RomBench {
     flops_ratio: f64,
 }
 
+/// The campaign-daemon round-trip benchmark: an in-process
+/// `voltnoise-server` on a loopback socket, timed from the client side.
+/// The first request solves a small batch; the remaining requests hit
+/// the engine's memo cache, so their latency isolates the service
+/// envelope itself (accept queue, HTTP parse, admission, streaming).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServerRttBench {
+    /// Timed `POST /jobs` requests (after the one warm-up solve).
+    requests: usize,
+    /// Jobs per batch request.
+    jobs_per_request: usize,
+    /// Per-request wall time of the cache-warm `POST /jobs` round trips
+    /// (`median_ns` is the p50 the service envelope is judged by).
+    rtt: WallStats,
+    /// Per-request wall time of bare `GET /healthz` round trips — the
+    /// HTTP floor underneath `rtt`.
+    healthz_rtt: WallStats,
+    /// Engine solves over the whole benchmark (warm-up included).
+    solves: usize,
+    /// Engine cache hits over the whole benchmark.
+    cache_hits: usize,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -205,6 +231,7 @@ struct BenchReport {
     drawer: DrawerBench,
     ac_batch: AcBatchBench,
     rom: RomBench,
+    server_rtt: ServerRttBench,
 }
 
 struct Opts {
@@ -456,6 +483,60 @@ fn bench_rom(iters: usize) -> RomBench {
     }
 }
 
+/// Benchmarks client-observed request latency against an in-process
+/// `voltnoise-server` bound to an ephemeral loopback port. One warm-up
+/// batch pays the solve; the timed requests then measure the service
+/// envelope on the cache-hit path, with bare `/healthz` pings as the
+/// HTTP floor.
+fn bench_server_rtt(iters: usize) -> ServerRttBench {
+    let server = Server::bind(ServerConfig {
+        reduced: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server
+        .local_addr()
+        .expect("server has a local address")
+        .to_string();
+    let stop = server.stop_handle();
+    let engine = server.engine();
+    let daemon = std::thread::spawn(move || server.run());
+    let timeout = Duration::from_secs(120);
+    let body = r#"{"jobs":[{"mapping":["max","idle","idle","idle","idle","idle"],"stim_freq_hz":2.5e6,"sync":true,"window_s":5e-6,"seed":42}]}"#;
+    let warmup = http_request(&addr, "POST", "/jobs", Some(body), timeout)
+        .expect("warm-up batch round trip");
+    assert_eq!(warmup.status, 200, "warm-up batch failed: {}", warmup.body);
+    let requests = (iters * 5).max(5);
+    let mut rtt = Vec::with_capacity(requests);
+    let mut healthz = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let resp =
+            http_request(&addr, "POST", "/jobs", Some(body), timeout).expect("batch round trip");
+        rtt.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(resp.status, 200, "batch request failed: {}", resp.body);
+        let t0 = Instant::now();
+        let resp =
+            http_request(&addr, "GET", "/healthz", None, timeout).expect("healthz round trip");
+        healthz.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(resp.status, 200, "healthz failed: {}", resp.body);
+    }
+    let stats = engine.stats();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    daemon
+        .join()
+        .expect("server thread exits")
+        .expect("server drains cleanly");
+    ServerRttBench {
+        requests,
+        jobs_per_request: 1,
+        rtt: WallStats::of(rtt),
+        healthz_rtt: WallStats::of(healthz),
+        solves: stats.solves,
+        cache_hits: stats.cache_hits,
+    }
+}
+
 fn smoke_check(json: &str) {
     let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
     assert_eq!(report.schema, SCHEMA, "schema version mismatch");
@@ -544,6 +625,23 @@ fn smoke_check(json: &str) {
         rom.rom_est_flops,
         rom.full_est_flops
     );
+    let server = &report.server_rtt;
+    assert!(
+        server.rtt.median_ns > 0 && server.rtt.p95_ns >= server.rtt.median_ns,
+        "server RTT stats must be populated and ordered, got {:?}",
+        server.rtt
+    );
+    assert_eq!(
+        server.solves, 1,
+        "timed server requests must ride the memo cache (one warm-up solve), got {} solves",
+        server.solves
+    );
+    assert!(
+        server.cache_hits >= server.requests,
+        "server cache hits ({}) must cover the {} timed requests",
+        server.cache_hits,
+        server.requests
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -573,6 +671,11 @@ fn main() {
         opts.iters
     );
     let rom = bench_rom(opts.iters);
+    eprintln!(
+        "# benchmarking server round-trip latency ({} iterations)",
+        opts.iters
+    );
+    let server_rtt = bench_server_rtt(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
@@ -582,6 +685,7 @@ fn main() {
         drawer,
         ac_batch,
         rom,
+        server_rtt,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -625,6 +729,17 @@ fn main() {
         report.rom.rom_steps,
         report.rom.full_steps,
         report.rom.flops_ratio
+    );
+    println!(
+        "{:8} p50 {:>15} ns  p95 {:>12} ns  healthz p50 {:>9} ns  {} requests  solves {}  \
+         cache_hits {}",
+        "srv_rtt",
+        report.server_rtt.rtt.median_ns,
+        report.server_rtt.rtt.p95_ns,
+        report.server_rtt.healthz_rtt.median_ns,
+        report.server_rtt.requests,
+        report.server_rtt.solves,
+        report.server_rtt.cache_hits
     );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {

@@ -74,6 +74,17 @@ pub enum PdnError {
         /// Simulation time (seconds) at which cancellation was observed.
         t: f64,
     },
+    /// The solve was reaped because its request's wall-clock deadline
+    /// expired ([`crate::cancel::CancelToken::cancel_deadline`]).
+    /// Distinct from [`PdnError::Cancelled`] so serving layers can count
+    /// deadline faults separately from operator-initiated drains, and
+    /// from [`PdnError::BudgetExceeded`] because a wall-clock deadline —
+    /// unlike a step budget — is a scheduling fact, not a content fact,
+    /// so it must never be cached.
+    DeadlineExceeded {
+        /// Simulation time (seconds) reached when the deadline fired.
+        t: f64,
+    },
     /// Peak detection was asked to analyze an empty impedance profile.
     EmptyProfile,
     /// A reduced-order model could not meet its caller-supplied error
@@ -119,6 +130,10 @@ impl fmt::Display for PdnError {
                 "step budget exhausted after {steps} accepted steps at t = {t:.3e} s"
             ),
             PdnError::Cancelled { t } => write!(f, "solve cancelled at t = {t:.3e} s"),
+            PdnError::DeadlineExceeded { t } => write!(
+                f,
+                "wall-clock deadline expired; solve reaped at t = {t:.3e} s"
+            ),
             PdnError::EmptyProfile => {
                 write!(f, "empty impedance profile has no peaks")
             }
@@ -168,6 +183,7 @@ mod tests {
                 t: 2e-6,
             },
             PdnError::Cancelled { t: 1e-6 },
+            PdnError::DeadlineExceeded { t: 3e-6 },
             PdnError::EmptyProfile,
             PdnError::RomBudget {
                 budget_v: 1e-3,

@@ -72,7 +72,7 @@ pub mod waveform;
 
 pub use ac::{AcAnalysis, ImpedancePoint};
 pub use backend::{Factorization, RomSpec, SolveSpec};
-pub use cancel::CancelToken;
+pub use cancel::{CancelReason, CancelToken};
 pub use complex::Complex;
 pub use design::{check_mask, size_decap, DecapSizing, ImpedanceMask, MaskViolation};
 pub use error::PdnError;

@@ -553,8 +553,8 @@ impl TransientSolver {
                 }
             }
             if let Some(token) = &cfg.cancel {
-                if token.is_cancelled() {
-                    return Err(PdnError::Cancelled { t });
+                if let Some(abort) = token.abort_error(t) {
+                    return Err(abort);
                 }
             }
             while widx < windows.len() && t >= windows[widx].1 {

@@ -44,7 +44,7 @@ use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::{CancelToken, PdnError, SolveSpec, SolverBackend};
@@ -487,6 +487,24 @@ pub struct EngineStats {
     /// Faults whose terminal kind was budget exhaustion
     /// ([`crate::fault::FaultKind::Budget`]); a subset of `faults`.
     pub budget_faults: usize,
+    /// Faults whose terminal kind was a wall-clock deadline
+    /// ([`crate::fault::FaultKind::Deadline`]); a subset of `faults`.
+    pub deadline_faults: usize,
+    /// Jobs currently being solved (gauge): distinct keys between
+    /// singleflight registration and settlement. A serving layer's
+    /// "how busy is the engine right now" signal.
+    pub in_flight: usize,
+    /// Depth of the serving layer's bounded work queue (gauge),
+    /// published via [`Engine::set_queue_depth`]; zero for engines not
+    /// behind a server.
+    pub queue_depth: usize,
+    /// Requests the serving layer shed — admission rejections plus
+    /// queue-full discards — published via [`Engine::note_shed`]; zero
+    /// for engines not behind a server.
+    pub shed_total: usize,
+    /// Callers that attached to an identical already-in-flight solve
+    /// instead of starting their own (cross-client singleflight dedup).
+    pub inflight_joins: usize,
     /// Aggregated solver telemetry: deterministic work counters plus
     /// (when tracing was enabled) wall-clock histograms.
     pub telemetry: EngineTelemetry,
@@ -515,6 +533,16 @@ impl EngineStats {
     }
 }
 
+/// One in-flight solve that concurrent identical requests attach to:
+/// the first caller (the leader) solves, every later caller with the
+/// same content key blocks on the condvar and shares the settled
+/// result — success or fault — instead of duplicating the solve.
+#[derive(Default)]
+struct InflightSlot {
+    result: Mutex<Option<Result<Arc<NoiseOutcome>, JobFault>>>,
+    settled: Condvar,
+}
+
 /// The parallel, memoizing job executor.
 pub struct Engine {
     workers: usize,
@@ -525,6 +553,7 @@ pub struct Engine {
     step_budget: Option<usize>,
     shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
     drawer_memo: Mutex<HashMap<String, Arc<DrawerStepOutcome>>>,
+    inflight: Mutex<HashMap<JobKey, Arc<InflightSlot>>>,
     solves: AtomicUsize,
     hits: AtomicUsize,
     attempts: AtomicUsize,
@@ -532,6 +561,11 @@ pub struct Engine {
     retries: AtomicUsize,
     store_hits: AtomicUsize,
     budget_faults: AtomicUsize,
+    deadline_faults: AtomicUsize,
+    in_flight: AtomicUsize,
+    queue_depth: AtomicUsize,
+    shed_total: AtomicUsize,
+    inflight_joins: AtomicUsize,
     telemetry: Mutex<EngineTelemetry>,
 }
 
@@ -613,6 +647,7 @@ impl Engine {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             drawer_memo: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             solves: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             attempts: AtomicUsize::new(0),
@@ -620,6 +655,11 @@ impl Engine {
             retries: AtomicUsize::new(0),
             store_hits: AtomicUsize::new(0),
             budget_faults: AtomicUsize::new(0),
+            deadline_faults: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            queue_depth: AtomicUsize::new(0),
+            shed_total: AtomicUsize::new(0),
+            inflight_joins: AtomicUsize::new(0),
             telemetry: Mutex::new(EngineTelemetry::default()),
         }
     }
@@ -736,6 +776,40 @@ impl Engine {
         self.budget_faults.load(Ordering::Relaxed)
     }
 
+    /// Faults whose terminal kind was a wall-clock deadline.
+    pub fn deadline_faults(&self) -> usize {
+        self.deadline_faults.load(Ordering::Relaxed)
+    }
+
+    /// Distinct jobs currently being solved (gauge).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Callers that attached to an identical in-flight solve so far.
+    pub fn inflight_joins(&self) -> usize {
+        self.inflight_joins.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the serving layer's current work-queue depth into the
+    /// engine's stats. The engine has no queue of its own — this gauge
+    /// exists so `/stats` can serve one coherent [`EngineStats`]
+    /// snapshot covering both the executor and the layer feeding it.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Records one shed request (admission rejection or queue-full
+    /// discard) from the serving layer.
+    pub fn note_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed by the serving layer so far.
+    pub fn shed_total(&self) -> usize {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the engine's aggregated solver telemetry. Solver
     /// work counters are always populated; the wall-clock histograms
     /// only fill while tracing is enabled (`VOLTNOISE_TRACE`).
@@ -754,19 +828,21 @@ impl Engine {
             store_hits: self.store_hits(),
             store_corrupt_lines: self.store.as_ref().map_or(0, ResultStore::corrupt_lines),
             budget_faults: self.budget_faults(),
+            deadline_faults: self.deadline_faults(),
+            in_flight: self.in_flight(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            shed_total: self.shed_total(),
+            inflight_joins: self.inflight_joins(),
             telemetry: self.telemetry(),
         }
     }
 
-    /// Whether a cancellation has been requested for this job, via either
-    /// the engine-level token or the job's own config token.
-    fn cancel_requested(&self, job: &SimJob) -> bool {
-        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-            || job
-                .cfg
-                .cancel
-                .as_ref()
-                .is_some_and(CancelToken::is_cancelled)
+    /// The reason-matched error a job must fail fast with before its
+    /// solver is entered, via either the engine-level token or the job's
+    /// own config token. `None` while both tokens are live.
+    fn pre_solve_abort(&self, job: &SimJob) -> Option<PdnError> {
+        let check = |token: Option<&CancelToken>| token.and_then(|t| t.abort_error(0.0));
+        check(self.cancel.as_ref()).or_else(|| check(job.cfg.cancel.as_ref()))
     }
 
     /// Solves a job with the engine-level step budget and cancellation
@@ -870,10 +946,16 @@ impl Engine {
 
     /// Runs one job through the cache, capturing failure — solver error
     /// or worker panic — as a [`JobFault`] instead of propagating it.
-    /// The retry policy grants failing jobs extra attempts; with
+    /// The retry policy grants failing jobs extra attempts (separated by
+    /// its deterministic backoff schedule when one is configured); with
     /// `reseed` set, attempt `k` re-runs with `seed + k` and a success
     /// is cached under the reseeded key (never the original key, which
     /// would break the key → content invariant).
+    ///
+    /// Concurrent callers with the same content key coalesce onto one
+    /// solve (singleflight): the first caller solves, the rest block and
+    /// share its settled result — the cross-client dedup a serving layer
+    /// needs so two clients posting the same job cost one solve.
     ///
     /// # Errors
     ///
@@ -903,15 +985,74 @@ impl Engine {
         }
         // Jobs that would have to *solve* after cancellation fail fast
         // without consuming an attempt (attempts = 0: the solver was
-        // never entered).
-        if self.cancel_requested(job) {
-            self.faults.fetch_add(1, Ordering::Relaxed);
-            return Err(JobFault {
-                key: Box::new(job.key.clone()),
-                attempts: 0,
-                fault: FaultKind::Cancelled(PdnError::Cancelled { t: 0.0 }),
+        // never entered). The fault kind carries the token's reason, so
+        // a deadline-reaped request reports Deadline, not Cancelled.
+        if let Some(abort) = self.pre_solve_abort(job) {
+            return Err(self.record_fault(job, 0, FaultKind::of_error(abort)));
+        }
+        // Singleflight: one leader per distinct in-flight key; everyone
+        // else attaches to the leader's slot and waits for settlement.
+        let (slot, leader) = {
+            let mut inflight = lock_recover(&self.inflight);
+            match inflight.get(job.key()) {
+                Some(slot) => (slot.clone(), false),
+                None => {
+                    let slot = Arc::new(InflightSlot::default());
+                    inflight.insert(job.key().clone(), slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        if !leader {
+            self.inflight_joins.fetch_add(1, Ordering::Relaxed);
+            let mut settled = lock_recover(&slot.result);
+            while settled.is_none() {
+                settled = slot
+                    .settled
+                    .wait(settled)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            // The loop above only exits once the leader published.
+            return settled.clone().unwrap_or_else(|| {
+                Err(JobFault {
+                    key: Box::new(job.key.clone()),
+                    attempts: 0,
+                    fault: FaultKind::Panic("inflight slot settled empty".to_string()),
+                })
             });
         }
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let result = self.solve_with_retries(job);
+        *lock_recover(&slot.result) = Some(result.clone());
+        lock_recover(&self.inflight).remove(job.key());
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        slot.settled.notify_all();
+        result
+    }
+
+    /// Books a terminal fault into the engine's counters and builds the
+    /// [`JobFault`] to return.
+    fn record_fault(&self, job: &SimJob, attempts: u32, fault: FaultKind) -> JobFault {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        match fault {
+            FaultKind::Budget(_) => {
+                self.budget_faults.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::Deadline(_) => {
+                self.deadline_faults.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        JobFault {
+            key: Box::new(job.key.clone()),
+            attempts,
+            fault,
+        }
+    }
+
+    /// The retry loop of one leader solve: every attempt the policy
+    /// allows, with the deterministic backoff schedule between attempts.
+    fn solve_with_retries(&self, job: &SimJob) -> Result<Arc<NoiseOutcome>, JobFault> {
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_fault: Option<FaultKind> = None;
         let mut attempts_made = 0u32;
@@ -925,16 +1066,23 @@ impl Engine {
             };
             if attempt > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                // The delay is a pure function of (job seed, attempt):
+                // reproducible under any worker count (see RetryPolicy).
+                let delay_ms = self.retry.backoff_delay_ms(job.cfg.seed, attempt);
+                if delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                }
             }
             attempts_made = attempt + 1;
             match catch_unwind(AssertUnwindSafe(|| self.solve_attempt(current))) {
                 Ok(Ok(outcome)) => return Ok(outcome),
                 Ok(Err(e)) => {
                     let kind = FaultKind::of_error(e);
-                    // Budget exhaustion and cancellation are final:
-                    // retrying is guaranteed to reproduce them (budgets
-                    // are deterministic, tokens stay cancelled), so the
-                    // attempts a retry policy would spend are saved.
+                    // Budget exhaustion, cancellation and deadline
+                    // reaping are final: retrying is guaranteed to
+                    // reproduce them (budgets are deterministic, tokens
+                    // stay cancelled), so the attempts a retry policy
+                    // would spend are saved.
                     let stop = kind.is_final();
                     last_fault = Some(kind);
                     if stop {
@@ -946,17 +1094,9 @@ impl Engine {
                 }
             }
         }
-        self.faults.fetch_add(1, Ordering::Relaxed);
         let fault = last_fault
             .unwrap_or_else(|| FaultKind::Panic("no attempt recorded a fault".to_string()));
-        if matches!(fault, FaultKind::Budget(_)) {
-            self.budget_faults.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(JobFault {
-            key: Box::new(job.key.clone()),
-            attempts: attempts_made,
-            fault,
-        })
+        Err(self.record_fault(job, attempts_made, fault))
     }
 
     /// Runs one job through the cache (solving on a miss). Useful for
@@ -976,7 +1116,11 @@ impl Engine {
         match self.run_one_settled(job) {
             Ok(outcome) => Ok(outcome),
             Err(JobFault {
-                fault: FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e),
+                fault:
+                    FaultKind::Solver(e)
+                    | FaultKind::Budget(e)
+                    | FaultKind::Cancelled(e)
+                    | FaultKind::Deadline(e),
                 ..
             }) => Err(e),
             Err(JobFault {
@@ -1025,6 +1169,65 @@ impl Engine {
         slots.into_iter().map(|i| solved[i].clone()).collect()
     }
 
+    /// Like [`Engine::run_jobs_settled`], but additionally invokes
+    /// `sink(i, &result)` — from worker threads, as each distinct job
+    /// settles — for every input slot `i` the settled job fills. A
+    /// serving layer maps this onto a streamed response: clients see
+    /// each job's result the moment it settles instead of waiting for
+    /// the whole batch. Duplicate jobs coalesce exactly as in
+    /// `run_jobs_settled`; their slots are all announced when the one
+    /// shared solve settles. The full input-ordered result vector is
+    /// still returned.
+    pub fn run_jobs_settled_each<F>(
+        &self,
+        jobs: &[SimJob],
+        sink: F,
+    ) -> Vec<Result<Arc<NoiseOutcome>, JobFault>>
+    where
+        F: Fn(usize, &Result<Arc<NoiseOutcome>, JobFault>) + Sync,
+    {
+        let mut index_of: HashMap<&JobKey, usize> = HashMap::new();
+        let mut unique: Vec<&SimJob> = Vec::new();
+        let mut slots_of: Vec<Vec<usize>> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let next = unique.len();
+            let idx = *index_of.entry(job.key()).or_insert(next);
+            if idx == next {
+                unique.push(job);
+                slots_of.push(Vec::new());
+            }
+            slots_of[idx].push(i);
+            slots.push(idx);
+        }
+        let order: Vec<usize> = (0..unique.len()).collect();
+        let solved: Vec<Result<Arc<NoiseOutcome>, JobFault>> = self
+            .par_map_caught(&order, |&u| {
+                let settled = self.run_one_settled(unique[u]);
+                for &slot in &slots_of[u] {
+                    sink(slot, &settled);
+                }
+                settled
+            })
+            .into_iter()
+            .zip(&unique)
+            .map(|(r, job)| match r {
+                Ok(settled) => settled,
+                // A panic escaping run_one_settled's catch (or raised by
+                // the sink itself) still settles the slot as a fault.
+                Err(msg) => {
+                    self.faults.fetch_add(1, Ordering::Relaxed);
+                    Err(JobFault {
+                        key: Box::new(job.key().clone()),
+                        attempts: 1,
+                        fault: FaultKind::Panic(msg),
+                    })
+                }
+            })
+            .collect();
+        slots.into_iter().map(|i| solved[i].clone()).collect()
+    }
+
     /// Runs a slice of jobs fail-fast: a thin wrapper over
     /// [`Engine::run_jobs_settled`] that unwraps the first failure. The
     /// output preserves input order: `result[i]` is the outcome of
@@ -1045,7 +1248,11 @@ impl Engine {
             match settled {
                 Ok(outcome) => out.push(outcome),
                 Err(JobFault {
-                    fault: FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e),
+                    fault:
+                        FaultKind::Solver(e)
+                        | FaultKind::Budget(e)
+                        | FaultKind::Cancelled(e)
+                        | FaultKind::Deadline(e),
                     ..
                 }) => return Err(e),
                 Err(JobFault {
@@ -1370,6 +1577,107 @@ mod tests {
         let tel = engine.telemetry();
         assert!(tel.solver.sparse_solves > 0, "{:?}", tel.solver);
         assert!(tel.solver.pattern_reuses > 0, "{:?}", tel.solver);
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_singleflight_onto_one_solve() {
+        let tb = Testbed::fast();
+        let job = &test_jobs(tb)[0];
+        let engine = Engine::with_workers(4);
+        const CALLERS: usize = 6;
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| scope.spawn(|| engine.run_one_settled(job)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for settled in &outcomes {
+            assert!(settled.is_ok());
+        }
+        // Exactly one caller solved; the rest either joined the
+        // in-flight slot or arrived after settlement and hit the cache.
+        assert_eq!(engine.solves(), 1, "one solve across {CALLERS} callers");
+        assert_eq!(
+            engine.inflight_joins() + engine.cache_hits(),
+            CALLERS - 1,
+            "joins={} hits={}",
+            engine.inflight_joins(),
+            engine.cache_hits()
+        );
+        assert_eq!(engine.in_flight(), 0, "gauge returns to zero");
+        let first = serde_json::to_string(&**outcomes[0].as_ref().unwrap()).unwrap();
+        for settled in &outcomes[1..] {
+            let other = serde_json::to_string(&**settled.as_ref().unwrap()).unwrap();
+            assert_eq!(first, other, "all callers share one result");
+        }
+    }
+
+    #[test]
+    fn deadline_cancelled_jobs_settle_as_deadline_faults() {
+        let tb = Testbed::fast();
+        let token = voltnoise_pdn::CancelToken::new();
+        token.cancel_deadline();
+        let engine = Engine::with_workers(1).with_cancel(token);
+        let jobs = test_jobs(tb);
+        let settled = engine.run_jobs_settled(&jobs);
+        for s in &settled {
+            let fault = s.as_ref().unwrap_err();
+            assert!(
+                matches!(fault.fault, FaultKind::Deadline(_)),
+                "{:?}",
+                fault.fault
+            );
+            assert_eq!(fault.attempts, 0, "solver never entered");
+        }
+        assert_eq!(engine.deadline_faults(), jobs.len());
+        assert_eq!(engine.budget_faults(), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_faults, jobs.len());
+        // The fail-fast wrapper surfaces the typed error.
+        let err = engine.run_one(&jobs[0]).unwrap_err();
+        assert!(matches!(err, PdnError::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn settled_each_streams_every_slot_exactly_once() {
+        let tb = Testbed::fast();
+        let engine = Engine::with_workers(2);
+        let jobs = test_jobs(tb);
+        let doubled: Vec<SimJob> = jobs.iter().chain(jobs.iter()).cloned().collect();
+        let announced: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        let returned = engine.run_jobs_settled_each(&doubled, |slot, settled| {
+            lock_recover(&announced).push((slot, settled.is_ok()));
+        });
+        assert_eq!(returned.len(), doubled.len());
+        let mut seen = lock_recover(&announced).clone();
+        seen.sort_unstable();
+        assert_eq!(
+            seen.iter().map(|&(slot, _)| slot).collect::<Vec<_>>(),
+            (0..doubled.len()).collect::<Vec<_>>(),
+            "every slot announced exactly once"
+        );
+        for (slot, ok) in seen {
+            assert_eq!(ok, returned[slot].is_ok());
+        }
+        // Duplicates still coalesce: one solve per distinct job.
+        assert_eq!(engine.solves(), jobs.len());
+    }
+
+    #[test]
+    fn serving_gauges_flow_into_stats() {
+        let engine = Engine::with_workers(1);
+        engine.set_queue_depth(5);
+        engine.note_shed();
+        engine.note_shed();
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depth, 5);
+        assert_eq!(stats.shed_total, 2);
+        assert_eq!(engine.shed_total(), 2);
+        engine.set_queue_depth(0);
+        assert_eq!(engine.stats().queue_depth, 0);
+        let json = stats.to_json().unwrap();
+        let back = EngineStats::from_json(&json).unwrap();
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -41,32 +41,44 @@ pub enum FaultKind {
     /// [`PdnError::Cancelled`]. Final: a cancelled campaign must drain,
     /// not retry.
     Cancelled(PdnError),
+    /// The job was reaped at its request's wall-clock deadline; always
+    /// carries [`PdnError::DeadlineExceeded`]. Final: the token stays
+    /// cancelled, so a retry would be reaped at its first step poll.
+    Deadline(PdnError),
     /// The worker thread panicked; the payload's message is preserved.
     Panic(String),
 }
 
 impl FaultKind {
-    /// Classifies a solve error into its fault kind: budget exhaustion
-    /// and cancellation get their own kinds, everything else is a
-    /// generic solver fault.
+    /// Classifies a solve error into its fault kind: budget exhaustion,
+    /// cancellation and deadline reaping get their own kinds, everything
+    /// else is a generic solver fault.
     pub fn of_error(e: PdnError) -> FaultKind {
         match e {
             PdnError::BudgetExceeded { .. } => FaultKind::Budget(e),
             PdnError::Cancelled { .. } => FaultKind::Cancelled(e),
+            PdnError::DeadlineExceeded { .. } => FaultKind::Deadline(e),
             _ => FaultKind::Solver(e),
         }
     }
 
     /// True for faults that retrying cannot change: a budget fault is
-    /// deterministic, and a cancelled campaign is draining.
+    /// deterministic, a cancelled campaign is draining, and a deadline
+    /// token stays cancelled.
     pub fn is_final(&self) -> bool {
-        matches!(self, FaultKind::Budget(_) | FaultKind::Cancelled(_))
+        matches!(
+            self,
+            FaultKind::Budget(_) | FaultKind::Cancelled(_) | FaultKind::Deadline(_)
+        )
     }
 
     /// The underlying solver error, when the fault carries one.
     pub fn as_error(&self) -> Option<&PdnError> {
         match self {
-            FaultKind::Solver(e) | FaultKind::Budget(e) | FaultKind::Cancelled(e) => Some(e),
+            FaultKind::Solver(e)
+            | FaultKind::Budget(e)
+            | FaultKind::Cancelled(e)
+            | FaultKind::Deadline(e) => Some(e),
             FaultKind::Panic(_) => None,
         }
     }
@@ -78,6 +90,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Solver(e) => write!(f, "solver error: {e}"),
             FaultKind::Budget(e) => write!(f, "budget fault: {e}"),
             FaultKind::Cancelled(e) => write!(f, "cancelled: {e}"),
+            FaultKind::Deadline(e) => write!(f, "deadline fault: {e}"),
             FaultKind::Panic(msg) => write!(f, "worker panic: {msg}"),
         }
     }
@@ -123,6 +136,15 @@ pub struct RetryPolicy {
     /// retried outcome is cached under its *own* (reseeded) key, never
     /// the original, so the content-keyed cache stays truthful.
     pub reseed: bool,
+    /// Base delay of the exponential backoff before retry `k`
+    /// (milliseconds): the nominal delay is `base · 2^(k-1)`, jittered.
+    /// `0` (the default) retries immediately, preserving the engine's
+    /// historical semantics and keeping test suites fast.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff delay (milliseconds), so a
+    /// deep retry chain cannot sleep unboundedly. Ignored when
+    /// `backoff_base_ms` is 0.
+    pub backoff_cap_ms: u64,
 }
 
 impl Default for RetryPolicy {
@@ -130,18 +152,66 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             reseed: false,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 10_000,
         }
     }
 }
 
 impl RetryPolicy {
     /// A policy allowing `max_attempts` total attempts, without
-    /// reseeding.
+    /// reseeding or backoff.
     pub fn attempts(max_attempts: u32) -> Self {
         RetryPolicy {
             max_attempts,
-            reseed: false,
+            ..RetryPolicy::default()
         }
+    }
+
+    /// Sets the exponential-backoff base (builder style). Retry `k`
+    /// sleeps `base · 2^(k-1)` ms, jittered deterministically (see
+    /// [`RetryPolicy::backoff_delay_ms`]) and capped at
+    /// `backoff_cap_ms`.
+    #[must_use]
+    pub fn with_backoff(mut self, base_ms: u64, cap_ms: u64) -> RetryPolicy {
+        self.backoff_base_ms = base_ms;
+        self.backoff_cap_ms = cap_ms;
+        self
+    }
+
+    /// The backoff delay before retry attempt `retry` (1 = first retry)
+    /// of the job whose content seed is `job_seed`, in milliseconds.
+    ///
+    /// Deterministic by construction: the delay is a pure function of
+    /// `(job_seed, retry, policy)` — never of wall-clock, thread id or
+    /// scheduling — so the retry schedule of a campaign reproduces
+    /// exactly under any `VOLTNOISE_THREADS` setting. Jitter
+    /// de-synchronizes jobs that fail together (a thundering herd after
+    /// a shared-resource fault) by scaling the nominal exponential delay
+    /// into `[1/2, 1)·nominal` with a splitmix64 hash of the seed and
+    /// attempt.
+    pub fn backoff_delay_ms(&self, job_seed: u64, retry: u32) -> u64 {
+        if self.backoff_base_ms == 0 || retry == 0 {
+            return 0;
+        }
+        let exp = retry.saturating_sub(1).min(20);
+        let nominal = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.backoff_cap_ms.max(1));
+        // splitmix64 of (job_seed, retry): the same mixer the fault
+        // injector uses, reproducible across processes and toolchains.
+        let mut z = job_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(retry));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Unit jitter in [0, 1): half the nominal delay is kept, the
+        // other half is scaled by the jitter.
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = nominal as f64 * (0.5 + 0.5 * unit);
+        (jittered as u64).max(1)
     }
 }
 
@@ -303,7 +373,49 @@ mod tests {
         let p = RetryPolicy::default();
         assert_eq!(p.max_attempts, 1);
         assert!(!p.reseed);
+        assert_eq!(p.backoff_base_ms, 0);
         assert_eq!(RetryPolicy::attempts(3).max_attempts, 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let p = RetryPolicy::attempts(6).with_backoff(10, 2000);
+        // Pure function of (seed, retry): identical on every call.
+        for retry in 1..6 {
+            assert_eq!(
+                p.backoff_delay_ms(42, retry),
+                p.backoff_delay_ms(42, retry),
+                "retry {retry}"
+            );
+        }
+        // Jitter keeps each delay within [nominal/2, nominal).
+        for (retry, nominal) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80)] {
+            let d = p.backoff_delay_ms(7, retry);
+            assert!(
+                d >= nominal / 2 && d < nominal,
+                "retry {retry}: delay {d} outside [{}, {nominal})",
+                nominal / 2
+            );
+        }
+        // The cap bounds deep chains (2^30 would overflow the schedule).
+        assert!(p.backoff_delay_ms(7, 31) <= 2000);
+        // Different seeds de-synchronize (overwhelmingly likely for a
+        // 53-bit jitter; these fixed seeds are a regression anchor).
+        assert_ne!(p.backoff_delay_ms(1, 3), p.backoff_delay_ms(2, 3));
+        // Zero base means immediate retries.
+        assert_eq!(RetryPolicy::attempts(3).backoff_delay_ms(42, 2), 0);
+    }
+
+    #[test]
+    fn deadline_faults_are_final_and_typed() {
+        let deadline = FaultKind::of_error(PdnError::DeadlineExceeded { t: 1e-6 });
+        assert!(matches!(deadline, FaultKind::Deadline(_)));
+        assert!(deadline.is_final());
+        assert!(deadline.to_string().starts_with("deadline fault:"));
+        assert!(matches!(
+            deadline.as_error(),
+            Some(PdnError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

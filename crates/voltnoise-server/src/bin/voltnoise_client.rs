@@ -1,0 +1,64 @@
+//! `voltnoise-client` — a minimal client for the campaign daemon.
+//!
+//! ```text
+//! voltnoise-client ADDR health            # GET /healthz
+//! voltnoise-client ADDR stats             # GET /stats
+//! voltnoise-client ADDR jobs BODY.json    # POST /jobs, print streamed lines
+//! voltnoise-client ADDR jobs -            # read the batch body from stdin
+//! ```
+//!
+//! Exits 0 on a 2xx response, 1 otherwise; the response body goes to
+//! stdout either way (a `429` body carries the retry hint).
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+use voltnoise_server::http_request;
+
+fn run() -> Result<u16, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command) = match args.as_slice() {
+        [addr, command, ..] => (addr.as_str(), command.as_str()),
+        _ => {
+            return Err("usage: voltnoise-client ADDR health|stats|jobs [BODY.json|-]".to_string())
+        }
+    };
+    let timeout = Duration::from_secs(600);
+    let response = match command {
+        "health" => http_request(addr, "GET", "/healthz", None, timeout),
+        "stats" => http_request(addr, "GET", "/stats", None, timeout),
+        "jobs" => {
+            let source = args
+                .get(2)
+                .ok_or_else(|| "jobs needs a body file (or - for stdin)".to_string())?;
+            let body = if source == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(source).map_err(|e| format!("cannot read {source}: {e}"))?
+            };
+            http_request(addr, "POST", "/jobs", Some(&body), timeout)
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    .map_err(|e| format!("request failed: {e}"))?;
+    print!("{}", response.body);
+    Ok(response.status)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(status) if (200..300).contains(&status) => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("voltnoise-client: server answered {status}");
+            ExitCode::FAILURE
+        }
+        Err(why) => {
+            eprintln!("voltnoise-client: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}

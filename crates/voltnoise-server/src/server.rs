@@ -1,0 +1,682 @@
+//! The daemon itself: a bounded-thread-pool TCP accept loop, the HTTP
+//! routes, and the admission → deadline → solve → stream pipeline of a
+//! batch request. See `DESIGN.md` ("Service model") for the state
+//! machine this file implements.
+
+use crate::admission::AdmissionControl;
+use crate::deadline::DeadlineReaper;
+use crate::http::{
+    finish_chunked, read_request, start_chunked, write_chunk, write_response, Request,
+};
+use crate::signals;
+use crate::wire::{parse_batch, BatchRequest};
+use serde::Value;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+use voltnoise_pdn::CancelToken;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::fault::{FaultKind, JobFault};
+use voltnoise_system::noise::{DrawerStepConfig, NoiseOutcome, NoiseRunConfig};
+use voltnoise_system::testbed::Testbed;
+use voltnoise_system::DrawerJob;
+
+/// Server configuration. Every knob has a production-shaped default;
+/// the tests and the smoke script turn them down to provoke the
+/// degraded paths deterministically.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port; the chosen
+    /// address is printed on stdout for discovery).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Bounded pending-connection queue; connections beyond it are shed
+    /// with `503`.
+    pub queue_cap: usize,
+    /// Admission ceiling, estimated in-flight steps.
+    pub step_ceiling: u64,
+    /// Largest accepted request body, bytes.
+    pub max_body: usize,
+    /// Batch deadline when the request names none, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Use the reduced-search testbed ([`Testbed::fast`]) instead of
+    /// the full one — the tests' and smoke script's fast path.
+    pub reduced: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            step_ceiling: 50_000_000,
+            max_body: 1024 * 1024,
+            default_deadline_ms: 300_000,
+            reduced: false,
+        }
+    }
+}
+
+/// Bounded handoff queue between the accept loop and the workers.
+struct ConnQueue {
+    pending: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            pending: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a connection; returns it back when the queue is full
+    /// (the caller sheds it) or already closed.
+    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut state = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        let (queue, closed) = &mut *state;
+        if *closed || queue.len() >= self.cap {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        let depth = queue.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the next connection, blocking; `None` once the queue is
+    /// closed *and* drained — the worker-exit condition, which is what
+    /// lets an in-flight request finish during a graceful drain.
+    fn pop(&self) -> Option<(TcpStream, usize)> {
+        let mut state = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                let depth = state.0.len();
+                return Some((stream, depth));
+            }
+            if state.1 {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    cfg: ServerConfig,
+    engine: Arc<Engine>,
+    testbed: &'static Testbed,
+    admission: Arc<AdmissionControl>,
+    reaper: Arc<DeadlineReaper>,
+    queue: ConnQueue,
+    draining: AtomicBool,
+    /// In-flight batch tokens, cancelled wholesale on drain.
+    tokens: Mutex<HashMap<u64, CancelToken>>,
+    token_seq: AtomicU64,
+}
+
+impl Shared {
+    /// Registers a batch token for drain cancellation; the returned id
+    /// unregisters it.
+    fn track_token(&self, token: CancelToken) -> u64 {
+        let id = self.token_seq.fetch_add(1, Ordering::Relaxed);
+        self.tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, token);
+        id
+    }
+
+    fn untrack_token(&self, id: u64) {
+        self.tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn cancel_all_tokens(&self) {
+        for token in self
+            .tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            token.cancel();
+        }
+    }
+}
+
+/// The bound-but-not-yet-running daemon. Binding is split from running
+/// so in-process embedders (the benchmark harness, tests) can learn the
+/// ephemeral port before the accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and assembles the engine, testbed, admission
+    /// gate and deadline reaper.
+    ///
+    /// The engine honors `VOLTNOISE_STORE` (persistent JSONL result
+    /// store — the resume substrate) and `VOLTNOISE_THREADS` exactly as
+    /// every other entry point in the workspace does.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the address cannot be bound.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let testbed = if cfg.reduced {
+            Testbed::fast()
+        } else {
+            Testbed::shared()
+        };
+        let shared = Arc::new(Shared {
+            engine: Arc::new(Engine::new()),
+            testbed,
+            admission: AdmissionControl::new(cfg.step_ceiling),
+            reaper: DeadlineReaper::start(),
+            queue: ConnQueue::new(cfg.queue_cap),
+            draining: AtomicBool::new(false),
+            tokens: Mutex::new(HashMap::new()),
+            token_seq: AtomicU64::new(0),
+            cfg,
+        });
+        Ok(Server {
+            listener,
+            shared,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the chosen ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (cannot happen on a healthy
+    /// bound listener).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the accept loop from another thread — the
+    /// in-process equivalent of `SIGTERM`, used by embedders that must
+    /// not touch the process-global signal flag.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// The engine behind this server (tests and embedders inspect its
+    /// stats directly).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.shared.engine.clone()
+    }
+
+    /// Runs the accept loop until `SIGTERM`/`SIGINT` or the stop
+    /// handle, then drains gracefully: stop accepting, cancel in-flight
+    /// batches through their tokens, let workers finish, flush the
+    /// result store, return.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only for a listener failure; a clean drain
+    /// returns `Ok(())`.
+    pub fn run(self) -> io::Result<()> {
+        signals::install();
+        self.listener.set_nonblocking(true)?;
+        let addr = self.local_addr()?;
+        // The discovery line: scripts and tests parse the port from it.
+        println!("voltnoise-server listening on {addr}");
+        let workers: Vec<_> = (0..self.shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = self.shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("conn-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<_>>()?;
+        while !signals::shutdown_requested() && !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    match self.shared.queue.push(stream) {
+                        Ok(depth) => self.shared.engine.set_queue_depth(depth),
+                        Err(stream) => shed_connection(&self.shared, stream),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: refuse new work, reap the old, flush, exit cleanly.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.cancel_all_tokens();
+        self.shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.shared.reaper.shutdown();
+        if let Some(store) = self.shared.engine.store() {
+            store.compact()?;
+        }
+        self.shared.engine.set_queue_depth(0);
+        println!("voltnoise-server drained cleanly");
+        Ok(())
+    }
+}
+
+/// Sheds a connection the queue would not take: `503` + `Retry-After`,
+/// counted in the engine's `shed_total`.
+fn shed_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.engine.note_shed();
+    let body = error_body(&[
+        ("error", Value::Str("overloaded".to_string())),
+        (
+            "detail",
+            Value::Str("connection queue full; retry later".to_string()),
+        ),
+    ]);
+    let _ = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        "application/json",
+        &[("Retry-After", "1".to_string())],
+        &body,
+    );
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((mut stream, depth)) = shared.queue.pop() {
+        shared.engine.set_queue_depth(depth);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        handle_connection(shared, &mut stream);
+    }
+}
+
+fn error_body(fields: &[(&str, Value)]) -> String {
+    let object = Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    );
+    serde_json::to_string(&object).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    let request = match read_request(stream, shared.cfg.max_body) {
+        Ok(request) => request,
+        Err(err) => {
+            if let Some((status, reason)) = err.status() {
+                let body = error_body(&[
+                    ("error", Value::Str("bad-request".to_string())),
+                    ("detail", Value::Str(err.to_string())),
+                ]);
+                let _ = write_response(stream, status, reason, "application/json", &[], &body);
+            }
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_response(stream, 200, "OK", "text/plain", &[], "ok\n");
+        }
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                let _ = write_response(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    &[],
+                    "draining\n",
+                );
+            } else {
+                let _ = write_response(stream, 200, "OK", "text/plain", &[], "ready\n");
+            }
+        }
+        ("GET", "/stats") => {
+            let body = shared
+                .engine
+                .stats()
+                .to_json()
+                .unwrap_or_else(|_| "{}".to_string());
+            let _ = write_response(stream, 200, "OK", "application/json", &[], &body);
+        }
+        ("POST", "/jobs") => handle_jobs(shared, stream, &request),
+        ("POST", "/drawer") => handle_drawer(shared, stream, &request),
+        (method, path) => {
+            let body = error_body(&[
+                ("error", Value::Str("not-found".to_string())),
+                (
+                    "detail",
+                    Value::Str(format!("no route for {method} {path}")),
+                ),
+            ]);
+            let _ = write_response(stream, 404, "Not Found", "application/json", &[], &body);
+        }
+    }
+}
+
+/// Short stable label of a fault kind for the wire.
+fn fault_label(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Solver(_) => "solver",
+        FaultKind::Budget(_) => "budget",
+        FaultKind::Cancelled(_) => "cancelled",
+        FaultKind::Deadline(_) => "deadline",
+        FaultKind::Panic(_) => "panic",
+    }
+}
+
+/// One streamed result line (newline-terminated JSON document).
+fn result_line(index: usize, settled: &Result<Arc<NoiseOutcome>, JobFault>) -> String {
+    match settled {
+        Ok(outcome) => {
+            let outcome_json =
+                serde_json::to_string(&**outcome).unwrap_or_else(|_| "null".to_string());
+            format!("{{\"index\":{index},\"status\":\"ok\",\"outcome\":{outcome_json}}}\n")
+        }
+        Err(fault) => {
+            let detail = Value::Str(fault.fault.to_string());
+            let detail_json = serde_json::to_string(&detail).unwrap_or_else(|_| "\"\"".to_string());
+            format!(
+                "{{\"index\":{index},\"status\":\"fault\",\"kind\":\"{}\",\"attempts\":{},\"detail\":{detail_json}}}\n",
+                fault_label(&fault.fault),
+                fault.attempts
+            )
+        }
+    }
+}
+
+fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    if shared.draining.load(Ordering::SeqCst) {
+        let body = error_body(&[("error", Value::Str("draining".to_string()))]);
+        let _ = write_response(
+            stream,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[],
+            &body,
+        );
+        return;
+    }
+    let batch = match parse_batch(&request.body) {
+        Ok(batch) => batch,
+        Err(err) => {
+            let _ = write_response(
+                stream,
+                400,
+                "Bad Request",
+                "application/json",
+                &[],
+                &err.to_json(),
+            );
+            return;
+        }
+    };
+    // Admission: the whole batch enters or the whole batch bounces.
+    let permit = match shared.admission.try_admit(batch.estimated_steps()) {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            shared.engine.note_shed();
+            let retry_after = rejection.retry_after_secs();
+            let body = error_body(&[
+                ("error", Value::Str("overloaded".to_string())),
+                ("estimated_steps", Value::U64(rejection.estimated)),
+                ("in_flight_steps", Value::U64(rejection.in_flight)),
+                ("ceiling_steps", Value::U64(rejection.ceiling)),
+                ("retry_after_s", Value::U64(retry_after)),
+            ]);
+            let _ = write_response(
+                stream,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", retry_after.to_string())],
+                &body,
+            );
+            return;
+        }
+    };
+    // Deadline + drain wiring: one token per batch, registered with the
+    // reaper (wall clock) and the drain registry (SIGTERM).
+    let token = CancelToken::new();
+    let deadline_ms = batch
+        .deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms)
+        .max(1);
+    let _deadline_guard = shared
+        .reaper
+        .register(token.clone(), Duration::from_millis(deadline_ms));
+    let token_id = shared.track_token(token.clone());
+    let jobs = build_jobs(&batch, shared.testbed, &token);
+    if start_chunked(stream, "application/jsonl").is_err() {
+        shared.untrack_token(token_id);
+        drop(permit);
+        return;
+    }
+    // The sink runs on engine worker threads; serialize writes and stop
+    // writing (but keep solving — results still enter cache and store)
+    // once the peer goes away.
+    let writer = Mutex::new(&mut *stream);
+    let peer_gone = AtomicBool::new(false);
+    let results = shared
+        .engine
+        .run_jobs_settled_each(&jobs, |index, settled| {
+            if peer_gone.load(Ordering::Relaxed) {
+                return;
+            }
+            let line = result_line(index, settled);
+            let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+            if write_chunk(&mut writer, &line).is_err() {
+                peer_gone.store(true, Ordering::Relaxed);
+            }
+        });
+    shared.untrack_token(token_id);
+    drop(permit);
+    let faults = results.iter().filter(|r| r.is_err()).count();
+    let summary = format!(
+        "{{\"done\":true,\"jobs\":{},\"faults\":{faults}}}\n",
+        results.len()
+    );
+    if !peer_gone.load(Ordering::Relaxed) {
+        let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if write_chunk(&mut writer, &summary).is_ok() {
+            let _ = finish_chunked(&mut writer);
+        }
+    }
+}
+
+/// Compiles wire jobs against the testbed. Token injection goes through
+/// the per-job config (not the content key), so a wire job resolves to
+/// the same cache/store key as the equivalent direct [`SimJob`].
+fn build_jobs(batch: &BatchRequest, testbed: &Testbed, token: &CancelToken) -> Vec<SimJob> {
+    let factory = SimJob::batch(testbed.chip());
+    batch
+        .jobs
+        .iter()
+        .map(|spec| {
+            let sync = spec.sync.then(SyncSpec::paper_default);
+            let loads = testbed.loads_of_mapping(&spec.mapping, spec.stim_freq_hz, sync);
+            factory.job(
+                loads,
+                NoiseRunConfig {
+                    window_s: spec.window_s,
+                    record_traces: spec.record_traces,
+                    seed: spec.seed,
+                    max_steps: spec.max_steps,
+                    cancel: Some(token.clone()),
+                    ..NoiseRunConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// Raw-value wrapper for the drawer route's lenient-parse/strict-check
+/// boundary.
+struct RawBody(Value);
+
+impl serde::Deserialize for RawBody {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RawBody(v.clone()))
+    }
+}
+
+fn handle_drawer(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let reject = |stream: &mut TcpStream, code: &str, detail: String| {
+        let body = error_body(&[
+            ("error", Value::Str("invalid-request".to_string())),
+            ("code", Value::Str(code.to_string())),
+            ("detail", Value::Str(detail)),
+        ]);
+        let _ = write_response(stream, 400, "Bad Request", "application/json", &[], &body);
+    };
+    let RawBody(root) = match serde_json::from_str::<RawBody>(&request.body) {
+        Ok(raw) => raw,
+        Err(e) => return reject(stream, "invalid-json", e.to_string()),
+    };
+    let entries = match root.as_array() {
+        Some(entries) if !entries.is_empty() => entries,
+        Some(_) => {
+            return reject(
+                stream,
+                "empty-batch",
+                "drawer batch must not be empty".into(),
+            )
+        }
+        None => {
+            return reject(
+                stream,
+                "bad-type",
+                "drawer batch must be a JSON array of step configs".into(),
+            )
+        }
+    };
+    let mut configs: Vec<DrawerStepConfig> = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        match serde::Deserialize::from_value(entry) {
+            Ok(cfg) => configs.push(cfg),
+            Err(e) => return reject(stream, "bad-type", format!("jobs[{i}]: {e}")),
+        }
+    }
+    let estimated: u64 = configs
+        .iter()
+        .map(|c| (c.window_s * 4e8).max(1.0) as u64)
+        .sum();
+    let permit = match shared.admission.try_admit(estimated) {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            shared.engine.note_shed();
+            let retry_after = rejection.retry_after_secs();
+            let body = error_body(&[
+                ("error", Value::Str("overloaded".to_string())),
+                ("retry_after_s", Value::U64(retry_after)),
+            ]);
+            let _ = write_response(
+                stream,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", retry_after.to_string())],
+                &body,
+            );
+            return;
+        }
+    };
+    let mut lines = Vec::with_capacity(configs.len());
+    for (i, cfg) in configs.iter().enumerate() {
+        let line = match DrawerJob::new(cfg.clone()).and_then(|job| shared.engine.run_drawer(&job))
+        {
+            Ok(outcome) => {
+                let outcome_json =
+                    serde_json::to_string(&*outcome).unwrap_or_else(|_| "null".to_string());
+                format!("{{\"index\":{i},\"status\":\"ok\",\"outcome\":{outcome_json}}}")
+            }
+            Err(e) => {
+                let detail = serde_json::to_string(&Value::Str(e.to_string()))
+                    .unwrap_or_else(|_| "\"\"".to_string());
+                format!("{{\"index\":{i},\"status\":\"error\",\"detail\":{detail}}}")
+            }
+        };
+        lines.push(line);
+    }
+    drop(permit);
+    let body = format!("[{}]", lines.join(","));
+    let _ = write_response(stream, 200, "OK", "application/json", &[], &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_queue_bounds_and_closes() {
+        let queue = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c1).is_ok());
+        assert!(queue.push(c2).is_err(), "above cap must bounce");
+        let (popped, depth) = queue.pop().unwrap();
+        drop(popped);
+        assert_eq!(depth, 0);
+        queue.close();
+        assert!(queue.pop().is_none(), "closed and drained");
+        // Closed queue refuses new connections outright.
+        let c3 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c3).is_err());
+    }
+
+    #[test]
+    fn result_lines_are_wire_shaped() {
+        let fault = JobFault {
+            key: Box::new(fake_key()),
+            attempts: 2,
+            fault: FaultKind::Deadline(voltnoise_pdn::PdnError::DeadlineExceeded { t: 1e-6 }),
+        };
+        let line = result_line(3, &Err(fault));
+        assert!(line.contains("\"index\":3"), "{line}");
+        assert!(line.contains("\"status\":\"fault\""), "{line}");
+        assert!(line.contains("\"kind\":\"deadline\""), "{line}");
+        assert!(line.contains("\"attempts\":2"), "{line}");
+        assert!(line.ends_with('\n'), "{line:?}");
+    }
+
+    fn fake_key() -> voltnoise_system::engine::JobKey {
+        let tb = Testbed::fast();
+        let factory = SimJob::batch(tb.chip());
+        let loads = std::array::from_fn(|_| voltnoise_system::noise::CoreLoad::Idle);
+        factory.job(loads, NoiseRunConfig::default()).key().clone()
+    }
+}

@@ -1,0 +1,58 @@
+//! `SIGTERM`/`SIGINT` handling without external crates.
+//!
+//! std exposes no signal API, but it already links libc on every
+//! platform this workspace targets, so a two-line FFI declaration of
+//! `signal(2)` is all that is needed. The handler does the only thing
+//! that is async-signal-safe here: it stores a flag into a static
+//! atomic. The server's accept loop polls the flag and runs the actual
+//! drain sequence in normal thread context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handlers. Idempotent.
+pub fn install() {
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a shutdown signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown from normal code — the same path a signal takes,
+/// used by tests and by fatal internal errors that should drain rather
+/// than abort.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_flips_the_flag() {
+        // Note: the flag is process-global; this test runs in its own
+        // test binary where nothing else reads it.
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

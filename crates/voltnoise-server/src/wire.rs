@@ -1,0 +1,573 @@
+//! The wire format and its validating decoder: the daemon's
+//! malformed-input boundary.
+//!
+//! A batch request is JSON of the shape
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     {"mapping": ["max","idle","idle","idle","idle","idle"],
+//!      "stim_freq_hz": 2.5e6, "sync": true,
+//!      "window_s": 25e-6, "seed": 1,
+//!      "record_traces": false, "max_steps": 200000}
+//!   ],
+//!   "deadline_ms": 30000
+//! }
+//! ```
+//!
+//! Jobs are *testbed-relative*: a mapping of workload classes onto the
+//! six cores plus the electrical knobs, exactly the vocabulary of
+//! [`voltnoise_system::testbed::Testbed::loads_of_mapping`]. The server
+//! compiles them against its testbed, so a wire job resolves to the
+//! same content key as the equivalent locally-built
+//! [`voltnoise_system::engine::SimJob`] — which is what makes
+//! cross-client dedup and store resume exact.
+//!
+//! Decoding is *strict where silence would lie*: the vendored JSON
+//! layer happily parses duplicate object keys (keeping both) and maps
+//! non-finite floats through `null`, so this module re-walks the value
+//! tree and rejects duplicate keys, unknown fields, `null`-encoded
+//! NaNs, non-finite or non-positive numbers, wrong shapes and empty or
+//! oversized batches — each with a machine-readable [`WireError`]
+//! naming the offending job index. It never panics on any input.
+
+use serde::Value;
+use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_system::workload::WorkloadKind;
+
+/// Hard cap on jobs per batch: above this, admission arithmetic and
+/// response streaming still work but a single request monopolizes the
+/// engine, so the decoder refuses outright.
+pub const MAX_JOBS_PER_BATCH: usize = 4096;
+
+/// Wrapper giving the vendored [`Value`] a `Deserialize` impl, so a
+/// request body can be parsed to a raw tree before validation.
+struct RawValue(Value);
+
+impl serde::Deserialize for RawValue {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+/// One wire job: a testbed-relative simulation spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Workload class per core.
+    pub mapping: [WorkloadKind; NUM_CORES],
+    /// Stressmark stimulus frequency, Hz.
+    pub stim_freq_hz: f64,
+    /// TOD-synchronize the stressmark bursts (paper default sync spec).
+    pub sync: bool,
+    /// Simulated window, seconds (`None`: sized from stimulus periods).
+    pub window_s: Option<f64>,
+    /// Random seed of the free-run phases.
+    pub seed: u64,
+    /// Record per-core oscilloscope traces.
+    pub record_traces: bool,
+    /// Per-job accepted-step budget.
+    pub max_steps: Option<usize>,
+}
+
+impl JobSpec {
+    /// Estimated accepted transient steps this job will cost — the
+    /// admission-control currency. An explicit budget is its own
+    /// estimate; otherwise the estimate scales with the simulated
+    /// window at the solver's coarse rate (a deliberate overcount:
+    /// admission errs toward shedding, not overload).
+    pub fn estimated_steps(&self) -> u64 {
+        if let Some(budget) = self.max_steps {
+            return budget as u64;
+        }
+        // The two-rate solver accepts on the order of 4e8 steps per
+        // simulated second on this topology; windows default to ~50 µs
+        // when unspecified.
+        let window = self.window_s.unwrap_or(50e-6);
+        (window * 4e8).max(1.0) as u64
+    }
+}
+
+/// A decoded batch request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The jobs, in request order.
+    pub jobs: Vec<JobSpec>,
+    /// Wall-clock deadline for the whole batch, milliseconds (`None`:
+    /// the server default applies).
+    pub deadline_ms: Option<u64>,
+}
+
+impl BatchRequest {
+    /// Total estimated step cost of the batch.
+    pub fn estimated_steps(&self) -> u64 {
+        self.jobs.iter().map(JobSpec::estimated_steps).sum()
+    }
+}
+
+/// A typed decode failure: stable machine-readable `code`, human
+/// `detail`, and the offending job index when one is identifiable.
+/// Serialized as the body of every `400` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Stable error code (`invalid-json`, `duplicate-key`,
+    /// `unknown-field`, `missing-field`, `bad-type`, `non-finite`,
+    /// `bad-value`, `empty-batch`, `batch-too-large`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+    /// Index of the offending job within `jobs`, when identifiable.
+    pub job: Option<usize>,
+}
+
+impl WireError {
+    fn new(code: &'static str, detail: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            detail: detail.into(),
+            job: None,
+        }
+    }
+
+    fn at_job(mut self, index: usize) -> WireError {
+        self.job = Some(index);
+        self
+    }
+
+    /// The machine-readable JSON body of the `400` response.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            (
+                "error".to_string(),
+                Value::Str("invalid-request".to_string()),
+            ),
+            ("code".to_string(), Value::Str(self.code.to_string())),
+            ("detail".to_string(), Value::Str(self.detail.clone())),
+        ];
+        if let Some(job) = self.job {
+            fields.push(("job".to_string(), Value::U64(job as u64)));
+        }
+        render(&Value::Object(fields))
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.job {
+            Some(job) => write!(f, "{} (job {job}): {}", self.code, self.detail),
+            None => write!(f, "{}: {}", self.code, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Renders a raw value tree as compact JSON (the writer is total).
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// A validated object view: duplicate keys and unknown fields rejected
+/// up front, fields consumed by name afterwards.
+struct StrictObject<'a> {
+    entries: &'a [(String, Value)],
+}
+
+impl<'a> StrictObject<'a> {
+    fn of(v: &'a Value, what: &str, allowed: &[&str]) -> Result<StrictObject<'a>, WireError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| WireError::new("bad-type", format!("{what} must be a JSON object")))?;
+        for (i, (key, _)) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|(k, _)| k == key) {
+                // The vendored parser keeps both entries and `field()`
+                // silently serves the first — a wire request relying on
+                // that would mean different things to different
+                // decoders, so refuse it outright.
+                return Err(WireError::new(
+                    "duplicate-key",
+                    format!("{what} has duplicate key {key:?}"),
+                ));
+            }
+            if !allowed.contains(&key.as_str()) {
+                return Err(WireError::new(
+                    "unknown-field",
+                    format!("{what} has unknown field {key:?} (allowed: {allowed:?})"),
+                ));
+            }
+        }
+        Ok(StrictObject { entries })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a Value> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// A required, finite, strictly positive float field. `null` is called
+/// out specifically: it is how NaN/Inf arrive over this wire.
+fn finite_positive_f64(v: &Value, what: &str) -> Result<f64, WireError> {
+    let x = match v {
+        Value::F64(x) => *x,
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        Value::Null => {
+            return Err(WireError::new(
+                "non-finite",
+                format!("{what} is null — NaN and infinities encode as null and are rejected"),
+            ))
+        }
+        other => {
+            return Err(WireError::new(
+                "bad-type",
+                format!("{what} must be a number, got {}", render(other)),
+            ))
+        }
+    };
+    if !x.is_finite() {
+        return Err(WireError::new(
+            "non-finite",
+            format!("{what} must be finite, got {x}"),
+        ));
+    }
+    if x <= 0.0 {
+        return Err(WireError::new(
+            "bad-value",
+            format!("{what} must be positive, got {x}"),
+        ));
+    }
+    Ok(x)
+}
+
+fn u64_field(v: &Value, what: &str) -> Result<u64, WireError> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        other => Err(WireError::new(
+            "bad-type",
+            format!(
+                "{what} must be a non-negative integer, got {}",
+                render(other)
+            ),
+        )),
+    }
+}
+
+fn bool_field(v: &Value, what: &str) -> Result<bool, WireError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(WireError::new(
+            "bad-type",
+            format!("{what} must be a boolean, got {}", render(other)),
+        )),
+    }
+}
+
+fn workload_of(v: &Value, what: &str) -> Result<WorkloadKind, WireError> {
+    let label = match v {
+        Value::Str(s) => s.as_str(),
+        other => {
+            return Err(WireError::new(
+                "bad-type",
+                format!(
+                    "{what} must be a workload label string, got {}",
+                    render(other)
+                ),
+            ))
+        }
+    };
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            WireError::new(
+                "bad-value",
+                format!("{what} must be one of \"idle\", \"med\", \"max\"; got {label:?}"),
+            )
+        })
+}
+
+fn job_of(v: &Value, index: usize) -> Result<JobSpec, WireError> {
+    let what = format!("jobs[{index}]");
+    let obj = StrictObject::of(
+        v,
+        &what,
+        &[
+            "mapping",
+            "stim_freq_hz",
+            "sync",
+            "window_s",
+            "seed",
+            "record_traces",
+            "max_steps",
+        ],
+    )?;
+    let mapping_v = obj
+        .get("mapping")
+        .ok_or_else(|| WireError::new("missing-field", format!("{what} is missing \"mapping\"")))?;
+    let entries = mapping_v.as_array().ok_or_else(|| {
+        WireError::new(
+            "bad-type",
+            format!("{what}.mapping must be an array of {NUM_CORES} workload labels"),
+        )
+    })?;
+    if entries.len() != NUM_CORES {
+        return Err(WireError::new(
+            "bad-value",
+            format!(
+                "{what}.mapping must name all {NUM_CORES} cores, got {}",
+                entries.len()
+            ),
+        ));
+    }
+    let mut mapping = [WorkloadKind::Idle; NUM_CORES];
+    for (core, entry) in entries.iter().enumerate() {
+        mapping[core] = workload_of(entry, &format!("{what}.mapping[{core}]"))?;
+    }
+    let stim_v = obj.get("stim_freq_hz").ok_or_else(|| {
+        WireError::new(
+            "missing-field",
+            format!("{what} is missing \"stim_freq_hz\""),
+        )
+    })?;
+    let stim_freq_hz = finite_positive_f64(stim_v, &format!("{what}.stim_freq_hz"))?;
+    let sync = obj
+        .get("sync")
+        .map(|v| bool_field(v, &format!("{what}.sync")))
+        .transpose()?
+        .unwrap_or(false);
+    let window_s = obj
+        .get("window_s")
+        .map(|v| finite_positive_f64(v, &format!("{what}.window_s")))
+        .transpose()?;
+    let seed = obj
+        .get("seed")
+        .map(|v| u64_field(v, &format!("{what}.seed")))
+        .transpose()?
+        .unwrap_or(1);
+    let record_traces = obj
+        .get("record_traces")
+        .map(|v| bool_field(v, &format!("{what}.record_traces")))
+        .transpose()?
+        .unwrap_or(false);
+    let max_steps = obj
+        .get("max_steps")
+        .map(|v| {
+            let n = u64_field(v, &format!("{what}.max_steps"))?;
+            if n == 0 {
+                return Err(WireError::new(
+                    "bad-value",
+                    format!("{what}.max_steps must be at least 1"),
+                ));
+            }
+            usize::try_from(n).map_err(|_| {
+                WireError::new("bad-value", format!("{what}.max_steps does not fit usize"))
+            })
+        })
+        .transpose()?;
+    Ok(JobSpec {
+        mapping,
+        stim_freq_hz,
+        sync,
+        window_s,
+        seed,
+        record_traces,
+        max_steps,
+    })
+}
+
+/// Decodes and validates one batch request body.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] — never panics, never drops a job —
+/// for malformed JSON, duplicate keys, unknown or missing fields,
+/// `null`-encoded non-finite numbers, shape mismatches, empty batches
+/// and batches beyond [`MAX_JOBS_PER_BATCH`].
+pub fn parse_batch(body: &str) -> Result<BatchRequest, WireError> {
+    let RawValue(root) = serde_json::from_str::<RawValue>(body)
+        .map_err(|e| WireError::new("invalid-json", e.to_string()))?;
+    let obj = StrictObject::of(&root, "batch", &["jobs", "deadline_ms"])?;
+    let jobs_v = obj
+        .get("jobs")
+        .ok_or_else(|| WireError::new("missing-field", "batch is missing \"jobs\""))?;
+    let entries = jobs_v
+        .as_array()
+        .ok_or_else(|| WireError::new("bad-type", "\"jobs\" must be an array"))?;
+    if entries.is_empty() {
+        return Err(WireError::new("empty-batch", "\"jobs\" must not be empty"));
+    }
+    if entries.len() > MAX_JOBS_PER_BATCH {
+        return Err(WireError::new(
+            "batch-too-large",
+            format!(
+                "batch of {} jobs exceeds the {MAX_JOBS_PER_BATCH}-job cap",
+                entries.len()
+            ),
+        ));
+    }
+    let mut jobs = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        jobs.push(job_of(entry, i).map_err(|e| e.at_job(i))?);
+    }
+    let deadline_ms = obj
+        .get("deadline_ms")
+        .map(|v| {
+            let ms = u64_field(v, "deadline_ms")?;
+            if ms == 0 {
+                return Err(WireError::new(
+                    "bad-value",
+                    "deadline_ms must be at least 1",
+                ));
+            }
+            Ok(ms)
+        })
+        .transpose()?;
+    Ok(BatchRequest { jobs, deadline_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = r#"{"jobs":[{"mapping":["max","idle","idle","idle","idle","idle"],"stim_freq_hz":2.5e6,"sync":true,"window_s":2.5e-5,"seed":7,"record_traces":false,"max_steps":50000}],"deadline_ms":30000}"#;
+
+    #[test]
+    fn valid_batch_decodes_fully() {
+        let batch = parse_batch(VALID).unwrap();
+        assert_eq!(batch.jobs.len(), 1);
+        let job = &batch.jobs[0];
+        assert_eq!(job.mapping[0], WorkloadKind::MaxDidt);
+        assert_eq!(job.mapping[5], WorkloadKind::Idle);
+        assert_eq!(job.stim_freq_hz, 2.5e6);
+        assert!(job.sync);
+        assert_eq!(job.window_s, Some(2.5e-5));
+        assert_eq!(job.seed, 7);
+        assert_eq!(job.max_steps, Some(50000));
+        assert_eq!(batch.deadline_ms, Some(30000));
+        assert_eq!(batch.estimated_steps(), 50000);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let batch = parse_batch(
+            r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1000.0}]}"#,
+        )
+        .unwrap();
+        let job = &batch.jobs[0];
+        assert!(!job.sync);
+        assert_eq!(job.window_s, None);
+        assert_eq!(job.seed, 1);
+        assert!(!job.record_traces);
+        assert_eq!(job.max_steps, None);
+        assert_eq!(batch.deadline_ms, None);
+        // The unbudgeted estimate is the window heuristic, never zero.
+        assert!(job.estimated_steps() > 0);
+    }
+
+    /// Fuzz-style sweep: every proper prefix of a valid body must fail
+    /// with a typed error, not a panic or a silent partial decode.
+    #[test]
+    fn truncated_payloads_all_fail_typed() {
+        for cut in 0..VALID.len() {
+            let truncated = &VALID[..cut];
+            let err = parse_batch(truncated)
+                .expect_err(&format!("prefix of {cut} bytes must not decode"));
+            assert!(!err.code.is_empty());
+            assert!(!err.to_json().is_empty());
+        }
+    }
+
+    #[test]
+    fn nan_arrives_as_null_and_is_rejected_as_non_finite() {
+        // serde_json (vendored and real) prints NaN/Inf as null; a
+        // decoder that "tolerantly" read NaN here would poison the
+        // content key downstream.
+        let body = r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":null}]}"#;
+        let err = parse_batch(body).unwrap_err();
+        assert_eq!(err.code, "non-finite");
+        assert_eq!(err.job, Some(0));
+        assert!(err.to_json().contains("\"job\":0"), "{}", err.to_json());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_not_first_wins() {
+        let body = r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0,"stim_freq_hz":2.0}]}"#;
+        let err = parse_batch(body).unwrap_err();
+        assert_eq!(err.code, "duplicate-key");
+        assert_eq!(err.job, Some(0));
+        let outer = r#"{"jobs":[],"jobs":[]}"#;
+        assert_eq!(parse_batch(outer).unwrap_err().code, "duplicate-key");
+    }
+
+    #[test]
+    fn unknown_fields_and_wrong_shapes_are_typed() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0,"bogus":1}]}"#,
+                "unknown-field",
+            ),
+            (r#"{"jobs":[{"stim_freq_hz":1.0}]}"#, "missing-field"),
+            (
+                r#"{"jobs":[{"mapping":"max","stim_freq_hz":1.0}]}"#,
+                "bad-type",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["max","idle"],"stim_freq_hz":1.0}]}"#,
+                "bad-value",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["max","idle","idle","idle","idle","turbo"],"stim_freq_hz":1.0}]}"#,
+                "bad-value",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":-5.0}]}"#,
+                "bad-value",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0,"seed":-3}]}"#,
+                "bad-type",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0,"max_steps":0}]}"#,
+                "bad-value",
+            ),
+            (r#"{"jobs":[]}"#, "empty-batch"),
+            (r#"{"jobs":[1]}"#, "bad-type"),
+            (r#"{"deadline_ms":5}"#, "missing-field"),
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0}],"deadline_ms":0}"#,
+                "bad-value",
+            ),
+            (
+                r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0}],"surprise":true}"#,
+                "unknown-field",
+            ),
+            ("[]", "bad-type"),
+            ("not json at all", "invalid-json"),
+            ("", "invalid-json"),
+        ];
+        for (body, code) in cases {
+            let err = parse_batch(body).unwrap_err();
+            assert_eq!(err.code, *code, "body {body:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn wire_error_json_is_machine_readable() {
+        let err = parse_batch(r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":null}]}"#)
+            .unwrap_err();
+        let json = err.to_json();
+        assert!(json.contains("\"error\":\"invalid-request\""), "{json}");
+        assert!(json.contains("\"code\":\"non-finite\""), "{json}");
+        assert!(json.contains("\"detail\":"), "{json}");
+    }
+
+    #[test]
+    fn batch_size_cap_is_enforced() {
+        let one = r#"{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0}"#;
+        let body = format!(
+            r#"{{"jobs":[{}]}}"#,
+            vec![one; MAX_JOBS_PER_BATCH + 1].join(",")
+        );
+        assert_eq!(parse_batch(&body).unwrap_err().code, "batch-too-large");
+    }
+}

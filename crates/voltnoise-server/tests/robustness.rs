@@ -1,0 +1,420 @@
+//! End-to-end robustness tests against a real `voltnoise-server`
+//! process: crash (SIGKILL) + store resume, deadline reaping, admission
+//! rejection under synthetic overload, and cross-client dedup.
+//!
+//! Every server is started `--reduced` (the cached reduced-search
+//! testbed) so the in-process "direct" baselines built with
+//! [`Testbed::fast`] resolve to byte-identical content keys.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+use voltnoise_server::http_request;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+use voltnoise_system::workload::WorkloadKind;
+
+/// A spawned server process; killed on drop so a failing test cannot
+/// leak daemons.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(extra_args: &[&str], envs: &[(&str, &str)]) -> ServerProc {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_voltnoise-server"));
+        cmd.args(["--reduced", "--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn voltnoise-server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before announcing its address")
+                .expect("server stdout readable");
+            if let Some(addr) = line.strip_prefix("voltnoise-server listening on ") {
+                break addr.trim().to_string();
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProc { child, addr }
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> voltnoise_server::Response {
+        http_request(&self.addr, method, path, body, Duration::from_secs(300))
+            .expect("request to test server")
+    }
+
+    fn stats(&self) -> String {
+        self.request("GET", "/stats", None).body
+    }
+
+    fn sigkill(&mut self) {
+        self.child.kill().expect("SIGKILL server");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Extracts an integer stats field from the `/stats` JSON.
+fn stat_field(stats: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = stats
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {name} in {stats}"));
+    stats[at + needle.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {name} in {stats}"))
+}
+
+/// Parses streamed `/jobs` lines into `(index, outcome-or-fault)` with
+/// the raw outcome JSON preserved for byte-identity checks.
+#[derive(Debug)]
+enum Settled {
+    Ok(String),
+    Fault { kind: String },
+}
+
+fn parse_lines(body: &str) -> Vec<(usize, Settled)> {
+    let mut out = Vec::new();
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with("{\"done\"") {
+            continue;
+        }
+        let index: usize = line
+            .strip_prefix("{\"index\":")
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable result line: {line}"));
+        if let Some(at) = line.find("\"outcome\":") {
+            let outcome = line[at + "\"outcome\":".len()..]
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated outcome in {line}"))
+                .to_string();
+            out.push((index, Settled::Ok(outcome)));
+        } else if let Some(at) = line.find("\"kind\":\"") {
+            let rest = &line[at + "\"kind\":\"".len()..];
+            let kind = rest.split('"').next().unwrap_or("").to_string();
+            out.push((index, Settled::Fault { kind }));
+        } else {
+            panic!("unrecognized result line: {line}");
+        }
+    }
+    out.sort_by_key(|(i, _)| *i);
+    out
+}
+
+const MAPPING_A: &str = r#"["max","idle","idle","idle","idle","idle"]"#;
+const MAPPING_B: &str = r#"["max","med","idle","idle","idle","idle"]"#;
+
+fn quick_job(mapping: &str, seed: u64) -> String {
+    format!(
+        r#"{{"mapping":{mapping},"stim_freq_hz":2.5e6,"sync":true,"window_s":5e-6,"seed":{seed}}}"#
+    )
+}
+
+/// The in-process twin of [`quick_job`]: byte-identity baselines run
+/// these through a local engine.
+fn quick_sim_job(tb: &Testbed, kinds: [WorkloadKind; 6], seed: u64) -> SimJob {
+    let loads = tb.loads_of_mapping(
+        &kinds,
+        2.5e6,
+        Some(voltnoise_stressmark::SyncSpec::paper_default()),
+    );
+    SimJob::new(
+        Arc::new(tb.chip().clone()),
+        loads,
+        NoiseRunConfig {
+            window_s: Some(5e-6),
+            seed,
+            ..NoiseRunConfig::default()
+        },
+    )
+}
+
+fn kinds_a() -> [WorkloadKind; 6] {
+    [
+        WorkloadKind::MaxDidt,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+    ]
+}
+
+fn kinds_b() -> [WorkloadKind; 6] {
+    [
+        WorkloadKind::MaxDidt,
+        WorkloadKind::MediumDidt,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+        WorkloadKind::Idle,
+    ]
+}
+
+#[test]
+fn health_stats_and_malformed_bodies() {
+    let server = ServerProc::start(&[], &[]);
+    assert_eq!(server.request("GET", "/healthz", None).body, "ok\n");
+    assert_eq!(server.request("GET", "/readyz", None).body, "ready\n");
+    let stats = server.stats();
+    assert_eq!(stat_field(&stats, "solves"), 0);
+    // Malformed bodies answer 400 with the machine-readable shape —
+    // never a hang, never a connection drop.
+    for bad in [
+        "not json",
+        r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":null}]}"#,
+        r#"{"jobs":[]}"#,
+        r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1.0,"stim_freq_hz":2.0}]}"#,
+    ] {
+        let resp = server.request("POST", "/jobs", Some(bad));
+        assert_eq!(resp.status, 400, "body {bad:?} gave {}", resp.body);
+        assert!(
+            resp.body.contains("\"error\":\"invalid-request\""),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"code\":"), "{}", resp.body);
+    }
+    // Unknown route → 404, wrong method → 404.
+    assert_eq!(server.request("GET", "/nope", None).status, 404);
+    assert_eq!(server.request("POST", "/healthz", Some("x")).status, 404);
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    // A one-step ceiling: the first (idle-exception) batch occupies the
+    // gate for seconds, the probe bounces deterministically.
+    let server = ServerProc::start(&["--step-ceiling", "1"], &[]);
+    // A deliberately huge unbudgeted job (10 ms window ≈ millions of
+    // steps): in flight long enough that the probe below always lands
+    // while the gate is busy.
+    let big = format!(
+        r#"{{"jobs":[{{"mapping":{MAPPING_A},"stim_freq_hz":2.5e6,"window_s":1e-2,"seed":99}}]}}"#
+    );
+    let addr = server.addr.clone();
+    let big_req = std::thread::spawn(move || {
+        // The server kills this batch at drop; the response (all-fault
+        // or severed) is irrelevant to the assertion.
+        let _ = http_request(&addr, "POST", "/jobs", Some(&big), Duration::from_secs(2));
+    });
+    // Give the big batch time to pass admission and start solving.
+    std::thread::sleep(Duration::from_millis(500));
+    let probe = format!(r#"{{"jobs":[{}]}}"#, quick_job(MAPPING_A, 1));
+    let resp = server.request("POST", "/jobs", Some(&probe));
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    let retry_after: u64 = resp
+        .header("retry-after")
+        .expect("429 carries Retry-After")
+        .parse()
+        .expect("Retry-After is an integer");
+    assert!(retry_after >= 1);
+    assert!(
+        resp.body.contains("\"error\":\"overloaded\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"retry_after_s\":"), "{}", resp.body);
+    let stats = server.stats();
+    assert!(
+        stat_field(&stats, "shed_total") >= 1,
+        "shed not counted: {stats}"
+    );
+    drop(server);
+    let _ = big_req.join();
+}
+
+#[test]
+fn deadline_reaps_unbudgeted_jobs() {
+    let server = ServerProc::start(&[], &[]);
+    // No step budget, a 10 ms window (far more work than the deadline
+    // allows), 400 ms wall-clock deadline.
+    let body = format!(
+        r#"{{"jobs":[{{"mapping":{MAPPING_A},"stim_freq_hz":2.5e6,"window_s":1e-2,"seed":5}}],"deadline_ms":400}}"#
+    );
+    let resp = server.request("POST", "/jobs", Some(&body));
+    assert_eq!(resp.status, 200);
+    let results = parse_lines(&resp.body);
+    assert_eq!(results.len(), 1);
+    match &results[0].1 {
+        Settled::Fault { kind } => assert_eq!(kind, "deadline"),
+        other => panic!("expected a deadline fault, got {other:?}"),
+    }
+    assert!(resp.body.contains("\"faults\":1"), "{}", resp.body);
+    let stats = server.stats();
+    assert!(
+        stat_field(&stats, "deadline_faults") >= 1,
+        "deadline fault not counted: {stats}"
+    );
+}
+
+#[test]
+fn concurrent_identical_clients_share_one_solve() {
+    let server = ServerProc::start(&[], &[]);
+    let body = format!(r#"{{"jobs":[{}]}}"#, quick_job(MAPPING_A, 7));
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = server.addr.clone();
+                let body = body.clone();
+                scope.spawn(move || {
+                    http_request(
+                        &addr,
+                        "POST",
+                        "/jobs",
+                        Some(&body),
+                        Duration::from_secs(300),
+                    )
+                    .expect("concurrent jobs request")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut outcomes = Vec::new();
+    for resp in &responses {
+        assert_eq!(resp.status, 200);
+        let results = parse_lines(&resp.body);
+        assert_eq!(results.len(), 1);
+        match &results[0].1 {
+            Settled::Ok(outcome) => outcomes.push(outcome.clone()),
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+    assert_eq!(outcomes[0], outcomes[1], "clients must share one result");
+    let stats = server.stats();
+    assert_eq!(stat_field(&stats, "solves"), 1, "{stats}");
+    assert_eq!(
+        stat_field(&stats, "inflight_joins") + stat_field(&stats, "cache_hits"),
+        1,
+        "second client neither joined nor hit the cache: {stats}"
+    );
+    // Byte-identity against a direct in-process engine run.
+    let tb = Testbed::fast();
+    let direct = Engine::with_workers(1)
+        .run_jobs(&[quick_sim_job(tb, kinds_a(), 7)])
+        .expect("direct run");
+    let direct_json = serde_json::to_string(&*direct[0]).expect("serialize outcome");
+    assert_eq!(
+        outcomes[0], direct_json,
+        "server result differs from direct"
+    );
+}
+
+#[test]
+fn sigkill_then_restart_resumes_from_store_without_duplicate_solves() {
+    let store = std::env::temp_dir().join(format!(
+        "voltnoise-server-test-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&store);
+    let store_str = store.to_string_lossy().to_string();
+
+    // Phase 1: solve two jobs, then SIGKILL — no drain, no compaction,
+    // only the store's per-append durability.
+    let batch_ab = format!(
+        r#"{{"jobs":[{},{}]}}"#,
+        quick_job(MAPPING_A, 7),
+        quick_job(MAPPING_B, 7)
+    );
+    let mut first = ServerProc::start(&[], &[("VOLTNOISE_STORE", store_str.as_str())]);
+    let resp = first.request("POST", "/jobs", Some(&batch_ab));
+    assert_eq!(resp.status, 200);
+    let first_results = parse_lines(&resp.body);
+    assert_eq!(first_results.len(), 2);
+    let first_outcomes: Vec<String> = first_results
+        .iter()
+        .map(|(i, s)| match s {
+            Settled::Ok(outcome) => outcome.clone(),
+            other => panic!("job {i} faulted: {other:?}"),
+        })
+        .collect();
+    first.sigkill();
+    assert!(
+        std::fs::metadata(&store)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false),
+        "killed server left no store at {store_str}"
+    );
+
+    // Phase 2: restart over the same store, replay the campaign plus
+    // one new job. The old jobs must be answered from disk — zero
+    // duplicate solves — and byte-identically.
+    let batch_abc = format!(
+        r#"{{"jobs":[{},{},{}]}}"#,
+        quick_job(MAPPING_A, 7),
+        quick_job(MAPPING_B, 7),
+        quick_job(MAPPING_A, 8)
+    );
+    let second = ServerProc::start(&[], &[("VOLTNOISE_STORE", store_str.as_str())]);
+    let resp = second.request("POST", "/jobs", Some(&batch_abc));
+    assert_eq!(resp.status, 200);
+    let second_results = parse_lines(&resp.body);
+    assert_eq!(second_results.len(), 3);
+    let second_outcomes: Vec<String> = second_results
+        .iter()
+        .map(|(i, s)| match s {
+            Settled::Ok(outcome) => outcome.clone(),
+            other => panic!("job {i} faulted after resume: {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        second_outcomes[0], first_outcomes[0],
+        "resume changed job 0"
+    );
+    assert_eq!(
+        second_outcomes[1], first_outcomes[1],
+        "resume changed job 1"
+    );
+    let stats = second.stats();
+    assert_eq!(
+        stat_field(&stats, "store_hits"),
+        2,
+        "resumed jobs not served from disk: {stats}"
+    );
+    assert_eq!(
+        stat_field(&stats, "solves"),
+        1,
+        "resume re-solved stored jobs: {stats}"
+    );
+
+    // Byte-identity of the whole campaign against a direct engine run.
+    let tb = Testbed::fast();
+    let jobs = [
+        quick_sim_job(tb, kinds_a(), 7),
+        quick_sim_job(tb, kinds_b(), 7),
+        quick_sim_job(tb, kinds_a(), 8),
+    ];
+    let direct = Engine::with_workers(1).run_jobs(&jobs).expect("direct run");
+    for (i, outcome) in direct.iter().enumerate() {
+        let direct_json = serde_json::to_string(&**outcome).expect("serialize outcome");
+        assert_eq!(
+            second_outcomes[i], direct_json,
+            "job {i} differs from the direct engine run"
+        );
+    }
+    let _ = std::fs::remove_file(&store);
+}

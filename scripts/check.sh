@@ -31,6 +31,9 @@ scripts/resume_smoke.sh
 echo "== telemetry suite"
 cargo test -q -p voltnoise --test telemetry
 
+echo "== server smoke test"
+scripts/server_smoke.sh
+
 echo "== benchmark smoke test"
 scripts/bench.sh --smoke --out target/BENCH_smoke.json
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Server smoke test: start voltnoise-server, serve a real batch over
+# HTTP, exercise the health/stats routes and the malformed-input path,
+# then SIGTERM it and require a clean graceful drain (exit 0, the
+# "drained cleanly" line, a compacted store left behind).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+store="$workdir/results.jsonl"
+
+echo "-- building release voltnoise-server + voltnoise-client"
+cargo build -q --release --bin voltnoise-server --bin voltnoise-client
+
+server=target/release/voltnoise-server
+client=target/release/voltnoise-client
+
+echo "-- starting the server (reduced testbed, ephemeral port)"
+VOLTNOISE_STORE="$store" "$server" --reduced --addr 127.0.0.1:0 \
+  >"$workdir/server.out" 2>"$workdir/server.err" &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^voltnoise-server listening on //p' "$workdir/server.out")
+  [[ -n "$addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "FAIL: server died before announcing its address" >&2
+    cat "$workdir/server.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "FAIL: server never announced its address" >&2
+  exit 1
+fi
+echo "   listening on $addr"
+
+echo "-- health check"
+"$client" "$addr" health | grep -q '^ok$' || {
+  echo "FAIL: /healthz did not answer ok" >&2
+  exit 1
+}
+
+echo "-- posting a 2-job batch"
+cat >"$workdir/batch.json" <<'EOF'
+{"jobs":[
+  {"mapping":["max","idle","idle","idle","idle","idle"],
+   "stim_freq_hz":2.5e6,"sync":true,"window_s":5e-6,"seed":7},
+  {"mapping":["max","med","idle","idle","idle","idle"],
+   "stim_freq_hz":2.5e6,"sync":true,"window_s":5e-6,"seed":7}
+]}
+EOF
+"$client" "$addr" jobs "$workdir/batch.json" >"$workdir/jobs.out"
+grep -q '"done":true,"jobs":2,"faults":0' "$workdir/jobs.out" || {
+  echo "FAIL: batch did not settle cleanly" >&2
+  cat "$workdir/jobs.out" >&2
+  exit 1
+}
+
+echo "-- malformed body answers 400 without wedging the server"
+echo 'not json' >"$workdir/bad.json"
+if "$client" "$addr" jobs "$workdir/bad.json" >"$workdir/bad.out" 2>&1; then
+  echo "FAIL: malformed batch was accepted" >&2
+  exit 1
+fi
+grep -q '"error":"invalid-request"' "$workdir/bad.out" || {
+  echo "FAIL: malformed batch missing the machine-readable error" >&2
+  cat "$workdir/bad.out" >&2
+  exit 1
+}
+
+echo "-- stats reflect the solves"
+"$client" "$addr" stats >"$workdir/stats.out"
+grep -Eq '"solves": ?2' "$workdir/stats.out" || {
+  echo "FAIL: /stats does not show the 2 solves" >&2
+  cat "$workdir/stats.out" >&2
+  exit 1
+}
+
+echo "-- SIGTERM: graceful drain"
+kill -TERM "$server_pid"
+drained=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    drained=0
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$drained" -ne 0 ]]; then
+  echo "FAIL: server did not exit within 10 s of SIGTERM" >&2
+  exit 1
+fi
+wait "$server_pid" && rc=0 || rc=$?
+server_pid=""
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: server exited $rc after SIGTERM" >&2
+  cat "$workdir/server.err" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$workdir/server.out" || {
+  echo "FAIL: server never reported a clean drain" >&2
+  cat "$workdir/server.out" >&2
+  exit 1
+}
+if [[ ! -s "$store" ]]; then
+  echo "FAIL: drain left no store at $store" >&2
+  exit 1
+fi
+echo "   store holds $(wc -l <"$store") lines after the drain"
+
+echo "server smoke test passed: served, shed bad input, drained cleanly"

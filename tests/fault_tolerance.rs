@@ -128,6 +128,7 @@ fn reseeding_retry_caches_under_its_own_key() {
         .with_retry(RetryPolicy {
             max_attempts: 2,
             reseed: true,
+            ..RetryPolicy::default()
         })
         .with_injector(FaultInjector::new().fail_solve(0, InjectedFault::SolverError));
 
