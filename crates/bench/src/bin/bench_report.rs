@@ -40,7 +40,9 @@ const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 /// `rom` (reduced-order macromodel) sections.
 /// `/4`: added the `server_rtt` section (campaign-daemon request
 /// latency over loopback HTTP).
-const SCHEMA: &str = "voltnoise-bench/4";
+/// `/5`: added the `fleet_rtt` section (routed campaign latency through
+/// the sharded fleet client over keep-alive connections).
+const SCHEMA: &str = "voltnoise-bench/5";
 
 /// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
 /// the sparse backend must beat the dense cost model by at least this
@@ -221,6 +223,30 @@ struct ServerRttBench {
     cache_hits: usize,
 }
 
+/// The fleet round-trip benchmark: a small campaign routed by the
+/// consistent-hash fleet client across two in-process shard servers,
+/// over persistent keep-alive connections. The first campaign pays the
+/// solves; the timed campaigns are cache-warm, so `campaign_rtt`
+/// isolates routing + probing + streaming overhead per campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FleetRttBench {
+    /// In-process shard servers on the ring.
+    shards: usize,
+    /// Jobs per campaign.
+    jobs: usize,
+    /// Timed cache-warm campaigns (after the one warm-up).
+    campaigns: usize,
+    /// Wall time per cache-warm campaign through the routing client.
+    campaign_rtt: WallStats,
+    /// Jobs answered per shard in the warm-up campaign — nonzero on
+    /// more than one shard proves the ring actually spreads work.
+    routed: Vec<u64>,
+    /// Engine solves across all shards (warm-up included).
+    solves: usize,
+    /// Engine cache hits across all shards.
+    cache_hits: usize,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -232,6 +258,7 @@ struct BenchReport {
     ac_batch: AcBatchBench,
     rom: RomBench,
     server_rtt: ServerRttBench,
+    fleet_rtt: FleetRttBench,
 }
 
 struct Opts {
@@ -537,6 +564,83 @@ fn bench_server_rtt(iters: usize) -> ServerRttBench {
     }
 }
 
+/// Benchmarks routed campaign latency through the fleet client against
+/// two in-process shard servers over keep-alive connections. No
+/// processes are spawned: the shards are `Server::bind` instances on
+/// loopback, so the measurement isolates the client's routing, probing
+/// and streaming path from process-supervision cost.
+fn bench_fleet_rtt(iters: usize) -> FleetRttBench {
+    let mut addrs = Vec::new();
+    let mut stops = Vec::new();
+    let mut engines = Vec::new();
+    let mut daemons = Vec::new();
+    for _ in 0..2 {
+        let server = Server::bind(ServerConfig {
+            reduced: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback shard");
+        addrs.push(
+            server
+                .local_addr()
+                .expect("shard has a local address")
+                .to_string(),
+        );
+        stops.push(server.stop_handle());
+        engines.push(server.engine());
+        daemons.push(std::thread::spawn(move || server.run()));
+    }
+    let shards = addrs.len();
+    let specs = voltnoise_fleet::campaign_specs(4, 4242);
+    let mut client = voltnoise_fleet::FleetClient::new(
+        addrs,
+        Testbed::fast(),
+        voltnoise_fleet::FleetClientConfig::default(),
+    );
+    let warmup = client
+        .run_campaign(&specs, &mut voltnoise_fleet::NoChaos)
+        .expect("warm-up fleet campaign");
+    assert!(
+        warmup.outcomes.iter().all(Option::is_some),
+        "warm-up campaign incomplete"
+    );
+    let campaigns = (iters * 5).max(5);
+    let mut rtt = Vec::with_capacity(campaigns);
+    for _ in 0..campaigns {
+        let t0 = Instant::now();
+        let report = client
+            .run_campaign(&specs, &mut voltnoise_fleet::NoChaos)
+            .expect("fleet campaign round trip");
+        rtt.push(t0.elapsed().as_nanos() as u64);
+        assert!(report.outcomes.iter().all(Option::is_some));
+    }
+    let mut solves = 0usize;
+    let mut cache_hits = 0usize;
+    for engine in &engines {
+        let stats = engine.stats();
+        solves += stats.solves;
+        cache_hits += stats.cache_hits;
+    }
+    for stop in &stops {
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    for daemon in daemons {
+        daemon
+            .join()
+            .expect("shard thread exits")
+            .expect("shard drains cleanly");
+    }
+    FleetRttBench {
+        shards,
+        jobs: specs.len(),
+        campaigns,
+        campaign_rtt: WallStats::of(rtt),
+        routed: warmup.routed,
+        solves,
+        cache_hits,
+    }
+}
+
 fn smoke_check(json: &str) {
     let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
     assert_eq!(report.schema, SCHEMA, "schema version mismatch");
@@ -642,6 +746,31 @@ fn smoke_check(json: &str) {
         server.cache_hits,
         server.requests
     );
+    let fleet = &report.fleet_rtt;
+    assert!(
+        fleet.campaign_rtt.median_ns > 0
+            && fleet.campaign_rtt.p95_ns >= fleet.campaign_rtt.median_ns,
+        "fleet RTT stats must be populated and ordered, got {:?}",
+        fleet.campaign_rtt
+    );
+    assert_eq!(
+        fleet.solves, fleet.jobs,
+        "timed fleet campaigns must ride the memo caches (one solve per unique job), got {} \
+         solves for {} jobs",
+        fleet.solves, fleet.jobs
+    );
+    assert!(
+        fleet.routed.iter().filter(|&&n| n > 0).count() >= 2,
+        "fleet campaign never spread across shards: {:?}",
+        fleet.routed
+    );
+    assert!(
+        fleet.cache_hits >= fleet.campaigns * fleet.jobs,
+        "fleet cache hits ({}) must cover the {} timed campaigns x {} jobs",
+        fleet.cache_hits,
+        fleet.campaigns,
+        fleet.jobs
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -676,6 +805,11 @@ fn main() {
         opts.iters
     );
     let server_rtt = bench_server_rtt(opts.iters);
+    eprintln!(
+        "# benchmarking fleet campaign round-trip latency ({} iterations)",
+        opts.iters
+    );
+    let fleet_rtt = bench_fleet_rtt(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
@@ -686,6 +820,7 @@ fn main() {
         ac_batch,
         rom,
         server_rtt,
+        fleet_rtt,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -740,6 +875,16 @@ fn main() {
         report.server_rtt.requests,
         report.server_rtt.solves,
         report.server_rtt.cache_hits
+    );
+    println!(
+        "{:8} p50 {:>15} ns  p95 {:>12} ns  {} shards  routed {:?}  solves {}  cache_hits {}",
+        "fleet",
+        report.fleet_rtt.campaign_rtt.median_ns,
+        report.fleet_rtt.campaign_rtt.p95_ns,
+        report.fleet_rtt.shards,
+        report.fleet_rtt.routed,
+        report.fleet_rtt.solves,
+        report.fleet_rtt.cache_hits
     );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {

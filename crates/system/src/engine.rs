@@ -43,7 +43,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 use voltnoise_pdn::topology::NUM_CORES;
@@ -505,6 +505,25 @@ pub struct EngineStats {
     /// Callers that attached to an identical already-in-flight solve
     /// instead of starting their own (cross-client singleflight dedup).
     pub inflight_joins: usize,
+    /// Jobs answered from a *read-through* store — a sibling shard's
+    /// file attached via [`Engine::with_read_store`]. Counted apart
+    /// from `store_hits` so a fleet can see failover traffic (work a
+    /// crashed or stalled primary already paid for) separately from
+    /// this engine's own resume hits.
+    pub read_store_hits: usize,
+    /// Estimated steps currently held by the serving layer's admission
+    /// gate (gauge), published via [`Engine::set_admitted_steps`]; zero
+    /// for engines not behind a server. A respawned worker must report
+    /// zero here — admission permits die with the process.
+    pub admitted_steps: u64,
+    /// This engine's shard index in a fleet (gauge), published via
+    /// [`Engine::set_shard_id`]; zero for standalone engines.
+    pub shard_id: usize,
+    /// Restart generation of the serving process (gauge), published via
+    /// [`Engine::set_restart_gen`]: zero on first spawn, incremented by
+    /// a supervisor on each respawn — the fleet's restart accounting
+    /// survives the crashed process's counters.
+    pub restart_gen: usize,
     /// Aggregated solver telemetry: deterministic work counters plus
     /// (when tracing was enabled) wall-clock histograms.
     pub telemetry: EngineTelemetry,
@@ -549,6 +568,7 @@ pub struct Engine {
     retry: RetryPolicy,
     injector: Option<FaultInjector>,
     store: Option<ResultStore>,
+    read_stores: Vec<ResultStore>,
     cancel: Option<CancelToken>,
     step_budget: Option<usize>,
     shards: Vec<Mutex<HashMap<JobKey, Arc<NoiseOutcome>>>>,
@@ -566,6 +586,10 @@ pub struct Engine {
     queue_depth: AtomicUsize,
     shed_total: AtomicUsize,
     inflight_joins: AtomicUsize,
+    read_store_hits: AtomicUsize,
+    admitted_steps: AtomicU64,
+    shard_id: AtomicUsize,
+    restart_gen: AtomicUsize,
     telemetry: Mutex<EngineTelemetry>,
 }
 
@@ -631,6 +655,21 @@ impl Engine {
                 ),
             }
         }
+        // `VOLTNOISE_READ_STORES` names colon-separated sibling shard
+        // files to read through (never append to) — the fleet worker's
+        // view of the shared store. An unopenable entry degrades that
+        // one read path, not the engine.
+        if let Ok(raw) = std::env::var("VOLTNOISE_READ_STORES") {
+            for path in raw.split(':').filter(|p| !p.is_empty()) {
+                match ResultStore::open(path) {
+                    Ok(store) => engine.read_stores.push(store),
+                    Err(why) => eprintln!(
+                        "voltnoise: ignoring read store {path:?} ({why}); \
+                         continuing without it"
+                    ),
+                }
+            }
+        }
         engine
     }
 
@@ -641,6 +680,7 @@ impl Engine {
             retry: RetryPolicy::default(),
             injector: None,
             store: None,
+            read_stores: Vec::new(),
             cancel: None,
             step_budget: None,
             shards: (0..CACHE_SHARDS)
@@ -660,6 +700,10 @@ impl Engine {
             queue_depth: AtomicUsize::new(0),
             shed_total: AtomicUsize::new(0),
             inflight_joins: AtomicUsize::new(0),
+            read_store_hits: AtomicUsize::new(0),
+            admitted_steps: AtomicU64::new(0),
+            shard_id: AtomicUsize::new(0),
+            restart_gen: AtomicUsize::new(0),
             telemetry: Mutex::new(EngineTelemetry::default()),
         }
     }
@@ -690,6 +734,23 @@ impl Engine {
     /// created.
     pub fn with_store<P: AsRef<Path>>(mut self, path: P) -> std::io::Result<Engine> {
         self.store = Some(ResultStore::open(path)?);
+        Ok(self)
+    }
+
+    /// Attaches a *read-through* store (builder style): consulted after
+    /// the primary store misses, refreshed incrementally from disk on
+    /// each miss ([`ResultStore::get_fresh`]), and never appended to.
+    /// This is how a fleet worker shares siblings' shard files — a
+    /// failover batch is answered from the crashed primary's flushed
+    /// records instead of being re-solved. May be called repeatedly to
+    /// attach several shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the store file cannot be opened or
+    /// created.
+    pub fn with_read_store<P: AsRef<Path>>(mut self, path: P) -> std::io::Result<Engine> {
+        self.read_stores.push(ResultStore::open(path)?);
         Ok(self)
     }
 
@@ -771,6 +832,30 @@ impl Engine {
         self.store_hits.load(Ordering::Relaxed)
     }
 
+    /// Jobs answered from a read-through store so far.
+    pub fn read_store_hits(&self) -> usize {
+        self.read_store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the serving layer's admission gauge (estimated steps
+    /// currently holding permits) into the engine's stats, so `/stats`
+    /// serves one coherent snapshot. Like [`Engine::set_queue_depth`],
+    /// the engine itself never writes this.
+    pub fn set_admitted_steps(&self, steps: u64) {
+        self.admitted_steps.store(steps, Ordering::Relaxed);
+    }
+
+    /// Publishes this engine's shard index within a fleet.
+    pub fn set_shard_id(&self, shard: usize) {
+        self.shard_id.store(shard, Ordering::Relaxed);
+    }
+
+    /// Publishes the serving process's restart generation (0 = first
+    /// spawn; a supervisor increments it on each respawn).
+    pub fn set_restart_gen(&self, generation: usize) {
+        self.restart_gen.store(generation, Ordering::Relaxed);
+    }
+
     /// Faults whose terminal kind was budget exhaustion.
     pub fn budget_faults(&self) -> usize {
         self.budget_faults.load(Ordering::Relaxed)
@@ -833,6 +918,10 @@ impl Engine {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             shed_total: self.shed_total(),
             inflight_joins: self.inflight_joins(),
+            read_store_hits: self.read_store_hits(),
+            admitted_steps: self.admitted_steps.load(Ordering::Relaxed),
+            shard_id: self.shard_id.load(Ordering::Relaxed),
+            restart_gen: self.restart_gen.load(Ordering::Relaxed),
             telemetry: self.telemetry(),
         }
     }
@@ -974,13 +1063,29 @@ impl Engine {
         // cancellation is requested — they are already paid for, and
         // draining them keeps a cancelled batch's partial results
         // deterministic.
-        if let Some(store) = &self.store {
-            if let Some(outcome) = store.get(&job.key().store_digest()) {
+        if self.store.is_some() || !self.read_stores.is_empty() {
+            let digest = job.key().store_digest();
+            if let Some(outcome) = self.store.as_ref().and_then(|s| s.get(&digest)) {
                 self.store_hits.fetch_add(1, Ordering::Relaxed);
                 lock_recover(self.shard(job.key()))
                     .entry(job.key().clone())
                     .or_insert_with(|| outcome.clone());
                 return Ok(outcome);
+            }
+            // Read-through shards: sibling workers' files, consulted
+            // with a freshness re-scan so records a crashed primary
+            // flushed moments ago are visible. Hits promote into the
+            // memory cache but are never re-appended to this engine's
+            // own store — across a fleet, each solved key lives in
+            // exactly one shard file.
+            for store in &self.read_stores {
+                if let Some(outcome) = store.get_fresh(&digest) {
+                    self.read_store_hits.fetch_add(1, Ordering::Relaxed);
+                    lock_recover(self.shard(job.key()))
+                        .entry(job.key().clone())
+                        .or_insert_with(|| outcome.clone());
+                    return Ok(outcome);
+                }
             }
         }
         // Jobs that would have to *solve* after cancellation fail fast

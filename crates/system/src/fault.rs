@@ -213,6 +213,17 @@ impl RetryPolicy {
         let jittered = nominal as f64 * (0.5 + 0.5 * unit);
         (jittered as u64).max(1)
     }
+
+    /// The delay before retry `retry` when the server supplied a
+    /// `Retry-After` hint (milliseconds): the larger of the hint and
+    /// the policy's own jittered backoff. Honoring the hint as a floor
+    /// keeps an overloaded server's explicit schedule authoritative,
+    /// while the seeded jitter keeps a fleet of clients told "come back
+    /// in 1s" from stampeding back in the same millisecond — they
+    /// spread out *after* the hint, deterministically per job seed.
+    pub fn delay_with_hint(&self, job_seed: u64, retry: u32, hint_ms: u64) -> u64 {
+        self.backoff_delay_ms(job_seed, retry).max(hint_ms)
+    }
 }
 
 /// The class of fault an injector plants.
@@ -404,6 +415,20 @@ mod tests {
         assert_ne!(p.backoff_delay_ms(1, 3), p.backoff_delay_ms(2, 3));
         // Zero base means immediate retries.
         assert_eq!(RetryPolicy::attempts(3).backoff_delay_ms(42, 2), 0);
+    }
+
+    #[test]
+    fn retry_after_hint_is_a_floor_under_the_jittered_backoff() {
+        let p = RetryPolicy::attempts(4).with_backoff(10, 2000);
+        // A hint beyond the backoff dominates; the client never comes
+        // back before the server asked it to.
+        assert_eq!(p.delay_with_hint(42, 1, 1000), 1000);
+        // A hint below the backoff leaves the jittered schedule intact.
+        assert_eq!(p.delay_with_hint(42, 3, 1), p.backoff_delay_ms(42, 3));
+        // No backoff configured: the hint is the whole delay.
+        assert_eq!(RetryPolicy::attempts(3).delay_with_hint(42, 2, 700), 700);
+        // Deterministic: same inputs, same delay.
+        assert_eq!(p.delay_with_hint(9, 2, 500), p.delay_with_hint(9, 2, 500));
     }
 
     #[test]

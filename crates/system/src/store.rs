@@ -28,7 +28,7 @@ use crate::noise::NoiseOutcome;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -104,6 +104,45 @@ struct StoreInner {
     /// Set once when an append fails, so a full disk warns once instead
     /// of spamming stderr for every remaining solve.
     append_warned: bool,
+    /// Byte offset up to which the backing file has been scanned into
+    /// `entries` — always a line boundary. [`ResultStore::get_fresh`]
+    /// resumes scanning here, so a read-through shard sees another
+    /// process's appends without re-reading the whole file.
+    scanned: u64,
+}
+
+/// Parses newline-terminated record lines from `data`, inserting new
+/// keys into `entries`. Returns `(bytes_consumed, corrupt_lines)`;
+/// `bytes_consumed` stops after the last complete line, so a torn tail
+/// (a crash artifact or an append still in flight) is left for a later
+/// scan instead of being half-parsed.
+fn scan_records(data: &[u8], entries: &mut HashMap<String, Arc<NoiseOutcome>>) -> (usize, usize) {
+    let mut consumed = 0usize;
+    let mut corrupt = 0usize;
+    let mut rest = data;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..pos];
+        consumed += pos + 1;
+        rest = &rest[pos + 1..];
+        match std::str::from_utf8(line) {
+            Ok(line) => {
+                let line = line.trim_end_matches('\r');
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<StoreRecord>(line) {
+                    Ok(rec) => {
+                        entries
+                            .entry(rec.key)
+                            .or_insert_with(|| Arc::new(rec.outcome));
+                    }
+                    Err(_) => corrupt += 1,
+                }
+            }
+            Err(_) => corrupt += 1,
+        }
+    }
+    (consumed, corrupt)
 }
 
 /// The on-disk JSONL store. Thread-safe: the engine's workers append
@@ -139,45 +178,50 @@ impl ResultStore {
         let mut entries: HashMap<String, Arc<NoiseOutcome>> = HashMap::new();
         let mut corrupt_lines = 0usize;
         let mut header_ok = false;
-        match File::open(&path) {
-            Ok(file) => {
-                let mut lines = BufReader::new(file).lines();
-                match lines.next() {
-                    None => header_ok = true, // empty file: adopt it
+        let mut scanned = 0u64;
+        match std::fs::read(&path) {
+            Ok(data) => {
+                if data.is_empty() {
+                    header_ok = true; // empty file: adopt it
+                } else if let Some(pos) = data.iter().position(|&b| b == b'\n') {
                     // A non-UTF-8 first line is as alien as a wrong
                     // header: reset below.
-                    Some(first) => {
-                        if first
-                            .ok()
-                            .and_then(|l| serde_json::from_str::<StoreHeader>(&l).ok())
-                            .is_some_and(|h| h == StoreHeader::current())
-                        {
-                            header_ok = true;
-                            for line in lines {
-                                // A torn tail may not even be UTF-8; any
-                                // unreadable line counts as corrupt and
-                                // is skipped, never fatal.
-                                let Ok(line) = line else {
-                                    corrupt_lines += 1;
-                                    continue;
-                                };
-                                if line.trim().is_empty() {
-                                    continue;
+                    if std::str::from_utf8(&data[..pos])
+                        .ok()
+                        .and_then(|l| serde_json::from_str::<StoreHeader>(l).ok())
+                        .is_some_and(|h| h == StoreHeader::current())
+                    {
+                        header_ok = true;
+                        let body = &data[pos + 1..];
+                        let (consumed, corrupt) = scan_records(body, &mut entries);
+                        corrupt_lines = corrupt;
+                        scanned = (pos + 1 + consumed) as u64;
+                        // A tail without a newline: a torn append. A
+                        // parseable one is adopted (writer died between
+                        // the record and its newline); anything else
+                        // counts as corrupt and stays unconsumed so a
+                        // later scan can pick it up if it completes.
+                        let tail = &body[consumed..];
+                        if !tail.is_empty() {
+                            match std::str::from_utf8(tail)
+                                .ok()
+                                .and_then(|l| serde_json::from_str::<StoreRecord>(l).ok())
+                            {
+                                Some(rec) => {
+                                    entries
+                                        .entry(rec.key)
+                                        .or_insert_with(|| Arc::new(rec.outcome));
+                                    scanned += tail.len() as u64;
                                 }
-                                match serde_json::from_str::<StoreRecord>(&line) {
-                                    Ok(rec) => {
-                                        entries
-                                            .entry(rec.key)
-                                            .or_insert_with(|| Arc::new(rec.outcome));
-                                    }
-                                    Err(_) => corrupt_lines += 1,
-                                }
+                                None => corrupt_lines += 1,
                             }
                         }
-                        // Alien or future-version header: the whole file
-                        // is unreadable to this code. Reset below.
                     }
+                    // Alien or future-version header: the whole file is
+                    // unreadable to this code. Reset below.
                 }
+                // A nonempty file without any newline cannot hold a
+                // valid header: reset below.
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
@@ -188,6 +232,7 @@ impl ResultStore {
                 entries,
                 corrupt_lines,
                 append_warned: false,
+                scanned,
             }),
         };
         let fresh = {
@@ -230,6 +275,59 @@ impl ResultStore {
     /// Looks up a stored outcome by its stable key digest.
     pub fn get(&self, key: &str) -> Option<Arc<NoiseOutcome>> {
         self.lock().entries.get(key).cloned()
+    }
+
+    /// Like [`ResultStore::get`], but on a miss first re-scans any
+    /// bytes another process appended to the backing file since the
+    /// last scan. This is the read-through primitive of a sharded
+    /// fleet: a fallback worker answering for a crashed or stalled
+    /// primary sees every record the primary flushed before dying,
+    /// which is what keeps failover duplicate-free.
+    ///
+    /// Only complete (newline-terminated) lines are consumed; a torn
+    /// tail — an append caught in flight — is left for the next scan.
+    /// Hits never touch the disk.
+    pub fn get_fresh(&self, key: &str) -> Option<Arc<NoiseOutcome>> {
+        let mut inner = self.lock();
+        if let Some(hit) = inner.entries.get(key) {
+            return Some(hit.clone());
+        }
+        self.refresh_locked(&mut inner);
+        inner.entries.get(key).cloned()
+    }
+
+    /// Scans records appended to the backing file since the last scan
+    /// into memory; returns how many new bytes were consumed. I/O
+    /// failures are treated as "nothing new" — the store degrades to
+    /// its in-memory view, it never aborts a lookup.
+    pub fn refresh(&self) -> u64 {
+        let mut inner = self.lock();
+        self.refresh_locked(&mut inner)
+    }
+
+    fn refresh_locked(&self, inner: &mut StoreInner) -> u64 {
+        let Ok(mut file) = File::open(&self.path) else {
+            return 0;
+        };
+        let len = match file.metadata() {
+            Ok(meta) => meta.len(),
+            Err(_) => return 0,
+        };
+        if len <= inner.scanned || file.seek(SeekFrom::Start(inner.scanned)).is_err() {
+            return 0;
+        }
+        let mut data = Vec::new();
+        if file
+            .take(len - inner.scanned)
+            .read_to_end(&mut data)
+            .is_err()
+        {
+            return 0;
+        }
+        let (consumed, corrupt) = scan_records(&data, &mut inner.entries);
+        inner.scanned += consumed as u64;
+        inner.corrupt_lines += corrupt;
+        consumed as u64
     }
 
     /// Records one solved outcome: inserts it in memory and appends a
@@ -288,6 +386,7 @@ impl ResultStore {
     fn rewrite(&self) -> std::io::Result<()> {
         let mut inner = self.lock();
         let tmp = self.path.with_extension("tmp");
+        let written;
         {
             let mut file = File::create(&tmp)?;
             let header =
@@ -304,9 +403,11 @@ impl ResultStore {
                 writeln!(file, "{line}")?;
             }
             file.sync_all()?;
+            written = file.metadata()?.len();
         }
         std::fs::rename(&tmp, &self.path)?;
         inner.corrupt_lines = 0;
+        inner.scanned = written;
         Ok(())
     }
 }
@@ -442,6 +543,36 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("\"aa\""), "sorted order: {}", lines[1]);
         assert!(lines[2].contains("\"zz\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn get_fresh_sees_another_handles_appends() {
+        let path = tmp_path("fresh");
+        let _ = std::fs::remove_file(&path);
+        let writer = ResultStore::open(&path).unwrap();
+        // A second handle on the same file — the shape of a fleet
+        // worker reading through a sibling's shard.
+        let reader = ResultStore::open(&path).unwrap();
+        assert!(reader.get_fresh("late").is_none());
+        writer.append("late", &outcome(9.0));
+        // Plain get still serves the stale in-memory view; get_fresh
+        // tail-scans the file and finds the new record.
+        assert!(reader.get("late").is_none());
+        let got = reader.get_fresh("late").unwrap();
+        assert_eq!(
+            serde_json::to_string(&*got).unwrap(),
+            serde_json::to_string(&outcome(9.0)).unwrap()
+        );
+        // Idempotent: a second lookup is a pure memory hit.
+        assert!(reader.get("late").is_some());
+        // A torn (newline-less) tail is not consumed until it completes.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"key\":\"half").unwrap();
+        }
+        assert!(reader.get_fresh("half").is_none());
+        assert_eq!(reader.corrupt_lines(), 0, "in-flight tail is not corrupt");
         let _ = std::fs::remove_file(&path);
     }
 

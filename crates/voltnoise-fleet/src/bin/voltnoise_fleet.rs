@@ -1,0 +1,263 @@
+//! Fleet launcher / chaos harness CLI.
+//!
+//! Subcommands:
+//!
+//! * `serve  --shards K --store-dir DIR [...]` — spawn a worker pool,
+//!   print the shard addresses, supervise (crash-respawn) until
+//!   SIGTERM/SIGINT, then drain gracefully.
+//! * `golden --jobs N --seed S [--reduced]` — run the deterministic
+//!   campaign directly on an in-process engine and print one outcome
+//!   JSON line per job: the byte-identity reference.
+//! * `chaos  --jobs N --seed S --shards K --store-dir DIR
+//!   [--chaos-seed C] [--reduced]` — run the same campaign through a
+//!   supervised fleet under the seeded fault plan and print the same
+//!   outcome lines. `diff` against `golden` is the smoke-level
+//!   byte-identity check (`scripts/chaos_smoke.sh`).
+//!
+//! `--server-bin PATH` (or `VOLTNOISE_SERVER_BIN`) points at the worker
+//! binary; by default it is looked up next to this executable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use voltnoise_fleet::chaos::{campaign_specs, ChaosDriver, ChaosPlan};
+use voltnoise_fleet::client::{FleetClient, FleetClientConfig};
+use voltnoise_fleet::supervisor::{server_binary, FleetConfig, Supervisor};
+use voltnoise_server::wire::JobSpec;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+
+fn usage() -> String {
+    "usage: voltnoise-fleet <serve|golden|chaos> [options]\n\
+     \n\
+     serve   --shards K --store-dir DIR [--reduced] [--step-ceiling N]\n\
+             [--server-bin PATH] [--max-restarts N]\n\
+     golden  --jobs N --seed S [--reduced]\n\
+     chaos   --jobs N --seed S --shards K --store-dir DIR\n\
+             [--chaos-seed C] [--reduced] [--server-bin PATH]"
+        .to_string()
+}
+
+struct Options {
+    jobs: usize,
+    seed: u64,
+    chaos_seed: u64,
+    shards: usize,
+    store_dir: Option<PathBuf>,
+    server_bin: Option<PathBuf>,
+    reduced: bool,
+    step_ceiling: u64,
+    max_restarts: u32,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        jobs: 12,
+        seed: 1,
+        chaos_seed: 42,
+        shards: 3,
+        store_dir: None,
+        server_bin: None,
+        reduced: false,
+        step_ceiling: 50_000_000,
+        max_restarts: 3,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?;
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--store-dir" => opts.store_dir = Some(PathBuf::from(value("--store-dir")?)),
+            "--server-bin" => opts.server_bin = Some(PathBuf::from(value("--server-bin")?)),
+            "--reduced" => opts.reduced = true,
+            "--step-ceiling" => {
+                opts.step_ceiling = value("--step-ceiling")?
+                    .parse()
+                    .map_err(|e| format!("--step-ceiling: {e}"))?;
+            }
+            "--max-restarts" => {
+                opts.max_restarts = value("--max-restarts")?
+                    .parse()
+                    .map_err(|e| format!("--max-restarts: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn testbed_of(reduced: bool) -> &'static Testbed {
+    if reduced {
+        Testbed::fast()
+    } else {
+        Testbed::shared()
+    }
+}
+
+fn compile(testbed: &'static Testbed, spec: &JobSpec) -> SimJob {
+    let factory = SimJob::batch(testbed.chip());
+    let sync = spec.sync.then(SyncSpec::paper_default);
+    let loads = testbed.loads_of_mapping(&spec.mapping, spec.stim_freq_hz, sync);
+    factory.job(
+        loads,
+        NoiseRunConfig {
+            window_s: spec.window_s,
+            record_traces: spec.record_traces,
+            seed: spec.seed,
+            max_steps: spec.max_steps,
+            ..NoiseRunConfig::default()
+        },
+    )
+}
+
+fn run_golden(opts: &Options) -> Result<(), String> {
+    let testbed = testbed_of(opts.reduced);
+    let specs = campaign_specs(opts.jobs, opts.seed);
+    let jobs: Vec<SimJob> = specs.iter().map(|s| compile(testbed, s)).collect();
+    let engine = Engine::new();
+    let outcomes = engine.run_jobs(&jobs).map_err(|e| e.to_string())?;
+    for outcome in &outcomes {
+        println!(
+            "{}",
+            serde_json::to_string(outcome.as_ref()).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(())
+}
+
+fn fleet_config(opts: &Options) -> Result<FleetConfig, String> {
+    let store_dir = opts
+        .store_dir
+        .clone()
+        .ok_or_else(|| format!("--store-dir is required\n{}", usage()))?;
+    let server_bin = match &opts.server_bin {
+        Some(path) => path.clone(),
+        None => server_binary().map_err(|e| e.to_string())?,
+    };
+    Ok(FleetConfig {
+        shards: opts.shards.max(1),
+        server_bin,
+        store_dir,
+        reduced: opts.reduced,
+        step_ceiling: opts.step_ceiling,
+        max_restarts: opts.max_restarts,
+        ..FleetConfig::default()
+    })
+}
+
+fn run_chaos(opts: &Options) -> Result<(), String> {
+    let cfg = fleet_config(opts)?;
+    let shards = cfg.shards;
+    let mut supervisor = Supervisor::spawn(cfg).map_err(|e| e.to_string())?;
+    let specs = campaign_specs(opts.jobs, opts.seed);
+    let mut client = FleetClient::new(
+        supervisor.addrs(),
+        testbed_of(opts.reduced),
+        FleetClientConfig::default(),
+    );
+    let plan = ChaosPlan::seeded(opts.chaos_seed, shards);
+    eprintln!("chaos plan: {:?}", plan.actions());
+    let mut driver = ChaosDriver::new(&mut supervisor, plan);
+    let campaign = client.run_campaign(&specs, &mut driver);
+    let chaos_report = driver.finish();
+    let report = campaign.map_err(|e| e.to_string())?;
+    eprintln!(
+        "chaos injected: kills={} stalls={} resets={} respawns={} | client: failovers={} hard_retries={} breaker_opens={}",
+        chaos_report.kills,
+        chaos_report.stalls,
+        chaos_report.resets,
+        chaos_report.respawns,
+        report.failovers,
+        report.hard_retries,
+        report.breaker_opens
+    );
+    supervisor
+        .drain(Duration::from_secs(30))
+        .map_err(|e| format!("fleet drain: {e}"))?;
+    for (index, outcome) in report.outcomes.iter().enumerate() {
+        match outcome {
+            Some(json) => println!("{json}"),
+            None => {
+                let fault = report.faults[index].as_deref().unwrap_or("missing");
+                return Err(format!("job {index} did not complete: {fault}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_serve(opts: &Options) -> Result<(), String> {
+    let cfg = fleet_config(opts)?;
+    let mut supervisor = Supervisor::spawn(cfg).map_err(|e| e.to_string())?;
+    for (shard, addr) in supervisor.addrs().iter().enumerate() {
+        println!("voltnoise-fleet shard {shard} listening on {addr}");
+    }
+    voltnoise_server::signals::install();
+    while !voltnoise_server::signals::shutdown_requested() {
+        if let Err(e) = supervisor.check() {
+            // Restart budget exhausted: drain whatever is left.
+            eprintln!("voltnoise-fleet: {e}");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    eprintln!("voltnoise-fleet: draining");
+    supervisor
+        .drain(Duration::from_secs(30))
+        .map_err(|e| e.to_string())?;
+    eprintln!("voltnoise-fleet: drained cleanly");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(&args[1..]) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("voltnoise-fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "golden" => run_golden(&opts),
+        "chaos" => run_chaos(&opts),
+        "serve" => run_serve(&opts),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("voltnoise-fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-shard circuit breaker, driven by health-probe outcomes.
+//!
+//! State machine (see `DESIGN.md` §2i):
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ──────────────────────────────────▶ Open
+//!     ▲                                          │ cooldown elapsed:
+//!     │ probe succeeds                           │ allow() admits ONE
+//!     │                                          ▼ probe
+//!     └────────────────────────────────────── HalfOpen
+//!                  probe fails: back to Open, cooldown restarts
+//! ```
+//!
+//! Time is injected through every transition ([`std::time::Instant`]
+//! parameters), never read from a clock inside — so the scripted-probe
+//! unit tests and the chaos harness replay transitions deterministically.
+
+use std::time::{Duration, Instant};
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// One probe is out; its outcome decides Closed vs Open.
+    HalfOpen,
+}
+
+/// A circuit breaker for one shard endpoint.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Consecutive failures while Closed.
+    failures: u32,
+    /// Failures (connect errors, probe timeouts) that trip Closed→Open.
+    threshold: u32,
+    /// How long Open refuses before admitting a half-open probe.
+    cooldown: Duration,
+    /// When the breaker last opened.
+    opened_at: Option<Instant>,
+    /// Closed→Open transitions, lifetime (surfaced in fleet stats).
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures (clamped to ≥ 1) and cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            failures: 0,
+            threshold: threshold.max(1),
+            cooldown,
+            opened_at: None,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime count of trips to Open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Whether a request may be sent now. Closed: always. Open: only
+    /// once the cooldown has elapsed — which transitions to HalfOpen
+    /// and admits exactly one probe; further calls refuse until that
+    /// probe's outcome is recorded.
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_none_or(|at| now.duration_since(at) >= self.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                }
+                cooled
+            }
+        }
+    }
+
+    /// Records a successful probe/request: any state closes.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Records a failed probe/request at `now`. Closed trips to Open at
+    /// the threshold; a HalfOpen probe failure reopens immediately and
+    /// restarts the cooldown.
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.failures = 0;
+        self.opened_at = Some(now);
+        self.opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn scripted_probe_sequence_walks_the_state_machine() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(3, COOLDOWN);
+        // Closed: two failures stay under the threshold.
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Third consecutive failure trips it.
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // Open refuses inside the cooldown window.
+        assert!(!b.allow(t0 + Duration::from_millis(50)));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown elapsed: exactly one half-open probe is admitted.
+        assert!(b.allow(t0 + COOLDOWN));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(t0 + COOLDOWN), "second probe must wait");
+        // The probe succeeds: closed again, failure count reset.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(t0 + COOLDOWN);
+        b.record_failure(t0 + COOLDOWN);
+        assert_eq!(b.state(), BreakerState::Closed, "count was reset");
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_and_restarts_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(1, COOLDOWN);
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(t0 + COOLDOWN));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe fails at t0+cooldown: reopen, cooldown restarts there.
+        b.record_failure(t0 + COOLDOWN);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(
+            !b.allow(t0 + COOLDOWN + Duration::from_millis(50)),
+            "old cooldown must not carry over"
+        );
+        assert!(b.allow(t0 + COOLDOWN + COOLDOWN));
+    }
+
+    #[test]
+    fn success_interleaved_with_failures_never_trips() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(2, COOLDOWN);
+        for _ in 0..10 {
+            b.record_failure(t0);
+            b.record_success();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Deterministic chaos harness: a seeded fault plan replayed against a
+//! live fleet through the [`FleetObserver`] hooks.
+//!
+//! The harness never reads a clock or an RNG at injection time — every
+//! fault is pinned to a *campaign coordinate* (a wave number, or the
+//! Nth streamed line from a shard), so replaying the same plan against
+//! the same campaign injects the same faults at the same points. That
+//! is what makes the byte-identity proof in `tests/fleet.rs` a real
+//! test instead of a flake: the chaotic run is as reproducible as the
+//! clean one.
+//!
+//! Three fault shapes cover the failure modes the fleet claims to
+//! survive:
+//!
+//! * [`FaultAction::KillAfterLines`] — SIGKILL the worker mid-batch,
+//!   after it has streamed (and therefore durably appended) some
+//!   results. Exercises crash detection, bounded respawn, and resume
+//!   from the shard store.
+//! * [`FaultAction::StallBeforeWave`] — SIGSTOP the worker so accepts
+//!   stall. Health probes time out, the shard's breaker trips, and the
+//!   wave hedges to the ring successor.
+//! * [`FaultAction::ResetAfterLines`] — abort the client connection
+//!   mid-stream (an injected connection reset). Exercises partial
+//!   capture + retry of only the missing tail.
+
+use crate::client::{Directive, FleetEvent, FleetObserver};
+use crate::supervisor::{send_signal, Supervisor, SIGCONT, SIGKILL, SIGSTOP};
+use std::time::{Duration, Instant};
+use voltnoise_server::wire::JobSpec;
+use voltnoise_system::workload::WorkloadKind;
+
+/// splitmix64 — the same tiny deterministic generator the engine's
+/// retry backoff uses; seeds the fault plan.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One scheduled fault, pinned to a campaign coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// SIGKILL `shard`'s worker once `lines` result lines have streamed
+    /// from it (so the kill lands mid-batch, after durable appends).
+    KillAfterLines {
+        /// Target shard.
+        shard: usize,
+        /// 1-based streamed-line count that triggers the kill.
+        lines: usize,
+    },
+    /// SIGSTOP `shard`'s worker just before wave `wave` dispatches; the
+    /// harness SIGCONTs it at the next distinct wave (or at
+    /// [`ChaosDriver::finish`]).
+    StallBeforeWave {
+        /// Wave ordinal whose dispatch the stall precedes.
+        wave: usize,
+        /// Target shard.
+        shard: usize,
+    },
+    /// Abort the client connection to `shard` after `lines` streamed
+    /// lines — an injected reset on an otherwise healthy worker.
+    ResetAfterLines {
+        /// Target shard.
+        shard: usize,
+        /// 1-based streamed-line count that triggers the abort.
+        lines: usize,
+    },
+}
+
+/// A deterministic fault plan: an ordered set of [`FaultAction`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    actions: Vec<FaultAction>,
+}
+
+impl ChaosPlan {
+    /// A plan from an explicit action list.
+    pub fn new(actions: Vec<FaultAction>) -> ChaosPlan {
+        ChaosPlan { actions }
+    }
+
+    /// A seeded plan over a `shards`-wide fleet: one mid-batch SIGKILL,
+    /// one pre-wave stall, one mid-stream reset, with shards and
+    /// trigger coordinates drawn from splitmix64(`seed`). The stall
+    /// always targets a different shard than the kill so both failure
+    /// modes are exercised in one campaign.
+    pub fn seeded(seed: u64, shards: usize) -> ChaosPlan {
+        let shards = shards.max(1);
+        let mut state = seed;
+        let kill_shard = (splitmix64(&mut state) as usize) % shards;
+        let stall_shard = if shards > 1 {
+            (kill_shard + 1 + (splitmix64(&mut state) as usize) % (shards - 1)) % shards
+        } else {
+            kill_shard
+        };
+        let reset_shard = (splitmix64(&mut state) as usize) % shards;
+        ChaosPlan::new(vec![
+            FaultAction::KillAfterLines {
+                shard: kill_shard,
+                lines: 1 + (splitmix64(&mut state) as usize) % 2,
+            },
+            FaultAction::StallBeforeWave {
+                wave: (splitmix64(&mut state) as usize) % shards,
+                shard: stall_shard,
+            },
+            FaultAction::ResetAfterLines {
+                shard: reset_shard,
+                lines: 1,
+            },
+        ])
+    }
+
+    /// The scheduled actions.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+}
+
+/// What a chaos run actually injected — asserted on by the tests so a
+/// plan that silently stopped firing fails loudly.
+#[derive(Debug, Default, Clone)]
+pub struct ChaosReport {
+    /// SIGKILLs delivered.
+    pub kills: u64,
+    /// SIGSTOP stalls injected.
+    pub stalls: u64,
+    /// Client-side connection aborts injected.
+    pub resets: u64,
+    /// Worker respawns performed during recovery.
+    pub respawns: u64,
+    /// Human-readable injection log, in order.
+    pub log: Vec<String>,
+}
+
+/// Replays a [`ChaosPlan`] against a live [`Supervisor`] while a
+/// campaign runs, via the [`FleetObserver`] hooks.
+pub struct ChaosDriver<'a> {
+    supervisor: &'a mut Supervisor,
+    /// `(action, fired)` — every action fires at most once.
+    actions: Vec<(FaultAction, bool)>,
+    /// Shards currently SIGSTOPped, with the wave that stalled them.
+    stalled: Vec<(usize, usize)>,
+    /// Shards SIGKILLed but not yet reaped+respawned. A kill is
+    /// asynchronous: the client's connection resets a moment before the
+    /// process becomes waitable, so recovery polls until these drain.
+    killed: Vec<usize>,
+    report: ChaosReport,
+}
+
+impl<'a> ChaosDriver<'a> {
+    /// A driver replaying `plan` against `supervisor`.
+    pub fn new(supervisor: &'a mut Supervisor, plan: ChaosPlan) -> ChaosDriver<'a> {
+        ChaosDriver {
+            supervisor,
+            actions: plan.actions.into_iter().map(|a| (a, false)).collect(),
+            stalled: Vec::new(),
+            killed: Vec::new(),
+            report: ChaosReport::default(),
+        }
+    }
+
+    /// Resumes any still-stalled workers, reaps and respawns any
+    /// still-dead ones, and returns the injection report. Must be
+    /// called after the campaign so no worker is left frozen or dead
+    /// (a kill whose batch completed anyway never triggers recovery
+    /// mid-campaign).
+    pub fn finish(mut self) -> ChaosReport {
+        self.resume_stalled_except(usize::MAX);
+        self.reap_killed();
+        self.report
+    }
+
+    /// Polls the supervisor until every SIGKILLed shard has been reaped
+    /// and respawned (bounded — a killed process always becomes
+    /// waitable, the wait is only for the kernel to finish the exit).
+    fn reap_killed(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.supervisor.check() {
+                Ok(respawned) => {
+                    self.report.respawns += respawned.len() as u64;
+                    for s in &respawned {
+                        self.killed.retain(|k| k != s);
+                        self.report.log.push(format!(
+                            "respawned shard {s} (gen {})",
+                            self.supervisor.restart_gen(*s)
+                        ));
+                    }
+                }
+                Err(err) => {
+                    self.report.log.push(format!("recover failed: {err}"));
+                    return;
+                }
+            }
+            if self.killed.is_empty() || Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn resume_stalled_except(&mut self, wave: usize) {
+        let mut keep = Vec::new();
+        for (shard, stalled_wave) in std::mem::take(&mut self.stalled) {
+            if stalled_wave == wave {
+                keep.push((shard, stalled_wave));
+                continue;
+            }
+            let _ = send_signal(self.supervisor.pid(shard), SIGCONT);
+            self.report.log.push(format!("resume shard {shard}"));
+        }
+        self.stalled = keep;
+    }
+}
+
+impl FleetObserver for ChaosDriver<'_> {
+    fn on_event(&mut self, event: &FleetEvent<'_>) -> Directive {
+        match *event {
+            FleetEvent::WaveStart { wave, .. } => {
+                // A stall only spans its own wave: by the time a later
+                // wave dispatches, the frozen worker thaws (the breaker
+                // stays open until its cooldown anyway).
+                self.resume_stalled_except(wave);
+                let mut to_stall = Vec::new();
+                for (action, fired) in &mut self.actions {
+                    if let FaultAction::StallBeforeWave { wave: at, shard } = *action {
+                        if at == wave && !*fired {
+                            *fired = true;
+                            to_stall.push(shard);
+                        }
+                    }
+                }
+                for shard in to_stall {
+                    if send_signal(self.supervisor.pid(shard), SIGSTOP).is_ok() {
+                        self.report.stalls += 1;
+                        self.report
+                            .log
+                            .push(format!("stall shard {shard} before wave {wave}"));
+                        self.stalled.push((shard, wave));
+                    }
+                }
+                Directive::Continue
+            }
+            FleetEvent::Line {
+                shard, lines_seen, ..
+            } => {
+                let mut directive = Directive::Continue;
+                let mut kill = false;
+                let mut reset = false;
+                for (action, fired) in &mut self.actions {
+                    match *action {
+                        FaultAction::KillAfterLines { shard: s, lines } => {
+                            if s == shard && lines_seen >= lines && !*fired {
+                                *fired = true;
+                                kill = true;
+                            }
+                        }
+                        FaultAction::ResetAfterLines { shard: s, lines } => {
+                            if s == shard && lines_seen >= lines && !*fired {
+                                *fired = true;
+                                reset = true;
+                            }
+                        }
+                        FaultAction::StallBeforeWave { .. } => {}
+                    }
+                }
+                if kill && send_signal(self.supervisor.pid(shard), SIGKILL).is_ok() {
+                    self.report.kills += 1;
+                    self.killed.push(shard);
+                    self.report
+                        .log
+                        .push(format!("SIGKILL shard {shard} after {lines_seen} lines"));
+                }
+                if reset {
+                    self.report.resets += 1;
+                    self.report.log.push(format!(
+                        "reset connection to shard {shard} after {lines_seen} lines"
+                    ));
+                    directive = Directive::AbortConnection;
+                }
+                directive
+            }
+        }
+    }
+
+    fn recover(&mut self, shard: usize) -> Option<String> {
+        // Reap and respawn whatever died (bounded by the supervisor's
+        // restart budget). When the driver knows it killed something,
+        // poll until the corpse is actually waitable — the connection
+        // reset races the process exit by a few milliseconds. Then hand
+        // the client the shard's current address, unchanged if the
+        // worker never died (e.g. an injected reset on a healthy one).
+        self.reap_killed();
+        Some(self.supervisor.addr(shard).to_string())
+    }
+}
+
+/// A deterministic campaign of `jobs` specs: rotating core mappings
+/// over the workload kinds, alternating sync, distinct seeds derived
+/// from `base_seed`. The same `(jobs, base_seed)` always yields the
+/// same spec list — and therefore the same digests, routing, and
+/// outcomes.
+pub fn campaign_specs(jobs: usize, base_seed: u64) -> Vec<JobSpec> {
+    let kinds = WorkloadKind::ALL;
+    (0..jobs)
+        .map(|i| {
+            let mut mapping = [WorkloadKind::Idle; 6];
+            for (core, slot) in mapping.iter_mut().enumerate() {
+                *slot = kinds[(i + core) % kinds.len()];
+            }
+            JobSpec {
+                mapping,
+                stim_freq_hz: 2.5e6,
+                sync: i % 2 == 0,
+                window_s: Some(4e-6),
+                seed: base_seed.wrapping_add(i as u64),
+                record_traces: false,
+                max_steps: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_cover_all_fault_kinds() {
+        let a = ChaosPlan::seeded(42, 3);
+        let b = ChaosPlan::seeded(42, 3);
+        assert_eq!(a.actions(), b.actions());
+        assert_eq!(a.actions().len(), 3);
+        let kill = a.actions().iter().find_map(|f| match f {
+            FaultAction::KillAfterLines { shard, .. } => Some(*shard),
+            _ => None,
+        });
+        let stall = a.actions().iter().find_map(|f| match f {
+            FaultAction::StallBeforeWave { shard, .. } => Some(*shard),
+            _ => None,
+        });
+        assert!(kill.is_some() && stall.is_some());
+        assert_ne!(kill, stall, "kill and stall must hit different shards");
+    }
+
+    #[test]
+    fn campaign_specs_are_deterministic_and_varied() {
+        let a = campaign_specs(8, 7);
+        let b = campaign_specs(8, 7);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mapping, y.mapping);
+            assert_eq!(x.seed, y.seed);
+        }
+        // Seeds are distinct, mappings rotate.
+        assert_ne!(a[0].seed, a[1].seed);
+        assert_ne!(a[0].mapping, a[1].mapping);
+    }
+}

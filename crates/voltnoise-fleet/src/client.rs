@@ -1,0 +1,489 @@
+//! The routing-aware campaign client: consistent-hash dispatch, probe
+//! driven circuit breakers, deterministic retry honoring `Retry-After`,
+//! and failover (tail hedging) to the ring successor.
+//!
+//! A campaign is a list of wire [`JobSpec`]s. The client compiles each
+//! spec against the *same testbed* the workers run, takes the resulting
+//! job's `store_digest` — the exact key the workers use for their cache
+//! and store — and routes it on the [`HashRing`]. Jobs sharing a
+//! primary shard form one *wave*; waves dispatch sequentially in shard
+//! order, so a campaign's request sequence is a pure function of its
+//! specs and the observer's injected faults, never of wall-clock races.
+//!
+//! Mid-wave failures keep the partial results already streamed and
+//! resend only the missing tail — to the respawned primary when the
+//! observer recovered it, or hedged to the next shard in the key's
+//! preference order when the primary's breaker is open. Either path is
+//! duplicate-free: a resent job that was already solved anywhere in the
+//! fleet resolves to a store or read-through hit, never a second solve.
+
+use crate::breaker::CircuitBreaker;
+use crate::ring::{fnv1a64, HashRing};
+use std::io;
+use std::time::{Duration, Instant};
+use voltnoise_server::wire::{BatchRequest, JobSpec};
+use voltnoise_server::HttpClient;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::engine::SimJob;
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+
+/// Client knobs. Defaults suit an interactive fleet; the chaos tests
+/// shrink the timeouts.
+#[derive(Debug, Clone)]
+pub struct FleetClientConfig {
+    /// Virtual nodes per shard on the routing ring.
+    pub vnodes: usize,
+    /// Consecutive probe failures that open a shard's breaker.
+    pub breaker_threshold: u32,
+    /// Open-state cooldown before a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Health-probe timeout (kept short: a stalled shard must trip its
+    /// breaker quickly, not hold the campaign).
+    pub probe_timeout: Duration,
+    /// Batch request timeout.
+    pub request_timeout: Duration,
+    /// Attempts per wave (counting 429 waits, hard retries and
+    /// failovers) before the campaign errors out.
+    pub max_attempts_per_wave: u32,
+    /// Base/cap of the deterministic retry backoff, milliseconds.
+    pub backoff_base_ms: u64,
+    /// See [`FleetClientConfig::backoff_base_ms`].
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for FleetClientConfig {
+    fn default() -> FleetClientConfig {
+        FleetClientConfig {
+            vnodes: 16,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(3),
+            probe_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(300),
+            max_attempts_per_wave: 8,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+/// What the client tells its observer as a campaign unfolds. The chaos
+/// harness keys its fault plan off these.
+#[derive(Debug)]
+pub enum FleetEvent<'a> {
+    /// A wave (all jobs whose primary is `shard`) is about to dispatch.
+    WaveStart {
+        /// Wave ordinal, 0-based, in dispatch order.
+        wave: usize,
+        /// Primary shard of every job in the wave.
+        shard: usize,
+        /// Jobs still missing in this wave.
+        jobs: usize,
+    },
+    /// One streamed result line arrived from `shard`.
+    Line {
+        /// Shard the connection is attached to.
+        shard: usize,
+        /// Lines seen so far on this connection (1-based).
+        lines_seen: usize,
+        /// The raw line, newline stripped.
+        line: &'a str,
+    },
+}
+
+/// Observer verdict on each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Keep going.
+    Continue,
+    /// Abort the current connection (injected client-side reset).
+    AbortConnection,
+}
+
+/// Campaign-lifecycle hooks. The chaos harness implements this; plain
+/// runs use [`NoChaos`].
+pub trait FleetObserver {
+    /// Called on every [`FleetEvent`].
+    fn on_event(&mut self, event: &FleetEvent<'_>) -> Directive {
+        let _ = event;
+        Directive::Continue
+    }
+
+    /// Called after a hard request failure on `shard`. A supervisor
+    /// backed observer reaps/respawns the worker here and returns its
+    /// new address; `None` leaves the address unchanged.
+    fn recover(&mut self, shard: usize) -> Option<String> {
+        let _ = shard;
+        None
+    }
+}
+
+/// The no-op observer.
+pub struct NoChaos;
+
+impl FleetObserver for NoChaos {}
+
+/// What a campaign produced, plus the routing/robustness counters the
+/// chaos proof asserts on.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Per job (campaign order): the outcome JSON exactly as the
+    /// winning worker serialized it — the byte-identity payload.
+    pub outcomes: Vec<Option<String>>,
+    /// Per job: the fault line, for jobs that settled as faults.
+    pub faults: Vec<Option<String>>,
+    /// Jobs routed per shard (by the shard that finally answered).
+    pub routed: Vec<u64>,
+    /// Waves that hedged away from their primary shard.
+    pub failovers: u64,
+    /// `429` waits honored.
+    pub retries_429: u64,
+    /// Hard request failures retried (crashes, resets, timeouts).
+    pub hard_retries: u64,
+    /// Breaker trips observed across all shards during the campaign.
+    pub breaker_opens: u64,
+}
+
+struct Endpoint {
+    addr: String,
+    probe: HttpClient,
+    jobs: HttpClient,
+    breaker: CircuitBreaker,
+}
+
+impl Endpoint {
+    fn new(addr: String, cfg: &FleetClientConfig) -> Endpoint {
+        Endpoint {
+            probe: HttpClient::new(addr.clone(), cfg.probe_timeout),
+            jobs: HttpClient::new(addr.clone(), cfg.request_timeout),
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            addr,
+        }
+    }
+
+    fn set_addr(&mut self, addr: String, cfg: &FleetClientConfig) {
+        self.probe = HttpClient::new(addr.clone(), cfg.probe_timeout);
+        self.jobs = HttpClient::new(addr.clone(), cfg.request_timeout);
+        self.addr = addr;
+    }
+}
+
+/// The fleet-facing campaign client.
+pub struct FleetClient {
+    cfg: FleetClientConfig,
+    ring: HashRing,
+    endpoints: Vec<Endpoint>,
+    testbed: &'static Testbed,
+}
+
+impl FleetClient {
+    /// A client over `addrs` (index = shard id), compiling job keys
+    /// against `testbed` — which must match the workers' `--reduced`
+    /// choice, or routing digests and worker digests disagree.
+    pub fn new(
+        addrs: Vec<String>,
+        testbed: &'static Testbed,
+        cfg: FleetClientConfig,
+    ) -> FleetClient {
+        let ring = HashRing::new(addrs.len(), cfg.vnodes);
+        let endpoints = addrs
+            .into_iter()
+            .map(|addr| Endpoint::new(addr, &cfg))
+            .collect();
+        FleetClient {
+            cfg,
+            ring,
+            endpoints,
+            testbed,
+        }
+    }
+
+    /// The routing ring (tests pick chaos targets from it).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Current address of a shard endpoint.
+    pub fn addr(&self, shard: usize) -> &str {
+        &self.endpoints[shard].addr
+    }
+
+    /// Points a shard endpoint at a new address (after a respawn),
+    /// dropping its keep-alive connections.
+    pub fn set_addr(&mut self, shard: usize, addr: String) {
+        let cfg = self.cfg.clone();
+        self.endpoints[shard].set_addr(addr, &cfg);
+    }
+
+    /// The store digest a worker will compute for `spec` — the routing
+    /// key. Identical compilation to the server's `build_jobs`, minus
+    /// the cancel token (which is deliberately outside the content key).
+    pub fn digest_of(&self, spec: &JobSpec) -> String {
+        let factory = SimJob::batch(self.testbed.chip());
+        let sync = spec.sync.then(SyncSpec::paper_default);
+        let loads = self
+            .testbed
+            .loads_of_mapping(&spec.mapping, spec.stim_freq_hz, sync);
+        factory
+            .job(
+                loads,
+                NoiseRunConfig {
+                    window_s: spec.window_s,
+                    record_traces: spec.record_traces,
+                    seed: spec.seed,
+                    max_steps: spec.max_steps,
+                    ..NoiseRunConfig::default()
+                },
+            )
+            .key()
+            .store_digest()
+    }
+
+    /// Runs a campaign to completion under `observer`, returning the
+    /// per-job outcomes and the robustness counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a wave exhausts its attempt budget or no
+    /// shard in a key's preference order is admissible.
+    pub fn run_campaign(
+        &mut self,
+        specs: &[JobSpec],
+        observer: &mut dyn FleetObserver,
+    ) -> io::Result<CampaignReport> {
+        let mut report = CampaignReport {
+            outcomes: vec![None; specs.len()],
+            faults: vec![None; specs.len()],
+            routed: vec![0; self.endpoints.len()],
+            ..CampaignReport::default()
+        };
+        let digests: Vec<String> = specs.iter().map(|s| self.digest_of(s)).collect();
+        // Waves: campaign indices grouped by primary shard, dispatched
+        // in ascending shard order — deterministic for a given spec
+        // list and ring.
+        let mut waves: Vec<(usize, Vec<usize>)> = Vec::new();
+        for shard in 0..self.ring.shards() {
+            let members: Vec<usize> = (0..specs.len())
+                .filter(|&i| self.ring.shard_of(&digests[i]) == shard)
+                .collect();
+            if !members.is_empty() {
+                waves.push((shard, members));
+            }
+        }
+        for (wave_no, (primary, members)) in waves.iter().enumerate() {
+            self.run_wave(
+                wave_no,
+                *primary,
+                members,
+                specs,
+                &digests,
+                observer,
+                &mut report,
+            )?;
+        }
+        report.breaker_opens = self.endpoints.iter().map(|e| e.breaker.opens()).sum();
+        Ok(report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_wave(
+        &mut self,
+        wave_no: usize,
+        primary: usize,
+        members: &[usize],
+        specs: &[JobSpec],
+        digests: &[String],
+        observer: &mut dyn FleetObserver,
+        report: &mut CampaignReport,
+    ) -> io::Result<()> {
+        let preference = self.ring.preference(&digests[members[0]]);
+        let mut attempt: u32 = 0;
+        loop {
+            let pending: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| report.outcomes[i].is_none() && report.faults[i].is_none())
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt > self.cfg.max_attempts_per_wave {
+                return Err(io::Error::other(format!(
+                    "wave {wave_no} (shard {primary}) exhausted {} attempts with {} jobs missing",
+                    self.cfg.max_attempts_per_wave,
+                    pending.len()
+                )));
+            }
+            observer.on_event(&FleetEvent::WaveStart {
+                wave: wave_no,
+                shard: primary,
+                jobs: pending.len(),
+            });
+            let Some(target) = self.select_shard(&preference) else {
+                return Err(io::Error::other(format!(
+                    "wave {wave_no}: no admissible shard in preference {preference:?}"
+                )));
+            };
+            if target != primary {
+                report.failovers += 1;
+            }
+            let batch = BatchRequest {
+                jobs: pending.iter().map(|&i| specs[i].clone()).collect(),
+                deadline_ms: None,
+            };
+            let body = batch.to_json();
+            let seed = fnv1a64(body.as_bytes());
+            // Stream results as they arrive; partial capture is what a
+            // mid-batch crash leaves us to resume from.
+            let mut lines_seen = 0usize;
+            let mut delivered: Vec<(usize, Option<String>, Option<String>)> = Vec::new();
+            let endpoint = &mut self.endpoints[target];
+            let result =
+                endpoint
+                    .jobs
+                    .request_streaming("POST", "/jobs", Some(&body), &mut |line| {
+                        lines_seen += 1;
+                        if let Some((local, payload)) = extract_outcome(line) {
+                            if let Some(&global) = pending.get(local) {
+                                delivered.push((global, Some(payload.to_string()), None));
+                            }
+                        } else if let Some(local) = fault_index(line) {
+                            if let Some(&global) = pending.get(local) {
+                                delivered.push((global, None, Some(line.to_string())));
+                            }
+                        }
+                        observer.on_event(&FleetEvent::Line {
+                            shard: target,
+                            lines_seen,
+                            line,
+                        }) == Directive::Continue
+                    });
+            for (global, outcome, fault) in delivered {
+                if report.outcomes[global].is_none() && report.faults[global].is_none() {
+                    if outcome.is_some() {
+                        report.routed[target] += 1;
+                    }
+                    report.outcomes[global] = outcome;
+                    report.faults[global] = fault;
+                }
+            }
+            match result {
+                Ok(response) if response.status == 200 => {
+                    self.endpoints[target].breaker.record_success();
+                    // Anything still missing (peer dropped us mid-write
+                    // without an error?) loops for another attempt.
+                }
+                Ok(response) if response.status == 429 => {
+                    // Overloaded, not unhealthy: honor Retry-After as a
+                    // floor under the seeded backoff and try again.
+                    self.endpoints[target].breaker.record_success();
+                    report.retries_429 += 1;
+                    let hint_ms = response
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map_or(0, |secs| secs.saturating_mul(1000));
+                    let policy = voltnoise_system::fault::RetryPolicy::attempts(
+                        self.cfg.max_attempts_per_wave,
+                    )
+                    .with_backoff(self.cfg.backoff_base_ms, self.cfg.backoff_cap_ms);
+                    std::thread::sleep(Duration::from_millis(
+                        policy.delay_with_hint(seed, attempt, hint_ms),
+                    ));
+                }
+                Ok(_draining_or_shed) => {
+                    // 503: the shard is draining or shedding — count it
+                    // against its breaker and reselect.
+                    self.endpoints[target]
+                        .breaker
+                        .record_failure(Instant::now());
+                }
+                Err(_crash_or_reset) => {
+                    report.hard_retries += 1;
+                    self.endpoints[target]
+                        .breaker
+                        .record_failure(Instant::now());
+                    self.endpoints[target].jobs.reset();
+                    if let Some(addr) = observer.recover(target) {
+                        self.set_addr(target, addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// First shard in `preference` whose breaker admits a request and
+    /// whose `/readyz` probe answers 200. A failing probe feeds the
+    /// breaker, so a stalled or draining shard is walked past after
+    /// `breaker_threshold` consecutive probe failures.
+    fn select_shard(&mut self, preference: &[usize]) -> Option<usize> {
+        for &candidate in preference {
+            let endpoint = &mut self.endpoints[candidate];
+            while endpoint.breaker.allow(Instant::now()) {
+                let healthy = matches!(
+                    endpoint.probe.request("GET", "/readyz", None),
+                    Ok(ref response) if response.status == 200
+                );
+                if healthy {
+                    endpoint.breaker.record_success();
+                    return Some(candidate);
+                }
+                endpoint.probe.reset();
+                endpoint.breaker.record_failure(Instant::now());
+            }
+        }
+        None
+    }
+}
+
+/// Extracts `(index, outcome_json)` from an ok result line — textual
+/// slicing, never a parse/re-serialize round trip, so the returned
+/// bytes are exactly what the worker's engine serialized (float
+/// formatting included). The byte-identity proof depends on this.
+pub fn extract_outcome(line: &str) -> Option<(usize, &str)> {
+    let rest = line.strip_prefix("{\"index\":")?;
+    let cut = rest.find(',')?;
+    let index: usize = rest[..cut].parse().ok()?;
+    let rest = rest[cut..].strip_prefix(",\"status\":\"ok\",\"outcome\":")?;
+    let payload = rest.strip_suffix('}')?;
+    Some((index, payload))
+}
+
+/// The index of a fault result line, if `line` is one.
+pub fn fault_index(line: &str) -> Option<usize> {
+    let rest = line.strip_prefix("{\"index\":")?;
+    let cut = rest.find(',')?;
+    let index: usize = rest[..cut].parse().ok()?;
+    rest[cut..]
+        .starts_with(",\"status\":\"fault\"")
+        .then_some(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_extraction_is_textual_and_exact() {
+        let line = r#"{"index":3,"status":"ok","outcome":{"peak_droop_v":0.0625,"trace":null}}"#;
+        let (index, payload) = extract_outcome(line).unwrap();
+        assert_eq!(index, 3);
+        assert_eq!(payload, r#"{"peak_droop_v":0.0625,"trace":null}"#);
+        assert!(extract_outcome(r#"{"done":true,"jobs":4,"faults":0}"#).is_none());
+        assert!(extract_outcome(
+            r#"{"index":1,"status":"fault","kind":"deadline","attempts":1,"detail":"x"}"#
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fault_lines_are_recognized() {
+        let line = r#"{"index":2,"status":"fault","kind":"budget","attempts":1,"detail":"x"}"#;
+        assert_eq!(fault_index(line), Some(2));
+        assert_eq!(
+            fault_index(r#"{"index":2,"status":"ok","outcome":{}}"#),
+            None
+        );
+        assert_eq!(fault_index(r#"{"done":true,"jobs":1,"faults":0}"#), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! voltnoise-fleet: a supervised multi-process shard pool over
+//! `voltnoise-server`, with chaos-proven crash recovery.
+//!
+//! The single-process daemon (PR 7) hardened one engine; this crate
+//! scales it out without giving up the determinism that makes the
+//! reproduction trustworthy. The pieces, bottom-up:
+//!
+//! * [`ring`] — consistent-hash routing: `JobKey::store_digest` → shard,
+//!   plus the failover preference order every router agrees on.
+//! * [`supervisor`] — process lifecycle: spawn N workers (each with its
+//!   own `--store` shard and read-through `--read-store` siblings),
+//!   detect crashes, respawn within a bounded budget, forward drains.
+//! * [`breaker`] — per-shard circuit breakers driven by `/readyz`
+//!   probes; stalled or draining shards are walked past, then retried
+//!   after a cooldown through a half-open probe.
+//! * [`client`] — the campaign client: wave dispatch, streamed capture,
+//!   deterministic retry honoring `429 Retry-After`, tail hedging to
+//!   the ring successor, resume of only the missing jobs.
+//! * [`chaos`] — the seeded fault harness (SIGKILL mid-batch, SIGSTOP
+//!   stalls, injected resets) that `tests/fleet.rs` uses to prove a
+//!   chaotic campaign is byte-identical to a clean single-engine run
+//!   with zero duplicate solves.
+//!
+//! The cross-process invariant everything rests on: a worker appends a
+//! result only to its *own* shard store, and read-through never
+//! appends. So the union of shard stores contains each solved key
+//! exactly once, no matter how many crashes, retries, and failovers a
+//! campaign survived.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod chaos;
+pub mod client;
+pub mod ring;
+pub mod supervisor;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use chaos::{campaign_specs, ChaosDriver, ChaosPlan, ChaosReport, FaultAction};
+pub use client::{
+    CampaignReport, Directive, FleetClient, FleetClientConfig, FleetEvent, FleetObserver, NoChaos,
+};
+pub use ring::HashRing;
+pub use supervisor::{send_signal, server_binary, FleetConfig, Supervisor};

@@ -1,0 +1,140 @@
+//! Consistent-hash ring over shard ids, keyed by a job's
+//! `store_digest`.
+//!
+//! The ring is the fleet's routing contract: every router that builds
+//! the same `(shards, vnodes)` ring sends the same job to the same
+//! shard, with no coordination and no shared state — the property that
+//! lets a respawned worker find its own prior results in its shard
+//! store. Each shard owns `vnodes` points on a 64-bit circle (FNV-1a
+//! of a stable label), and a key routes to the owner of the first
+//! point at or after the key's own hash, wrapping at the top.
+//!
+//! [`HashRing::preference`] extends routing to failover: the distinct
+//! shards in ring-successor order from the key's position. Index 0 is
+//! the primary; a router that finds the primary's circuit breaker open
+//! walks down the list, so every router agrees on the fallback too.
+
+/// FNV-1a 64-bit — stable across processes and platforms, which is
+/// what makes ring placement a cross-process contract.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A consistent-hash ring mapping key digests to shard ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring of `shards` shards with `vnodes` points each. Both are
+    /// clamped to at least 1.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        let shards = shards.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let label = format!("shard-{shard}/vnode-{vnode}");
+                points.push((fnv1a64(label.as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The primary shard for a key digest.
+    pub fn shard_of(&self, digest: &str) -> usize {
+        self.preference_iter(digest)
+            .next()
+            .expect("ring has at least one point")
+    }
+
+    /// Distinct shards in ring-successor order from the key's position:
+    /// `[primary, first fallback, second fallback, ...]`, length
+    /// exactly [`HashRing::shards`].
+    pub fn preference(&self, digest: &str) -> Vec<usize> {
+        self.preference_iter(digest).collect()
+    }
+
+    fn preference_iter<'a>(&'a self, digest: &str) -> impl Iterator<Item = usize> + 'a {
+        let key = fnv1a64(digest.as_bytes());
+        let start = self.points.partition_point(|&(point, _)| point < key);
+        let n = self.points.len();
+        let mut seen = vec![false; self.shards];
+        (0..n).filter_map(move |offset| {
+            let (_, shard) = self.points[(start + offset) % n];
+            if seen[shard] {
+                None
+            } else {
+                seen[shard] = true;
+                Some(shard)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digests(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{:032x}", i * 7919 + 13)).collect()
+    }
+
+    #[test]
+    fn every_shard_owns_some_keys() {
+        let ring = HashRing::new(3, 16);
+        let mut owned = [0usize; 3];
+        for d in digests(300) {
+            owned[ring.shard_of(&d)] += 1;
+        }
+        for (shard, count) in owned.iter().enumerate() {
+            assert!(*count > 0, "shard {shard} owns no keys: {owned:?}");
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_across_ring_instances() {
+        let a = HashRing::new(4, 16);
+        let b = HashRing::new(4, 16);
+        for d in digests(100) {
+            assert_eq!(a.shard_of(&d), b.shard_of(&d));
+            assert_eq!(a.preference(&d), b.preference(&d));
+        }
+    }
+
+    #[test]
+    fn preference_is_a_permutation_led_by_the_primary() {
+        let ring = HashRing::new(5, 8);
+        for d in digests(50) {
+            let pref = ring.preference(&d);
+            assert_eq!(pref.len(), 5);
+            assert_eq!(pref[0], ring.shard_of(&d));
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "{pref:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let ring = HashRing::new(1, 4);
+        for d in digests(20) {
+            assert_eq!(ring.shard_of(&d), 0);
+            assert_eq!(ring.preference(&d), vec![0]);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Worker-process lifecycle: spawn N `voltnoise-server` shards, detect
+//! crashes, respawn within a bounded budget, forward drains.
+//!
+//! Each shard gets its own JSONL store (`shardK.jsonl` under the fleet
+//! store directory) plus every sibling's store attached read-only
+//! (`--read-store`), so any worker can serve a crashed sibling's
+//! flushed results without ever writing to a file it doesn't own —
+//! the invariant behind the fleet's zero-duplicate-solve guarantee.
+//!
+//! Crash recovery reuses the daemon's durability contract wholesale: a
+//! respawned worker reopens the same `--store` path and resumes from
+//! whatever its predecessor flushed; the supervisor only contributes
+//! the restart accounting (`--restart-gen`, bounded by
+//! [`FleetConfig::max_restarts`]) and the fresh port discovery.
+
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// `SIGTERM` — graceful drain request.
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL` — immediate, uncatchable death (the crash injection).
+pub const SIGKILL: i32 = 9;
+/// `SIGSTOP` — freeze the process (the stalled-shard injection).
+pub const SIGSTOP: i32 = 19;
+/// `SIGCONT` — resume a stopped process.
+pub const SIGCONT: i32 = 18;
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+/// Sends a signal to a process.
+///
+/// # Errors
+///
+/// Returns the OS error when the signal cannot be delivered (e.g. the
+/// process is already gone).
+pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
+    let pid = i32::try_from(pid).map_err(|_| io::Error::other("pid out of range"))?;
+    if unsafe { kill(pid, sig) } == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Locates the `voltnoise-server` binary: the `VOLTNOISE_SERVER_BIN`
+/// env override, else next to the current executable (both live in
+/// `target/<profile>/` after a workspace build; test binaries live one
+/// directory deeper, which the parent-walk covers).
+///
+/// # Errors
+///
+/// Returns an error naming the paths tried when no binary is found.
+pub fn server_binary() -> io::Result<PathBuf> {
+    if let Ok(path) = std::env::var("VOLTNOISE_SERVER_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("VOLTNOISE_SERVER_BIN={} does not exist", path.display()),
+        ));
+    }
+    let exe = std::env::current_exe()?;
+    let mut tried = Vec::new();
+    let mut dir = exe.parent();
+    for _ in 0..3 {
+        let Some(d) = dir else { break };
+        let candidate = d.join("voltnoise-server");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        tried.push(candidate.display().to_string());
+        dir = d.parent();
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!(
+            "voltnoise-server binary not found (set VOLTNOISE_SERVER_BIN); tried: {}",
+            tried.join(", ")
+        ),
+    ))
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Path to the `voltnoise-server` binary.
+    pub server_bin: PathBuf,
+    /// Directory holding the per-shard JSONL stores (created if
+    /// missing).
+    pub store_dir: PathBuf,
+    /// Spawn workers against the reduced testbed (`--reduced`).
+    pub reduced: bool,
+    /// Per-worker admission ceiling, estimated steps.
+    pub step_ceiling: u64,
+    /// Connection-handler threads per worker.
+    pub worker_threads: usize,
+    /// Respawns allowed per shard before the supervisor gives up.
+    pub max_restarts: u32,
+    /// Worker drain grace, forwarded as `--drain-grace-ms`.
+    pub drain_grace_ms: u64,
+    /// Forwarded as `--keep-alive-requests`.
+    pub keep_alive_requests: usize,
+    /// Forwarded as `--keep-alive-idle-ms`.
+    pub keep_alive_idle_ms: u64,
+    /// How long to wait for the discovery line at spawn.
+    pub spawn_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 3,
+            server_bin: PathBuf::new(),
+            store_dir: PathBuf::new(),
+            reduced: false,
+            step_ceiling: 50_000_000,
+            worker_threads: 2,
+            max_restarts: 3,
+            drain_grace_ms: 2_000,
+            keep_alive_requests: 64,
+            keep_alive_idle_ms: 5_000,
+            spawn_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The JSONL store path of one shard.
+    pub fn store_path(&self, shard: usize) -> PathBuf {
+        self.store_dir.join(format!("shard{shard}.jsonl"))
+    }
+}
+
+/// One live worker process.
+struct Worker {
+    child: Child,
+    /// Bound address parsed from the discovery line.
+    addr: String,
+    /// Respawn count: 0 on first spawn.
+    restart_gen: u32,
+    /// Remaining stdout of the child (kept open so the worker's final
+    /// prints don't hit a closed pipe; drained at exit).
+    stdout: Option<BufReader<ChildStdout>>,
+}
+
+/// Spawns and monitors the worker pool.
+pub struct Supervisor {
+    cfg: FleetConfig,
+    workers: Vec<Worker>,
+    restarts_total: u64,
+}
+
+impl Supervisor {
+    /// Spawns the full pool and waits for every worker's discovery
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the store directory cannot be created or
+    /// any worker fails to spawn and announce its address in time.
+    pub fn spawn(cfg: FleetConfig) -> io::Result<Supervisor> {
+        std::fs::create_dir_all(&cfg.store_dir)?;
+        let mut workers = Vec::with_capacity(cfg.shards.max(1));
+        for shard in 0..cfg.shards.max(1) {
+            workers.push(spawn_worker(&cfg, shard, 0)?);
+        }
+        Ok(Supervisor {
+            cfg,
+            workers,
+            restarts_total: 0,
+        })
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Bound address of a shard's current process.
+    pub fn addr(&self, shard: usize) -> &str {
+        &self.workers[shard].addr
+    }
+
+    /// All shard addresses, in shard order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// OS pid of a shard's current process.
+    pub fn pid(&self, shard: usize) -> u32 {
+        self.workers[shard].child.id()
+    }
+
+    /// Restart generation of a shard (0 = original spawn).
+    pub fn restart_gen(&self, shard: usize) -> u32 {
+        self.workers[shard].restart_gen
+    }
+
+    /// Total respawns across all shards.
+    pub fn restarts_total(&self) -> u64 {
+        self.restarts_total
+    }
+
+    /// Sends a raw signal to one shard's process (the chaos harness's
+    /// `SIGKILL`/`SIGSTOP`/`SIGCONT` injections).
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when delivery fails.
+    pub fn signal(&self, shard: usize, sig: i32) -> io::Result<()> {
+        send_signal(self.pid(shard), sig)
+    }
+
+    /// Reaps dead workers and respawns each within the restart budget.
+    /// Returns the shards that were respawned (their addresses have
+    /// changed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a shard exhausted [`FleetConfig::max_restarts`]
+    /// or a respawn fails.
+    pub fn check(&mut self) -> io::Result<Vec<usize>> {
+        let mut respawned = Vec::new();
+        for shard in 0..self.workers.len() {
+            let exited = self.workers[shard].child.try_wait()?.is_some();
+            if !exited {
+                continue;
+            }
+            let gen = self.workers[shard].restart_gen + 1;
+            if gen > self.cfg.max_restarts {
+                return Err(io::Error::other(format!(
+                    "shard {shard} exceeded the restart budget ({} respawns)",
+                    self.cfg.max_restarts
+                )));
+            }
+            // Same store path: the respawn resumes from whatever the
+            // dead process flushed.
+            self.workers[shard] = spawn_worker(&self.cfg, shard, gen)?;
+            self.restarts_total += 1;
+            respawned.push(shard);
+        }
+        Ok(respawned)
+    }
+
+    /// Graceful fleet drain: forward `SIGTERM` to every worker, wait
+    /// for each to exit (store compaction happens inside the worker's
+    /// own drain), and `SIGKILL` any straggler past `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the shards that had to be killed or
+    /// exited non-zero.
+    pub fn drain(mut self, timeout: Duration) -> io::Result<()> {
+        for worker in &self.workers {
+            let _ = send_signal(worker.child.id(), SIGTERM);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut failed = Vec::new();
+        for (shard, worker) in self.workers.iter_mut().enumerate() {
+            let status = loop {
+                if let Some(status) = worker.child.try_wait()? {
+                    break Some(status);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            };
+            match status {
+                Some(status) if status.success() => {}
+                Some(status) => failed.push(format!("shard {shard} exited {status}")),
+                None => {
+                    let _ = worker.child.kill();
+                    let _ = worker.child.wait();
+                    failed.push(format!("shard {shard} did not drain in time; killed"));
+                }
+            }
+            // Drain any remaining worker output ("drained cleanly").
+            if let Some(mut stdout) = worker.stdout.take() {
+                let mut rest = String::new();
+                let _ = stdout.read_to_string(&mut rest);
+            }
+        }
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            Err(io::Error::other(failed.join("; ")))
+        }
+    }
+
+    /// Abandons the pool without draining: `SIGKILL` everything. Used
+    /// by tests' cleanup paths.
+    pub fn kill_all(mut self) {
+        for worker in &mut self.workers {
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // Never leak worker processes past the supervisor, whatever
+        // path dropped it (panic, early return, test failure).
+        for worker in &mut self.workers {
+            if worker
+                .child
+                .try_wait()
+                .map(|s| s.is_none())
+                .unwrap_or(false)
+            {
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+            }
+        }
+    }
+}
+
+fn spawn_worker(cfg: &FleetConfig, shard: usize, generation: u32) -> io::Result<Worker> {
+    let mut cmd = Command::new(&cfg.server_bin);
+    cmd.arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg(cfg.worker_threads.max(1).to_string())
+        .arg("--step-ceiling")
+        .arg(cfg.step_ceiling.to_string())
+        .arg("--store")
+        .arg(cfg.store_path(shard))
+        .arg("--shard-id")
+        .arg(shard.to_string())
+        .arg("--restart-gen")
+        .arg(generation.to_string())
+        .arg("--drain-grace-ms")
+        .arg(cfg.drain_grace_ms.to_string())
+        .arg("--keep-alive-requests")
+        .arg(cfg.keep_alive_requests.to_string())
+        .arg("--keep-alive-idle-ms")
+        .arg(cfg.keep_alive_idle_ms.to_string());
+    for sibling in 0..cfg.shards.max(1) {
+        if sibling != shard {
+            cmd.arg("--read-store").arg(cfg.store_path(sibling));
+        }
+    }
+    if cfg.reduced {
+        cmd.arg("--reduced");
+    }
+    // The worker's store wiring is fully explicit; a stray env var must
+    // not silently redirect a shard.
+    cmd.env_remove("VOLTNOISE_STORE")
+        .env_remove("VOLTNOISE_READ_STORES");
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    let mut child = cmd.spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::other("worker stdout not captured"))?;
+    let mut reader = BufReader::new(stdout);
+    // The discovery line is printed after bind, so the kernel already
+    // queues connections once it appears.
+    let addr = match read_discovery_line(&mut reader, cfg.spawn_timeout) {
+        Ok(addr) => addr,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::other(format!(
+                "shard {shard} (gen {generation}) failed to start: {e}"
+            )));
+        }
+    };
+    Ok(Worker {
+        child,
+        addr,
+        restart_gen: generation,
+        stdout: Some(reader),
+    })
+}
+
+fn read_discovery_line(
+    reader: &mut BufReader<ChildStdout>,
+    _timeout: Duration,
+) -> io::Result<String> {
+    // A blocking read is acceptable here: a healthy worker prints the
+    // line immediately after bind, and a worker that dies instead
+    // closes the pipe, which surfaces as EOF below.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "worker exited before announcing its address",
+            ));
+        }
+        if let Some(addr) = line.trim().strip_prefix("voltnoise-server listening on ") {
+            return Ok(addr.to_string());
+        }
+    }
+}
+
+/// Paths that make up a fleet's store union — every shard's JSONL file
+/// that currently exists under `store_dir`.
+pub fn store_files(store_dir: &Path, shards: usize) -> Vec<PathBuf> {
+    (0..shards)
+        .map(|s| store_dir.join(format!("shard{s}.jsonl")))
+        .filter(|p| p.is_file())
+        .collect()
+}

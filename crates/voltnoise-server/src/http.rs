@@ -3,10 +3,17 @@
 //! streamed results.
 //!
 //! This is deliberately not a general HTTP implementation. It parses
-//! exactly the subset the daemon serves — one request per connection,
-//! `Content-Length` bodies, case-insensitive header lookup — and
-//! enforces limits *before* buffering: an oversized header block or body
-//! is refused with a typed [`HttpError`] instead of an allocation.
+//! exactly the subset the daemon serves — sequential requests on a
+//! keep-alive connection, `Content-Length` bodies, case-insensitive
+//! header lookup — and enforces limits *before* buffering: an oversized
+//! header block or body is refused with a typed [`HttpError`] instead
+//! of an allocation.
+//!
+//! Keep-alive is the caller's decision per response: every writer takes
+//! a `keep_alive` flag and emits the matching `Connection` header, so
+//! the connection handler can bound requests-per-connection and close
+//! during a drain while routed retries and health probes reuse warm
+//! connections.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -34,6 +41,21 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked for the connection to be closed after
+    /// this response (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
     }
 }
 
@@ -178,10 +200,12 @@ pub fn write_response(
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        body.len()
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        connection_header(keep_alive)
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -201,10 +225,15 @@ pub fn write_response(
 /// # Errors
 ///
 /// Returns the underlying I/O error.
-pub fn start_chunked(stream: &mut TcpStream, content_type: &str) -> io::Result<()> {
+pub fn start_chunked(
+    stream: &mut TcpStream,
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     stream.write_all(
         format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            connection_header(keep_alive)
         )
         .as_bytes(),
     )?;
@@ -299,6 +328,14 @@ mod tests {
         assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
         let err = round_trip(b"GET /x SPDY/3\r\n\r\n", 1024).unwrap_err();
         assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn connection_close_requests_are_detected() {
+        let req = round_trip(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", 1024).unwrap();
+        assert!(req.wants_close());
+        let req = round_trip(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n", 1024).unwrap();
+        assert!(!req.wants_close());
     }
 
     #[test]

@@ -4,13 +4,21 @@
 //! voltnoise-server [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!                  [--step-ceiling STEPS] [--deadline-ms MS]
 //!                  [--max-body BYTES] [--reduced]
+//!                  [--store PATH] [--read-store PATH]...
+//!                  [--shard-id N] [--restart-gen N]
+//!                  [--drain-grace-ms MS]
+//!                  [--keep-alive-requests N] [--keep-alive-idle-ms MS]
 //! ```
 //!
 //! Environment: `VOLTNOISE_STORE` (persistent JSONL result store — the
-//! resume substrate), `VOLTNOISE_THREADS` (engine worker count).
-//! The chosen address is printed on stdout as
-//! `voltnoise-server listening on HOST:PORT`; a graceful drain prints
-//! `voltnoise-server drained cleanly` and exits 0.
+//! resume substrate; `--store` overrides it), `VOLTNOISE_THREADS`
+//! (engine worker count). The worker-mode flags are what the fleet
+//! supervisor passes when it spawns this binary as a shard: its own
+//! `--store`, every sibling's store as a `--read-store` (read-only
+//! failover substrate), its ring position as `--shard-id`, and a
+//! `--restart-gen` that counts respawns. The chosen address is printed
+//! on stdout as `voltnoise-server listening on HOST:PORT`; a graceful
+//! drain prints `voltnoise-server drained cleanly` and exits 0.
 
 use std::process::ExitCode;
 use voltnoise_server::{Server, ServerConfig};
@@ -58,10 +66,42 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "--max-body must be a positive integer".to_string())?;
             }
             "--reduced" => cfg.reduced = true,
+            "--store" => cfg.store = Some(value_of("--store")?),
+            "--read-store" => cfg.read_stores.push(value_of("--read-store")?),
+            "--shard-id" => {
+                cfg.shard_id = value_of("--shard-id")?
+                    .parse()
+                    .map_err(|_| "--shard-id must be a non-negative integer".to_string())?;
+            }
+            "--restart-gen" => {
+                cfg.restart_gen = value_of("--restart-gen")?
+                    .parse()
+                    .map_err(|_| "--restart-gen must be a non-negative integer".to_string())?;
+            }
+            "--drain-grace-ms" => {
+                cfg.drain_grace_ms = value_of("--drain-grace-ms")?
+                    .parse()
+                    .map_err(|_| "--drain-grace-ms must be a non-negative integer".to_string())?;
+            }
+            "--keep-alive-requests" => {
+                cfg.keep_alive_requests = value_of("--keep-alive-requests")?
+                    .parse()
+                    .map_err(|_| "--keep-alive-requests must be a positive integer".to_string())?;
+                if cfg.keep_alive_requests == 0 {
+                    return Err("--keep-alive-requests must be at least 1".to_string());
+                }
+            }
+            "--keep-alive-idle-ms" => {
+                cfg.keep_alive_idle_ms = value_of("--keep-alive-idle-ms")?
+                    .parse()
+                    .map_err(|_| "--keep-alive-idle-ms must be a positive integer".to_string())?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: voltnoise-server [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-                     [--step-ceiling STEPS] [--deadline-ms MS] [--max-body BYTES] [--reduced]"
+                     [--step-ceiling STEPS] [--deadline-ms MS] [--max-body BYTES] [--reduced] \
+                     [--store PATH] [--read-store PATH]... [--shard-id N] [--restart-gen N] \
+                     [--drain-grace-ms MS] [--keep-alive-requests N] [--keep-alive-idle-ms MS]"
                         .to_string(),
                 )
             }

@@ -14,9 +14,9 @@ use serde::Value;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use voltnoise_pdn::CancelToken;
 use voltnoise_stressmark::SyncSpec;
 use voltnoise_system::engine::{Engine, SimJob};
@@ -47,6 +47,30 @@ pub struct ServerConfig {
     /// Use the reduced-search testbed ([`Testbed::fast`]) instead of
     /// the full one — the tests' and smoke script's fast path.
     pub reduced: bool,
+    /// Primary result-store path for this worker's shard (overrides
+    /// `VOLTNOISE_STORE`); `None` keeps the env-driven behavior.
+    pub store: Option<String>,
+    /// Read-through stores: sibling shards' JSONL files, consulted on a
+    /// primary miss and re-scanned incrementally — how a failover
+    /// worker sees a crashed sibling's flushed results without ever
+    /// writing to them.
+    pub read_stores: Vec<String>,
+    /// This worker's position on the fleet's consistent-hash ring
+    /// (surfaced in `/stats` as a gauge).
+    pub shard_id: usize,
+    /// Supervisor-side restart count for this shard: 0 on first spawn,
+    /// incremented on every respawn. Lets `/stats` distinguish a fresh
+    /// process from a crash survivor whose counters reset.
+    pub restart_gen: usize,
+    /// How long a drain lets in-flight batches keep running before
+    /// their cancel tokens fire, milliseconds.
+    pub drain_grace_ms: u64,
+    /// Requests served per keep-alive connection before the server
+    /// closes it (bounds one peer's hold on a worker thread).
+    pub keep_alive_requests: usize,
+    /// Idle wait for the *next* request on a keep-alive connection
+    /// before the server closes it, milliseconds.
+    pub keep_alive_idle_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +83,13 @@ impl Default for ServerConfig {
             max_body: 1024 * 1024,
             default_deadline_ms: 300_000,
             reduced: false,
+            store: None,
+            read_stores: Vec::new(),
+            shard_id: 0,
+            restart_gen: 0,
+            drain_grace_ms: 2_000,
+            keep_alive_requests: 64,
+            keep_alive_idle_ms: 5_000,
         }
     }
 }
@@ -121,6 +152,14 @@ impl ConnQueue {
             .1 = true;
         self.ready.notify_all();
     }
+
+    fn is_empty(&self) -> bool {
+        self.pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .is_empty()
+    }
 }
 
 /// State shared by the accept loop and every worker.
@@ -132,6 +171,8 @@ struct Shared {
     reaper: Arc<DeadlineReaper>,
     queue: ConnQueue,
     draining: AtomicBool,
+    /// Workers currently serving a connection (not blocked in `pop`).
+    busy: AtomicUsize,
     /// In-flight batch tokens, cancelled wholesale on drain.
     tokens: Mutex<HashMap<u64, CancelToken>>,
     token_seq: AtomicU64,
@@ -166,6 +207,18 @@ impl Shared {
             token.cancel();
         }
     }
+
+    /// Whether a drain can complete: no tracked batch, no queued
+    /// connection, no worker mid-connection. Probes arriving during the
+    /// drain make `busy` flicker; the drain loop just polls again.
+    fn drained(&self) -> bool {
+        self.tokens
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+            && self.queue.is_empty()
+            && self.busy.load(Ordering::SeqCst) == 0
+    }
 }
 
 /// The bound-but-not-yet-running daemon. Binding is split from running
@@ -183,11 +236,14 @@ impl Server {
     ///
     /// The engine honors `VOLTNOISE_STORE` (persistent JSONL result
     /// store — the resume substrate) and `VOLTNOISE_THREADS` exactly as
-    /// every other entry point in the workspace does.
+    /// every other entry point in the workspace does; an explicit
+    /// [`ServerConfig::store`] overrides the env, and
+    /// [`ServerConfig::read_stores`] attach sibling shards read-only.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error when the address cannot be bound.
+    /// Returns an I/O error when the address cannot be bound or a
+    /// configured store path cannot be opened.
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let testbed = if cfg.reduced {
@@ -195,13 +251,23 @@ impl Server {
         } else {
             Testbed::shared()
         };
+        let mut engine = Engine::new();
+        if let Some(path) = &cfg.store {
+            engine = engine.with_store(path)?;
+        }
+        for path in &cfg.read_stores {
+            engine = engine.with_read_store(path)?;
+        }
+        engine.set_shard_id(cfg.shard_id);
+        engine.set_restart_gen(cfg.restart_gen);
         let shared = Arc::new(Shared {
-            engine: Arc::new(Engine::new()),
+            engine: Arc::new(engine),
             testbed,
             admission: AdmissionControl::new(cfg.step_ceiling),
             reaper: DeadlineReaper::start(),
             queue: ConnQueue::new(cfg.queue_cap),
             draining: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
             tokens: Mutex::new(HashMap::new()),
             token_seq: AtomicU64::new(0),
             cfg,
@@ -237,9 +303,14 @@ impl Server {
     }
 
     /// Runs the accept loop until `SIGTERM`/`SIGINT` or the stop
-    /// handle, then drains gracefully: stop accepting, cancel in-flight
-    /// batches through their tokens, let workers finish, flush the
-    /// result store, return.
+    /// handle, then drains gracefully. The drain happens in two steps:
+    /// the instant shutdown is observed, `/readyz` flips to `503
+    /// draining` and `/jobs` starts refusing — while the accept loop
+    /// *keeps serving probes* and in-flight batches keep running. After
+    /// [`ServerConfig::drain_grace_ms`] any still-running batch is
+    /// cancelled through its token; once no batch, queued connection or
+    /// busy worker remains, the loop exits, flushes the result store
+    /// and returns.
     ///
     /// # Errors
     ///
@@ -259,7 +330,29 @@ impl Server {
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<io::Result<_>>()?;
-        while !signals::shutdown_requested() && !self.stop.load(Ordering::SeqCst) {
+        let drain_grace = Duration::from_millis(self.shared.cfg.drain_grace_ms);
+        let mut drain_started: Option<Instant> = None;
+        let mut drain_cancelled = false;
+        loop {
+            if drain_started.is_none()
+                && (signals::shutdown_requested() || self.stop.load(Ordering::SeqCst))
+            {
+                // Flip readiness *now*, before in-flight batches
+                // finish, so a fleet router stops sending new work to
+                // this worker the moment its probe lands.
+                self.shared.draining.store(true, Ordering::SeqCst);
+                drain_started = Some(Instant::now());
+            }
+            if let Some(started) = drain_started {
+                if !drain_cancelled && started.elapsed() >= drain_grace {
+                    // Grace expired: reap whatever is still running.
+                    self.shared.cancel_all_tokens();
+                    drain_cancelled = true;
+                }
+                if self.shared.drained() {
+                    break;
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nonblocking(false);
@@ -274,9 +367,6 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        // Drain: refuse new work, reap the old, flush, exit cleanly.
-        self.shared.draining.store(true, Ordering::SeqCst);
-        self.shared.cancel_all_tokens();
         self.shared.queue.close();
         for worker in workers {
             let _ = worker.join();
@@ -309,14 +399,63 @@ fn shed_connection(shared: &Shared, mut stream: TcpStream) {
         "application/json",
         &[("Retry-After", "1".to_string())],
         &body,
+        false,
     );
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some((mut stream, depth)) = shared.queue.pop() {
         shared.engine.set_queue_depth(depth);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        handle_connection(shared, &mut stream);
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        serve_connection(shared, &mut stream);
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serves up to `keep_alive_requests` sequential requests on one
+/// connection. The connection closes early when the peer asks
+/// (`Connection: close`), a response write fails, the idle wait for the
+/// next request expires, or the server starts draining — so a drain is
+/// never held open by an idle keep-alive peer.
+fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    let max_requests = shared.cfg.keep_alive_requests.max(1);
+    let idle = Duration::from_millis(shared.cfg.keep_alive_idle_ms.max(1));
+    for served in 0..max_requests {
+        // The first request is already in flight when the connection
+        // reaches a worker; later ones are bounded by the idle budget.
+        let wait = if served == 0 {
+            Duration::from_secs(10)
+        } else {
+            idle
+        };
+        let _ = stream.set_read_timeout(Some(wait));
+        let request = match read_request(stream, shared.cfg.max_body) {
+            Ok(request) => request,
+            Err(err) => {
+                if let Some((status, reason)) = err.status() {
+                    let body = error_body(&[
+                        ("error", Value::Str("bad-request".to_string())),
+                        ("detail", Value::Str(err.to_string())),
+                    ]);
+                    let _ = write_response(
+                        stream,
+                        status,
+                        reason,
+                        "application/json",
+                        &[],
+                        &body,
+                        false,
+                    );
+                }
+                return;
+            }
+        };
+        let keep = served + 1 < max_requests
+            && !shared.draining.load(Ordering::SeqCst)
+            && !request.wants_close();
+        if !handle_request(shared, stream, &request, keep) {
+            return;
+        }
     }
 }
 
@@ -330,48 +469,49 @@ fn error_body(fields: &[(&str, Value)]) -> String {
     serde_json::to_string(&object).unwrap_or_else(|_| "{}".to_string())
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
-    let request = match read_request(stream, shared.cfg.max_body) {
-        Ok(request) => request,
-        Err(err) => {
-            if let Some((status, reason)) = err.status() {
-                let body = error_body(&[
-                    ("error", Value::Str("bad-request".to_string())),
-                    ("detail", Value::Str(err.to_string())),
-                ]);
-                let _ = write_response(stream, status, reason, "application/json", &[], &body);
-            }
-            return;
-        }
-    };
+/// Dispatches one request; returns whether the connection is still
+/// usable for another (`keep` honored and every write succeeded).
+fn handle_request(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let _ = write_response(stream, 200, "OK", "text/plain", &[], "ok\n");
+            write_response(stream, 200, "OK", "text/plain", &[], "ok\n", keep).is_ok() && keep
         }
         ("GET", "/readyz") => {
-            if shared.draining.load(Ordering::SeqCst) {
-                let _ = write_response(
+            let write = if shared.draining.load(Ordering::SeqCst) {
+                write_response(
                     stream,
                     503,
                     "Service Unavailable",
                     "text/plain",
                     &[],
                     "draining\n",
-                );
+                    keep,
+                )
             } else {
-                let _ = write_response(stream, 200, "OK", "text/plain", &[], "ready\n");
-            }
+                write_response(stream, 200, "OK", "text/plain", &[], "ready\n", keep)
+            };
+            write.is_ok() && keep
         }
         ("GET", "/stats") => {
+            // Publish the admission gauge just-in-time: the stats
+            // snapshot is the only consumer.
+            shared
+                .engine
+                .set_admitted_steps(shared.admission.in_flight());
             let body = shared
                 .engine
                 .stats()
                 .to_json()
                 .unwrap_or_else(|_| "{}".to_string());
-            let _ = write_response(stream, 200, "OK", "application/json", &[], &body);
+            write_response(stream, 200, "OK", "application/json", &[], &body, keep).is_ok() && keep
         }
-        ("POST", "/jobs") => handle_jobs(shared, stream, &request),
-        ("POST", "/drawer") => handle_drawer(shared, stream, &request),
+        ("POST", "/jobs") => handle_jobs(shared, stream, request, keep),
+        ("POST", "/drawer") => handle_drawer(shared, stream, request, keep),
         (method, path) => {
             let body = error_body(&[
                 ("error", Value::Str("not-found".to_string())),
@@ -380,7 +520,17 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
                     Value::Str(format!("no route for {method} {path}")),
                 ),
             ]);
-            let _ = write_response(stream, 404, "Not Found", "application/json", &[], &body);
+            write_response(
+                stream,
+                404,
+                "Not Found",
+                "application/json",
+                &[],
+                &body,
+                keep,
+            )
+            .is_ok()
+                && keep
         }
     }
 }
@@ -416,7 +566,12 @@ fn result_line(index: usize, settled: &Result<Arc<NoiseOutcome>, JobFault>) -> S
     }
 }
 
-fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+fn handle_jobs(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> bool {
     if shared.draining.load(Ordering::SeqCst) {
         let body = error_body(&[("error", Value::Str("draining".to_string()))]);
         let _ = write_response(
@@ -426,21 +581,24 @@ fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) 
             "application/json",
             &[],
             &body,
+            false,
         );
-        return;
+        return false;
     }
     let batch = match parse_batch(&request.body) {
         Ok(batch) => batch,
         Err(err) => {
-            let _ = write_response(
+            return write_response(
                 stream,
                 400,
                 "Bad Request",
                 "application/json",
                 &[],
                 &err.to_json(),
-            );
-            return;
+                keep,
+            )
+            .is_ok()
+                && keep;
         }
     };
     // Admission: the whole batch enters or the whole batch bounces.
@@ -456,15 +614,17 @@ fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) 
                 ("ceiling_steps", Value::U64(rejection.ceiling)),
                 ("retry_after_s", Value::U64(retry_after)),
             ]);
-            let _ = write_response(
+            return write_response(
                 stream,
                 429,
                 "Too Many Requests",
                 "application/json",
                 &[("Retry-After", retry_after.to_string())],
                 &body,
-            );
-            return;
+                keep,
+            )
+            .is_ok()
+                && keep;
         }
     };
     // Deadline + drain wiring: one token per batch, registered with the
@@ -479,10 +639,10 @@ fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) 
         .register(token.clone(), Duration::from_millis(deadline_ms));
     let token_id = shared.track_token(token.clone());
     let jobs = build_jobs(&batch, shared.testbed, &token);
-    if start_chunked(stream, "application/jsonl").is_err() {
+    if start_chunked(stream, "application/jsonl", keep).is_err() {
         shared.untrack_token(token_id);
         drop(permit);
-        return;
+        return false;
     }
     // The sink runs on engine worker threads; serialize writes and stop
     // writing (but keep solving — results still enter cache and store)
@@ -508,12 +668,12 @@ fn handle_jobs(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) 
         "{{\"done\":true,\"jobs\":{},\"faults\":{faults}}}\n",
         results.len()
     );
-    if !peer_gone.load(Ordering::Relaxed) {
-        let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
-        if write_chunk(&mut writer, &summary).is_ok() {
-            let _ = finish_chunked(&mut writer);
-        }
+    if peer_gone.load(Ordering::Relaxed) {
+        return false;
     }
+    let mut writer = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let wrote = write_chunk(&mut writer, &summary).is_ok() && finish_chunked(&mut writer).is_ok();
+    wrote && keep
 }
 
 /// Compiles wire jobs against the testbed. Token injection goes through
@@ -552,14 +712,29 @@ impl serde::Deserialize for RawBody {
     }
 }
 
-fn handle_drawer(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
-    let reject = |stream: &mut TcpStream, code: &str, detail: String| {
+fn handle_drawer(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> bool {
+    let reject = |stream: &mut TcpStream, code: &str, detail: String| -> bool {
         let body = error_body(&[
             ("error", Value::Str("invalid-request".to_string())),
             ("code", Value::Str(code.to_string())),
             ("detail", Value::Str(detail)),
         ]);
-        let _ = write_response(stream, 400, "Bad Request", "application/json", &[], &body);
+        write_response(
+            stream,
+            400,
+            "Bad Request",
+            "application/json",
+            &[],
+            &body,
+            keep,
+        )
+        .is_ok()
+            && keep
     };
     let RawBody(root) = match serde_json::from_str::<RawBody>(&request.body) {
         Ok(raw) => raw,
@@ -602,15 +777,17 @@ fn handle_drawer(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request
                 ("error", Value::Str("overloaded".to_string())),
                 ("retry_after_s", Value::U64(retry_after)),
             ]);
-            let _ = write_response(
+            return write_response(
                 stream,
                 429,
                 "Too Many Requests",
                 "application/json",
                 &[("Retry-After", retry_after.to_string())],
                 &body,
-            );
-            return;
+                keep,
+            )
+            .is_ok()
+                && keep;
         }
     };
     let mut lines = Vec::with_capacity(configs.len());
@@ -632,7 +809,7 @@ fn handle_drawer(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request
     }
     drop(permit);
     let body = format!("[{}]", lines.join(","));
-    let _ = write_response(stream, 200, "OK", "application/json", &[], &body);
+    write_response(stream, 200, "OK", "application/json", &[], &body, keep).is_ok() && keep
 }
 
 #[cfg(test)]

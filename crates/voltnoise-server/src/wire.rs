@@ -85,6 +85,36 @@ impl JobSpec {
         let window = self.window_s.unwrap_or(50e-6);
         (window * 4e8).max(1.0) as u64
     }
+
+    /// Serializes this spec back to its wire value — the inverse of the
+    /// strict decoder, used by the fleet router to re-emit routed
+    /// sub-batches. Round-trips through [`parse_batch`] to an equal
+    /// spec; optional fields absent in the spec stay absent on the
+    /// wire, so two routers building the same spec emit the same bytes.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            (
+                "mapping".to_string(),
+                Value::Array(
+                    self.mapping
+                        .iter()
+                        .map(|k| Value::Str(k.label().to_string()))
+                        .collect(),
+                ),
+            ),
+            ("stim_freq_hz".to_string(), Value::F64(self.stim_freq_hz)),
+            ("sync".to_string(), Value::Bool(self.sync)),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("record_traces".to_string(), Value::Bool(self.record_traces)),
+        ];
+        if let Some(window_s) = self.window_s {
+            fields.push(("window_s".to_string(), Value::F64(window_s)));
+        }
+        if let Some(max_steps) = self.max_steps {
+            fields.push(("max_steps".to_string(), Value::U64(max_steps as u64)));
+        }
+        Value::Object(fields)
+    }
 }
 
 /// A decoded batch request.
@@ -101,6 +131,19 @@ impl BatchRequest {
     /// Total estimated step cost of the batch.
     pub fn estimated_steps(&self) -> u64 {
         self.jobs.iter().map(JobSpec::estimated_steps).sum()
+    }
+
+    /// Serializes the batch to a request body [`parse_batch`] accepts
+    /// and decodes back to an equal value.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Value)> = vec![(
+            "jobs".to_string(),
+            Value::Array(self.jobs.iter().map(JobSpec::to_value).collect()),
+        )];
+        if let Some(deadline_ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::U64(deadline_ms)));
+        }
+        serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|_| "{}".to_string())
     }
 }
 
@@ -444,6 +487,25 @@ mod tests {
         assert_eq!(job.max_steps, Some(50000));
         assert_eq!(batch.deadline_ms, Some(30000));
         assert_eq!(batch.estimated_steps(), 50000);
+    }
+
+    #[test]
+    fn batch_to_json_round_trips_through_the_strict_decoder() {
+        let batch = parse_batch(VALID).unwrap();
+        let redecoded = parse_batch(&batch.to_json()).unwrap();
+        assert_eq!(batch, redecoded);
+        // A spec with all optionals absent must also round-trip (the
+        // serializer must not invent defaulted fields).
+        let sparse = parse_batch(
+            r#"{"jobs":[{"mapping":["idle","idle","idle","idle","idle","idle"],"stim_freq_hz":1000.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(sparse, parse_batch(&sparse.to_json()).unwrap());
+        // Same batch, same bytes: routers on different hosts agree.
+        assert_eq!(
+            batch.to_json(),
+            parse_batch(&batch.to_json()).unwrap().to_json()
+        );
     }
 
     #[test]

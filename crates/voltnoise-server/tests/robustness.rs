@@ -323,6 +323,73 @@ fn concurrent_identical_clients_share_one_solve() {
     );
 }
 
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+fn sigterm(child: &Child) {
+    let pid = i32::try_from(child.id()).expect("pid fits");
+    assert_eq!(unsafe { kill(pid, 15) }, 0, "SIGTERM delivery failed");
+}
+
+#[test]
+fn readyz_flips_during_drain_before_inflight_batches_finish() {
+    // A long drain grace keeps the in-flight batch alive through the
+    // whole test: the assertion is about /readyz flipping *before* the
+    // batch finishes, not about cancellation.
+    let server = ServerProc::start(&["--drain-grace-ms", "60000"], &[]);
+    assert_eq!(server.request("GET", "/readyz", None).status, 200);
+    // An unbudgeted 10 ms window: in flight for seconds.
+    let body = format!(
+        r#"{{"jobs":[{{"mapping":{MAPPING_A},"stim_freq_hz":2.5e6,"window_s":1e-2,"seed":31}}]}}"#
+    );
+    let addr = server.addr.clone();
+    let batch = std::thread::spawn(move || {
+        http_request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(&body),
+            Duration::from_secs(120),
+        )
+        .expect("in-flight batch")
+    });
+    // Let the batch pass admission and start solving.
+    std::thread::sleep(Duration::from_millis(500));
+    assert!(
+        !batch.is_finished(),
+        "batch finished before the drain test began"
+    );
+    sigterm(&server.child);
+    // Not-ready must surface while the batch is still in flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let resp = loop {
+        let resp = server.request("GET", "/readyz", None);
+        if resp.status == 503 || std::time::Instant::now() >= deadline {
+            break resp;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert!(resp.body.contains("draining"), "{}", resp.body);
+    assert!(
+        !batch.is_finished(),
+        "/readyz flipped only after the in-flight batch finished"
+    );
+    // New work is refused while draining...
+    let probe = format!(r#"{{"jobs":[{}]}}"#, quick_job(MAPPING_B, 32));
+    assert_eq!(server.request("POST", "/jobs", Some(&probe)).status, 503);
+    // ...but the in-flight batch still completes cleanly.
+    let resp = batch.join().expect("batch thread");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let results = parse_lines(&resp.body);
+    assert_eq!(results.len(), 1);
+    assert!(
+        matches!(results[0].1, Settled::Ok(_)),
+        "in-flight batch faulted during drain: {results:?}"
+    );
+}
+
 #[test]
 fn sigkill_then_restart_resumes_from_store_without_duplicate_solves() {
     let store = std::env::temp_dir().join(format!(

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Fleet chaos smoke test: run the deterministic campaign once directly
+# on an in-process engine (the golden reference) and once through a
+# 3-worker supervised fleet under the seeded fault plan (SIGKILL a
+# worker mid-batch, stall a shard, reset a connection), then require
+# the two outputs to be byte-identical and the killed worker to have
+# been respawned.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+jobs=9
+seed=7
+chaos_seed=42
+
+echo "-- building release voltnoise-fleet + voltnoise-server"
+cargo build -q --release --bin voltnoise-fleet --bin voltnoise-server
+
+fleet=target/release/voltnoise-fleet
+
+echo "-- golden: direct single-engine campaign ($jobs jobs)"
+"$fleet" golden --reduced --jobs "$jobs" --seed "$seed" >"$workdir/golden.out"
+
+echo "-- chaos: 3-worker fleet under seeded fault plan (chaos seed $chaos_seed)"
+VOLTNOISE_SERVER_BIN=target/release/voltnoise-server \
+  "$fleet" chaos --reduced --jobs "$jobs" --seed "$seed" \
+  --chaos-seed "$chaos_seed" --shards 3 --store-dir "$workdir/stores" \
+  >"$workdir/chaos.out" 2>"$workdir/chaos.err"
+
+echo "-- chaos run injected faults and recovered"
+grep -q 'kills=' "$workdir/chaos.err" || {
+  echo "FAIL: chaos run reported no injection summary" >&2
+  cat "$workdir/chaos.err" >&2
+  exit 1
+}
+grep -Eq 'kills=[1-9]' "$workdir/chaos.err" || {
+  echo "FAIL: seeded plan never delivered a SIGKILL" >&2
+  cat "$workdir/chaos.err" >&2
+  exit 1
+}
+grep -Eq 'respawns=[1-9]' "$workdir/chaos.err" || {
+  echo "FAIL: killed worker was never respawned" >&2
+  cat "$workdir/chaos.err" >&2
+  exit 1
+}
+
+echo "-- byte-identity: chaos output vs golden"
+if ! diff -u "$workdir/golden.out" "$workdir/chaos.out" >"$workdir/diff.out"; then
+  echo "FAIL: chaotic fleet campaign differs from the golden run" >&2
+  head -20 "$workdir/diff.out" >&2
+  exit 1
+fi
+
+lines=$(wc -l <"$workdir/golden.out")
+if [[ "$lines" -ne "$jobs" ]]; then
+  echo "FAIL: expected $jobs outcome lines, got $lines" >&2
+  exit 1
+fi
+
+echo "-- shard stores survived the drain"
+stores=$(ls "$workdir/stores"/shard*.jsonl 2>/dev/null | wc -l)
+if [[ "$stores" -lt 1 ]]; then
+  echo "FAIL: fleet drain left no shard stores" >&2
+  exit 1
+fi
+
+echo "chaos smoke test passed: $jobs jobs byte-identical under induced failure"

@@ -34,6 +34,9 @@ cargo test -q -p voltnoise --test telemetry
 echo "== server smoke test"
 scripts/server_smoke.sh
 
+echo "== fleet chaos smoke test"
+scripts/chaos_smoke.sh
+
 echo "== benchmark smoke test"
 scripts/bench.sh --smoke --out target/BENCH_smoke.json
 

@@ -1,0 +1,287 @@
+//! The fleet chaos proof: a campaign run through a supervised
+//! multi-process shard pool under a deterministic fault plan — SIGKILL
+//! mid-batch, a stalled shard tripping its circuit breaker — must
+//! produce results byte-identical to a direct single-engine run, with
+//! zero duplicate solves across the union of shard stores.
+//!
+//! Workers run `--reduced` so the in-process golden baseline built with
+//! [`Testbed::fast`] resolves to byte-identical content keys.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use voltnoise_fleet::chaos::{campaign_specs, ChaosDriver, ChaosPlan, FaultAction};
+use voltnoise_fleet::client::{FleetClient, FleetClientConfig};
+use voltnoise_fleet::supervisor::{store_files, FleetConfig, Supervisor};
+use voltnoise_server::http_request;
+use voltnoise_server::wire::JobSpec;
+use voltnoise_stressmark::SyncSpec;
+use voltnoise_system::engine::{Engine, SimJob};
+use voltnoise_system::noise::NoiseRunConfig;
+use voltnoise_system::testbed::Testbed;
+
+const SHARDS: usize = 3;
+const JOBS: usize = 9;
+const CAMPAIGN_SEED: u64 = 7;
+
+/// The worker binary, built alongside this test by a workspace build.
+fn server_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("VOLTNOISE_SERVER_BIN") {
+        return PathBuf::from(path);
+    }
+    let fleet = PathBuf::from(env!("CARGO_BIN_EXE_voltnoise-fleet"));
+    let candidate = fleet
+        .parent()
+        .expect("bin path has a parent")
+        .join("voltnoise-server");
+    assert!(
+        candidate.is_file(),
+        "worker binary not found at {} — build it with `cargo build -p voltnoise-server` \
+         or set VOLTNOISE_SERVER_BIN",
+        candidate.display()
+    );
+    candidate
+}
+
+fn fresh_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "voltnoise-fleet-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The in-process twin of the workers' spec compilation (same path the
+/// routing client uses for digests).
+fn compile(tb: &Testbed, spec: &JobSpec) -> SimJob {
+    let sync = spec.sync.then(SyncSpec::paper_default);
+    let loads = tb.loads_of_mapping(&spec.mapping, spec.stim_freq_hz, sync);
+    SimJob::new(
+        Arc::new(tb.chip().clone()),
+        loads,
+        NoiseRunConfig {
+            window_s: spec.window_s,
+            record_traces: spec.record_traces,
+            seed: spec.seed,
+            max_steps: spec.max_steps,
+            ..NoiseRunConfig::default()
+        },
+    )
+}
+
+/// Extracts an integer stats field from the `/stats` JSON.
+fn stat_field(stats: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = stats
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {name} in {stats}"));
+    stats[at + needle.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {name} in {stats}"))
+}
+
+/// Store-record keys across the union of shard JSONL files, in file
+/// order — read *before* drain-time compaction so duplicate appends
+/// cannot be laundered away.
+fn store_keys(store_dir: &Path) -> Vec<String> {
+    let mut keys = Vec::new();
+    for path in store_files(store_dir, SHARDS) {
+        let data = std::fs::read_to_string(&path).expect("read shard store");
+        for line in data.lines() {
+            if let Some(rest) = line.strip_prefix("{\"key\":\"") {
+                let key = rest.split('"').next().unwrap_or("").to_string();
+                keys.push(key);
+            }
+        }
+    }
+    keys
+}
+
+#[test]
+fn chaotic_campaign_is_byte_identical_with_zero_duplicate_solves() {
+    let store_dir = fresh_store_dir("chaos");
+    let mut supervisor = Supervisor::spawn(FleetConfig {
+        shards: SHARDS,
+        server_bin: server_bin(),
+        store_dir: store_dir.clone(),
+        reduced: true,
+        spawn_timeout: Duration::from_secs(60),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet");
+
+    let specs = campaign_specs(JOBS, CAMPAIGN_SEED);
+    let tb = Testbed::fast();
+    let mut client = FleetClient::new(
+        supervisor.addrs(),
+        tb,
+        FleetClientConfig {
+            probe_timeout: Duration::from_millis(300),
+            breaker_threshold: 2,
+            // Longer than the test: a tripped shard stays out, so the
+            // stalled wave must hedge instead of waiting.
+            breaker_cooldown: Duration::from_secs(120),
+            ..FleetClientConfig::default()
+        },
+    );
+
+    // Pin the fault plan to real campaign coordinates: kill the first
+    // shard that owns >= 2 jobs (so the SIGKILL lands mid-batch with
+    // work still missing) and stall a later-wave shard (so the kill
+    // fires during the killed shard's own wave, and the stall forces a
+    // breaker-driven failover).
+    let mut per_shard = vec![0usize; SHARDS];
+    for spec in &specs {
+        per_shard[client.ring().shard_of(&client.digest_of(spec))] += 1;
+    }
+    let kill_shard = (0..SHARDS)
+        .find(|&s| per_shard[s] >= 2 && (s + 1..SHARDS).any(|t| per_shard[t] >= 1))
+        .unwrap_or_else(|| panic!("no killable shard; distribution {per_shard:?}"));
+    let stall_shard = (kill_shard + 1..SHARDS)
+        .find(|&s| per_shard[s] >= 1)
+        .expect("a later shard with jobs");
+    let wave_of = |shard: usize| (0..shard).filter(|&s| per_shard[s] > 0).count();
+    let mut actions = vec![
+        FaultAction::KillAfterLines {
+            shard: kill_shard,
+            lines: 1,
+        },
+        FaultAction::StallBeforeWave {
+            wave: wave_of(stall_shard),
+            shard: stall_shard,
+        },
+    ];
+    // An injected mid-stream reset on whatever third shard has work.
+    if let Some(reset_shard) =
+        (0..SHARDS).find(|&s| s != kill_shard && s != stall_shard && per_shard[s] >= 1)
+    {
+        actions.push(FaultAction::ResetAfterLines {
+            shard: reset_shard,
+            lines: 1,
+        });
+    }
+    let plan = ChaosPlan::new(actions);
+
+    let mut driver = ChaosDriver::new(&mut supervisor, plan);
+    let campaign = client.run_campaign(&specs, &mut driver);
+    let chaos = driver.finish();
+    let report = campaign.unwrap_or_else(|e| panic!("campaign failed: {e}; chaos {chaos:?}"));
+
+    // The plan actually fired: a kill mid-batch, a stall, a respawn.
+    assert!(chaos.kills >= 1, "no SIGKILL injected: {chaos:?}");
+    assert!(chaos.stalls >= 1, "no stall injected: {chaos:?}");
+    assert!(chaos.respawns >= 1, "no worker respawned: {chaos:?}");
+    // And the client survived it the way the design claims: a hard
+    // retry for the crash, an open breaker + failover for the stall.
+    assert!(report.hard_retries >= 1, "no hard retry: {report:?}");
+    assert!(
+        report.breaker_opens >= 1,
+        "stall never tripped a breaker: {report:?}"
+    );
+    assert!(
+        report.failovers >= 1,
+        "stalled wave never hedged: {report:?}"
+    );
+    assert_eq!(
+        supervisor.restart_gen(kill_shard),
+        1,
+        "killed shard not respawned exactly once"
+    );
+
+    // Satellite: no leaked in-flight estimate after the respawn — the
+    // fresh worker's admission gate reports zero admitted steps, under
+    // its bumped restart generation and unchanged shard id.
+    let stats = http_request(
+        supervisor.addr(kill_shard),
+        "GET",
+        "/stats",
+        None,
+        Duration::from_secs(10),
+    )
+    .expect("stats from respawned worker")
+    .body;
+    assert_eq!(stat_field(&stats, "admitted_steps"), 0, "{stats}");
+    assert_eq!(stat_field(&stats, "restart_gen"), 1, "{stats}");
+    assert_eq!(stat_field(&stats, "shard_id"), kill_shard as u64, "{stats}");
+
+    // Zero duplicate solves: across the union of shard stores (read
+    // pre-compaction), every campaign digest appears exactly once —
+    // crashes, retries, and failovers never re-solved anything.
+    let digests: Vec<String> = specs.iter().map(|s| client.digest_of(s)).collect();
+    let keys = store_keys(&store_dir);
+    for digest in &digests {
+        let hits = keys.iter().filter(|k| *k == digest).count();
+        assert_eq!(
+            hits, 1,
+            "digest {digest} appears {hits} times in the store union"
+        );
+    }
+    assert_eq!(
+        keys.len(),
+        digests.len(),
+        "store union holds records outside the campaign: {keys:?}"
+    );
+
+    // Byte identity: every outcome matches a direct single-engine run.
+    let jobs: Vec<SimJob> = specs.iter().map(|s| compile(tb, s)).collect();
+    let direct = Engine::with_workers(2).run_jobs(&jobs).expect("direct run");
+    for (i, outcome) in direct.iter().enumerate() {
+        let direct_json = serde_json::to_string(&**outcome).expect("serialize outcome");
+        assert_eq!(
+            report.outcomes[i].as_deref(),
+            Some(direct_json.as_str()),
+            "job {i} differs from the direct engine run"
+        );
+    }
+
+    // Graceful fleet drain: every worker exits cleanly (compacting its
+    // store on the way out) and the stores remain valid afterwards.
+    supervisor
+        .drain(Duration::from_secs(60))
+        .expect("fleet drain");
+    let compacted = store_keys(&store_dir);
+    assert_eq!(
+        compacted.len(),
+        digests.len(),
+        "drain-time compaction changed the record count"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn clean_fleet_campaign_routes_across_shards_and_drains() {
+    let store_dir = fresh_store_dir("clean");
+    let supervisor = Supervisor::spawn(FleetConfig {
+        shards: SHARDS,
+        server_bin: server_bin(),
+        store_dir: store_dir.clone(),
+        reduced: true,
+        spawn_timeout: Duration::from_secs(60),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet");
+
+    let specs = campaign_specs(6, 21);
+    let tb = Testbed::fast();
+    let mut client = FleetClient::new(supervisor.addrs(), tb, FleetClientConfig::default());
+    let report = client
+        .run_campaign(&specs, &mut voltnoise_fleet::client::NoChaos)
+        .expect("clean campaign");
+    assert!(report.outcomes.iter().all(Option::is_some));
+    assert_eq!(report.failovers, 0, "{report:?}");
+    assert_eq!(report.hard_retries, 0, "{report:?}");
+    assert_eq!(report.breaker_opens, 0, "{report:?}");
+    // Work actually spread: more than one shard answered.
+    let active = report.routed.iter().filter(|&&n| n > 0).count();
+    assert!(active >= 2, "campaign never spread: {:?}", report.routed);
+    supervisor
+        .drain(Duration::from_secs(60))
+        .expect("fleet drain");
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
