@@ -11,8 +11,9 @@
 
 use crate::delta_i::{run_delta_i, DeltaIConfig};
 use crate::propagation::CorrelationAnalysis;
+use crate::signal_summary::SignalSummary;
 use serde::{Deserialize, Serialize};
-use voltnoise_pdn::ac::{find_peaks, log_space, AcAnalysis};
+use voltnoise_pdn::ac::{log_space, AcAnalysis};
 use voltnoise_pdn::topology::{ChipPdn, PdnParams, NUM_CORES};
 use voltnoise_pdn::transient::{Probe, TransientConfig, TransientSolver};
 use voltnoise_pdn::waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, WaveMode};
@@ -141,7 +142,7 @@ pub fn run_decap_ablation() -> Result<DecapAblation, PdnError> {
         let ac = AcAnalysis::new(chip.netlist());
         let freqs = log_space(1e5, 500e6, 300)?;
         let prof = ac.sweep(chip.core_node(0), &freqs)?;
-        Ok(find_peaks(&prof)?.first().map(|p| p.0).unwrap_or(0.0))
+        Ok(SignalSummary::of_profile(&prof)?.peak_freq_hz)
     };
     Ok(DecapAblation {
         modern_first_droop_hz: band(&PdnParams::default())?,

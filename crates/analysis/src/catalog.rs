@@ -221,6 +221,23 @@ fn rom_error(
     run_to_output_settled(&crate::rom_error::RomErrorExperiment { cfg }, tb, engine)
 }
 
+fn resonance_entropy(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    let cfg = if reduced {
+        crate::resonance_entropy::ResonanceEntropyConfig::reduced()
+    } else {
+        crate::resonance_entropy::ResonanceEntropyConfig::paper()
+    };
+    run_to_output_settled(
+        &crate::resonance_entropy::ResonanceEntropyExperiment { cfg },
+        tb,
+        engine,
+    )
+}
+
 fn guardband(
     tb: &Testbed,
     engine: &Engine,
@@ -345,5 +362,14 @@ pub(crate) static ENTRIES: &[RegistryEntry] = &[
         title: "ROM study: macromodel error vs budget on the drawer step",
         in_report: false,
         run: rom_error,
+    },
+    // Signal study: spectral + entropy assessment of the die resonance
+    // band. Out of the golden report (figure bytes stay fixed); it has
+    // its own golden file under tests/golden/.
+    RegistryEntry {
+        id: "resonance-entropy",
+        title: "Signal study: entropy carried by the die resonance band",
+        in_report: false,
+        run: resonance_entropy,
     },
 ];

@@ -2,9 +2,10 @@
 
 use crate::experiment::Experiment;
 use crate::render::Table;
+use crate::signal_summary::SignalSummary;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use voltnoise_pdn::ac::{find_peaks, log_space, AcAnalysis};
+use voltnoise_pdn::ac::{log_space, AcAnalysis};
 use voltnoise_pdn::PdnError;
 use voltnoise_system::chip::Chip;
 use voltnoise_system::noise::NoiseOutcome;
@@ -48,8 +49,13 @@ impl ImpedanceConfig {
 pub struct ImpedanceProfile {
     /// `(frequency_hz, |Z| ohms)` pairs in ascending frequency.
     pub points: Vec<(f64, f64)>,
-    /// Resonance peaks `(frequency_hz, |Z| ohms)`, strongest first.
+    /// Resonance peaks `(frequency_hz, |Z| ohms)`, strongest first
+    /// (mirrors `signal.peaks`; kept for compatibility and rendering).
     pub peaks: Vec<(f64, f64)>,
+    /// The full spectral summary: peaks plus half-power Q and die-band
+    /// `|Z|²` energy. Additive — nothing here enters the rendered
+    /// figure, so Fig. 7b bytes are unchanged.
+    pub signal: SignalSummary,
 }
 
 impl ImpedanceProfile {
@@ -118,10 +124,11 @@ pub fn run_impedance(chip: &Chip, cfg: &ImpedanceConfig) -> Result<ImpedanceProf
     let ac = AcAnalysis::new(chip.pdn().netlist());
     let freqs = log_space(cfg.f_lo_hz, cfg.f_hi_hz, cfg.points)?;
     let profile = ac.sweep(chip.pdn().core_node(cfg.core), &freqs)?;
-    let peaks = find_peaks(&profile)?;
+    let signal = SignalSummary::of_profile(&profile)?;
     Ok(ImpedanceProfile {
         points: profile.iter().map(|p| (p.freq_hz, p.magnitude())).collect(),
-        peaks,
+        peaks: signal.peaks.clone(),
+        signal,
     })
 }
 
@@ -146,5 +153,19 @@ mod tests {
         let chip = Chip::paper_default();
         let prof = run_impedance(&chip, &ImpedanceConfig::reduced()).unwrap();
         assert!(prof.render().contains("# peak:"));
+    }
+
+    #[test]
+    fn signal_summary_agrees_with_legacy_peak_list() {
+        let chip = Chip::paper_default();
+        let prof = run_impedance(&chip, &ImpedanceConfig::reduced()).unwrap();
+        // The summary's peak list is the rendered one, byte for byte.
+        assert_eq!(prof.peaks, prof.signal.peaks);
+        assert_eq!(prof.signal.peak_freq_hz, prof.peaks[0].0);
+        // The die resonance is a real, reasonably sharp peak with
+        // measurable band energy.
+        let q = prof.signal.q_factor.expect("die resonance has a Q");
+        assert!(q > 1.0 && q < 100.0, "q = {q}");
+        assert!(prof.signal.die_band_energy > 0.0);
     }
 }

@@ -22,6 +22,8 @@
 //! | §VII-B (dynamic guard-banding) | [`guardband_study`] |
 //! | DESIGN.md ablations | [`ablation`] |
 //! | Solve-backend ROM study | [`rom_error`] |
+//! | Resonance-band entropy study | [`resonance_entropy`] |
+//! | Spectral summaries (peaks/Q/band energy) | [`signal_summary`] |
 //!
 //! Every driver has a `paper()` configuration matching the paper's scale
 //! and a `reduced()` configuration for quick runs, and returns a
@@ -42,8 +44,10 @@ pub mod misalignment;
 pub mod propagation;
 pub mod render;
 pub mod report;
+pub mod resonance_entropy;
 pub mod rom_error;
 pub mod scope_shot;
+pub mod signal_summary;
 pub mod stats;
 pub mod table1;
 
@@ -71,9 +75,14 @@ pub use propagation::{
 pub use report::{
     full_report, full_report_on, full_report_with_telemetry, telemetry_section, ReportScale,
 };
+pub use resonance_entropy::{
+    run_resonance_entropy, ResonanceEntropy, ResonanceEntropyConfig, ResonanceEntropyExperiment,
+    ResonancePoint,
+};
 pub use rom_error::{
     run_rom_error_study, RomErrorConfig, RomErrorExperiment, RomErrorRow, RomErrorStudy,
 };
 pub use scope_shot::{run_scope_shot, ScopeConfig, ScopeShot, ScopeShotExperiment};
+pub use signal_summary::SignalSummary;
 pub use stats::CorrelationMatrix;
 pub use table1::{Table1, Table1Experiment};

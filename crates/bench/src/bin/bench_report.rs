@@ -42,7 +42,9 @@ const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 /// latency over loopback HTTP).
 /// `/5`: added the `fleet_rtt` section (routed campaign latency through
 /// the sharded fleet client over keep-alive connections).
-const SCHEMA: &str = "voltnoise-bench/5";
+/// `/6`: added the `signal` section (streaming Welch PSD throughput
+/// over a real 100 µs scope trace, batch vs stream).
+const SCHEMA: &str = "voltnoise-bench/6";
 
 /// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
 /// the sparse backend must beat the dense cost model by at least this
@@ -63,6 +65,12 @@ const MIN_ROM_FLOPS_RATIO: f64 = 10.0;
 /// Generous smoke-mode bound on `overhead_ratio` (single-iteration
 /// timings are noisy; real overhead is a few percent).
 const SMOKE_MAX_OVERHEAD: f64 = 10.0;
+
+/// Smoke-mode ceiling on the streaming Welch path's wall-clock cost
+/// relative to the batch path over identical samples. Both paths run
+/// the same per-segment arithmetic (the stream adds only buffer
+/// management), so streaming must stay within 1.2x of batch.
+const MAX_SIGNAL_STREAM_OVERHEAD: f64 = 1.2;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct WallStats {
@@ -247,6 +255,38 @@ struct FleetRttBench {
     cache_hits: usize,
 }
 
+/// The signal-pipeline benchmark: Welch PSD throughput over a real
+/// 100 µs core-0 scope trace (resampled to a uniform grid and tiled to
+/// benchmark length), timed on the batch path and the streaming path
+/// fed in bounded chunks. The two paths are asserted *bitwise*
+/// identical at bench time, so the overhead ratio compares equal work.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SignalBench {
+    /// Simulated window of the source trace (seconds).
+    trace_window_s: f64,
+    /// Raw (non-uniform) scope samples captured by the solve.
+    trace_points: usize,
+    /// Uniform samples fed to each Welch run (resampled and tiled).
+    samples: usize,
+    /// Welch segment length.
+    segment_len: usize,
+    /// Averaged segments per run.
+    segments: u64,
+    /// Wall time per batch `welch_psd` run.
+    batch_wall: WallStats,
+    /// Wall time per chunked `WelchStream` run over the same samples.
+    stream_wall: WallStats,
+    /// Batch throughput, samples per second (median wall).
+    batch_samples_per_s: f64,
+    /// Streaming throughput, samples per second (median wall).
+    stream_samples_per_s: f64,
+    /// Streaming median wall over batch median wall.
+    stream_overhead_ratio: f64,
+    /// Strongest PSD peak at or above 500 kHz — the die resonance under
+    /// the 2.5 MHz stressmark; a physics anchor for the benchmark data.
+    peak_freq_hz: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -259,6 +299,7 @@ struct BenchReport {
     rom: RomBench,
     server_rtt: ServerRttBench,
     fleet_rtt: FleetRttBench,
+    signal: SignalBench,
 }
 
 struct Opts {
@@ -641,6 +682,97 @@ fn bench_fleet_rtt(iters: usize) -> FleetRttBench {
     }
 }
 
+/// Benchmarks Welch PSD throughput, batch vs streaming, over a real
+/// 100 µs scope trace from a 2.5 MHz all-core stressmark solve. The
+/// trace is resampled to a uniform grid once, outside the timed
+/// region, and tiled so each run averages a few hundred segments.
+fn bench_signal(iters: usize) -> SignalBench {
+    use voltnoise::pdn::signal::{resample_uniform, welch_psd, WelchConfig, WelchStream};
+    use voltnoise::system::{CoreLoad, NoiseRunConfig, SimJob};
+
+    const TRACE_WINDOW_S: f64 = 100e-6;
+    const RESAMPLE_POINTS: usize = 16384;
+    const SEGMENT_LEN: usize = 1024;
+    const TILES: usize = 16;
+    const CHUNK: usize = 4096;
+
+    let tb = Testbed::fast();
+    let sm = tb.max_stressmark(2.5e6, None);
+    let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let job = SimJob::batch(tb.chip()).job(
+        loads,
+        NoiseRunConfig {
+            window_s: Some(TRACE_WINDOW_S),
+            record_traces: true,
+            seed: 1,
+            ..NoiseRunConfig::default()
+        },
+    );
+    let engine = Engine::with_workers(1);
+    let outcomes = engine
+        .run_jobs(std::slice::from_ref(&job))
+        .unwrap_or_else(|e| panic!("signal bench solve failed: {e}"));
+    let traces = outcomes[0]
+        .traces
+        .as_ref()
+        .expect("signal bench job records traces");
+    let trace = &traces[0];
+    let trace_points = trace.times().len();
+    let (fs, base) = resample_uniform(trace.times(), trace.volts(), RESAMPLE_POINTS)
+        .expect("scope trace resamples");
+    let mut samples = Vec::with_capacity(base.len() * TILES);
+    for _ in 0..TILES {
+        samples.extend_from_slice(&base);
+    }
+    let cfg = WelchConfig::half_overlap(SEGMENT_LEN, fs);
+
+    let runs = (iters * 5).max(5);
+    let mut batch_wall = Vec::with_capacity(runs);
+    let mut stream_wall = Vec::with_capacity(runs);
+    let mut batch_psd = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let psd = welch_psd(&samples, cfg).expect("batch Welch");
+        batch_wall.push(t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        let mut stream = WelchStream::new(cfg).expect("stream config");
+        for chunk in samples.chunks(CHUNK) {
+            stream.push(chunk);
+        }
+        let streamed = stream.finish();
+        stream_wall.push(t0.elapsed().as_nanos() as u64);
+
+        // The overhead ratio below only means something if both paths
+        // did identical work — enforce it to the bit.
+        assert_eq!(
+            streamed, psd,
+            "stream and batch Welch PSDs must match bitwise"
+        );
+        batch_psd = Some(psd);
+    }
+    let psd = batch_psd.expect("at least one run");
+    let peak_freq_hz = psd
+        .peak_in_band(5e5, fs / 2.0)
+        .map(|(f, _)| f)
+        .unwrap_or(0.0);
+    let batch_wall = WallStats::of(batch_wall);
+    let stream_wall = WallStats::of(stream_wall);
+    SignalBench {
+        trace_window_s: TRACE_WINDOW_S,
+        trace_points,
+        samples: samples.len(),
+        segment_len: SEGMENT_LEN,
+        segments: psd.segments(),
+        batch_samples_per_s: samples.len() as f64 / (batch_wall.median_ns.max(1) as f64 / 1e9),
+        stream_samples_per_s: samples.len() as f64 / (stream_wall.median_ns.max(1) as f64 / 1e9),
+        stream_overhead_ratio: stream_wall.median_ns as f64 / batch_wall.median_ns.max(1) as f64,
+        batch_wall,
+        stream_wall,
+        peak_freq_hz,
+    }
+}
+
 fn smoke_check(json: &str) {
     let report: BenchReport = serde_json::from_str(json).expect("BENCH_report.json parses back");
     assert_eq!(report.schema, SCHEMA, "schema version mismatch");
@@ -771,6 +903,28 @@ fn smoke_check(json: &str) {
         fleet.campaigns,
         fleet.jobs
     );
+    let signal = &report.signal;
+    assert!(
+        signal.segments > 0 && signal.samples > signal.segment_len,
+        "signal bench must average real segments, got {signal:?}"
+    );
+    assert!(
+        signal.batch_samples_per_s > 0.0 && signal.stream_samples_per_s > 0.0,
+        "signal throughput must be measurable, got {signal:?}"
+    );
+    assert!(
+        signal.stream_overhead_ratio <= MAX_SIGNAL_STREAM_OVERHEAD,
+        "streaming Welch must stay within {MAX_SIGNAL_STREAM_OVERHEAD}x of batch, got {:.3}x \
+         ({} vs {} ns median)",
+        signal.stream_overhead_ratio,
+        signal.stream_wall.median_ns,
+        signal.batch_wall.median_ns
+    );
+    assert!(
+        (1.0e6..5.0e6).contains(&signal.peak_freq_hz),
+        "the stressmark trace's PSD peak must sit in the die resonance band, got {:.3e} Hz",
+        signal.peak_freq_hz
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -810,6 +964,11 @@ fn main() {
         opts.iters
     );
     let fleet_rtt = bench_fleet_rtt(opts.iters);
+    eprintln!(
+        "# benchmarking Welch PSD throughput ({} iterations)",
+        opts.iters
+    );
+    let signal = bench_signal(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
@@ -821,6 +980,7 @@ fn main() {
         rom,
         server_rtt,
         fleet_rtt,
+        signal,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -885,6 +1045,16 @@ fn main() {
         report.fleet_rtt.routed,
         report.fleet_rtt.solves,
         report.fleet_rtt.cache_hits
+    );
+    println!(
+        "{:8} batch {:>10.0} samp/s  stream {:>10.0} samp/s  overhead x{:.3}  {} segs  peak \
+         {:.3e} Hz",
+        "signal",
+        report.signal.batch_samples_per_s,
+        report.signal.stream_samples_per_s,
+        report.signal.stream_overhead_ratio,
+        report.signal.segments,
+        report.signal.peak_freq_hz
     );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {

@@ -357,6 +357,15 @@ pub fn log_space(f_lo: f64, f_hi: f64, count: usize) -> Result<Vec<f64>, PdnErro
 /// sweep-edge resonances matter). A monotone or flat profile therefore
 /// yields an empty, not erroneous, result.
 ///
+/// **Plateau tie-break:** a sample is a peak when it strictly exceeds
+/// its left neighbor and is at least its right neighbor (`>` left,
+/// `>=` right). When a resonance lands between sweep points and two
+/// adjacent samples share the maximum magnitude, exactly the
+/// *leftmost* (lowest-frequency) sample of the plateau is reported —
+/// later plateau samples fail the strict left comparison — so a
+/// plateau never double-counts as two peaks and the reported
+/// frequency is deterministic.
+///
 /// # Errors
 ///
 /// Returns [`PdnError::EmptyProfile`] for an empty profile — asking for
@@ -528,6 +537,30 @@ mod tests {
         assert_eq!(peaks.len(), 2);
         assert_eq!(peaks[0].0, 4.0);
         assert_eq!(peaks[1].0, 2.0);
+    }
+
+    /// Regression test for plateau maxima: when a resonance lands
+    /// between sweep points and two adjacent samples tie at the peak
+    /// magnitude, exactly one peak is reported, at the leftmost
+    /// (lowest-frequency) sample of the plateau.
+    #[test]
+    fn find_peaks_plateau_reports_leftmost_sample_once() {
+        // Two-sample plateau at the maximum.
+        let peaks = find_peaks(&profile_of(&[1.0, 3.0, 3.0, 1.0])).unwrap();
+        assert_eq!(peaks, vec![(2.0, 3.0)]);
+        // Three-sample plateau still yields a single leftmost peak.
+        let peaks = find_peaks(&profile_of(&[1.0, 4.0, 4.0, 4.0, 2.0])).unwrap();
+        assert_eq!(peaks, vec![(2.0, 4.0)]);
+        // A plateau running into the right endpoint still reports its
+        // leftmost interior sample (the `>=` right comparison).
+        let peaks = find_peaks(&profile_of(&[1.0, 3.0, 3.0])).unwrap();
+        assert_eq!(peaks, vec![(2.0, 3.0)]);
+        let peaks = find_peaks(&profile_of(&[1.0, 2.0, 3.0, 3.0])).unwrap();
+        assert_eq!(peaks, vec![(3.0, 3.0)]);
+        // Endpoint variant keeps the same plateau rule and does not
+        // double-count the interior plateau peak.
+        let peaks = find_peaks_with_endpoints(&profile_of(&[1.0, 3.0, 3.0, 1.0])).unwrap();
+        assert_eq!(peaks, vec![(2.0, 3.0)]);
     }
 
     #[test]

@@ -87,6 +87,14 @@ pub enum PdnError {
     },
     /// Peak detection was asked to analyze an empty impedance profile.
     EmptyProfile,
+    /// A signal-analysis routine ([`crate::signal`]) was given input it
+    /// cannot process: a non-power-of-two FFT length, an overlap at
+    /// least as long as the segment, mismatched Welch configurations in
+    /// a merge, a zero-variance sequence, and so on.
+    Signal {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// A reduced-order model could not meet its caller-supplied error
     /// budget even at the maximum permitted order. The caller should
     /// fall back to the full-order solver (or raise the budget).
@@ -137,6 +145,7 @@ impl fmt::Display for PdnError {
             PdnError::EmptyProfile => {
                 write!(f, "empty impedance profile has no peaks")
             }
+            PdnError::Signal { reason } => write!(f, "signal analysis error: {reason}"),
             PdnError::RomBudget {
                 budget_v,
                 achieved_v,
@@ -185,6 +194,9 @@ mod tests {
             PdnError::Cancelled { t: 1e-6 },
             PdnError::DeadlineExceeded { t: 3e-6 },
             PdnError::EmptyProfile,
+            PdnError::Signal {
+                reason: "segment length 6 is not a power of two".into(),
+            },
             PdnError::RomBudget {
                 budget_v: 1e-3,
                 achieved_v: 4e-3,

@@ -64,6 +64,7 @@ pub mod mna;
 pub mod netlist;
 pub mod rom;
 pub mod sensitivity;
+pub mod signal;
 pub mod sparse;
 pub mod telemetry;
 pub mod topology;
@@ -81,6 +82,11 @@ pub use netlist::{Netlist, NodeId, SourceId};
 pub use rom::{solve_step_rom, ReducedPdn, RomOutcome, RomStepProblem};
 pub use sensitivity::{
     full_sensitivity, parameter_sensitivity, ParameterSensitivity, PdnParameter,
+};
+pub use signal::{
+    autocorrelation, band_filter, entropy_report, fft_in_place, hann_window, ifft_in_place,
+    markov_min_entropy, mcv_min_entropy, quantize, resample_uniform, rfft, trace_signature,
+    welch_psd, EntropyReport, TraceSignature, WelchConfig, WelchPsd, WelchStream,
 };
 pub use telemetry::{set_trace, trace_enabled, PhaseTimes, SolverCounters};
 pub use topology::{ChipPdn, DrawerParams, DrawerPdn, PdnParams, NUM_CORES};

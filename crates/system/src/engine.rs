@@ -46,6 +46,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+use voltnoise_pdn::signal::trace_signature;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::{CancelToken, PdnError, SolveSpec, SolverBackend};
 
@@ -1023,7 +1024,29 @@ impl Engine {
         let outcome = Arc::new(outcome);
         self.solves.fetch_add(1, Ordering::Relaxed);
         let wall_ns = wall_t0.map(|t0| t0.elapsed().as_nanos() as u64);
-        lock_recover(&self.telemetry).record_job(&solve_tel.counters, &solve_tel.phase, wall_ns);
+        // Spectral fingerprints of any captured traces, computed
+        // outside the telemetry lock (an FFT over a resampled trace,
+        // paid only by trace-recording jobs). Like the wall-clock
+        // histograms, signatures observe the campaign: they never
+        // enter the outcome, the content key, the cache or the store,
+        // so cache and store hits contribute nothing — fingerprints
+        // count fresh physics, not replays.
+        let signatures: Vec<_> = outcome
+            .traces
+            .iter()
+            .flatten()
+            .map(|t| trace_signature(t.times(), t.volts()))
+            .collect();
+        {
+            let mut tel = lock_recover(&self.telemetry);
+            tel.record_job(&solve_tel.counters, &solve_tel.phase, wall_ns);
+            for sig in &signatures {
+                match sig {
+                    Ok(sig) => tel.signal.record_signature(sig),
+                    Err(_) => tel.signal.record_rejected(),
+                }
+            }
+        }
         if let Some(store) = &self.store {
             store.append(&job.key().store_digest(), &outcome);
         }
@@ -1500,6 +1523,40 @@ mod tests {
         // Duplicates coalesce before the cache, so the second run scores
         // one hit per *distinct* job.
         assert_eq!(engine.cache_hits(), jobs.len());
+    }
+
+    #[test]
+    fn traced_solves_record_spectral_fingerprints_once() {
+        let tb = Testbed::fast();
+        let engine = Engine::with_workers(2);
+        let batch = SimJob::batch(tb.chip());
+        let sm = tb.max_stressmark(2.5e6, Some(SyncSpec::paper_default()));
+        let loads: [CoreLoad; NUM_CORES] =
+            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+        let job = batch.job(
+            loads,
+            NoiseRunConfig {
+                window_s: Some(20e-6),
+                record_traces: true,
+                seed: 1,
+                ..NoiseRunConfig::default()
+            },
+        );
+        engine.run_jobs(std::slice::from_ref(&job)).unwrap();
+        let signal = engine.stats().telemetry.signal;
+        assert_eq!(signal.traces, NUM_CORES as u64);
+        assert_eq!(signal.rejected, 0);
+        assert_eq!(signal.peak_freq_hz.count(), NUM_CORES as u64);
+        // The 2.5 MHz stimulus dominates every core's spectrum, so
+        // each peak lands in the 2^21-floor frequency bucket.
+        assert_eq!(signal.peak_freq_hz.median(), Some(1 << 21));
+        // Cache hits replay physics and must not re-fingerprint.
+        engine.run_jobs(std::slice::from_ref(&job)).unwrap();
+        assert_eq!(engine.stats().telemetry.signal.traces, NUM_CORES as u64);
+        // Untraced jobs contribute nothing.
+        let untraced = Engine::with_workers(1);
+        untraced.run_jobs(&test_jobs(tb)).unwrap();
+        assert_eq!(untraced.stats().telemetry.signal.traces, 0);
     }
 
     #[test]

@@ -131,6 +131,63 @@ impl LogHistogram {
     }
 }
 
+/// Spectral-signature telemetry over every *traced* solve (jobs with
+/// `record_traces` set): each captured scope trace is reduced to a
+/// [`voltnoise_pdn::signal::TraceSignature`] and quantized into
+/// log-scale histograms, so a campaign's spectral fingerprint is a
+/// mergeable, `Copy`, integer-only aggregate exactly like the latency
+/// histograms. A drifting fingerprint — the die-resonance peak
+/// migrating out of its power-of-two frequency bucket, band power or
+/// min-entropy collapsing — flags a wrong-physics regression without
+/// ever perturbing job content keys or figure bytes.
+///
+/// Units are repurposed [`LogHistogram`] buckets (`floor(log2(x))`),
+/// not nanoseconds: peak frequency in Hz, die-band (1–5 MHz) power in
+/// units of 1e-15 V² ("femto-V²"), and assessed min-entropy in
+/// milli-bits/sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalTelemetry {
+    /// Scope traces analyzed (one per core per traced solve).
+    pub traces: u64,
+    /// Traces whose signature computation failed (malformed trace).
+    pub rejected: u64,
+    /// Strongest non-DC Welch peak frequency, Hz.
+    pub peak_freq_hz: LogHistogram,
+    /// Die-resonance band (1–5 MHz) power, 1e-15 V² units.
+    pub band_power_femto: LogHistogram,
+    /// Assessed (MCV ∧ Markov) min-entropy, milli-bits/sample.
+    pub min_entropy_millibits: LogHistogram,
+}
+
+impl SignalTelemetry {
+    /// Folds one trace signature into the aggregate. Saturating
+    /// integer quantization: non-finite or negative quantities land
+    /// in bucket 0.
+    pub fn record_signature(&mut self, sig: &voltnoise_pdn::signal::TraceSignature) {
+        self.traces += 1;
+        self.peak_freq_hz.record(sig.peak_freq_hz as u64);
+        self.band_power_femto.record((sig.band_power * 1e15) as u64);
+        self.min_entropy_millibits
+            .record((sig.min_entropy_bits * 1e3) as u64);
+    }
+
+    /// Counts a trace whose signature could not be computed.
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Merges another aggregate (associative, commutative,
+    /// count-preserving — element-wise integer adds throughout).
+    pub fn merge(&mut self, other: &SignalTelemetry) {
+        self.traces += other.traces;
+        self.rejected += other.rejected;
+        self.peak_freq_hz.merge(&other.peak_freq_hz);
+        self.band_power_femto.merge(&other.band_power_femto);
+        self.min_entropy_millibits
+            .merge(&other.min_entropy_millibits);
+    }
+}
+
 /// The engine's telemetry aggregate: solver work counters plus
 /// wall-clock histograms.
 ///
@@ -154,6 +211,9 @@ pub struct EngineTelemetry {
     pub step: LogHistogram,
     /// Per-job validation/state-advance time (traced runs only).
     pub validate: LogHistogram,
+    /// Spectral signatures of captured scope traces (traced-job
+    /// solves only; cache and store hits contribute nothing).
+    pub signal: SignalTelemetry,
 }
 
 impl EngineTelemetry {
@@ -167,6 +227,7 @@ impl EngineTelemetry {
         self.factor.merge(&other.factor);
         self.step.merge(&other.step);
         self.validate.merge(&other.validate);
+        self.signal.merge(&other.signal);
     }
 
     /// Records one solved job's telemetry: counters always, wall-clock
@@ -295,6 +356,42 @@ mod tests {
             assert_eq!(left, direct, "merge must equal recording the union");
             assert_eq!(left.count(), union.len() as u64);
         }
+    }
+
+    #[test]
+    fn signal_telemetry_quantizes_and_merges_exactly() {
+        use voltnoise_pdn::signal::TraceSignature;
+        let sig = TraceSignature {
+            peak_freq_hz: 2.5e6,
+            peak_psd: 1e-9,
+            band_power: 4e-7, // 4e8 femto-V² -> bucket 28
+            min_entropy_bits: 1.5,
+        };
+        let mut a = SignalTelemetry::default();
+        a.record_signature(&sig);
+        a.record_rejected();
+        assert_eq!(a.traces, 1);
+        assert_eq!(a.rejected, 1);
+        // 2.5e6 Hz lands in bucket floor 2^21 = 2097152.
+        assert_eq!(a.peak_freq_hz.median(), Some(1 << 21));
+        // 1500 milli-bits lands in bucket floor 2^10 = 1024.
+        assert_eq!(a.min_entropy_millibits.median(), Some(1 << 10));
+        let mut b = SignalTelemetry::default();
+        b.record_signature(&sig);
+        b.record_signature(&TraceSignature {
+            peak_freq_hz: 0.0,
+            peak_psd: 0.0,
+            band_power: f64::NAN, // non-finite saturates to bucket 0
+            min_entropy_bits: 0.0,
+        });
+        // merge(a, b) == merge(b, a), element-wise and count-preserving.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.traces, 3);
+        assert_eq!(ab.peak_freq_hz.count(), 3);
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub use admission::{AdmissionControl, Permit};
 pub use client::{http_request, HttpClient, Response};
 pub use deadline::DeadlineReaper;
 pub use server::{Server, ServerConfig};
-pub use wire::{BatchRequest, JobSpec, WireError};
+pub use wire::{parse_signal_stats, BatchRequest, JobSpec, SignalStats, WireError};

@@ -9,8 +9,8 @@ use crate::http::{
     finish_chunked, read_request, start_chunked, write_chunk, write_response, Request,
 };
 use crate::signals;
-use crate::wire::{parse_batch, BatchRequest};
-use serde::Value;
+use crate::wire::{parse_batch, BatchRequest, SignalStats};
+use serde::{Serialize, Value};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -503,10 +503,17 @@ fn handle_request(
             shared
                 .engine
                 .set_admitted_steps(shared.admission.in_flight());
-            let body = shared
-                .engine
-                .stats()
-                .to_json()
+            // The engine counters plus a "signal" section: the
+            // campaign's spectral fingerprint (trace counts and
+            // bucket-floor quantiles), strict-decodable on the client
+            // side via `wire::parse_signal_stats`.
+            let mut fields = match shared.engine.stats().to_value() {
+                Value::Object(fields) => fields,
+                other => vec![("stats".to_string(), other)],
+            };
+            let signal = SignalStats::of(&shared.engine.telemetry().signal);
+            fields.push(("signal".to_string(), signal.to_value()));
+            let body = serde_json::to_string_pretty(&Value::Object(fields))
                 .unwrap_or_else(|_| "{}".to_string());
             write_response(stream, 200, "OK", "application/json", &[], &body, keep).is_ok() && keep
         }

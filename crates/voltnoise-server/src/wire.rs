@@ -33,6 +33,7 @@
 
 use serde::Value;
 use voltnoise_pdn::topology::NUM_CORES;
+use voltnoise_system::telemetry::SignalTelemetry;
 use voltnoise_system::workload::WorkloadKind;
 
 /// Hard cap on jobs per batch: above this, admission arithmetic and
@@ -328,6 +329,125 @@ fn workload_of(v: &Value, what: &str) -> Result<WorkloadKind, WireError> {
         })
 }
 
+/// The `"signal"` section of the `/stats` body: the engine's
+/// spectral-signature telemetry reduced to counts plus bucket-floor
+/// quantiles (exact to within a factor of two, like every
+/// [`voltnoise_system::telemetry::LogHistogram`] reading). Quantile
+/// fields are *absent* — not `null` — while no trace has been
+/// analyzed, so the encoding round-trips exactly through
+/// [`parse_signal_stats`] and never emits the `null` that strict
+/// decoders reject as a smuggled NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalStats {
+    /// Scope traces analyzed (one per core per traced solve).
+    pub traces: u64,
+    /// Traces whose signature computation failed.
+    pub rejected: u64,
+    /// Median Welch-peak frequency bucket floor, Hz.
+    pub peak_freq_hz_p50: Option<u64>,
+    /// 95th-percentile Welch-peak frequency bucket floor, Hz.
+    pub peak_freq_hz_p95: Option<u64>,
+    /// Median die-band power bucket floor, 1e-15 V² units.
+    pub band_power_femto_p50: Option<u64>,
+    /// Median assessed min-entropy bucket floor, milli-bits/sample.
+    pub min_entropy_millibits_p50: Option<u64>,
+}
+
+impl SignalStats {
+    /// Reduces a telemetry aggregate to its wire summary.
+    pub fn of(sig: &SignalTelemetry) -> SignalStats {
+        SignalStats {
+            traces: sig.traces,
+            rejected: sig.rejected,
+            peak_freq_hz_p50: sig.peak_freq_hz.median(),
+            peak_freq_hz_p95: sig.peak_freq_hz.p95(),
+            band_power_femto_p50: sig.band_power_femto.median(),
+            min_entropy_millibits_p50: sig.min_entropy_millibits.median(),
+        }
+    }
+
+    /// Serializes the summary to its wire value — the inverse of
+    /// [`parse_signal_stats`]; absent quantiles stay absent on the
+    /// wire, so two servers with equal telemetry emit the same bytes.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("traces".to_string(), Value::U64(self.traces)),
+            ("rejected".to_string(), Value::U64(self.rejected)),
+        ];
+        let optional = [
+            ("peak_freq_hz_p50", self.peak_freq_hz_p50),
+            ("peak_freq_hz_p95", self.peak_freq_hz_p95),
+            ("band_power_femto_p50", self.band_power_femto_p50),
+            ("min_entropy_millibits_p50", self.min_entropy_millibits_p50),
+        ];
+        for (name, value) in optional {
+            if let Some(v) = value {
+                fields.push((name.to_string(), Value::U64(v)));
+            }
+        }
+        Value::Object(fields)
+    }
+
+    /// Compact JSON rendering of [`SignalStats::to_value`].
+    pub fn to_json(&self) -> String {
+        render(&self.to_value())
+    }
+}
+
+/// Decodes and validates one `/stats` `"signal"` section.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] — never panics — for malformed JSON,
+/// duplicate keys, unknown or missing fields and wrong shapes; the
+/// same contract as [`parse_batch`].
+pub fn parse_signal_stats(body: &str) -> Result<SignalStats, WireError> {
+    let RawValue(root) = serde_json::from_str::<RawValue>(body)
+        .map_err(|e| WireError::new("invalid-json", e.to_string()))?;
+    signal_stats_of(&root, "signal")
+}
+
+/// Decodes a `"signal"` section already parsed to a value tree (the
+/// nested form inside a full `/stats` body).
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] on duplicate keys, unknown or missing
+/// fields and wrong shapes.
+pub fn signal_stats_of(v: &Value, what: &str) -> Result<SignalStats, WireError> {
+    let obj = StrictObject::of(
+        v,
+        what,
+        &[
+            "traces",
+            "rejected",
+            "peak_freq_hz_p50",
+            "peak_freq_hz_p95",
+            "band_power_femto_p50",
+            "min_entropy_millibits_p50",
+        ],
+    )?;
+    let required = |name: &str| -> Result<u64, WireError> {
+        let v = obj.get(name).ok_or_else(|| {
+            WireError::new("missing-field", format!("{what} is missing {name:?}"))
+        })?;
+        u64_field(v, &format!("{what}.{name}"))
+    };
+    let optional = |name: &str| -> Result<Option<u64>, WireError> {
+        obj.get(name)
+            .map(|v| u64_field(v, &format!("{what}.{name}")))
+            .transpose()
+    };
+    Ok(SignalStats {
+        traces: required("traces")?,
+        rejected: required("rejected")?,
+        peak_freq_hz_p50: optional("peak_freq_hz_p50")?,
+        peak_freq_hz_p95: optional("peak_freq_hz_p95")?,
+        band_power_femto_p50: optional("band_power_femto_p50")?,
+        min_entropy_millibits_p50: optional("min_entropy_millibits_p50")?,
+    })
+}
+
 fn job_of(v: &Value, index: usize) -> Result<JobSpec, WireError> {
     let what = format!("jobs[{index}]");
     let obj = StrictObject::of(
@@ -621,6 +741,88 @@ mod tests {
         assert!(json.contains("\"error\":\"invalid-request\""), "{json}");
         assert!(json.contains("\"code\":\"non-finite\""), "{json}");
         assert!(json.contains("\"detail\":"), "{json}");
+    }
+
+    const VALID_SIGNAL: &str = r#"{"traces":12,"rejected":1,"peak_freq_hz_p50":2097152,"peak_freq_hz_p95":2097152,"band_power_femto_p50":64,"min_entropy_millibits_p50":1024}"#;
+
+    #[test]
+    fn signal_stats_round_trip_through_the_strict_decoder() {
+        let stats = parse_signal_stats(VALID_SIGNAL).unwrap();
+        assert_eq!(stats.traces, 12);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_freq_hz_p50, Some(1 << 21));
+        assert_eq!(stats, parse_signal_stats(&stats.to_json()).unwrap());
+        // Same summary, same bytes.
+        assert_eq!(
+            stats.to_json(),
+            parse_signal_stats(&stats.to_json()).unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn empty_telemetry_omits_quantiles_and_round_trips() {
+        let stats = SignalStats::of(&SignalTelemetry::default());
+        assert_eq!(stats.traces, 0);
+        assert_eq!(stats.peak_freq_hz_p50, None);
+        // Absent, not null: the strict decoder would reject null.
+        assert_eq!(stats.to_json(), r#"{"traces":0,"rejected":0}"#);
+        assert_eq!(stats, parse_signal_stats(&stats.to_json()).unwrap());
+    }
+
+    #[test]
+    fn populated_telemetry_summarizes_bucket_floors() {
+        let mut tel = SignalTelemetry::default();
+        tel.record_signature(&voltnoise_pdn::signal::TraceSignature {
+            peak_freq_hz: 2.5e6,
+            peak_psd: 1e-9,
+            band_power: 3e-7,
+            min_entropy_bits: 1.5,
+        });
+        tel.record_rejected();
+        let stats = SignalStats::of(&tel);
+        assert_eq!(stats.traces, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_freq_hz_p50, Some(1 << 21)); // floor(2.5 MHz)
+        assert_eq!(stats.min_entropy_millibits_p50, Some(1 << 10)); // 1500 mb
+        assert_eq!(stats, parse_signal_stats(&stats.to_json()).unwrap());
+    }
+
+    /// Fuzz-style sweep mirroring [`truncated_payloads_all_fail_typed`]:
+    /// every proper prefix of a valid signal section must fail with a
+    /// typed error, not a panic or a silent partial decode.
+    #[test]
+    fn truncated_signal_stats_all_fail_typed() {
+        for cut in 0..VALID_SIGNAL.len() {
+            let truncated = &VALID_SIGNAL[..cut];
+            let err = parse_signal_stats(truncated)
+                .expect_err(&format!("prefix of {cut} bytes must not decode"));
+            assert!(!err.code.is_empty());
+            assert!(!err.to_json().is_empty());
+        }
+    }
+
+    #[test]
+    fn garbage_signal_stats_are_typed() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"traces":1,"rejected":0,"bogus":1}"#, "unknown-field"),
+            (r#"{"traces":1}"#, "missing-field"),
+            (r#"{"rejected":0}"#, "missing-field"),
+            (r#"{"traces":-1,"rejected":0}"#, "bad-type"),
+            (r#"{"traces":1.5,"rejected":0}"#, "bad-type"),
+            (
+                r#"{"traces":1,"rejected":0,"peak_freq_hz_p50":null}"#,
+                "bad-type",
+            ),
+            (r#"{"traces":1,"rejected":0,"traces":2}"#, "duplicate-key"),
+            (r#"[]"#, "bad-type"),
+            (r#""signal""#, "bad-type"),
+            ("not json at all", "invalid-json"),
+            ("", "invalid-json"),
+        ];
+        for (body, code) in cases {
+            let err = parse_signal_stats(body).unwrap_err();
+            assert_eq!(err.code, *code, "body {body:?} gave {err}");
+        }
     }
 
     #[test]

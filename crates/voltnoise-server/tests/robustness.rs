@@ -72,6 +72,22 @@ impl Drop for ServerProc {
     }
 }
 
+/// Extracts and strict-decodes the top-level `"signal"` section of the
+/// `/stats` JSON. The raw telemetry nests a `"signal"` aggregate too,
+/// so take the *last* occurrence (the appended summary); that section
+/// object is flat, so it ends at the first `}` after the key.
+fn signal_section(stats: &str) -> voltnoise_server::SignalStats {
+    let at = stats
+        .rfind("\"signal\":")
+        .unwrap_or_else(|| panic!("no signal section in {stats}"));
+    let rest = &stats[at + "\"signal\":".len()..];
+    let end = rest
+        .find('}')
+        .unwrap_or_else(|| panic!("unterminated signal section in {stats}"));
+    voltnoise_server::parse_signal_stats(&rest[..=end])
+        .unwrap_or_else(|e| panic!("signal section must strict-decode: {e} in {stats}"))
+}
+
 /// Extracts an integer stats field from the `/stats` JSON.
 fn stat_field(stats: &str, name: &str) -> u64 {
     let needle = format!("\"{name}\":");
@@ -181,6 +197,12 @@ fn health_stats_and_malformed_bodies() {
     assert_eq!(server.request("GET", "/readyz", None).body, "ready\n");
     let stats = server.stats();
     assert_eq!(stat_field(&stats, "solves"), 0);
+    // The body carries a "signal" section that strict-decodes: a fresh
+    // server has analyzed no traces, so the quantiles are absent.
+    let signal = signal_section(&stats);
+    assert_eq!(signal.traces, 0);
+    assert_eq!(signal.rejected, 0);
+    assert_eq!(signal.peak_freq_hz_p50, None);
     // Malformed bodies answer 400 with the machine-readable shape —
     // never a hang, never a connection drop.
     for bad in [

@@ -31,6 +31,9 @@ scripts/resume_smoke.sh
 echo "== telemetry suite"
 cargo test -q -p voltnoise --test telemetry
 
+echo "== signal suite (spectral + entropy analytic ground truths)"
+cargo test -q -p voltnoise --test signal
+
 echo "== server smoke test"
 scripts/server_smoke.sh
 

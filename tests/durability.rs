@@ -5,6 +5,9 @@
 //! into deterministic partial results; and step budgets surface as
 //! typed, final (never retried) faults.
 
+#[path = "golden/mod.rs"]
+mod golden;
+
 use voltnoise::analysis::{full_report_on, registry, ReportScale};
 use voltnoise::pdn::{CancelToken, PdnError};
 use voltnoise::prelude::*;
@@ -286,9 +289,11 @@ fn report_bytes_are_identical_traced_untraced_and_resumed() {
     let path = temp_store("golden-trace");
     let _ = std::fs::remove_file(&path);
 
-    // Untraced baseline.
+    // Untraced baseline — itself pinned to the shared golden file, so
+    // this guard anchors to the same bytes the solver-core suite does.
     set_trace(false);
     let baseline = full_report_on(tb, &Engine::with_workers(2), ReportScale::Reduced).unwrap();
+    golden::assert_golden("full_report_reduced.txt", &baseline);
 
     // Traced run, fresh engine: every solve carries phase timing.
     set_trace(true);

@@ -1,0 +1,43 @@
+//! Shared golden-file harness for the byte-identity suites.
+//!
+//! Golden files live next to this module (`tests/golden/*.txt`). A
+//! drift is a hard failure with both lengths in the message; an
+//! *intentional* change is blessed by re-running the failing test with
+//! `VOLTNOISE_BLESS=1`, which rewrites the file from the live output
+//! so the diff lands in review instead of silently in an assertion.
+//!
+//! Include from a root test target with
+//! `#[path = "golden/mod.rs"] mod golden;`.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+/// The on-disk golden directory (`tests/golden/` at the repo root).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Asserts `actual` matches `tests/golden/<name>` byte for byte, or
+/// rewrites the file when `VOLTNOISE_BLESS=1` is set.
+pub fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("VOLTNOISE_BLESS").is_some() {
+        std::fs::write(&path, actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with VOLTNOISE_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        actual == golden,
+        "output drifted from tests/golden/{name} \
+         (lengths: got {} golden {}); if the change is intentional, \
+         re-run this test with VOLTNOISE_BLESS=1 and review the diff",
+        actual.len(),
+        golden.len()
+    );
+}

@@ -442,3 +442,80 @@ fn sim_job_hash_consistent_with_equality() {
         }
     });
 }
+
+/// Welch PSD merging is associative, commutative, and
+/// segment-count-preserving — bit for bit, on any random partition of
+/// the work. The fixed-point accumulator makes partial periodogram
+/// merging exact, so a fleet can shard a campaign's spectral telemetry
+/// arbitrarily and every merge tree produces identical bytes.
+#[test]
+fn welch_merge_is_associative_commutative_and_exact() {
+    use voltnoise::pdn::signal::{welch_psd, WelchConfig, WelchPsd};
+    check(24, |rng| {
+        let cfg = WelchConfig::half_overlap(64, 1.0e6);
+        let parts: Vec<WelchPsd> = (0..3)
+            .map(|_| {
+                let n = rng.gen_range(96usize..1500);
+                let samples = vec_in(rng, -2.0, 2.0, n);
+                welch_psd(&samples, cfg).unwrap()
+            })
+            .collect();
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), built left and right.
+        let mut left = a.clone();
+        left.merge(b).unwrap();
+        left.merge(c).unwrap();
+        let mut right = b.clone();
+        right.merge(c).unwrap();
+        let mut right_total = a.clone();
+        right_total.merge(&right).unwrap();
+        assert_eq!(left, right_total, "merge must be associative, bitwise");
+
+        // a ⊕ b == b ⊕ a.
+        let mut ab = a.clone();
+        ab.merge(b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(a).unwrap();
+        assert_eq!(ab, ba, "merge must be commutative, bitwise");
+
+        // Segment counts are conserved like any telemetry counter.
+        assert_eq!(
+            left.segments(),
+            a.segments() + b.segments() + c.segments(),
+            "merge must preserve total segment count"
+        );
+
+        // Mismatched configurations must refuse, not silently mix.
+        let other = welch_psd(
+            &vec_in(rng, -1.0, 1.0, 256),
+            WelchConfig::half_overlap(128, 1.0e6),
+        )
+        .unwrap();
+        assert!(a.clone().merge(&other).is_err());
+    });
+}
+
+/// The periodic Hann window keeps its analytic normalization on every
+/// power-of-two length: DC gain exactly 1/2 and power gain exactly 3/8
+/// (to float-sum roundoff), which is what makes the one-sided PSD
+/// scaling — and therefore every band-power number — trustworthy.
+#[test]
+fn hann_window_gains_match_analytic_values() {
+    use voltnoise::pdn::signal::{hann_window, window_dc_gain, window_power_gain};
+    for exp in 2..14 {
+        let n = 1usize << exp;
+        let w = hann_window(n);
+        assert_eq!(w.len(), n);
+        assert!(
+            (window_dc_gain(&w) - 0.5).abs() < 1e-12,
+            "DC gain drifted at n={n}: {}",
+            window_dc_gain(&w)
+        );
+        assert!(
+            (window_power_gain(&w) - 0.375).abs() < 1e-12,
+            "power gain drifted at n={n}: {}",
+            window_power_gain(&w)
+        );
+    }
+}

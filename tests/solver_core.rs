@@ -7,6 +7,9 @@
 //! reuse) is an optimization that must never change results. Random RLC
 //! ladders exercise both transient and AC analysis on both backends.
 
+#[path = "golden/mod.rs"]
+mod golden;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use voltnoise::pdn::ac::{log_space, AcAnalysis};
@@ -255,19 +258,12 @@ fn rom_tracks_full_solver_across_drawer_topologies() {
 fn full_report_reduced_is_byte_identical_to_golden() {
     use voltnoise::analysis::{full_report_on, ReportScale};
     use voltnoise::system::{Engine, Testbed};
-    let golden = include_str!("golden/full_report_reduced.txt");
     let report = full_report_on(
         Testbed::fast(),
         &Engine::with_workers(2),
         ReportScale::Reduced,
     )
     .unwrap();
-    assert!(
-        report == golden,
-        "reduced full report drifted from tests/golden/full_report_reduced.txt \
-         (solver-core changes must not alter figure bytes); \
-         lengths: got {} golden {}",
-        report.len(),
-        golden.len()
-    );
+    // Solver-core changes must not alter figure bytes.
+    golden::assert_golden("full_report_reduced.txt", &report);
 }
