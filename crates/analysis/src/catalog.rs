@@ -255,6 +255,19 @@ fn guardband(
     )
 }
 
+fn rack_map(
+    tb: &Testbed,
+    engine: &Engine,
+    reduced: bool,
+) -> Result<ExperimentOutput, ExperimentFailure> {
+    let cfg = if reduced {
+        crate::rack_map::RackMapConfig::reduced()
+    } else {
+        crate::rack_map::RackMapConfig::paper()
+    };
+    run_to_output_settled(&crate::rack_map::RackMapExperiment { cfg }, tb, engine)
+}
+
 /// All registered experiments, in full-report order.
 pub(crate) static ENTRIES: &[RegistryEntry] = &[
     RegistryEntry {
@@ -371,5 +384,14 @@ pub(crate) static ENTRIES: &[RegistryEntry] = &[
         title: "Signal study: entropy carried by the die resonance band",
         in_report: false,
         run: resonance_entropy,
+    },
+    // Rack-scale §VII placement study: naive vs noise-aware placement
+    // over a process-variated chip population. Out of the golden report
+    // (figure bytes stay fixed); exercised by the bench harness.
+    RegistryEntry {
+        id: "rack-map",
+        title: "Rack study: noise-aware placement over a variated chip population",
+        in_report: false,
+        run: rack_map,
     },
 ];

@@ -176,7 +176,7 @@ impl DeltaIExperiment {
             let mappings = mappings_of(&dist);
             let stride = (mappings.len() / self.cfg.mappings_per_distribution.max(1)).max(1);
             for mapping in mappings.iter().step_by(stride) {
-                out.push((dist, *mapping));
+                out.push((dist, mapping.clone()));
             }
         }
         out
@@ -236,7 +236,7 @@ impl Experiment for DeltaIExperiment {
                 mapping,
                 distribution: dist,
                 delta_i_fraction: dist.delta_i_fraction(),
-                per_core_pct: out.pct_p2p,
+                per_core_pct: out.pct_p2p.to_array(),
             })
             .collect();
         Ok(DeltaIDataset { runs })

@@ -185,7 +185,7 @@ impl Experiment for SweepExperiment {
             .map(|(&freq_hz, chunk)| {
                 let mut acc = [0.0f64; NUM_CORES];
                 for out in chunk {
-                    for (a, v) in acc.iter_mut().zip(out.pct_p2p) {
+                    for (a, v) in acc.iter_mut().zip(out.pct_p2p.iter().copied()) {
                         *a += v;
                     }
                 }

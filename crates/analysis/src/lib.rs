@@ -20,6 +20,7 @@
 //! | Fig. 13a (correlation), 13b (step), Fig. 14 | [`propagation`] |
 //! | Fig. 15 (mapping opportunity) | [`mapping_gain`] |
 //! | §VII-B (dynamic guard-banding) | [`guardband_study`] |
+//! | §VII at rack scale (placement study) | [`rack_map`] |
 //! | DESIGN.md ablations | [`ablation`] |
 //! | Solve-backend ROM study | [`rom_error`] |
 //! | Resonance-band entropy study | [`resonance_entropy`] |
@@ -42,6 +43,7 @@ pub mod mapping_gain;
 pub mod margin;
 pub mod misalignment;
 pub mod propagation;
+pub mod rack_map;
 pub mod render;
 pub mod report;
 pub mod resonance_entropy;
@@ -72,6 +74,7 @@ pub use propagation::{
     DrawerPropagation, DrawerPropagationExperiment, MappingComparison, MappingComparisonExperiment,
     StepResponse, StepResponseExperiment,
 };
+pub use rack_map::{run_rack_map, RackMapConfig, RackMapExperiment, RackMapResult};
 pub use report::{
     full_report, full_report_on, full_report_with_telemetry, telemetry_section, ReportScale,
 };

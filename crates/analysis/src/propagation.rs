@@ -247,7 +247,7 @@ impl MappingComparison {
 }
 
 fn mapping_from_cores(cores: &[usize]) -> Mapping {
-    std::array::from_fn(|i| {
+    Mapping::from_fn(NUM_CORES, |i| {
         if cores.contains(&i) {
             WorkloadKind::MaxDidt
         } else {
@@ -348,8 +348,8 @@ impl Experiment for MappingComparisonExperiment {
         outcomes: &[Arc<NoiseOutcome>],
     ) -> Result<MappingComparison, PdnError> {
         Ok(MappingComparison {
-            split_mapping: (Self::SPLIT.to_vec(), outcomes[0].pct_p2p),
-            clustered_mapping: (Self::CLUSTERED.to_vec(), outcomes[1].pct_p2p),
+            split_mapping: (Self::SPLIT.to_vec(), outcomes[0].pct_p2p.to_array()),
+            clustered_mapping: (Self::CLUSTERED.to_vec(), outcomes[1].pct_p2p.to_array()),
         })
     }
 

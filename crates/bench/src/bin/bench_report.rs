@@ -44,7 +44,9 @@ const PINNED: &[&str] = &["fig8", "fig9", "fig11a"];
 /// the sharded fleet client over keep-alive connections).
 /// `/6`: added the `signal` section (streaming Welch PSD throughput
 /// over a real 100 µs scope trace, batch vs stream).
-const SCHEMA: &str = "voltnoise-bench/6";
+/// `/7`: added the `rack_map` section (rack-scale placement study:
+/// naive vs noise-aware replay over a variated chip population).
+const SCHEMA: &str = "voltnoise-bench/7";
 
 /// Smoke-mode floor on the drawer's dense-model-to-sparse flop ratio:
 /// the sparse backend must beat the dense cost model by at least this
@@ -287,6 +289,38 @@ struct SignalBench {
     peak_freq_hz: f64,
 }
 
+/// The rack placement-study benchmark: the reduced `rack-map` registry
+/// experiment (2 drawers × 2 variated chips, naive vs noise-aware
+/// replay of one job trace) on a fresh engine per iteration, so the
+/// wall time prices the full campaign — every occupancy the replays
+/// visit is a rack-scale transient solved through the engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RackMapBench {
+    /// Drawers on the benchmarked rack.
+    drawers: usize,
+    /// Variated chips per drawer.
+    chips_per_drawer: usize,
+    /// Placement sites (cores) on the rack.
+    sites: usize,
+    /// Wall time per fresh-engine campaign.
+    wall: WallStats,
+    /// Solver counters of one iteration (deterministic).
+    counters: SolverCounters,
+    /// Engine solves per campaign (= distinct occupancies, both
+    /// policies deduped through one memo).
+    solves: usize,
+    /// Distinct occupancies the replays evaluated.
+    occupancies_evaluated: usize,
+    /// Naive policy's peak required margin (%p2p).
+    naive_peak_pct: f64,
+    /// Noise-aware policy's peak required margin (%p2p).
+    aware_peak_pct: f64,
+    /// `naive_peak_pct - aware_peak_pct`: the worst-case win.
+    worst_gain_pct: f64,
+    /// Time-weighted guardband recovered by noise-aware placement (mV).
+    guardband_recovered_mv: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -300,6 +334,7 @@ struct BenchReport {
     server_rtt: ServerRttBench,
     fleet_rtt: FleetRttBench,
     signal: SignalBench,
+    rack_map: RackMapBench,
 }
 
 struct Opts {
@@ -698,7 +733,7 @@ fn bench_signal(iters: usize) -> SignalBench {
 
     let tb = Testbed::fast();
     let sm = tb.max_stressmark(2.5e6, None);
-    let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
     let job = SimJob::batch(tb.chip()).job(
         loads,
         NoiseRunConfig {
@@ -770,6 +805,46 @@ fn bench_signal(iters: usize) -> SignalBench {
         batch_wall,
         stream_wall,
         peak_freq_hz,
+    }
+}
+
+/// Benchmarks the rack placement study on fresh engines: one full
+/// naive + noise-aware replay campaign per iteration at reduced scale.
+fn bench_rack_map(iters: usize) -> RackMapBench {
+    use voltnoise::analysis::{Experiment, RackMapConfig, RackMapExperiment};
+    let tb = Testbed::fast();
+    let exp = RackMapExperiment {
+        cfg: RackMapConfig::reduced(),
+    };
+    let mut wall = Vec::with_capacity(iters);
+    let mut counters = SolverCounters::default();
+    let mut solves = 0usize;
+    let mut result = None;
+    for _ in 0..iters {
+        let engine = Engine::with_workers(workers());
+        let t0 = Instant::now();
+        let res = exp
+            .run(tb, &engine)
+            .unwrap_or_else(|e| panic!("rack-map campaign failed: {e}"));
+        wall.push(t0.elapsed().as_nanos() as u64);
+        let stats = engine.stats();
+        counters = stats.telemetry.solver;
+        solves = stats.solves;
+        result = Some(res);
+    }
+    let res = result.expect("at least one iteration");
+    RackMapBench {
+        drawers: res.drawers,
+        chips_per_drawer: res.chips_per_drawer,
+        sites: res.sites,
+        wall: WallStats::of(wall),
+        counters,
+        solves,
+        occupancies_evaluated: res.occupancies_evaluated,
+        naive_peak_pct: res.naive.peak_required_pct,
+        aware_peak_pct: res.aware.peak_required_pct,
+        worst_gain_pct: res.worst_gain_pct(),
+        guardband_recovered_mv: res.guardband_recovered_mv(),
     }
 }
 
@@ -925,6 +1000,28 @@ fn smoke_check(json: &str) {
         "the stressmark trace's PSD peak must sit in the die resonance band, got {:.3e} Hz",
         signal.peak_freq_hz
     );
+    let rack = &report.rack_map;
+    assert!(
+        rack.drawers >= 2 && rack.drawers * rack.chips_per_drawer >= 4,
+        "rack study must span >= 2 drawers and >= 4 chips, got {}x{}",
+        rack.drawers,
+        rack.chips_per_drawer
+    );
+    assert!(
+        rack.counters.steps > 0 && rack.solves > 0 && rack.occupancies_evaluated > 0,
+        "rack study must solve real occupancies, got {rack:?}"
+    );
+    assert!(
+        rack.aware_peak_pct < rack.naive_peak_pct,
+        "noise-aware placement must strictly beat naive worst-case noise, got {:.3} vs {:.3} %p2p",
+        rack.aware_peak_pct,
+        rack.naive_peak_pct
+    );
+    assert!(
+        rack.guardband_recovered_mv > 0.0,
+        "rack study must recover guardband, got {:.3} mV",
+        rack.guardband_recovered_mv
+    );
     eprintln!("# smoke checks passed");
 }
 
@@ -969,6 +1066,11 @@ fn main() {
         opts.iters
     );
     let signal = bench_signal(opts.iters);
+    eprintln!(
+        "# benchmarking rack placement study ({} iterations)",
+        opts.iters
+    );
+    let rack_map = bench_rack_map(opts.iters);
     let report = BenchReport {
         schema: SCHEMA.to_string(),
         iterations: opts.iters,
@@ -981,6 +1083,7 @@ fn main() {
         server_rtt,
         fleet_rtt,
         signal,
+        rack_map,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report file writable");
@@ -1055,6 +1158,19 @@ fn main() {
         report.signal.stream_overhead_ratio,
         report.signal.segments,
         report.signal.peak_freq_hz
+    );
+    println!(
+        "{:8} median {:>12} ns  {}x{} chips ({} sites)  occs {:>4}  peak {:.2} vs {:.2} %p2p  \
+         recovered {:.2} mV",
+        "rack_map",
+        report.rack_map.wall.median_ns,
+        report.rack_map.drawers,
+        report.rack_map.chips_per_drawer,
+        report.rack_map.sites,
+        report.rack_map.occupancies_evaluated,
+        report.rack_map.aware_peak_pct,
+        report.rack_map.naive_peak_pct,
+        report.rack_map.guardband_recovered_mv
     );
     eprintln!("# wrote {}", opts.out.display());
     if opts.smoke {

@@ -34,8 +34,10 @@ fn main() {
     println!("# noise-aware scheduling over a synthetic job trace");
     let table = NoiseTable::characterize(tb, 2.5e6, &run_cfg).expect("64-mask characterization");
     let trace = synthetic_trace(if opts.reduced { 80 } else { 400 }, 3.0);
-    let naive = replay(&table, &NaivePolicy, &trace);
-    let aware = replay(&table, &NoiseAwarePolicy::new(table.clone()), &trace);
+    let naive =
+        replay(&mut table.clone(), &NaivePolicy, &trace).expect("naive replay over a full table");
+    let aware = replay(&mut table.clone(), &NoiseAwarePolicy::new(), &trace)
+        .expect("aware replay over a full table");
     for out in [&naive, &aware] {
         println!(
             "policy {:12} mean required margin {:.1} %p2p, peak {:.1} %p2p, queued {}",

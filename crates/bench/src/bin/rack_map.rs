@@ -1,0 +1,11 @@
+//! Regenerates the rack mapping study: naive vs noise-aware placement
+//! of a synthetic job trace over a process-variated chip population
+//! (≥2 drawers × ≥4 chips). Extends the paper's §VII-A opportunity to
+//! rack scale, so it stays out of `full_report`.
+//!
+//! A thin wrapper over the experiment registry: the configuration,
+//! engine routing and JSON export all live in `voltnoise_bench`.
+
+fn main() {
+    voltnoise_bench::run_registry_bin("rack-map");
+}

@@ -39,7 +39,7 @@
 //! println!("dI per core: {:.1} A", sm.delta_i());
 //!
 //! // Run it on all six cores and read the skitters.
-//! let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+//! let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
 //! let noise = run_noise(tb.chip(), &loads, &NoiseRunConfig::default()).unwrap();
 //! println!("worst-case noise: {:.1} %p2p", noise.max_pct_p2p());
 //! ```

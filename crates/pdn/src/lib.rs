@@ -89,6 +89,8 @@ pub use signal::{
     welch_psd, EntropyReport, TraceSignature, WelchConfig, WelchPsd, WelchStream,
 };
 pub use telemetry::{set_trace, trace_enabled, PhaseTimes, SolverCounters};
-pub use topology::{ChipPdn, DrawerParams, DrawerPdn, PdnParams, NUM_CORES};
+pub use topology::{
+    ChipPdn, DrawerParams, DrawerPdn, PdnParams, RackParams, RackPdn, VariationSpec, NUM_CORES,
+};
 pub use transient::{Drive, Probe, ProbeStats, TransientConfig, TransientResult, TransientSolver};
 pub use waveform::{CoreWaveform, MultiCoreDrive, StressWaveform, TracePlayback, WaveMode};

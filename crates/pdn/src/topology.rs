@@ -466,6 +466,343 @@ impl DrawerPdn {
     }
 }
 
+/// Parameters of a rack: N drawers hanging off one shared supply spine.
+///
+/// Models the next hierarchy level of the paper's zEC12 frame above the
+/// drawer/book: a rack-level bulk supply feeds drawer 0 directly and
+/// each further drawer through a rack spine segment. Board-level values
+/// (VRM impedance, bulk decap, nominal voltage) are taken from the base
+/// chip parameters in `drawer.chip`; per-chip electrical variation is
+/// supplied separately at build time via [`RackPdn::build_varied`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackParams {
+    /// Number of drawers in the rack (>= 1).
+    pub drawers: usize,
+    /// Per-drawer layout (chip count, base chip parameters, board spine).
+    pub drawer: DrawerParams,
+    /// Rack spine resistance between adjacent drawer heads (ohms).
+    pub r_rack: f64,
+    /// Rack spine inductance between adjacent drawer heads (henries).
+    pub l_rack: f64,
+}
+
+impl Default for RackParams {
+    fn default() -> Self {
+        RackParams {
+            drawers: 2,
+            drawer: DrawerParams::default(),
+            r_rack: 0.05e-3,
+            l_rack: 1.5e-9,
+        }
+    }
+}
+
+impl RackParams {
+    /// Total chip sites in the rack (`drawers * drawer.chips`).
+    pub fn num_chips(&self) -> usize {
+        self.drawers * self.drawer.chips
+    }
+}
+
+/// Seeded per-chip process-variation model for rack populations.
+///
+/// Emits deterministic multipliers from a splitmix64 stream keyed on
+/// `(seed, drawer, chip)`: chip-wide package impedance scaling, per-core
+/// on-die grid scaling, and per-core critical-path sensitivity scaling
+/// (applied by the system layer to its skitter model — this crate only
+/// hands out the numbers). All spreads at `0.0` are the exact identity:
+/// multipliers are then precisely `1.0`, so perturbed parameters equal
+/// the base bitwise and a zero-variation rack reproduces the unvaried
+/// build byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationSpec {
+    /// Stream seed; two racks with equal seeds and spreads are identical.
+    pub seed: u64,
+    /// Half-spread of the uniform per-core grid-resistance multiplier
+    /// (`1.0 ± grid_spread`).
+    pub grid_spread: f64,
+    /// Half-spread of the uniform chip-wide C4/package impedance
+    /// multiplier (`1.0 ± package_spread`).
+    pub package_spread: f64,
+    /// Half-spread of the uniform per-core skitter-sensitivity
+    /// multiplier (`1.0 ± sensitivity_spread`).
+    pub sensitivity_spread: f64,
+}
+
+/// One step of the splitmix64 sequence (Steele et al.), the standard
+/// minimal deterministic stream generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a splitmix64 draw onto a uniform multiplier `1.0 ± spread`.
+/// Exactly `1.0` when `spread == 0.0`.
+fn unit_multiplier(draw: u64, spread: f64) -> f64 {
+    let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    1.0 + spread * (2.0 * unit - 1.0)
+}
+
+impl VariationSpec {
+    /// The zero-variation identity spec: every multiplier is exactly 1.
+    pub fn none() -> Self {
+        VariationSpec {
+            seed: 0,
+            grid_spread: 0.0,
+            package_spread: 0.0,
+            sensitivity_spread: 0.0,
+        }
+    }
+
+    /// Spreads sized like the single-chip population model (§VI): low
+    /// double-digit-percent grid and sensitivity variation, small
+    /// package-level variation.
+    pub fn paper_default(seed: u64) -> Self {
+        VariationSpec {
+            seed,
+            grid_spread: 0.12,
+            package_spread: 0.05,
+            sensitivity_spread: 0.09,
+        }
+    }
+
+    /// True when every spread is zero (the identity spec).
+    pub fn is_zero(&self) -> bool {
+        self.grid_spread == 0.0 && self.package_spread == 0.0 && self.sensitivity_spread == 0.0
+    }
+
+    /// Per-chip stream state, decorrelated across `(seed, drawer, chip)`.
+    fn stream(&self, drawer: usize, chip: usize) -> u64 {
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((drawer as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add((chip as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        // Burn one step so near-identical raw states decorrelate.
+        splitmix64(&mut state);
+        state
+    }
+
+    /// Base chip parameters perturbed for site `(drawer, chip)`:
+    /// chip-wide C4 impedance scaling plus per-core grid scaling. With
+    /// zero spreads the result equals `base` exactly.
+    pub fn chip_pdn_params(&self, base: &PdnParams, drawer: usize, chip: usize) -> PdnParams {
+        let mut state = self.stream(drawer, chip);
+        let mut p = base.clone();
+        let pkg = unit_multiplier(splitmix64(&mut state), self.package_spread);
+        p.r_c4 *= pkg;
+        p.l_c4 *= pkg;
+        for g in p.grid_variation.iter_mut() {
+            *g *= unit_multiplier(splitmix64(&mut state), self.grid_spread);
+        }
+        p
+    }
+
+    /// Per-core skitter sensitivity multipliers for site
+    /// `(drawer, chip)`. All exactly `1.0` with zero spreads.
+    pub fn skitter_variation(&self, drawer: usize, chip: usize) -> [f64; NUM_CORES] {
+        let mut state = self.stream(drawer, chip);
+        // Skip the package draw and the grid draws so sensitivity values
+        // stay decoupled from the electrical ones.
+        for _ in 0..=NUM_CORES {
+            splitmix64(&mut state);
+        }
+        let mut out = [1.0; NUM_CORES];
+        for s in out.iter_mut() {
+            *s = unit_multiplier(splitmix64(&mut state), self.sensitivity_spread);
+        }
+        out
+    }
+}
+
+/// A built rack PDN: N drawers of chips on one shared supply spine.
+#[derive(Debug, Clone)]
+pub struct RackPdn {
+    netlist: Netlist,
+    params: RackParams,
+    boards: Vec<NodeId>,
+    chips: Vec<ChipNodes>,
+}
+
+impl RackPdn {
+    /// Builds a uniform rack: every chip uses the base parameters in
+    /// `params.drawer.chip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidElement`] for a zero drawer/chip count
+    /// or any non-positive/non-finite electrical parameter.
+    pub fn build(params: &RackParams) -> Result<Self, PdnError> {
+        let per_chip = vec![params.drawer.chip.clone(); params.num_chips()];
+        Self::build_varied(params, &per_chip)
+    }
+
+    /// Builds a rack whose chip at flat site `drawer * chips + chip`
+    /// uses `chip_params[site]` (e.g. from [`VariationSpec`]).
+    ///
+    /// Element creation order per drawer mirrors [`DrawerPdn::build`]
+    /// (head board with bulk decap, spine-chained boards, then one chip
+    /// subtree per board), so a 1-drawer × 1-chip rack is structurally —
+    /// and therefore numerically — identical to [`ChipPdn::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidElement`] for a zero drawer/chip
+    /// count, a `chip_params` length mismatch, or any non-positive/
+    /// non-finite electrical parameter.
+    pub fn build_varied(params: &RackParams, chip_params: &[PdnParams]) -> Result<Self, PdnError> {
+        if params.drawers == 0 {
+            return Err(PdnError::InvalidElement {
+                element: "rack drawer count".to_string(),
+                value: 0.0,
+            });
+        }
+        if params.drawer.chips == 0 {
+            return Err(PdnError::InvalidElement {
+                element: "rack drawer chip count".to_string(),
+                value: 0.0,
+            });
+        }
+        if chip_params.len() != params.num_chips() {
+            return Err(PdnError::InvalidElement {
+                element: format!(
+                    "rack chip parameter count (expected {})",
+                    params.num_chips()
+                ),
+                value: chip_params.len() as f64,
+            });
+        }
+        let base = &params.drawer.chip;
+        let mut nl = Netlist::new();
+        let vrm = nl.add_node("vrm");
+        nl.add_voltage_source(vrm, NodeId::GROUND, base.v_nom)?;
+
+        let mut boards = Vec::with_capacity(params.num_chips());
+        let mut chips = Vec::with_capacity(params.num_chips());
+        let mut prev_head: Option<NodeId> = None;
+        for d in 0..params.drawers {
+            let head = nl.add_node(format!("d{d}_board0"));
+            match prev_head {
+                // Drawer 0 hangs off the VRM exactly like a standalone
+                // drawer's board 0.
+                None => nl.add_series_rl(vrm, head, base.r_vrm, base.l_vrm)?,
+                Some(prev) => nl.add_series_rl(prev, head, params.r_rack, params.l_rack)?,
+            };
+            nl.add_capacitor_with_esr(head, NodeId::GROUND, base.c_bulk, base.esr_bulk)?;
+            prev_head = Some(head);
+
+            let first = boards.len();
+            boards.push(head);
+            for i in 1..params.drawer.chips {
+                let board = nl.add_node(format!("d{d}_board{i}"));
+                nl.add_series_rl(
+                    boards[first + i - 1],
+                    board,
+                    params.drawer.r_spine,
+                    params.drawer.l_spine,
+                )?;
+                boards.push(board);
+            }
+            for i in 0..params.drawer.chips {
+                let site = first + i;
+                chips.push(attach_chip(
+                    &mut nl,
+                    boards[site],
+                    &chip_params[site],
+                    &format!("d{d}c{i}_"),
+                )?);
+            }
+        }
+
+        Ok(RackPdn {
+            netlist: nl,
+            params: params.clone(),
+            boards,
+            chips,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Parameters the rack was built from.
+    pub fn params(&self) -> &RackParams {
+        &self.params
+    }
+
+    /// Number of drawers in the rack.
+    pub fn num_drawers(&self) -> usize {
+        self.params.drawers
+    }
+
+    /// Number of chips per drawer.
+    pub fn chips_per_drawer(&self) -> usize {
+        self.params.drawer.chips
+    }
+
+    /// Total chip count across all drawers.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Flat chip-site index of `(drawer, chip)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    fn site(&self, drawer: usize, chip: usize) -> usize {
+        assert!(drawer < self.num_drawers(), "drawer {drawer} out of range");
+        assert!(
+            chip < self.chips_per_drawer(),
+            "chip {chip} out of range on drawer {drawer}"
+        );
+        drawer * self.chips_per_drawer() + chip
+    }
+
+    /// Board plane node of chip `chip` on drawer `drawer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    pub fn board_node(&self, drawer: usize, chip: usize) -> NodeId {
+        self.boards[self.site(drawer, chip)]
+    }
+
+    /// Package node of chip `chip` on drawer `drawer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    pub fn package_node(&self, drawer: usize, chip: usize) -> NodeId {
+        self.chips[self.site(drawer, chip)].pkg
+    }
+
+    /// Supply node of core `core` of chip `chip` on drawer `drawer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range or `core >= NUM_CORES`.
+    pub fn core_node(&self, drawer: usize, chip: usize, core: usize) -> NodeId {
+        self.chips[self.site(drawer, chip)].cores[core]
+    }
+
+    /// Current-source id of core `core` of chip `chip` on drawer
+    /// `drawer` (equals `NUM_CORES * (drawer * chips_per_drawer + chip)
+    /// + core`, i.e. flat site order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range or `core >= NUM_CORES`.
+    pub fn core_source(&self, drawer: usize, chip: usize, core: usize) -> SourceId {
+        self.chips[self.site(drawer, chip)].core_sources[core]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +1029,151 @@ mod tests {
             let a = dv[drawer.core_node(0, core).unknown_index().unwrap()];
             let b = cv[chip.core_node(core).unknown_index().unwrap()];
             assert!((a - b).abs() < 1e-12, "core {core}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rack_rejects_zero_drawers() {
+        let params = RackParams {
+            drawers: 0,
+            ..RackParams::default()
+        };
+        assert!(matches!(
+            RackPdn::build(&params),
+            Err(PdnError::InvalidElement { .. })
+        ));
+    }
+
+    #[test]
+    fn rack_rejects_chip_param_count_mismatch() {
+        let params = RackParams::default();
+        let wrong = vec![PdnParams::default(); params.num_chips() + 1];
+        assert!(matches!(
+            RackPdn::build_varied(&params, &wrong),
+            Err(PdnError::InvalidElement { .. })
+        ));
+    }
+
+    #[test]
+    fn rack_source_ordinals_follow_flat_site_order() {
+        let params = RackParams {
+            drawers: 2,
+            drawer: DrawerParams {
+                chips: 3,
+                ..DrawerParams::default()
+            },
+            ..RackParams::default()
+        };
+        let rack = RackPdn::build(&params).unwrap();
+        assert_eq!(rack.num_chips(), 6);
+        assert_eq!(rack.netlist().current_source_count(), 6 * NUM_CORES);
+        for d in 0..2 {
+            for c in 0..3 {
+                for core in 0..NUM_CORES {
+                    assert_eq!(
+                        rack.core_source(d, c, core).index(),
+                        NUM_CORES * (d * 3 + c) + core
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_rack_is_bitwise_identical_to_chip() {
+        // A 1-drawer × 1-chip rack must reproduce the standalone chip
+        // build sequence exactly: identical system size and bitwise
+        // identical DC solution (node names differ but play no role in
+        // stamping order or auto-generated intermediate node naming).
+        let params = RackParams {
+            drawers: 1,
+            drawer: DrawerParams {
+                chips: 1,
+                ..DrawerParams::default()
+            },
+            ..RackParams::default()
+        };
+        let rack = RackPdn::build(&params).unwrap();
+        let chip = ChipPdn::build(&params.drawer.chip).unwrap();
+        assert_eq!(rack.netlist().system_size(), chip.netlist().system_size());
+        let mut rs = TransientSolver::new(rack.netlist()).unwrap();
+        let mut cs = TransientSolver::new(chip.netlist()).unwrap();
+        let drive = ConstantDrive::new(vec![15.0; NUM_CORES]);
+        let rv = rs.solve_dc(&drive).unwrap();
+        let cv = cs.solve_dc(&drive).unwrap();
+        for core in 0..NUM_CORES {
+            let a = rv[rack.core_node(0, 0, core).unknown_index().unwrap()];
+            let b = cv[chip.core_node(core).unknown_index().unwrap()];
+            assert!(a.to_bits() == b.to_bits(), "core {core}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rack_droop_grows_down_the_rack_spine() {
+        let params = RackParams {
+            drawers: 3,
+            drawer: DrawerParams {
+                chips: 2,
+                ..DrawerParams::default()
+            },
+            ..RackParams::default()
+        };
+        let rack = RackPdn::build(&params).unwrap();
+        let mut solver = TransientSolver::new(rack.netlist()).unwrap();
+        let amps = vec![10.0; rack.num_chips() * NUM_CORES];
+        let sol = solver.solve_dc(&ConstantDrive::new(amps)).unwrap();
+        let volt = |n: NodeId| sol[n.unknown_index().unwrap()];
+        let v_near = volt(rack.package_node(0, 0));
+        let v_far = volt(rack.package_node(2, 0));
+        assert!(
+            v_far < v_near,
+            "far drawer {v_far} should droop below near drawer {v_near}"
+        );
+        for d in 0..3 {
+            for c in 0..2 {
+                let v = volt(rack.core_node(d, c, 0));
+                assert!(v > 0.9 * params.drawer.chip.v_nom, "site {d}/{c} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variation_spec_is_bitwise_identity() {
+        let spec = VariationSpec::none();
+        assert!(spec.is_zero());
+        let base = PdnParams::default();
+        for d in 0..2 {
+            for c in 0..3 {
+                assert_eq!(spec.chip_pdn_params(&base, d, c), base);
+                assert_eq!(spec.skitter_variation(d, c), [1.0; NUM_CORES]);
+            }
+        }
+    }
+
+    #[test]
+    fn variation_spec_is_deterministic_and_decorrelated() {
+        let spec = VariationSpec::paper_default(42);
+        let base = PdnParams::default();
+        let a = spec.chip_pdn_params(&base, 0, 1);
+        let b = spec.chip_pdn_params(&base, 0, 1);
+        assert_eq!(a, b, "same site must give identical parameters");
+        let other = spec.chip_pdn_params(&base, 1, 1);
+        assert_ne!(a, other, "different drawers must vary");
+        let sens = spec.skitter_variation(0, 1);
+        assert_eq!(sens, spec.skitter_variation(0, 1));
+        for (i, s) in sens.iter().enumerate() {
+            assert!(
+                (*s - 1.0).abs() <= spec.sensitivity_spread + 1e-12,
+                "core {i} multiplier {s} outside spread"
+            );
+            assert!(*s != 1.0, "spread draw should essentially never be exact");
+        }
+        // Multipliers within bounds for the electrical side too.
+        for (i, g) in a.grid_variation.iter().enumerate() {
+            assert!(
+                (*g - 1.0).abs() <= spec.grid_spread + 1e-12,
+                "core {i} grid multiplier {g} outside spread"
+            );
         }
     }
 }

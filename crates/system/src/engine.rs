@@ -35,6 +35,8 @@ use crate::noise::{
     run_drawer_step_instrumented, run_noise, run_noise_instrumented, CoreLoad, DrawerStepConfig,
     DrawerStepOutcome, NoiseOutcome, NoiseRunConfig, SolveTelemetry,
 };
+use crate::rack::{run_rack_noise, run_rack_noise_instrumented, RackScenario};
+use crate::site::SiteVec;
 use crate::store::{Fnv128, ResultStore};
 use crate::telemetry::{trace_enabled, EngineTelemetry};
 use serde::{Deserialize, Serialize};
@@ -118,12 +120,15 @@ impl LoadKey {
 /// produce bitwise-identical [`NoiseOutcome`]s.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JobKey {
-    /// Chip fingerprint: the serialized [`crate::chip::ChipConfig`] plus
-    /// each core's realized skitter configuration (which
-    /// [`Chip::undervolted`] re-anchors independently of the config).
+    /// Scenario fingerprint. For chip jobs: the serialized
+    /// [`crate::chip::ChipConfig`] plus each core's realized skitter
+    /// configuration (which [`Chip::undervolted`] re-anchors
+    /// independently of the config). For rack jobs:
+    /// [`RackScenario::signature`], which embeds the base chip's
+    /// fingerprint plus the rack parameters and variation spec.
     chip_sig: Arc<str>,
-    /// Per-core load keys.
-    loads: [LoadKey; NUM_CORES],
+    /// Per-site load keys (one per chip core, or one per rack site).
+    loads: Vec<LoadKey>,
     /// `NoiseRunConfig::window_s` bits.
     window: Option<u64>,
     /// `NoiseRunConfig::record_traces`.
@@ -198,6 +203,10 @@ impl JobKey {
         let mut h = Fnv128::new();
         h.update(self.chip_sig.as_bytes());
         h.update(&[0x1f]);
+        // Load-count prefix: keys became variable-length when site
+        // indexing replaced the fixed six-core arrays, and a length
+        // prefix keeps the rendering injective (scheme rev /3).
+        h.update(&(self.loads.len() as u64).to_le_bytes());
         for load in &self.loads {
             match load {
                 LoadKey::Idle => h.update(&[0]),
@@ -300,34 +309,82 @@ pub fn chip_signature(chip: &Chip) -> Arc<str> {
         .unwrap_or_else(|_| Arc::from(format!("debug-fallback|{:?}", chip.config())))
 }
 
-/// A pure, hashable unit of simulation work: one [`run_noise`] call.
+/// What a [`SimJob`] solves: a single chip (the 1 drawer × 1 chip ×
+/// [`NUM_CORES`] special case) or a whole rack of variated chips. Both
+/// flow through the same key scheme, cache, store and executor — a rack
+/// job is just a job with more load slots and a different fingerprint.
+#[derive(Debug, Clone)]
+pub enum JobTarget {
+    /// A single six-core chip, solved by [`run_noise`].
+    Chip(Arc<Chip>),
+    /// A rack scenario, solved by [`crate::rack::run_rack_noise`].
+    Rack(Arc<RackScenario>),
+}
+
+impl JobTarget {
+    /// Number of load slots the target expects.
+    pub fn num_sites(&self) -> usize {
+        match self {
+            JobTarget::Chip(_) => NUM_CORES,
+            JobTarget::Rack(rack) => rack.num_sites(),
+        }
+    }
+}
+
+/// A pure, hashable unit of simulation work: one noise solve of a chip
+/// or rack under per-site loads.
 #[derive(Debug, Clone)]
 pub struct SimJob {
-    chip: Arc<Chip>,
-    loads: [CoreLoad; NUM_CORES],
+    target: JobTarget,
+    loads: SiteVec<CoreLoad>,
     cfg: NoiseRunConfig,
     key: JobKey,
 }
 
 impl SimJob {
-    /// Builds a job from an already-shared chip. Use [`SimJob::batch`]
-    /// when creating many jobs on the same chip — the signature is
-    /// computed once per chip, not once per job.
-    pub fn new(chip: Arc<Chip>, loads: [CoreLoad; NUM_CORES], cfg: NoiseRunConfig) -> SimJob {
+    /// Builds a chip job from an already-shared chip. Use
+    /// [`SimJob::batch`] when creating many jobs on the same chip — the
+    /// signature is computed once per chip, not once per job.
+    pub fn new(
+        chip: Arc<Chip>,
+        loads: impl Into<SiteVec<CoreLoad>>,
+        cfg: NoiseRunConfig,
+    ) -> SimJob {
         let sig = chip_signature(&chip);
         SimJob::with_signature(chip, sig, loads, cfg)
     }
 
-    /// Builds a job reusing a precomputed chip signature.
+    /// Builds a chip job reusing a precomputed chip signature.
     pub fn with_signature(
         chip: Arc<Chip>,
         chip_sig: Arc<str>,
-        loads: [CoreLoad; NUM_CORES],
+        loads: impl Into<SiteVec<CoreLoad>>,
+        cfg: NoiseRunConfig,
+    ) -> SimJob {
+        SimJob::keyed(JobTarget::Chip(chip), chip_sig, loads.into(), cfg)
+    }
+
+    /// Builds a rack job. The key carries the rack's content signature,
+    /// so rack jobs memoize, persist and dedupe through the engine and
+    /// store exactly like chip jobs.
+    pub fn rack(
+        rack: Arc<RackScenario>,
+        loads: impl Into<SiteVec<CoreLoad>>,
+        cfg: NoiseRunConfig,
+    ) -> SimJob {
+        let sig = rack.signature();
+        SimJob::keyed(JobTarget::Rack(rack), sig, loads.into(), cfg)
+    }
+
+    fn keyed(
+        target: JobTarget,
+        chip_sig: Arc<str>,
+        loads: SiteVec<CoreLoad>,
         cfg: NoiseRunConfig,
     ) -> SimJob {
         let key = JobKey {
             chip_sig,
-            loads: std::array::from_fn(|i| LoadKey::of(&loads[i])),
+            loads: loads.iter().map(LoadKey::of).collect(),
             window: cfg.window_s.map(f64::to_bits),
             record_traces: cfg.record_traces,
             seed: cfg.seed,
@@ -335,7 +392,7 @@ impl SimJob {
             solve: SolveKey::of(&cfg.solve),
         };
         SimJob {
-            chip,
+            target,
             loads,
             cfg,
             key,
@@ -346,7 +403,19 @@ impl SimJob {
     pub fn batch(chip: &Chip) -> JobBatch {
         let chip = Arc::new(chip.clone());
         let sig = chip_signature(&chip);
-        JobBatch { chip, sig }
+        JobBatch {
+            target: JobTarget::Chip(chip),
+            sig,
+        }
+    }
+
+    /// A factory for jobs sharing one rack scenario (and one signature).
+    pub fn rack_batch(rack: Arc<RackScenario>) -> JobBatch {
+        let sig = rack.signature();
+        JobBatch {
+            target: JobTarget::Rack(rack),
+            sig,
+        }
     }
 
     /// The job's content key.
@@ -354,13 +423,21 @@ impl SimJob {
         &self.key
     }
 
-    /// The chip the job runs on.
-    pub fn chip(&self) -> &Chip {
-        &self.chip
+    /// The scenario the job runs on.
+    pub fn target(&self) -> &JobTarget {
+        &self.target
     }
 
-    /// The per-core loads.
-    pub fn loads(&self) -> &[CoreLoad; NUM_CORES] {
+    /// The chip the job runs on, when it is a chip job.
+    pub fn chip(&self) -> Option<&Chip> {
+        match &self.target {
+            JobTarget::Chip(chip) => Some(chip),
+            JobTarget::Rack(_) => None,
+        }
+    }
+
+    /// The per-site loads (site-ordinal order).
+    pub fn loads(&self) -> &[CoreLoad] {
         &self.loads
     }
 
@@ -375,8 +452,8 @@ impl SimJob {
             seed,
             ..self.cfg.clone()
         };
-        SimJob::with_signature(
-            self.chip.clone(),
+        SimJob::keyed(
+            self.target.clone(),
             self.key.chip_sig.clone(),
             self.loads.clone(),
             cfg,
@@ -389,7 +466,10 @@ impl SimJob {
     ///
     /// Returns [`PdnError`] when the PDN solve fails.
     pub fn solve(&self) -> Result<NoiseOutcome, PdnError> {
-        run_noise(&self.chip, &self.loads, &self.cfg)
+        match &self.target {
+            JobTarget::Chip(chip) => run_noise(chip, &self.loads, &self.cfg),
+            JobTarget::Rack(rack) => run_rack_noise(rack, &self.loads, &self.cfg),
+        }
     }
 }
 
@@ -449,18 +529,18 @@ impl DrawerJob {
     }
 }
 
-/// Factory producing [`SimJob`]s that share one chip instance and one
-/// precomputed signature.
+/// Factory producing [`SimJob`]s that share one scenario instance
+/// (chip or rack) and one precomputed signature.
 #[derive(Debug, Clone)]
 pub struct JobBatch {
-    chip: Arc<Chip>,
+    target: JobTarget,
     sig: Arc<str>,
 }
 
 impl JobBatch {
     /// Builds one job of the batch.
-    pub fn job(&self, loads: [CoreLoad; NUM_CORES], cfg: NoiseRunConfig) -> SimJob {
-        SimJob::with_signature(self.chip.clone(), self.sig.clone(), loads, cfg)
+    pub fn job(&self, loads: impl Into<SiteVec<CoreLoad>>, cfg: NoiseRunConfig) -> SimJob {
+        SimJob::keyed(self.target.clone(), self.sig.clone(), loads.into(), cfg)
     }
 }
 
@@ -944,8 +1024,12 @@ impl Engine {
     fn solve_job(&self, job: &SimJob) -> Result<(NoiseOutcome, SolveTelemetry), PdnError> {
         let inject_budget = job.cfg.max_steps.is_none() && self.step_budget.is_some();
         let inject_cancel = job.cfg.cancel.is_none() && self.cancel.is_some();
+        let run = |cfg: &NoiseRunConfig| match &job.target {
+            JobTarget::Chip(chip) => run_noise_instrumented(chip, &job.loads, cfg),
+            JobTarget::Rack(rack) => run_rack_noise_instrumented(rack, &job.loads, cfg),
+        };
         if !inject_budget && !inject_cancel {
-            return run_noise_instrumented(&job.chip, &job.loads, &job.cfg);
+            return run(&job.cfg);
         }
         let mut cfg = job.cfg.clone();
         if inject_budget {
@@ -954,7 +1038,7 @@ impl Engine {
         if inject_cancel {
             cfg.cancel = self.cancel.clone();
         }
-        run_noise_instrumented(&job.chip, &job.loads, &cfg)
+        run(&cfg)
     }
 
     /// Runs one drawer-scale job through the engine's drawer memo,
@@ -1478,7 +1562,7 @@ mod tests {
             .iter()
             .map(|&f| {
                 let sm = tb.max_stressmark(f, Some(SyncSpec::paper_default()));
-                let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+                let loads = SiteVec::from_fn(NUM_CORES, |_| CoreLoad::Stressmark(sm.clone()));
                 batch.job(
                     loads,
                     NoiseRunConfig {
@@ -1595,7 +1679,7 @@ mod tests {
             },
         );
         let e = batch.job(
-            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone())),
+            SiteVec::from_fn(NUM_CORES, |_| CoreLoad::Stressmark(sm.clone())),
             NoiseRunConfig {
                 solve: SolveSpec {
                     backend: SolverBackend::Dense,
@@ -1605,7 +1689,7 @@ mod tests {
             },
         );
         let f = batch.job(
-            std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone())),
+            SiteVec::from_fn(NUM_CORES, |_| CoreLoad::Stressmark(sm.clone())),
             NoiseRunConfig {
                 solve: SolveSpec::reduced(voltnoise_pdn::RomSpec::default()),
                 ..base.clone()
@@ -1625,7 +1709,7 @@ mod tests {
         // A ROM budget change alone changes the key: the budget is
         // content.
         let g = batch.job(
-            std::array::from_fn(|_| CoreLoad::Idle),
+            SiteVec::from_fn(NUM_CORES, |_| CoreLoad::Idle),
             NoiseRunConfig {
                 solve: SolveSpec::reduced(voltnoise_pdn::RomSpec {
                     budget_v: 2e-3,
@@ -1635,7 +1719,7 @@ mod tests {
             },
         );
         let h = batch.job(
-            std::array::from_fn(|_| CoreLoad::Idle),
+            SiteVec::from_fn(NUM_CORES, |_| CoreLoad::Idle),
             NoiseRunConfig {
                 solve: SolveSpec::reduced(voltnoise_pdn::RomSpec::default()),
                 ..NoiseRunConfig::default()

@@ -45,7 +45,7 @@
 //!
 //! let tb = Testbed::shared();
 //! let sm = tb.max_stressmark(2.5e6, Some(voltnoise_stressmark::SyncSpec::paper_default()));
-//! let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+//! let loads: Vec<CoreLoad> = (0..6).map(|_| CoreLoad::Stressmark(sm.clone())).collect();
 //! let outcome = run_noise(tb.chip(), &loads, &NoiseRunConfig::default()).unwrap();
 //! println!("worst-case noise: {:.1} %p2p", outcome.max_pct_p2p());
 //! ```
@@ -59,7 +59,9 @@ pub mod mapping;
 pub mod mitigation;
 pub mod noise;
 pub mod population;
+pub mod rack;
 pub mod scheduler;
+pub mod site;
 pub mod store;
 pub mod telemetry;
 pub mod testbed;
@@ -69,8 +71,8 @@ pub mod workload;
 pub use chip::{Chip, ChipConfig, HfNoiseParams};
 pub use dither::{simulate_dither, AlignmentComparison, DitherOutcome};
 pub use engine::{
-    chip_signature, try_chip_signature, DrawerJob, Engine, EngineStats, JobBatch, JobKey, LoadKey,
-    SimJob,
+    chip_signature, try_chip_signature, DrawerJob, Engine, EngineStats, JobBatch, JobKey,
+    JobTarget, LoadKey, SimJob,
 };
 pub use fault::{FaultInjector, FaultKind, InjectedFault, JobFault, RetryPolicy};
 pub use guardband::{energy_saving, GuardbandController, GuardbandTable};
@@ -84,9 +86,12 @@ pub use noise::{
     DrawerStepOutcome, NoiseOutcome, NoiseRunConfig,
 };
 pub use population::PopulationStudy;
+pub use rack::{run_rack_noise, run_rack_noise_instrumented, RackScenario};
 pub use scheduler::{
-    replay, synthetic_trace, NaivePolicy, NoiseAwarePolicy, NoiseTable, PlacementPolicy,
+    placement_of_occupancy, replay, synthetic_trace, EngineNoiseModel, Job, NaivePolicy,
+    NoiseAwarePolicy, NoiseModel, NoiseTable, Occupancy, PlacementPolicy, ScheduleOutcome,
 };
+pub use site::{Site, SiteSpace, SiteVec};
 pub use store::ResultStore;
 pub use telemetry::{
     export_stats_json, set_trace, trace_enabled, EngineTelemetry, LogHistogram, PhaseTimes,
@@ -94,4 +99,6 @@ pub use telemetry::{
 };
 pub use testbed::Testbed;
 pub use tod::{spread_offsets, TodSync};
-pub use workload::{all_distributions, mappings_of, Distribution, Mapping, WorkloadKind};
+pub use workload::{
+    all_distributions, mappings_of, Distribution, Mapping, Placement, WorkloadKind,
+};

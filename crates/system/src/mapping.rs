@@ -7,6 +7,7 @@
 
 use crate::engine::{Engine, SimJob};
 use crate::noise::{NoiseOutcome, NoiseRunConfig};
+use crate::site::SiteVec;
 use crate::testbed::Testbed;
 use crate::workload::{mappings_of, Distribution, Mapping, WorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -14,14 +15,14 @@ use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::SyncSpec;
 
-/// Noise evaluation of one mapping.
+/// Noise evaluation of one mapping (or rack-scale placement).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MappingEvaluation {
     /// The evaluated mapping.
     pub mapping: Mapping,
-    /// Per-core %p2p readings.
-    pub per_core_pct: [f64; NUM_CORES],
-    /// Core with the highest reading.
+    /// Per-site %p2p readings.
+    pub per_core_pct: SiteVec<f64>,
+    /// Site ordinal with the highest reading.
     pub worst_core: usize,
     /// The highest reading — the mapping's figure of (de)merit.
     pub worst_pct: f64,
@@ -32,8 +33,8 @@ impl MappingEvaluation {
     pub fn from_outcome(mapping: &Mapping, outcome: &NoiseOutcome) -> MappingEvaluation {
         let (worst_core, worst_pct) = outcome.worst();
         MappingEvaluation {
-            mapping: *mapping,
-            per_core_pct: outcome.pct_p2p,
+            mapping: mapping.clone(),
+            per_core_pct: outcome.pct_p2p.clone(),
             worst_core,
             worst_pct,
         }
@@ -170,7 +171,7 @@ impl NoiseAwareMapper {
 /// The naive mapping: fill cores in index order (what a noise-oblivious
 /// scheduler does).
 pub fn naive_mapping(k_workloads: usize) -> Mapping {
-    std::array::from_fn(|i| {
+    Mapping::from_fn(NUM_CORES, |i| {
         if i < k_workloads.min(NUM_CORES) {
             WorkloadKind::MaxDidt
         } else {
@@ -186,7 +187,7 @@ mod tests {
     fn eval(mapping: Mapping, worst_pct: f64) -> MappingEvaluation {
         MappingEvaluation {
             mapping,
-            per_core_pct: [worst_pct; NUM_CORES],
+            per_core_pct: SiteVec::from_elem(worst_pct, NUM_CORES),
             worst_core: 0,
             worst_pct,
         }

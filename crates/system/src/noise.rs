@@ -13,13 +13,15 @@
 //!    alignment (see [`crate::chip::HfNoiseParams`]). Computed
 //!    analytically and added to the simulated extrema.
 
-use crate::chip::Chip;
+use crate::chip::{Chip, HfNoiseParams};
+use crate::site::SiteVec;
 use crate::telemetry::{PhaseTimes, SolverCounters};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use voltnoise_measure::power::{PowerMeter, PowerReading};
 use voltnoise_measure::scope::ScopeTrace;
-use voltnoise_measure::skitter::SkitterReading;
+use voltnoise_measure::skitter::{Skitter, SkitterReading};
+use voltnoise_pdn::netlist::{Netlist, NodeId};
 use voltnoise_pdn::rom::{solve_step_rom, RomStepProblem};
 use voltnoise_pdn::topology::{core_domain, DrawerParams, DrawerPdn, NUM_CORES};
 use voltnoise_pdn::transient::{Drive, Probe, TransientConfig, TransientSolver};
@@ -136,17 +138,17 @@ impl Default for NoiseRunConfig {
 /// whole outcomes.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NoiseOutcome {
-    /// Per-core sticky skitter readings.
-    pub readings: [SkitterReading; NUM_CORES],
-    /// Per-core %p2p noise (the paper's headline metric).
-    pub pct_p2p: [f64; NUM_CORES],
-    /// Per-core minimum effective supply voltage over the run.
-    pub v_min: [f64; NUM_CORES],
-    /// Per-core maximum effective supply voltage over the run.
-    pub v_max: [f64; NUM_CORES],
-    /// Chip input-rail power reading.
+    /// Per-site sticky skitter readings (one per site, ordinal order).
+    pub readings: SiteVec<SkitterReading>,
+    /// Per-site %p2p noise (the paper's headline metric).
+    pub pct_p2p: SiteVec<f64>,
+    /// Per-site minimum effective supply voltage over the run.
+    pub v_min: SiteVec<f64>,
+    /// Per-site maximum effective supply voltage over the run.
+    pub v_max: SiteVec<f64>,
+    /// Input-rail power reading of the whole scenario (chip or rack).
     pub chip_power: PowerReading,
-    /// Per-core voltage traces when requested.
+    /// Per-site voltage traces when requested.
     pub traces: Option<Vec<ScopeTrace>>,
     /// Transient solver steps taken (cost accounting).
     pub steps: usize,
@@ -154,8 +156,8 @@ pub struct NoiseOutcome {
 
 impl NoiseOutcome {
     /// First non-finite numeric field, as `(index, value)`: indices
-    /// `0..NUM_CORES` report the core whose `pct_p2p`/`v_min`/`v_max`
-    /// went bad, `NUM_CORES` reports the chip power reading. Returns
+    /// `0..num_sites` report the site whose `pct_p2p`/`v_min`/`v_max`
+    /// went bad, `num_sites` reports the rail power reading. Returns
     /// `None` for a healthy outcome.
     ///
     /// The engine uses this as its last line of defense: an outcome
@@ -163,7 +165,7 @@ impl NoiseOutcome {
     /// never cached, so one bad solve cannot contaminate memoized
     /// campaigns.
     pub fn first_non_finite(&self) -> Option<(usize, f64)> {
-        for i in 0..NUM_CORES {
+        for i in 0..self.pct_p2p.len() {
             for v in [self.pct_p2p[i], self.v_min[i], self.v_max[i]] {
                 if !v.is_finite() {
                     return Some((i, v));
@@ -171,15 +173,25 @@ impl NoiseOutcome {
             }
         }
         if !self.chip_power.watts().is_finite() {
-            return Some((NUM_CORES, self.chip_power.watts()));
+            return Some((self.pct_p2p.len(), self.chip_power.watts()));
         }
         None
     }
 
-    /// Highest per-core noise and the core that saw it.
+    /// Number of sites this outcome covers ([`NUM_CORES`] for chip-scale
+    /// runs).
+    pub fn num_sites(&self) -> usize {
+        self.pct_p2p.len()
+    }
+
+    /// Highest per-site noise and the site ordinal that saw it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an outcome with zero sites (never produced by the
+    /// kernel, which rejects empty load sets).
     pub fn worst(&self) -> (usize, f64) {
-        // Manual fold (ties keep the later core, like `max_by` did):
-        // total on any NUM_CORES ≥ 1, no unwrap/expect needed.
+        // Manual fold (ties keep the later site, like `max_by` did).
         let mut worst = (0, self.pct_p2p[0]);
         for (i, &p) in self.pct_p2p.iter().enumerate().skip(1) {
             if p.total_cmp(&worst.1).is_ge() {
@@ -189,7 +201,7 @@ impl NoiseOutcome {
         worst
     }
 
-    /// Maximum %p2p across cores.
+    /// Maximum %p2p across sites.
     pub fn max_pct_p2p(&self) -> f64 {
         self.worst().1
     }
@@ -197,7 +209,7 @@ impl NoiseOutcome {
 
 fn waveform_of(
     load: &CoreLoad,
-    core: usize,
+    skew_ppm: f64,
     idle_current: f64,
     rng: &mut SmallRng,
 ) -> CoreWaveform {
@@ -215,7 +227,7 @@ fn waveform_of(
                 // to misaligned free-running copies (paper footnote 6).
                 _ => WaveMode::FreeRun {
                     phase: rng.gen::<f64>() * period,
-                    period_skew_ppm: CORE_SKEW_PPM[core],
+                    period_skew_ppm: skew_ppm,
                 },
             };
             // Phases too short for the pipeline to change power state
@@ -250,9 +262,15 @@ fn coherence_key(load: &CoreLoad) -> Option<(u64, u64)> {
     }
 }
 
-/// Per-core cycle-microstructure ripple amplitude (volts).
-fn hf_amplitudes(chip: &Chip, loads: &[CoreLoad; NUM_CORES]) -> [f64; NUM_CORES] {
-    let hf = &chip.config().hf;
+/// Per-site cycle-microstructure ripple amplitude (volts).
+///
+/// The coupled impedances (`z_local`/`z_shared`, the domain weights) are
+/// properties of one chip's on-die network, so coupling is chip-local:
+/// sites on different chips of a rack never exchange HF ripple (the
+/// shared board path is far too inductive at cycle frequencies). For a
+/// single chip (`cores_per_chip == loads.len()`) this reduces to exactly
+/// the original all-pairs loop, preserving chip figures bit for bit.
+fn hf_amplitudes(hf: &HfNoiseParams, cores_per_chip: usize, loads: &[CoreLoad]) -> SiteVec<f64> {
     let ripple: Vec<f64> = loads
         .iter()
         .map(|l| {
@@ -264,14 +282,15 @@ fn hf_amplitudes(chip: &Chip, loads: &[CoreLoad; NUM_CORES]) -> [f64; NUM_CORES]
         })
         .collect();
     let keys: Vec<Option<(u64, u64)>> = loads.iter().map(coherence_key).collect();
-    std::array::from_fn(|i| {
+    SiteVec::from_fn(loads.len(), |i| {
+        let chip_base = (i / cores_per_chip) * cores_per_chip;
         let mut coherent = 0.0f64;
         let mut incoherent_sq = 0.0f64;
-        for j in 0..NUM_CORES {
+        for j in chip_base..(chip_base + cores_per_chip).min(loads.len()) {
             if j == i || ripple[j] == 0.0 {
                 continue;
             }
-            let w = if core_domain(i) == core_domain(j) {
+            let w = if core_domain(i - chip_base) == core_domain(j - chip_base) {
                 hf.same_domain_coupling
             } else {
                 hf.cross_domain_coupling
@@ -292,7 +311,7 @@ fn hf_amplitudes(chip: &Chip, loads: &[CoreLoad; NUM_CORES]) -> [f64; NUM_CORES]
 }
 
 /// Sizes the transient window and steps from the active stimulus periods.
-fn transient_config(loads: &[CoreLoad; NUM_CORES], cfg: &NoiseRunConfig) -> TransientConfig {
+fn transient_config(loads: &[CoreLoad], cfg: &NoiseRunConfig) -> TransientConfig {
     let periods: Vec<f64> = loads
         .iter()
         .filter_map(|l| match l {
@@ -350,17 +369,57 @@ pub struct SolveTelemetry {
     pub phase: PhaseTimes,
 }
 
+/// A scenario's electrical view, as the noise kernel consumes it: the
+/// netlist to solve, one probe node and one skitter per site, the HF
+/// ripple parameters and the rail voltage. Built from a [`Chip`] (the
+/// 1×1×[`NUM_CORES`] case) or from a [`crate::rack::RackScenario`]; the
+/// kernel itself is topology-blind.
+pub(crate) struct ScenarioView<'a> {
+    /// Netlist of the whole scenario.
+    pub netlist: &'a Netlist,
+    /// Per-site core supply node, site-ordinal order (matching the
+    /// netlist's drive-slot order).
+    pub core_nodes: Vec<NodeId>,
+    /// Per-site skitter, site-ordinal order.
+    pub skitters: Vec<&'a Skitter>,
+    /// Cycle-microstructure ripple parameters (chip-local coupling).
+    pub hf: &'a HfNoiseParams,
+    /// Nominal rail voltage (power accounting).
+    pub v_nom: f64,
+    /// Static current of an idle core, amperes.
+    pub idle_current: f64,
+    /// Cores per chip (the HF coupling block size).
+    pub cores_per_chip: usize,
+}
+
+impl<'a> ScenarioView<'a> {
+    /// The chip-scale view: every pre-rack experiment reduces to this.
+    pub fn of_chip(chip: &'a Chip) -> ScenarioView<'a> {
+        ScenarioView {
+            netlist: chip.pdn().netlist(),
+            core_nodes: (0..NUM_CORES).map(|i| chip.pdn().core_node(i)).collect(),
+            skitters: (0..NUM_CORES).map(|i| chip.skitter(i)).collect(),
+            hf: &chip.config().hf,
+            v_nom: chip.v_nom(),
+            idle_current: chip.config().core.static_power_w / chip.config().core.v_nom,
+            cores_per_chip: NUM_CORES,
+        }
+    }
+}
+
 /// Runs one noise experiment: simulate the PDN under the given per-core
 /// loads and return skitter readings, extrema, chip power and optional
-/// traces.
+/// traces. `loads` must carry exactly [`NUM_CORES`] entries (the chip's
+/// site count).
 ///
 /// # Errors
 ///
 /// Returns [`PdnError`] when the PDN solve fails (should not happen for
-/// chips built by [`Chip::new`]).
+/// chips built by [`Chip::new`]) or [`PdnError::DimensionMismatch`] when
+/// the load count does not match the chip's site count.
 pub fn run_noise(
     chip: &Chip,
-    loads: &[CoreLoad; NUM_CORES],
+    loads: &[CoreLoad],
     cfg: &NoiseRunConfig,
 ) -> Result<NoiseOutcome, PdnError> {
     run_noise_instrumented(chip, loads, cfg).map(|(outcome, _)| outcome)
@@ -379,52 +438,85 @@ pub fn run_noise(
 /// Returns [`PdnError`] when the PDN solve fails.
 pub fn run_noise_instrumented(
     chip: &Chip,
-    loads: &[CoreLoad; NUM_CORES],
+    loads: &[CoreLoad],
     cfg: &NoiseRunConfig,
 ) -> Result<(NoiseOutcome, SolveTelemetry), PdnError> {
-    let idle_current = chip.config().core.static_power_w / chip.config().core.v_nom;
+    run_view_noise_instrumented(&ScenarioView::of_chip(chip), loads, cfg)
+}
+
+/// The topology-blind noise kernel: one transient solve of `view`'s
+/// netlist under per-site `loads`, HF ripple superposed per chip block,
+/// one skitter reading per site.
+///
+/// Everything byte-identity-critical lives here once, for every
+/// topology: the RNG is consumed in site-ordinal order, probes are the
+/// site core nodes followed by the rail source current, and the per-site
+/// arithmetic is performed in ordinal order — so chip-scale runs through
+/// this kernel are bit-for-bit the runs the pre-rack code produced.
+pub(crate) fn run_view_noise_instrumented(
+    view: &ScenarioView<'_>,
+    loads: &[CoreLoad],
+    cfg: &NoiseRunConfig,
+) -> Result<(NoiseOutcome, SolveTelemetry), PdnError> {
+    let n = view.core_nodes.len();
+    if loads.len() != n {
+        return Err(PdnError::DimensionMismatch {
+            expected: n,
+            actual: loads.len(),
+        });
+    }
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let waves: Vec<CoreWaveform> = loads
         .iter()
         .enumerate()
-        .map(|(i, l)| waveform_of(l, i, idle_current, &mut rng))
+        .map(|(i, l)| {
+            // Free-run period skew repeats per chip: a site's drift is a
+            // property of its in-chip core slot.
+            let skew = CORE_SKEW_PPM[i % view.cores_per_chip % NUM_CORES];
+            waveform_of(l, skew, view.idle_current, &mut rng)
+        })
         .collect();
     let drive = MultiCoreDrive::new(waves);
 
     let mut tc = transient_config(loads, cfg);
     tc.collect_phase_times = crate::telemetry::trace_enabled();
-    let mut solver = TransientSolver::with_backend(chip.pdn().netlist(), cfg.solve.backend)?;
-    let mut probes: Vec<Probe> = (0..NUM_CORES)
-        .map(|i| Probe::NodeVoltage(chip.pdn().core_node(i)))
+    let mut solver = TransientSolver::with_backend(view.netlist, cfg.solve.backend)?;
+    let mut probes: Vec<Probe> = view
+        .core_nodes
+        .iter()
+        .map(|&node| Probe::NodeVoltage(node))
         .collect();
     probes.push(Probe::SourceCurrent(0));
     let result = solver.run(&drive, &probes, &tc)?;
 
-    let hf = hf_amplitudes(chip, loads);
-    let mut readings = [SkitterReading {
-        min_tap: 0,
-        max_tap: 0,
-        taps: 129,
-        samples: 0,
-    }; NUM_CORES];
-    let mut pct = [0.0; NUM_CORES];
-    let mut v_min = [0.0; NUM_CORES];
-    let mut v_max = [0.0; NUM_CORES];
-    let asym = chip.config().hf.droop_asymmetry;
-    for i in 0..NUM_CORES {
+    let hf = hf_amplitudes(view.hf, view.cores_per_chip, loads);
+    let mut readings = SiteVec::from_elem(
+        SkitterReading {
+            min_tap: 0,
+            max_tap: 0,
+            taps: 129,
+            samples: 0,
+        },
+        n,
+    );
+    let mut pct = SiteVec::from_elem(0.0, n);
+    let mut v_min = SiteVec::from_elem(0.0, n);
+    let mut v_max = SiteVec::from_elem(0.0, n);
+    let asym = view.hf.droop_asymmetry;
+    for i in 0..n {
         let st = &result.stats[i];
         v_min[i] = st.min - hf[i] * asym;
         v_max[i] = st.max + hf[i] * (1.0 - asym);
-        readings[i] = chip.skitter(i).measure_extremes(v_min[i], v_max[i]);
+        readings[i] = view.skitters[i].measure_extremes(v_min[i], v_max[i]);
         pct[i] = readings[i].pct_p2p();
     }
 
-    let rail_current = result.stats[NUM_CORES].mean.abs();
-    let chip_power = PowerMeter::new().read(chip.v_nom(), rail_current);
+    let rail_current = result.stats[n].mean.abs();
+    let chip_power = PowerMeter::new().read(view.v_nom, rail_current);
 
     let traces = if cfg.record_traces {
-        let mut out = Vec::with_capacity(NUM_CORES);
-        for i in 0..NUM_CORES {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
             // The solver records strictly increasing times, so this only
             // fails on a solver bug — surfaced as a typed error rather
             // than a panic so a campaign records it like any other fault.
@@ -942,8 +1034,8 @@ mod tests {
             }
             *slot = CoreLoad::Stressmark(sm);
         }
-        let hf_aligned = hf_amplitudes(tb.chip(), &aligned);
-        let hf_mis = hf_amplitudes(tb.chip(), &misaligned);
+        let hf_aligned = hf_amplitudes(&tb.chip().config().hf, NUM_CORES, &aligned);
+        let hf_mis = hf_amplitudes(&tb.chip().config().hf, NUM_CORES, &misaligned);
         for i in 0..NUM_CORES {
             assert!(
                 hf_aligned[i] > hf_mis[i] * 1.3,

@@ -7,10 +7,19 @@
 //! experiment across a population of seeded chip instances and reports
 //! per-core statistics, so reproducibility and the spread due to
 //! manufacturing variation can be quantified.
+//!
+//! The per-chip solves run as content-keyed [`SimJob`]s through an
+//! [`Engine`] (one job per seed, executed in parallel), so repeated
+//! studies over overlapping seed sets answer from the cache and — with a
+//! persistent store attached — resume across crashes like every other
+//! campaign.
 
 use crate::chip::Chip;
-use crate::noise::{run_noise, CoreLoad, NoiseRunConfig};
+use crate::engine::{Engine, SimJob};
+use crate::noise::{CoreLoad, NoiseRunConfig};
+use crate::site::SiteVec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 
@@ -20,45 +29,69 @@ pub struct PopulationStudy {
     /// Seeds of the measured chips (seed 0 = the curated paper chip).
     pub seeds: Vec<u64>,
     /// Arithmetic mean %p2p per core across chips.
-    pub mean_pct: [f64; NUM_CORES],
+    pub mean_pct: SiteVec<f64>,
     /// Standard deviation per core across chips.
-    pub std_pct: [f64; NUM_CORES],
+    pub std_pct: SiteVec<f64>,
     /// Highest single-core reading over the whole population and the
     /// `(seed, core)` where it occurred.
     pub worst: (u64, usize, f64),
 }
 
 impl PopulationStudy {
-    /// Runs the same per-core loads on `seeds.len()` chip instances.
+    /// Runs the same per-core loads on `seeds.len()` chip instances
+    /// through the shared experiment engine.
     ///
     /// # Errors
     ///
     /// Returns [`PdnError`] if a chip build or PDN solve fails.
     pub fn run(
         seeds: &[u64],
-        loads: &[CoreLoad; NUM_CORES],
+        loads: &[CoreLoad],
         run_cfg: &NoiseRunConfig,
     ) -> Result<Self, PdnError> {
-        let mut per_chip: Vec<[f64; NUM_CORES]> = Vec::with_capacity(seeds.len());
+        PopulationStudy::run_on(Engine::shared(), seeds, loads, run_cfg)
+    }
+
+    /// [`PopulationStudy::run`] on an explicit engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`] if a chip build or PDN solve fails.
+    pub fn run_on(
+        engine: &Engine,
+        seeds: &[u64],
+        loads: &[CoreLoad],
+        run_cfg: &NoiseRunConfig,
+    ) -> Result<Self, PdnError> {
+        let loads: SiteVec<CoreLoad> = loads.iter().cloned().collect();
+        let jobs = seeds
+            .iter()
+            .map(|&seed| {
+                let chip = if seed == 0 {
+                    Chip::paper_default()
+                } else {
+                    Chip::with_seed(seed)?
+                };
+                Ok(SimJob::new(Arc::new(chip), loads.clone(), run_cfg.clone()))
+            })
+            .collect::<Result<Vec<_>, PdnError>>()?;
+        let outcomes = engine.run_jobs(&jobs)?;
+
         let mut worst = (0u64, 0usize, f64::NEG_INFINITY);
-        for &seed in seeds {
-            let chip = if seed == 0 {
-                Chip::paper_default()
-            } else {
-                Chip::with_seed(seed)?
-            };
-            let out = run_noise(&chip, loads, run_cfg)?;
+        let mut per_chip: Vec<SiteVec<f64>> = Vec::with_capacity(seeds.len());
+        for (&seed, out) in seeds.iter().zip(&outcomes) {
             for (core, &pct) in out.pct_p2p.iter().enumerate() {
                 if pct > worst.2 {
                     worst = (seed, core, pct);
                 }
             }
-            per_chip.push(out.pct_p2p);
+            per_chip.push(out.pct_p2p.clone());
         }
         let n = per_chip.len().max(1) as f64;
-        let mean_pct: [f64; NUM_CORES] =
-            std::array::from_fn(|i| per_chip.iter().map(|c| c[i]).sum::<f64>() / n);
-        let std_pct: [f64; NUM_CORES] = std::array::from_fn(|i| {
+        let mean_pct = SiteVec::from_fn(NUM_CORES, |i| {
+            per_chip.iter().map(|c| c[i]).sum::<f64>() / n
+        });
+        let std_pct = SiteVec::from_fn(NUM_CORES, |i| {
             let m = mean_pct[i];
             (per_chip
                 .iter()
@@ -77,7 +110,7 @@ impl PopulationStudy {
 
     /// Mean of the per-core means.
     pub fn grand_mean(&self) -> f64 {
-        self.mean_pct.iter().sum::<f64>() / NUM_CORES as f64
+        self.mean_pct.iter().sum::<f64>() / self.mean_pct.len().max(1) as f64
     }
 
     /// Largest per-core relative spread (`std / mean`) — the
@@ -85,7 +118,7 @@ impl PopulationStudy {
     pub fn max_relative_spread(&self) -> f64 {
         self.mean_pct
             .iter()
-            .zip(&self.std_pct)
+            .zip(self.std_pct.iter())
             .map(|(m, s)| if *m > 0.0 { s / m } else { 0.0 })
             .fold(0.0, f64::max)
     }
@@ -96,7 +129,7 @@ impl PopulationStudy {
             "# multi-chip reproducibility ({} chips)\ncore,mean_pct_p2p,std_pct_p2p\n",
             self.seeds.len()
         );
-        for i in 0..NUM_CORES {
+        for i in 0..self.mean_pct.len() {
             out.push_str(&format!(
                 "core{i},{:.1},{:.2}\n",
                 self.mean_pct[i], self.std_pct[i]
@@ -166,5 +199,23 @@ mod tests {
         for i in 0..NUM_CORES {
             assert!(text.contains(&format!("core{i},")));
         }
+    }
+
+    #[test]
+    fn repeated_studies_reuse_cached_solves() {
+        let engine = Engine::new();
+        let cfg = NoiseRunConfig {
+            window_s: Some(8e-6),
+            ..NoiseRunConfig::default()
+        };
+        let first = PopulationStudy::run_on(&engine, &[0, 7], &loads(), &cfg).unwrap();
+        let solved = engine.stats().solves;
+        assert_eq!(solved, 2);
+        // A second study over an overlapping population only solves the
+        // new seed.
+        let second = PopulationStudy::run_on(&engine, &[0, 7, 21], &loads(), &cfg).unwrap();
+        assert_eq!(engine.stats().solves, solved + 1);
+        assert_eq!(second.seeds.len(), 3);
+        assert!(first.grand_mean() > 0.0 && second.grand_mean() > 0.0);
     }
 }

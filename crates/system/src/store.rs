@@ -38,10 +38,12 @@ pub const STORE_FORMAT: &str = "voltnoise-store";
 /// the key scheme changes incompatibly.
 pub const STORE_VERSION: u32 = 1;
 /// Identifier of the key scheme: FNV-1a 128 over the canonical byte
-/// rendering of a `JobKey` (chip signature included). `/2` added the
+/// rendering of a `JobKey` (scenario signature included). `/2` added the
 /// solve-spec fields (backend selection plus the optional reduced-order
-/// budget) to the rendering.
-const KEY_SCHEME: &str = "jobkey-fnv1a128/2";
+/// budget) to the rendering. `/3` made the load list variable-length
+/// (rack jobs carry one load per site, not a fixed six) and prefixed it
+/// with its count to keep the rendering injective.
+const KEY_SCHEME: &str = "jobkey-fnv1a128/3";
 
 /// Stable 128-bit FNV-1a hasher. The standard library's `DefaultHasher`
 /// is explicitly not stable across Rust releases, so store keys — which
@@ -426,10 +428,11 @@ mod tests {
                 max_tap: 20,
                 taps: 129,
                 samples: 100,
-            }; NUM_CORES],
-            pct_p2p: [tag; NUM_CORES],
-            v_min: [1.0 - tag / 100.0; NUM_CORES],
-            v_max: [1.0 + tag / 100.0; NUM_CORES],
+            }; NUM_CORES]
+                .into(),
+            pct_p2p: [tag; NUM_CORES].into(),
+            v_min: [1.0 - tag / 100.0; NUM_CORES].into(),
+            v_max: [1.0 + tag / 100.0; NUM_CORES].into(),
             chip_power: PowerMeter::new().read(1.05, 40.0),
             traces: None,
             steps: 1234,

@@ -4,9 +4,9 @@
 
 use crate::chip::{Chip, ChipConfig};
 use crate::noise::CoreLoad;
-use crate::workload::{Mapping, WorkloadKind};
+use crate::site::SiteVec;
+use crate::workload::WorkloadKind;
 use std::sync::OnceLock;
-use voltnoise_pdn::topology::NUM_CORES;
 use voltnoise_pdn::PdnError;
 use voltnoise_stressmark::{
     compile, find_max_power_sequence, find_sequence_with_power, min_power_sequence,
@@ -206,14 +206,18 @@ impl Testbed {
         }
     }
 
-    /// Expands a workload-to-core mapping into per-core loads.
+    /// Expands a workload placement into per-site loads (any site
+    /// count: a chip mapping yields six loads, a rack placement one
+    /// load per rack site).
     pub fn loads_of_mapping(
         &self,
-        mapping: &Mapping,
+        mapping: &[WorkloadKind],
         stim_freq_hz: f64,
         sync: Option<SyncSpec>,
-    ) -> [CoreLoad; NUM_CORES] {
-        std::array::from_fn(|i| self.load_of(mapping[i], stim_freq_hz, sync))
+    ) -> SiteVec<CoreLoad> {
+        SiteVec::from_fn(mapping.len(), |i| {
+            self.load_of(mapping[i], stim_freq_hz, sync)
+        })
     }
 }
 

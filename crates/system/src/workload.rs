@@ -4,6 +4,7 @@
 //! medium dI/dt and maximum dI/dt — onto the six cores in all possible
 //! ways (36 distinct distributions) and measure per-core noise for each.
 
+use crate::site::SiteVec;
 use serde::{Deserialize, Serialize};
 use voltnoise_pdn::topology::NUM_CORES;
 
@@ -36,8 +37,14 @@ impl WorkloadKind {
     }
 }
 
-/// A workload-to-core mapping.
-pub type Mapping = [WorkloadKind; NUM_CORES];
+/// A placement of workload kinds onto the sites of a
+/// [`crate::site::SiteSpace`], indexed by site ordinal. At chip scale
+/// this has [`NUM_CORES`] entries; at rack scale one per rack site.
+pub type Placement = SiteVec<WorkloadKind>;
+
+/// A workload-to-core mapping (the chip-scale name for a
+/// [`Placement`], kept for the §V-D/VI experiments' vocabulary).
+pub type Mapping = Placement;
 
 /// A workload *distribution*: how many cores run each class, regardless
 /// of which cores (the paper's Fig. 11b "x-y" notation: x maximum
@@ -51,8 +58,8 @@ pub struct Distribution {
 }
 
 impl Distribution {
-    /// The distribution of a mapping.
-    pub fn of(mapping: &Mapping) -> Self {
+    /// The distribution of a mapping (any site count).
+    pub fn of(mapping: &[WorkloadKind]) -> Self {
         Distribution {
             max_count: mapping
                 .iter()
@@ -107,7 +114,7 @@ pub fn mappings_of(dist: &Distribution) -> Vec<Mapping> {
             0,
             &mut med_sel,
             &mut |med_mask| {
-                let mut m = [WorkloadKind::Idle; NUM_CORES];
+                let mut m = Mapping::from_elem(WorkloadKind::Idle, NUM_CORES);
                 for (i, &is_max) in max_mask.iter().enumerate() {
                     if is_max {
                         m[i] = WorkloadKind::MaxDidt;

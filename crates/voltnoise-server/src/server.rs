@@ -10,18 +10,21 @@ use crate::http::{
 };
 use crate::signals;
 use crate::wire::{parse_batch, BatchRequest, SignalStats};
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+use voltnoise_pdn::topology::VariationSpec;
 use voltnoise_pdn::CancelToken;
 use voltnoise_stressmark::SyncSpec;
 use voltnoise_system::engine::{Engine, SimJob};
 use voltnoise_system::fault::{FaultKind, JobFault};
-use voltnoise_system::noise::{DrawerStepConfig, NoiseOutcome, NoiseRunConfig};
+use voltnoise_system::noise::{CoreLoad, DrawerStepConfig, NoiseOutcome, NoiseRunConfig};
+use voltnoise_system::rack::RackScenario;
+use voltnoise_system::site::SiteVec;
 use voltnoise_system::testbed::Testbed;
 use voltnoise_system::DrawerJob;
 
@@ -519,6 +522,7 @@ fn handle_request(
         }
         ("POST", "/jobs") => handle_jobs(shared, stream, request, keep),
         ("POST", "/drawer") => handle_drawer(shared, stream, request, keep),
+        ("POST", "/rack") => handle_rack(shared, stream, request, keep),
         (method, path) => {
             let body = error_body(&[
                 ("error", Value::Str("not-found".to_string())),
@@ -819,6 +823,195 @@ fn handle_drawer(
     write_response(stream, 200, "OK", "application/json", &[], &body, keep).is_ok() && keep
 }
 
+/// One wire rack job: a rack shape + variation draw, the site ordinals
+/// running the max-dI/dt stressmark (everything else idles), and the
+/// solve window/seed. Compiles to a content-keyed rack [`SimJob`], so
+/// repeated requests ride the engine's memo cache and store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RackJobSpec {
+    /// Drawers on the rack's supply spine.
+    drawers: usize,
+    /// Chips per drawer.
+    chips_per_drawer: usize,
+    /// Seed of the per-chip process-variation draw (0 spread is not a
+    /// seed value: pass through [`VariationSpec::paper_default`]).
+    variation_seed: u64,
+    /// Site ordinals (drawer-major) running the stressmark.
+    active: Vec<usize>,
+    /// Stressmark stimulus frequency, Hz.
+    stim_freq_hz: f64,
+    /// TOD-synchronize the stressmark bursts.
+    sync: bool,
+    /// Simulated window, seconds.
+    window_s: f64,
+    /// Random seed of the free-run phases.
+    seed: u64,
+}
+
+fn handle_rack(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    request: &Request,
+    keep: bool,
+) -> bool {
+    let reject = |stream: &mut TcpStream, code: &str, detail: String| -> bool {
+        let body = error_body(&[
+            ("error", Value::Str("invalid-request".to_string())),
+            ("code", Value::Str(code.to_string())),
+            ("detail", Value::Str(detail)),
+        ]);
+        write_response(
+            stream,
+            400,
+            "Bad Request",
+            "application/json",
+            &[],
+            &body,
+            keep,
+        )
+        .is_ok()
+            && keep
+    };
+    let RawBody(root) = match serde_json::from_str::<RawBody>(&request.body) {
+        Ok(raw) => raw,
+        Err(e) => return reject(stream, "invalid-json", e.to_string()),
+    };
+    let entries = match root.as_array() {
+        Some(entries) if !entries.is_empty() => entries,
+        Some(_) => return reject(stream, "empty-batch", "rack batch must not be empty".into()),
+        None => {
+            return reject(
+                stream,
+                "bad-type",
+                "rack batch must be a JSON array of rack job specs".into(),
+            )
+        }
+    };
+    let mut specs: Vec<RackJobSpec> = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let spec: RackJobSpec = match serde::Deserialize::from_value(entry) {
+            Ok(spec) => spec,
+            Err(e) => return reject(stream, "bad-type", format!("jobs[{i}]: {e}")),
+        };
+        if spec.drawers == 0 || spec.chips_per_drawer == 0 {
+            return reject(
+                stream,
+                "bad-value",
+                format!("jobs[{i}]: rack shape must be at least 1x1"),
+            );
+        }
+        if !(spec.stim_freq_hz.is_finite() && spec.stim_freq_hz > 0.0) {
+            return reject(
+                stream,
+                "bad-value",
+                format!("jobs[{i}]: stim_freq_hz must be finite and positive"),
+            );
+        }
+        if !(spec.window_s.is_finite() && spec.window_s > 0.0) {
+            return reject(
+                stream,
+                "bad-value",
+                format!("jobs[{i}]: window_s must be finite and positive"),
+            );
+        }
+        let sites = spec.drawers * spec.chips_per_drawer * voltnoise_pdn::NUM_CORES;
+        if let Some(&bad) = spec.active.iter().find(|&&s| s >= sites) {
+            return reject(
+                stream,
+                "bad-value",
+                format!("jobs[{i}]: active site {bad} is outside the {sites}-site rack"),
+            );
+        }
+        specs.push(spec);
+    }
+    // Admission: a rack solve scales with its chip count, so the step
+    // estimate is the chip-scale window estimate times the population.
+    let estimated: u64 = specs
+        .iter()
+        .map(|s| (s.window_s * 4e8).max(1.0) as u64 * (s.drawers * s.chips_per_drawer) as u64)
+        .sum();
+    let permit = match shared.admission.try_admit(estimated) {
+        Ok(permit) => permit,
+        Err(rejection) => {
+            shared.engine.note_shed();
+            let retry_after = rejection.retry_after_secs();
+            let body = error_body(&[
+                ("error", Value::Str("overloaded".to_string())),
+                ("retry_after_s", Value::U64(retry_after)),
+            ]);
+            return write_response(
+                stream,
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", retry_after.to_string())],
+                &body,
+                keep,
+            )
+            .is_ok()
+                && keep;
+        }
+    };
+    // Scenarios are shared within the batch: entries naming the same
+    // shape + variation draw compile against one built rack PDN.
+    let mut scenarios: HashMap<(usize, usize, u64), Arc<RackScenario>> = HashMap::new();
+    let mut lines = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let scenario_key = (spec.drawers, spec.chips_per_drawer, spec.variation_seed);
+        let scenario = match scenarios.get(&scenario_key) {
+            Some(s) => Ok(s.clone()),
+            None => RackScenario::build(
+                shared.testbed.chip(),
+                spec.drawers,
+                spec.chips_per_drawer,
+                VariationSpec::paper_default(spec.variation_seed),
+            )
+            .map(|s| {
+                let s = Arc::new(s);
+                scenarios.insert(scenario_key, s.clone());
+                s
+            }),
+        };
+        let line = match scenario.and_then(|rack| {
+            let sync = spec.sync.then(SyncSpec::paper_default);
+            let active =
+                CoreLoad::Stressmark(shared.testbed.max_stressmark(spec.stim_freq_hz, sync));
+            let loads = SiteVec::from_fn(rack.num_sites(), |s| {
+                if spec.active.contains(&s) {
+                    active.clone()
+                } else {
+                    CoreLoad::Idle
+                }
+            });
+            let job = SimJob::rack(
+                rack,
+                loads,
+                NoiseRunConfig {
+                    window_s: Some(spec.window_s),
+                    seed: spec.seed,
+                    ..NoiseRunConfig::default()
+                },
+            );
+            shared.engine.run_one(&job)
+        }) {
+            Ok(outcome) => {
+                let outcome_json =
+                    serde_json::to_string(&*outcome).unwrap_or_else(|_| "null".to_string());
+                format!("{{\"index\":{i},\"status\":\"ok\",\"outcome\":{outcome_json}}}")
+            }
+            Err(e) => {
+                let detail = serde_json::to_string(&Value::Str(e.to_string()))
+                    .unwrap_or_else(|_| "\"\"".to_string());
+                format!("{{\"index\":{i},\"status\":\"error\",\"detail\":{detail}}}")
+            }
+        };
+        lines.push(line);
+    }
+    drop(permit);
+    let body = format!("[{}]", lines.join(","));
+    write_response(stream, 200, "OK", "application/json", &[], &body, keep).is_ok() && keep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,7 +1053,95 @@ mod tests {
     fn fake_key() -> voltnoise_system::engine::JobKey {
         let tb = Testbed::fast();
         let factory = SimJob::batch(tb.chip());
-        let loads = std::array::from_fn(|_| voltnoise_system::noise::CoreLoad::Idle);
+        let loads: [voltnoise_system::noise::CoreLoad; voltnoise_pdn::NUM_CORES] =
+            std::array::from_fn(|_| voltnoise_system::noise::CoreLoad::Idle);
         factory.job(loads, NoiseRunConfig::default()).key().clone()
+    }
+
+    /// An in-process reduced server for route tests; returns (addr,
+    /// stop handle, engine, join handle).
+    fn spawn_reduced() -> (
+        String,
+        Arc<AtomicBool>,
+        Arc<Engine>,
+        std::thread::JoinHandle<io::Result<()>>,
+    ) {
+        let server = Server::bind(ServerConfig {
+            reduced: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback server");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let stop = server.stop_handle();
+        let engine = server.engine();
+        let daemon = std::thread::spawn(move || server.run());
+        (addr, stop, engine, daemon)
+    }
+
+    #[test]
+    fn rack_route_solves_variated_jobs_and_memoizes_repeats() {
+        let (addr, stop, engine, daemon) = spawn_reduced();
+        let timeout = Duration::from_secs(120);
+        let body = r#"[
+            {"drawers":1,"chips_per_drawer":2,"variation_seed":7,"active":[0,7],
+             "stim_freq_hz":2.5e6,"sync":true,"window_s":4e-6,"seed":1},
+            {"drawers":1,"chips_per_drawer":2,"variation_seed":7,"active":[0,7],
+             "stim_freq_hz":2.5e6,"sync":true,"window_s":4e-6,"seed":1}
+        ]"#;
+        let resp = crate::http_request(&addr, "POST", "/rack", Some(body), timeout)
+            .expect("rack round trip");
+        assert_eq!(resp.status, 200, "rack batch failed: {}", resp.body);
+        assert!(
+            resp.body.contains("\"index\":0,\"status\":\"ok\"")
+                && resp.body.contains("\"index\":1,\"status\":\"ok\""),
+            "both entries must settle ok: {}",
+            resp.body
+        );
+        // 12 sites on the 1x2 rack: the outcome is rack-shaped.
+        assert!(
+            resp.body.contains("\"pct_p2p\":["),
+            "outcome must carry per-site readings: {}",
+            resp.body
+        );
+        let stats = engine.stats();
+        assert_eq!(
+            stats.solves, 1,
+            "identical rack jobs must dedupe to one solve"
+        );
+        assert!(stats.cache_hits >= 1, "the repeat must ride the memo");
+        stop.store(true, Ordering::SeqCst);
+        daemon.join().expect("server thread").expect("clean drain");
+    }
+
+    #[test]
+    fn rack_route_rejects_out_of_range_sites_and_bad_shapes() {
+        let (addr, stop, engine, daemon) = spawn_reduced();
+        let timeout = Duration::from_secs(30);
+        let cases = [
+            // Site 99 is outside the 1x1 rack's 6 sites.
+            r#"[{"drawers":1,"chips_per_drawer":1,"variation_seed":1,"active":[99],
+                 "stim_freq_hz":2.5e6,"sync":false,"window_s":2e-6,"seed":1}]"#,
+            // Degenerate 0-drawer shape.
+            r#"[{"drawers":0,"chips_per_drawer":1,"variation_seed":1,"active":[0],
+                 "stim_freq_hz":2.5e6,"sync":false,"window_s":2e-6,"seed":1}]"#,
+            // Non-positive window.
+            r#"[{"drawers":1,"chips_per_drawer":1,"variation_seed":1,"active":[0],
+                 "stim_freq_hz":2.5e6,"sync":false,"window_s":0.0,"seed":1}]"#,
+            // Not an array.
+            r#"{"jobs":[]}"#,
+        ];
+        for body in cases {
+            let resp = crate::http_request(&addr, "POST", "/rack", Some(body), timeout)
+                .expect("rack round trip");
+            assert_eq!(resp.status, 400, "must reject: {body} -> {}", resp.body);
+            assert!(
+                resp.body.contains("\"error\":\"invalid-request\""),
+                "machine-readable error expected: {}",
+                resp.body
+            );
+        }
+        assert_eq!(engine.stats().solves, 0, "rejected specs must not solve");
+        stop.store(true, Ordering::SeqCst);
+        daemon.join().expect("server thread").expect("clean drain");
     }
 }

@@ -27,7 +27,8 @@ fn test_jobs(tb: &Testbed, n: u64) -> Vec<SimJob> {
     (1..=n)
         .map(|seed| {
             let sm = tb.max_stressmark(2.5e6, None);
-            let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            let loads: [CoreLoad; NUM_CORES] =
+                std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
             batch.job(
                 loads,
                 NoiseRunConfig {

@@ -16,7 +16,8 @@ fn test_jobs(tb: &Testbed, n: u64) -> Vec<SimJob> {
     (1..=n)
         .map(|seed| {
             let sm = tb.max_stressmark(2.5e6, None);
-            let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            let loads: [CoreLoad; NUM_CORES] =
+                std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
             batch.job(
                 loads,
                 NoiseRunConfig {
@@ -245,7 +246,8 @@ fn noise_outcomes_are_finite_over_seed_and_frequency_grid() {
     for &freq in &[45e3, 300e3, 2.5e6] {
         for seed in 1..=3u64 {
             let sm = tb.max_stressmark(freq, None);
-            let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            let loads: [CoreLoad; NUM_CORES] =
+                std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
             let job = batch.job(
                 loads,
                 NoiseRunConfig {

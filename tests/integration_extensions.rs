@@ -77,8 +77,8 @@ fn governor_dither_and_scheduler_compose() {
     // The noise-aware scheduler needs no more margin than the naive one.
     let table = NoiseTable::characterize(tb, 2.5e6, &run_cfg).unwrap();
     let trace = synthetic_trace(50, 3.0);
-    let naive = replay(&table, &NaivePolicy, &trace);
-    let aware = replay(&table, &NoiseAwarePolicy::new(table.clone()), &trace);
+    let naive = replay(&mut table.clone(), &NaivePolicy, &trace).unwrap();
+    let aware = replay(&mut table.clone(), &NoiseAwarePolicy::new(), &trace).unwrap();
     assert!(aware.mean_required_pct <= naive.mean_required_pct + 1e-9);
 }
 

@@ -18,7 +18,8 @@ fn test_jobs(tb: &Testbed, n: u64) -> Vec<SimJob> {
     (1..=n)
         .map(|seed| {
             let sm = tb.max_stressmark(2.5e6, None);
-            let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+            let loads: [CoreLoad; NUM_CORES] =
+                std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
             batch.job(
                 loads,
                 NoiseRunConfig {
@@ -75,7 +76,7 @@ fn counters_are_exact_on_hand_built_rc() {
 fn instrumented_noise_run_matches_plain_run() {
     let tb = Testbed::fast();
     let sm = tb.max_stressmark(2.5e6, None);
-    let loads = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
+    let loads: [CoreLoad; NUM_CORES] = std::array::from_fn(|_| CoreLoad::Stressmark(sm.clone()));
     let cfg = NoiseRunConfig {
         window_s: Some(20e-6),
         seed: 7,
